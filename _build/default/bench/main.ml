@@ -1,0 +1,580 @@
+(* Benchmark harness: regenerates every measured claim of the paper's
+   evaluation (section 8 and the quantified asides), one section per
+   experiment.  EXPERIMENTS.md records paper-vs-measured for each.
+
+   Absolute numbers differ from 1982 hardware by construction; the
+   *shape* of each result (who wins, by what factor) is the target. *)
+
+open Gg_ir
+module Grammar = Gg_grammar.Grammar
+module Tables = Gg_tablegen.Tables
+module Naive = Gg_tablegen.Naive
+module Lr0 = Gg_tablegen.Lr0
+module Matcher = Gg_matcher.Matcher
+module Transform = Gg_transform.Transform
+module Phase1c = Gg_transform.Phase1c
+module Grammar_def = Gg_vax.Grammar_def
+module Insn = Gg_vax.Insn
+module Driver = Gg_codegen.Driver
+module Pcc = Gg_pcc.Pcc
+module Sema = Gg_frontc.Sema
+module Corpus = Gg_frontc.Corpus
+module Machine = Gg_vaxsim.Machine
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let section title = Fmt.pr "@.=== %s ===@." title
+let row fmt = Fmt.pr fmt
+
+(* -- Bechamel helpers --------------------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+(* run named thunks under Bechamel; returns ns/run keyed by the name *)
+let measure_ns tests =
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg
+      ~limit:(if quick then 100 else 500)
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ()
+  in
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) tests
+  in
+  let grouped = Test.make_grouped ~name:"bench" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> (name, ns) :: acc
+      | _ -> acc)
+    results []
+
+let lookup results key =
+  (* grouped test names carry a prefix; match by suffix *)
+  List.find_map
+    (fun (name, v) ->
+      let n = String.length name and k = String.length key in
+      if n >= k && String.sub name (n - k) k = key then Some v else None)
+    results
+
+(* -- corpora ------------------------------------------------------------------ *)
+
+let corpus_program =
+  lazy
+    (Sema.lower_program
+       (Corpus.large_program ~seed:42
+          ~target_stmts:(if quick then 150 else 600)))
+
+let fixed_progs =
+  lazy (List.map (fun (n, s) -> (n, Sema.compile s)) Corpus.fixed_programs)
+
+(* ============================================================================ *)
+(* T-GRAM: grammar and table statistics (section 8, first paragraph)            *)
+(* ============================================================================ *)
+
+let bench_grammar_stats () =
+  section "T-GRAM: machine description and table statistics (paper section 8)";
+  let o = Grammar_def.default in
+  let schemas = Grammar_def.schemas o in
+  let g = Grammar_def.grammar o in
+  let gs = Grammar.stats g in
+  let t = Tables.build g in
+  let ts = Tables.stats t in
+  row "generic schemas (pre-replication):    %d   (paper: 458)@."
+    (List.length schemas);
+  row "replicated productions:               %d   (paper: 1073)@."
+    gs.Grammar.productions;
+  row "terminals:                            %d   (paper: 219)@."
+    gs.Grammar.terminals;
+  row "non-terminals:                        %d   (paper: 148)@."
+    gs.Grammar.nonterminals;
+  row "parser states:                        %d   (paper: 2216)@."
+    ts.Tables.states;
+  row "replication growth factor:            %.2fx (paper: 2.34x)@."
+    (float_of_int gs.Grammar.productions /. float_of_int (List.length schemas));
+  row "conflicts: %d shift/reduce, %d reduce/reduce, %d semantic ties@."
+    ts.Tables.conflicts.Tables.shift_reduce
+    ts.Tables.conflicts.Tables.reduce_reduce
+    ts.Tables.conflicts.Tables.semantic_ties
+
+(* ============================================================================ *)
+(* T-REV: the reverse-operator ablation (section 5.1.3)                         *)
+(* ============================================================================ *)
+
+let bench_reverse_ops () =
+  section "T-REV: reverse binary operators ablation (paper section 5.1.3)";
+  let with_r = Grammar_def.grammar Grammar_def.default in
+  let without_r =
+    Grammar_def.grammar
+      { Grammar_def.default with Grammar_def.reverse_ops = false }
+  in
+  let p_with = (Grammar.stats with_r).Grammar.productions in
+  let p_without = (Grammar.stats without_r).Grammar.productions in
+  let t_with = Tables.stats (Tables.build with_r) in
+  let t_without = Tables.stats (Tables.build without_r) in
+  row "grammar size:  %d -> %d productions (+%.0f%%)   (paper: +25%%)@."
+    p_without p_with
+    (100. *. float_of_int (p_with - p_without) /. float_of_int p_without);
+  row
+    "table size:    %d -> %d states (+%.0f%%), %d -> %d action entries \
+     (+%.0f%%)   (paper: +60%%)@."
+    t_without.Tables.states t_with.Tables.states
+    (100.
+    *. float_of_int (t_with.Tables.states - t_without.Tables.states)
+    /. float_of_int t_without.Tables.states)
+    t_without.Tables.action_entries t_with.Tables.action_entries
+    (100.
+    *. float_of_int
+         (t_with.Tables.action_entries - t_without.Tables.action_entries)
+    /. float_of_int t_without.Tables.action_entries);
+  (* The paper's metric is how often the swaps "affected register
+     allocation": compare the left-to-right register usage of each
+     statement tree before and after the ordering phase.  (Swaps that
+     only rearrange free operands change nothing.) *)
+  let rec lr_usage (t : Tree.t) =
+    match t with
+    | Tree.Const _ | Tree.Fconst _ | Tree.Name _ | Tree.Temp _ | Tree.Dreg _
+    | Tree.Autoinc _ | Tree.Autodec _ ->
+      0
+    | Tree.Indir (_, a) -> lr_usage a
+    | Tree.Addr _ -> 1
+    | Tree.Unop (_, _, e) | Tree.Conv (_, _, e) | Tree.Arg (_, e) ->
+      max 1 (lr_usage e)
+    | Tree.Binop (_, _, a, b)
+    | Tree.Assign (_, a, b)
+    | Tree.Rassign (_, a, b)
+    | Tree.Cbranch (_, _, _, a, b, _) ->
+      let held = if Phase1c.register_need a > 0 then 1 else 0 in
+      max (max (lr_usage a) (lr_usage b + held)) 1
+    | Tree.Call _ | Tree.Land _ | Tree.Lor _ | Tree.Lnot _ | Tree.Select _
+    | Tree.Relval _ ->
+      6
+  in
+  let prog = Lazy.force corpus_program in
+  let stmts = ref 0 in
+  let affected = ref 0 in
+  let swaps = ref 0 in
+  List.iter
+    (fun (f : Tree.func) ->
+      let stats = Phase1c.fresh_stats () in
+      let ctx = Gg_transform.Context.create f in
+      let body = Gg_transform.Phase1a.run ctx f.Tree.body in
+      let body = Gg_transform.Phase1b.run body in
+      let before =
+        List.filter_map
+          (function Tree.Stree t -> Some t | _ -> None)
+          body
+      in
+      let after =
+        List.filter_map
+          (function Tree.Stree t -> Some t | _ -> None)
+          (Phase1c.run ~spill_guard:false ~stats ctx body)
+      in
+      stmts := !stmts + List.length before;
+      swaps :=
+        !swaps + stats.Phase1c.swapped_reverse + stats.Phase1c.reversed_assigns;
+      List.iter2
+        (fun b a -> if lr_usage b <> lr_usage a then incr affected)
+        before after)
+    prog.Tree.funcs;
+  row "statements rewritten with reverse forms: %d of %d (%.1f%%)@." !swaps
+    !stmts
+    (100. *. float_of_int !swaps /. float_of_int (max 1 !stmts));
+  row
+    "statements whose register usage changed: %d of %d (%.2f%%)   (paper: \
+     <1%% of expressions)@."
+    !affected !stmts
+    (100. *. float_of_int !affected /. float_of_int (max 1 !stmts))
+
+(* ============================================================================ *)
+(* T-TBLC: table construction time (sections 7 and 9)                            *)
+(* ============================================================================ *)
+
+let bench_table_construction () =
+  section
+    "T-TBLC: table construction, naive vs improved (paper: >2 CPU hours -> \
+     10 minutes, ~12x)";
+  let subset =
+    Grammar_def.grammar
+      {
+        Grammar_def.default with
+        Grammar_def.int_types = [ Dtype.Long ];
+        float_types = [];
+      }
+  in
+  let full = Grammar_def.grammar Grammar_def.default in
+  let time_once f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (Sys.time () -. t0, r)
+  in
+  let t_naive, auto_naive = time_once (fun () -> Naive.build subset) in
+  let t_fast_subset, auto_fast = time_once (fun () -> Lr0.build subset) in
+  let t_fast_full, tables_full = time_once (fun () -> Tables.build full) in
+  assert (
+    auto_naive.Gg_tablegen.Automaton.n_states
+    = auto_fast.Gg_tablegen.Automaton.n_states);
+  row "subset grammar (long only, as in the paper's daily iterations; %d states):@."
+    auto_naive.Gg_tablegen.Automaton.n_states;
+  row "  naive constructor:     %8.3f s@." t_naive;
+  row "  improved constructor:  %8.3f s@." t_fast_subset;
+  row "  speedup:               %8.1fx   (paper: ~12x on the full grammar)@."
+    (t_naive /. max 1e-6 t_fast_subset);
+  row "full grammar, improved constructor + SLR tables: %.3f s (%d states)@."
+    t_fast_full (Tables.n_states tables_full)
+
+(* ============================================================================ *)
+(* T-MEM: table size and compression (sections 2, 6.4, 9)                        *)
+(* ============================================================================ *)
+
+let bench_table_size () =
+  section
+    "T-MEM: table size (the CGGWS \"produced tables that were too large\", \
+     section 2)";
+  let t = Tables.build (Grammar_def.grammar Grammar_def.default) in
+  let packed = Gg_tablegen.Packed.pack t in
+  let st = Gg_tablegen.Packed.stats packed in
+  row "%a@." Gg_tablegen.Packed.pp_stats st;
+  row
+    "(default reductions + comb packing: the period answer to the paper's \
+     table-size concern; the type-replicated description pays for itself in \
+     table rows, which is why section 9 reconsiders \"our decision to type \
+     operands syntactically\")@."
+
+(* ============================================================================ *)
+(* FIG2: phase profile                                                           *)
+(* ============================================================================ *)
+
+let bench_phase_profile () =
+  section "FIG2: time share of the pattern-matching phase (paper: ~50%)";
+  let prog = Lazy.force corpus_program in
+  let tables = Lazy.force Driver.default_tables in
+  let transformed = List.map (fun f -> Transform.run f) prog.Tree.funcs in
+  let null_cb : unit Matcher.callbacks =
+    {
+      Matcher.on_shift = (fun _ -> ());
+      on_reduce = (fun _ _ -> ());
+      choose = (fun _ _ -> 0);
+    }
+  in
+  let match_only () =
+    List.iter
+      (fun tr ->
+        List.iter
+          (fun s ->
+            match s with
+            | Tree.Stree t -> ignore (Matcher.run_tree tables null_cb t)
+            | _ -> ())
+          tr.Transform.func.Tree.body)
+      transformed
+  in
+  let results =
+    measure_ns
+      [
+        ( "transform",
+          fun () -> List.iter (fun f -> ignore (Transform.run f)) prog.Tree.funcs
+        );
+        ("match", match_only);
+        ("full", fun () -> ignore (Driver.compile_program ~tables prog));
+      ]
+  in
+  match
+    (lookup results "transform", lookup results "match", lookup results "full")
+  with
+  | Some tr, Some m, Some full ->
+    row "phase 1 (transform):            %6.2f ms@." (tr /. 1e6);
+    row "phase 2 (pattern match only):   %6.2f ms@." (m /. 1e6);
+    row "full pipeline:                  %6.2f ms@." (full /. 1e6);
+    row "pattern matching share of full: %.0f%%   (paper: ~50%%)@."
+      (100. *. m /. full)
+  | _ -> row "measurement failed@."
+
+(* ============================================================================ *)
+(* T-TIME: code generation speed, GG vs PCC (section 8)                         *)
+(* ============================================================================ *)
+
+let bench_codegen_time () =
+  section
+    "T-TIME: code generation time (paper section 8: 80.1s GG vs 55.4s PCC, \
+     ratio 1.45)";
+  let prog = Lazy.force corpus_program in
+  let tables = Lazy.force Driver.default_tables in
+  let results =
+    measure_ns
+      [
+        ("ggbackend", fun () -> ignore (Driver.compile_program ~tables prog));
+        ("pccbackend", fun () -> ignore (Pcc.compile_program prog));
+      ]
+  in
+  match (lookup results "ggbackend", lookup results "pccbackend") with
+  | Some gg, Some pcc ->
+    row "table-driven backend:  %.2f ms/compile@." (gg /. 1e6);
+    row "PCC-style backend:     %.2f ms/compile@." (pcc /. 1e6);
+    row "ratio GG/PCC:          %.2f   (paper: 1.45, GG slower)@." (gg /. pcc)
+  | _ -> row "measurement failed@."
+
+(* ============================================================================ *)
+(* T-SIZE: lines of assembly and code quality (section 8)                        *)
+(* ============================================================================ *)
+
+let bench_code_size () =
+  section
+    "T-SIZE: code size and quality (paper: 11385 GG vs 11309 PCC lines, \
+     ratio 1.007)";
+  let prog = Lazy.force corpus_program in
+  let gg = Driver.compile_program prog in
+  let pcc = Pcc.compile_program prog in
+  let gl = Driver.total_lines gg and pl = Pcc.total_lines pcc in
+  row "lines of assembly:  GG %d   PCC %d   ratio %.3f   (paper: 1.007)@." gl
+    pl
+    (float_of_int gl /. float_of_int pl);
+  row "static cycles:      GG %d   PCC %d   ratio %.3f@."
+    (Driver.total_cycles gg) (Pcc.total_cycles pcc)
+    (float_of_int (Driver.total_cycles gg)
+    /. float_of_int (Pcc.total_cycles pcc));
+  row "dynamic cycles (simulator), fixed benchmark programs:@.";
+  let total_gg = ref 0 and total_pcc = ref 0 in
+  List.iter
+    (fun (name, prog) ->
+      let run asm =
+        (Machine.run_text ~max_steps:40_000_000 asm
+           ~global_types:prog.Tree.globals ~entry:"main" [])
+          .Machine.cycles
+      in
+      let cg = run (Driver.compile_program prog).Driver.assembly in
+      let cp = run (Pcc.compile_program prog).Pcc.assembly in
+      total_gg := !total_gg + cg;
+      total_pcc := !total_pcc + cp;
+      row "  %-12s GG %7d   PCC %7d   ratio %.3f@." name cg cp
+        (float_of_int cg /. float_of_int cp))
+    (Lazy.force fixed_progs);
+  row
+    "  %-12s GG %7d   PCC %7d   ratio %.3f   (paper: GG as good or better in \
+     almost all cases)@."
+    "TOTAL" !total_gg !total_pcc
+    (float_of_int !total_gg /. float_of_int !total_pcc)
+
+(* ============================================================================ *)
+(* FIG3: instruction table and idiom recognition                                 *)
+(* ============================================================================ *)
+
+let bench_idioms () =
+  section "FIG3: idiom recognition (paper Fig. 3 and section 5.3.2)";
+  let nm s = Tree.Name (Dtype.Long, s) in
+  let c n = Tree.Const (Dtype.Long, n) in
+  let show label tree =
+    let asm =
+      Driver.compile_tree tree
+      |> List.map (fun i -> String.trim (Insn.assembly i))
+      |> String.concat "; "
+    in
+    row "  %-24s ->  %s@." label asm
+  in
+  show "a = 17 + b"
+    (Tree.Assign (Dtype.Long, nm "a", Tree.Binop (Op.Plus, Dtype.Long, c 17L, nm "b")));
+  show "a = a + 17"
+    (Tree.Assign (Dtype.Long, nm "a", Tree.Binop (Op.Plus, Dtype.Long, nm "a", c 17L)));
+  show "a = a + 1"
+    (Tree.Assign (Dtype.Long, nm "a", Tree.Binop (Op.Plus, Dtype.Long, nm "a", c 1L)));
+  show "a = 0" (Tree.Assign (Dtype.Long, nm "a", c 0L));
+  (* most idioms exchange a 3-operand for a 2-operand instruction, so
+     the honest metric is operand/cycle cost, not line count *)
+  let prog = Lazy.force corpus_program in
+  let noidioms = { Driver.default_options with Driver.idioms = false } in
+  let with_i = Driver.compile_program prog in
+  let without_i = Driver.compile_program ~options:noidioms prog in
+  row "corpus static cycles with idioms:    %d (%d lines)@."
+    (Driver.total_cycles with_i) (Driver.total_lines with_i);
+  row
+    "corpus static cycles without idioms: %d (%d lines, +%.1f%% cycles; \
+     still correct, as the paper notes)@."
+    (Driver.total_cycles without_i)
+    (Driver.total_lines without_i)
+    (100.
+    *. float_of_int (Driver.total_cycles without_i - Driver.total_cycles with_i)
+    /. float_of_int (Driver.total_cycles with_i));
+  let dyn options (name, prog) =
+    let asm = (Driver.compile_program ~options prog).Driver.assembly in
+    ignore name;
+    (Machine.run_text ~max_steps:40_000_000 asm
+       ~global_types:prog.Tree.globals ~entry:"main" [])
+      .Machine.cycles
+  in
+  let fixed = Lazy.force fixed_progs in
+  let d_with =
+    List.fold_left (fun a p -> a + dyn Driver.default_options p) 0 fixed
+  in
+  let d_without = List.fold_left (fun a p -> a + dyn noidioms p) 0 fixed in
+  row "fixed programs dynamic cycles: %d with idioms, %d without (+%.1f%%)@."
+    d_with d_without
+    (100. *. float_of_int (d_without - d_with) /. float_of_int d_with);
+  (* how often the recogniser fires: count the short instruction forms *)
+  let short_forms out =
+    List.fold_left
+      (fun acc (cf : Driver.compiled_func) ->
+        List.fold_left
+          (fun acc i ->
+            match i with
+            | Insn.Insn (m, _) ->
+              let n = String.length m in
+              let is p = n > String.length p && String.sub m 0 (String.length p) = p in
+              if
+                (n > 0 && m.[n - 1] = '2')
+                || is "inc" || is "dec" || is "clr" || is "tst"
+              then acc + 1
+              else acc
+            | _ -> acc)
+          acc cf.Driver.cf_insns)
+      0 out.Driver.funcs
+  in
+  row "short forms chosen by the idiom recogniser: %d of %d instructions \
+       (vs %d without idioms)@."
+    (short_forms with_i)
+    (Driver.total_lines with_i)
+    (short_forms without_i)
+
+(* ============================================================================ *)
+(* PEEP: the peephole alternative (section 6.1)                                   *)
+(* ============================================================================ *)
+
+let bench_peephole () =
+  section
+    "PEEP: pairing the code generators with a peephole optimizer (section \
+     6.1's alternative organisation)";
+  let fixed = Lazy.force fixed_progs in
+  let dyn asm (prog : Tree.program) =
+    (Machine.run_text ~max_steps:40_000_000 asm
+       ~global_types:prog.Tree.globals ~entry:"main" [])
+      .Machine.cycles
+  in
+  let totals = ref (0, 0, 0, 0) in
+  List.iter
+    (fun (_, prog) ->
+      let gg = dyn (Driver.compile_program prog).Driver.assembly prog in
+      let gg_p =
+        dyn
+          (Driver.compile_program
+             ~options:{ Driver.default_options with Driver.peephole = true }
+             prog)
+            .Driver.assembly prog
+      in
+      let pcc = dyn (Pcc.compile_program prog).Pcc.assembly prog in
+      let pcc_p = dyn (Pcc.compile_program ~peephole:true prog).Pcc.assembly prog in
+      let a, b, c, d = !totals in
+      totals := (a + gg, b + gg_p, c + pcc, d + pcc_p))
+    fixed;
+  let gg, gg_p, pcc, pcc_p = !totals in
+  row "dynamic cycles over the fixed programs:@.";
+  row "  table-driven:  %7d -> %7d with peephole (-%.1f%%)@." gg gg_p
+    (100. *. float_of_int (gg - gg_p) /. float_of_int gg);
+  row "  PCC-style:     %7d -> %7d with peephole (-%.1f%%)@." pcc pcc_p
+    (100. *. float_of_int (pcc - pcc_p) /. float_of_int pcc);
+  row
+    "(the table-driven backend already avoids redundant tests via the \
+     condition-code patterns of section 6.1, so the peephole finds less)@."
+
+(* ============================================================================ *)
+(* COV: production coverage of the corpus                                         *)
+(* ============================================================================ *)
+
+let bench_coverage () =
+  section "COV: grammar production coverage (completeness check)";
+  let tables = Lazy.force Driver.default_tables in
+  let g = Tables.grammar tables in
+  let used = Array.make (Grammar.n_productions g) false in
+  let null_cb : unit Matcher.callbacks =
+    {
+      Matcher.on_shift = (fun _ -> ());
+      on_reduce = (fun p _ -> used.(p.Grammar.id) <- true);
+      choose = (fun _ _ -> 0);
+    }
+  in
+  let feed prog =
+    List.iter
+      (fun (f : Tree.func) ->
+        let tr = Transform.run f in
+        List.iter
+          (fun s ->
+            match s with
+            | Tree.Stree t -> ignore (Matcher.run_tree tables null_cb t)
+            | _ -> ())
+          tr.Transform.func.Tree.body)
+      prog.Tree.funcs
+  in
+  feed (Lazy.force corpus_program);
+  List.iter (fun (_, p) -> feed p) (Lazy.force fixed_progs);
+  for seed = 1 to 30 do
+    feed
+      (Sema.lower_program
+         (Corpus.program ~seed ~functions:3 ~stmts_per_function:10))
+  done;
+  (* the typed-tree corpus reaches the byte/word/float and conversion
+     productions C's promotion rules bypass *)
+  for seed = 1 to 60 do
+    feed (Gg_ir.Treegen.program ~seed ~stmts:30)
+  done;
+  let n_used = Array.fold_left (fun a b -> if b then a + 1 else a) 0 used in
+  row "productions exercised by the corpus: %d of %d (%.0f%%)@." n_used
+    (Grammar.n_productions g)
+    (100. *. float_of_int n_used /. float_of_int (Grammar.n_productions g));
+  let unused =
+    List.filteri (fun i _ -> not used.(i))
+      (List.init (Grammar.n_productions g) (Grammar.production g))
+  in
+  row "a sample of unexercised productions (dead weight or rare shapes):@.";
+  List.iteri
+    (fun i p ->
+      if i < 8 then row "  %a@." (Grammar.pp_production g) p)
+    unused
+
+(* ============================================================================ *)
+(* APPX: the Appendix shift/reduce trace                                          *)
+(* ============================================================================ *)
+
+let bench_appendix () =
+  section "APPX: shift/reduce actions for the Appendix example (a := 27 + b)";
+  let tree =
+    Tree.Assign
+      ( Dtype.Long,
+        Tree.Name (Dtype.Long, "a"),
+        Tree.Binop
+          ( Op.Plus, Dtype.Long,
+            Tree.Const (Dtype.Byte, 27L),
+            Tree.Conv
+              ( Dtype.Long, Dtype.Byte,
+                Tree.Indir
+                  ( Dtype.Byte,
+                    Tree.Binop (Op.Plus, Dtype.Long,
+                                Tree.Const (Dtype.Long, -4L),
+                                Tree.Dreg (Dtype.Long, Regconv.fp)) ) ) ) )
+  in
+  let insns, trace = Driver.compile_tree_traced tree in
+  let g = Tables.grammar (Lazy.force Driver.default_tables) in
+  Fmt.pr "%a@." (Matcher.pp_trace g) trace;
+  row "emitted code:@.";
+  List.iter (fun i -> row "%s@." (Insn.assembly i)) insns
+
+(* ============================================================================ *)
+
+let () =
+  Fmt.pr "Table-driven code generation: benchmark harness%s@."
+    (if quick then " (quick mode)" else "");
+  bench_grammar_stats ();
+  bench_reverse_ops ();
+  bench_table_construction ();
+  bench_table_size ();
+  bench_phase_profile ();
+  bench_codegen_time ();
+  bench_code_size ();
+  bench_idioms ();
+  bench_peephole ();
+  bench_coverage ();
+  bench_appendix ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,157 @@
+(* ggcc — the mini-C compiler driver.
+
+   Compiles mini-C source to VAX assembly with either the table-driven
+   Graham-Glanville backend (the paper's contribution) or the PCC-style
+   baseline, and can run the result under the VAX simulator. *)
+
+open Cmdliner
+module Driver = Gg_codegen.Driver
+module Pcc = Gg_pcc.Pcc
+module Sema = Gg_frontc.Sema
+module Machine = Gg_vaxsim.Machine
+module Interp = Gg_ir.Interp
+module Tree = Gg_ir.Tree
+
+type backend = Gg | Pcc_backend
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_source backend ~idioms ~peephole src =
+  let prog = Sema.compile src in
+  match backend with
+  | Gg ->
+    let options = { Driver.default_options with Driver.idioms; peephole } in
+    ((Driver.compile_program ~options prog).Driver.assembly, prog)
+  | Pcc_backend -> ((Pcc.compile_program ~peephole prog).Pcc.assembly, prog)
+
+let handle_errors f =
+  try f () with
+  | Gg_frontc.Lexer.Lex_error (line, m) ->
+    Fmt.epr "lexical error, line %d: %s@." line m;
+    exit 1
+  | Gg_frontc.Parser.Parse_error (line, m) ->
+    Fmt.epr "syntax error, line %d: %s@." line m;
+    exit 1
+  | Sema.Semantic_error m ->
+    Fmt.epr "error: %s@." m;
+    exit 1
+  | Gg_matcher.Matcher.Reject e ->
+    Fmt.epr "code generator: %a@." Gg_matcher.Matcher.pp_error e;
+    exit 2
+
+let compile_cmd path backend idioms peephole output run args =
+  handle_errors (fun () ->
+      let asm, prog =
+        compile_source backend ~idioms ~peephole (read_file path)
+      in
+      (match output with
+      | Some out ->
+        let oc = open_out out in
+        output_string oc asm;
+        close_out oc
+      | None -> if not run then print_string asm);
+      if run then begin
+        let args = List.map (fun n -> Interp.VInt (Int64.of_int n)) args in
+        let out =
+          Machine.run_text ~global_types:prog.Tree.globals asm ~entry:"main"
+            args
+        in
+        List.iter print_endline out.Machine.output;
+        Fmt.pr "exit: %a   (%d instructions, %d cycles)@." Interp.pp_value
+          out.Machine.return_value out.Machine.insns_executed
+          out.Machine.cycles
+      end)
+
+let interp_cmd path args =
+  handle_errors (fun () ->
+      let prog = Sema.compile (read_file path) in
+      let args = List.map (fun n -> Interp.VInt (Int64.of_int n)) args in
+      let out = Interp.run prog ~entry:"main" args in
+      List.iter print_endline out.Interp.output;
+      Fmt.pr "exit: %a@." Interp.pp_value out.Interp.return_value)
+
+let trace_cmd path =
+  handle_errors (fun () ->
+      let prog = Sema.compile (read_file path) in
+      let tables = Lazy.force Driver.default_tables in
+      let g = Gg_tablegen.Tables.grammar tables in
+      List.iter
+        (fun (f : Tree.func) ->
+          Fmt.pr "=== %s ===@." f.Tree.fname;
+          let tr = Gg_transform.Transform.run f in
+          let sem =
+            Gg_codegen.Semantics.create
+              (Gg_codegen.Frame.create ~locals_size:f.Tree.locals_size
+                 ~temps:tr.Gg_transform.Transform.temps)
+          in
+          let cb = Gg_codegen.Semantics.callbacks sem g in
+          List.iter
+            (fun s ->
+              match s with
+              | Tree.Stree t ->
+                Fmt.pr "@.tree: %a@." Tree.pp t;
+                let outcome = Gg_matcher.Matcher.run_tree ~trace:true tables cb t in
+                Fmt.pr "%a@."
+                  (Gg_matcher.Matcher.pp_trace g)
+                  outcome.Gg_matcher.Matcher.trace
+              | _ -> ())
+            tr.Gg_transform.Transform.func.Tree.body)
+        prog.Tree.funcs)
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("gg", Gg); ("pcc", Pcc_backend) ]) Gg
+    & info [ "b"; "backend" ] ~doc:"Backend: table-driven (gg) or PCC-style (pcc).")
+
+let idioms_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "idioms" ] ~doc:"Run the idiom recogniser (gg backend).")
+
+let peephole_arg =
+  Arg.(
+    value & flag
+    & info [ "peephole" ] ~doc:"Run the peephole optimizer on the output.")
+
+let output_arg =
+  Arg.(
+    value & opt (some string) None & info [ "o" ] ~doc:"Write assembly to a file.")
+
+let run_arg =
+  Arg.(value & flag & info [ "r"; "run" ] ~doc:"Execute under the simulator.")
+
+let args_arg =
+  Arg.(value & opt (list int) [] & info [ "args" ] ~doc:"Integer arguments to main.")
+
+let () =
+  let compile =
+    Cmd.v
+      (Cmd.info "compile" ~doc:"Compile mini-C to VAX assembly.")
+      Term.(
+        const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg
+        $ output_arg $ run_arg $ args_arg)
+  in
+  let interp =
+    Cmd.v
+      (Cmd.info "interp" ~doc:"Run a program under the IR interpreter.")
+      Term.(const interp_cmd $ path_arg $ args_arg)
+  in
+  let trace =
+    Cmd.v
+      (Cmd.info "trace" ~doc:"Show the pattern matcher's shift/reduce actions.")
+      Term.(const trace_cmd $ path_arg)
+  in
+  let info =
+    Cmd.info "ggcc"
+      ~doc:"Mini-C compiler with a table-driven VAX code generator"
+  in
+  exit (Cmd.eval (Cmd.group info ~default:Term.(const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg $ output_arg $ run_arg $ args_arg) [ compile; interp; trace ]))

@@ -1,0 +1,173 @@
+(* mdgtool — inspect the VAX machine description grammar and its parse
+   tables: statistics, conflicts, chain cycles, syntactic blocks, and a
+   production listing.  This is the workbench the paper's authors used
+   over 225 times during development (section 7). *)
+
+open Cmdliner
+module Grammar = Gg_grammar.Grammar
+module Tables = Gg_tablegen.Tables
+module Checks = Gg_tablegen.Checks
+module Lr0 = Gg_tablegen.Lr0
+module Naive = Gg_tablegen.Naive
+module Grammar_def = Gg_vax.Grammar_def
+module Treelang = Gg_vax.Treelang
+module Mdg = Gg_grammar.Mdg
+module Schema = Gg_grammar.Schema
+
+let options reverse_ops overfactored with_bridges =
+  {
+    Grammar_def.default with
+    Grammar_def.reverse_ops;
+    overfactored;
+    with_bridges;
+  }
+
+let opts_term =
+  let reverse =
+    Arg.(
+      value & opt bool true
+      & info [ "reverse-ops" ] ~doc:"Include reverse-operator patterns.")
+  in
+  let overfactored =
+    Arg.(
+      value & flag
+      & info [ "overfactored" ]
+          ~doc:"Group Plus/Mul into the binop class (section 6.2.1 bug).")
+  in
+  let no_bridges =
+    Arg.(
+      value & flag
+      & info [ "no-bridges" ] ~doc:"Omit the bridge productions.")
+  in
+  Term.(
+    const (fun r o nb -> options r o (not nb)) $ reverse $ overfactored
+    $ no_bridges)
+
+let stats o =
+  let schemas = Grammar_def.schemas o in
+  let generic = List.length (Gg_grammar.Schema.expand_all schemas) in
+  let n_schemas = List.length schemas in
+  let g = Grammar_def.grammar o in
+  let gs = Grammar.stats g in
+  Fmt.pr "generic schemas:        %d@." n_schemas;
+  Fmt.pr "replicated productions: %d@." generic;
+  Fmt.pr "grammar: %a@." Grammar.pp_stats gs;
+  let t = Tables.build g in
+  Fmt.pr "tables:  %a@." Tables.pp_stats (Tables.stats t)
+
+let conflicts o =
+  let t = Tables.build (Grammar_def.grammar o) in
+  Fmt.pr "%a@." Tables.pp_stats (Tables.stats t)
+
+let chains o =
+  let g = Grammar_def.grammar o in
+  let report = Checks.chains g in
+  Fmt.pr "silent chain cycles: %d@." (List.length report.Checks.silent_cycles);
+  List.iter
+    (fun cyc -> Fmt.pr "  LOOP: %a@." Fmt.(list ~sep:(any " -> ") string) cyc)
+    report.Checks.silent_cycles;
+  Fmt.pr "emitting chain cycles: %d@."
+    (List.length report.Checks.emitting_cycles);
+  List.iter
+    (fun cyc -> Fmt.pr "  cycle: %a@." Fmt.(list ~sep:(any " -> ") string) cyc)
+    report.Checks.emitting_cycles
+
+let blocks o verbose =
+  let g = Grammar_def.grammar o in
+  let t = Tables.build g in
+  let tl = Grammar_def.treelang o in
+  let bs = Checks.blocks t ~arity:tl.Treelang.arity ~starts:tl.Treelang.starts in
+  Fmt.pr "potential syntactic blocks: %d@." (List.length bs);
+  let shown = if verbose then bs else List.filteri (fun i _ -> i < 20) bs in
+  List.iter (fun b -> Fmt.pr "%a@." Checks.pp_block b) shown;
+  if (not verbose) && List.length bs > 20 then
+    Fmt.pr "... (%d more; use -v)@." (List.length bs - 20)
+
+let print_grammar o =
+  let g = Grammar_def.grammar o in
+  Fmt.pr "%a@?" Grammar.pp g
+
+(* export the built-in VAX description in the textual .mdg format *)
+let export o =
+  let mdg = Mdg.of_schemas ~start:"stmt" (Grammar_def.schemas o) in
+  print_string (Mdg.print mdg)
+
+(* statistics for an external .mdg file *)
+let file_stats path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Mdg.parse text with
+  | exception Mdg.Mdg_error (line, m) ->
+    Fmt.epr "%s:%d: %s@." path line m;
+    exit 1
+  | mdg ->
+    let g = Mdg.to_grammar mdg in
+    Fmt.pr "schemas:  %d@." (List.length mdg.Mdg.schemas);
+    Fmt.pr "grammar:  %a@." Grammar.pp_stats (Grammar.stats g);
+    Fmt.pr "tables:   %a@." Tables.pp_stats (Tables.stats (Tables.build g))
+
+(* the paper's Fig. 1: the terminal and non-terminal vocabulary *)
+let vocabulary o =
+  let g = Grammar_def.grammar o in
+  let symtab = g.Grammar.symtab in
+  Fmt.pr "terminals (%d):@." (Gg_grammar.Symtab.n_terms symtab);
+  let terms =
+    List.init (Gg_grammar.Symtab.n_terms symtab)
+      (Gg_grammar.Symtab.term_name symtab)
+    |> List.sort String.compare
+  in
+  List.iteri
+    (fun i t ->
+      Fmt.pr "%-14s%s" t (if i mod 6 = 5 then "\n" else ""))
+    terms;
+  Fmt.pr "@.non-terminals (%d):@." (Gg_grammar.Symtab.n_nonterms symtab);
+  let nts =
+    List.init (Gg_grammar.Symtab.n_nonterms symtab)
+      (Gg_grammar.Symtab.nonterm_name symtab)
+    |> List.sort String.compare
+  in
+  List.iteri
+    (fun i t -> Fmt.pr "%-14s%s" t (if i mod 6 = 5 then "\n" else ""))
+    nts;
+  Fmt.pr "@."
+
+let pack_stats o =
+  let t = Tables.build (Grammar_def.grammar o) in
+  Fmt.pr "dense:  %a@." Tables.pp_stats (Tables.stats t);
+  Fmt.pr "packed: %a@." Gg_tablegen.Packed.pp_stats
+    (Gg_tablegen.Packed.stats (Gg_tablegen.Packed.pack t))
+
+let verbose_term =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show all results.")
+
+let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let () =
+  let cmds =
+    [
+      cmd_of "stats" "Grammar and table statistics (paper section 8)."
+        Term.(const stats $ opts_term);
+      cmd_of "conflicts" "Conflict-resolution statistics."
+        Term.(const conflicts $ opts_term);
+      cmd_of "chains" "Chain-production cycle report."
+        Term.(const chains $ opts_term);
+      cmd_of "blocks" "Potential syntactic blocks."
+        Term.(const blocks $ opts_term $ verbose_term);
+      cmd_of "print" "List all replicated productions."
+        Term.(const print_grammar $ opts_term);
+      cmd_of "export" "Write the VAX description in .mdg text format."
+        Term.(const export $ opts_term);
+      cmd_of "pack" "Table compression statistics."
+        Term.(const pack_stats $ opts_term);
+      cmd_of "vocabulary" "The terminal/non-terminal vocabulary (paper Fig. 1)."
+        Term.(const vocabulary $ opts_term);
+      cmd_of "file"
+        "Statistics for an external .mdg machine description file."
+        Term.(
+          const file_stats
+          $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mdg"));
+    ]
+  in
+  let info = Cmd.info "mdgtool" ~doc:"VAX machine-description workbench" in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/appendix_trace.ml: Dtype Fmt Gg_codegen Gg_ir Gg_matcher Gg_tablegen Gg_vax Lazy List Op Regconv Termname Tree

@@ -1,0 +1,1 @@
+examples/appendix_trace.mli:

@@ -1,0 +1,1 @@
+examples/compare_backends.ml: Fmt Gg_codegen Gg_frontc Gg_ir Gg_pcc Gg_vaxsim

@@ -1,0 +1,1 @@
+examples/grammar_workbench.ml: Fmt Gg_codegen Gg_frontc Gg_grammar Gg_ir Gg_tablegen Gg_vax Gg_vaxsim List

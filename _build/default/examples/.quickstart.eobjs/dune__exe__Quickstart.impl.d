@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dump Fmt Gg_codegen Gg_frontc Gg_ir Gg_vaxsim

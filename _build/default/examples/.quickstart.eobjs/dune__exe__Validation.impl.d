@@ -1,0 +1,1 @@
+examples/validation.ml: Fmt Gg_codegen Gg_frontc Gg_ir Gg_pcc Gg_vaxsim Interp List Tree

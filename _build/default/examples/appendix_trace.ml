@@ -1,0 +1,48 @@
+(* The paper's Appendix, reproduced: the complete sequence of shift,
+   reduce and accept actions the pattern matcher performs for the
+   Pascal statement
+
+       a := 27 + b
+
+   where [a] is a long global and [b] is a byte local stored at the
+   frame (the paper's tree: Assign_l Name_l Plus_l Const_b Indir_b
+   Plus_l Const_l Dreg_l, with the byte-to-long conversion made
+   explicit by our front end).
+
+     dune exec examples/appendix_trace.exe *)
+
+open Gg_ir
+
+let appendix_tree =
+  Tree.Assign
+    ( Dtype.Long,
+      Tree.Name (Dtype.Long, "a"),
+      Tree.Binop
+        ( Op.Plus,
+          Dtype.Long,
+          Tree.Const (Dtype.Byte, 27L),
+          Tree.Conv
+            ( Dtype.Long,
+              Dtype.Byte,
+              Tree.Indir
+                ( Dtype.Byte,
+                  Tree.Binop
+                    ( Op.Plus,
+                      Dtype.Long,
+                      Tree.Const (Dtype.Long, -4L),
+                      Tree.Dreg (Dtype.Long, Regconv.fp) ) ) ) ) )
+
+let () =
+  Fmt.pr "input tree (prefix linearised, as in the Appendix):@.  %a@.@."
+    Tree.pp appendix_tree;
+  let tokens = Termname.linearize appendix_tree in
+  Fmt.pr "token string fed to the pattern matcher:@.  %a@.@."
+    Fmt.(list ~sep:sp Termname.pp_token)
+    tokens;
+  let insns, trace = Gg_codegen.Driver.compile_tree_traced appendix_tree in
+  let grammar =
+    Gg_tablegen.Tables.grammar (Lazy.force Gg_codegen.Driver.default_tables)
+  in
+  Fmt.pr "parser actions:@.%a@.@." (Gg_matcher.Matcher.pp_trace grammar) trace;
+  Fmt.pr "emitted instructions:@.";
+  List.iter (fun i -> Fmt.pr "%s@." (Gg_vax.Insn.assembly i)) insns

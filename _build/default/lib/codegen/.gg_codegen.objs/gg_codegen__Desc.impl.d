@@ -1,0 +1,1 @@
+lib/codegen/desc.ml: Dtype Fmt Import Mode Tree

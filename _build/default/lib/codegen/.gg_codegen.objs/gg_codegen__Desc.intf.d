@@ -1,0 +1,1 @@
+lib/codegen/desc.mli: Dtype Fmt Import Mode Tree

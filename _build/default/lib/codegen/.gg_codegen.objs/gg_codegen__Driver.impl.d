@@ -1,0 +1,1 @@
+lib/codegen/driver.ml: Buffer Desc Dtype Fmt Frame Grammar_def Import Insn Lazy List Matcher Peephole Regconv Regmgr Semantics Tables Transform Tree

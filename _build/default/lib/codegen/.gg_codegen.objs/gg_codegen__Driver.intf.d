@@ -1,0 +1,1 @@
+lib/codegen/driver.mli: Grammar_def Import Insn Lazy Matcher Tables Transform Tree

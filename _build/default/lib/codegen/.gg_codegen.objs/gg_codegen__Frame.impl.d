@@ -1,0 +1,1 @@
+lib/codegen/frame.ml: Dtype Hashtbl Import Int64 List Mode Regconv

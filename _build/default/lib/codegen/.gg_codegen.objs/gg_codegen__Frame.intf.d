@@ -1,0 +1,1 @@
+lib/codegen/frame.mli: Dtype Import Mode

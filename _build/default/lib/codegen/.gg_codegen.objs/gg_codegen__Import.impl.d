@@ -1,0 +1,1 @@
+lib/codegen/import.ml: Gg_grammar Gg_ir Gg_matcher Gg_tablegen Gg_transform Gg_vax

@@ -1,0 +1,1 @@
+lib/codegen/peephole.ml: Fmt Import Insn Int List Mode Option String

@@ -1,0 +1,1 @@
+lib/codegen/peephole.mli: Fmt Import Insn

@@ -1,0 +1,1 @@
+lib/codegen/regmgr.ml: Array Desc Dtype Fmt Frame Import Insn List Mode Regconv

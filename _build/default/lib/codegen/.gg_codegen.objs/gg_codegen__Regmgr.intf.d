@@ -1,0 +1,1 @@
+lib/codegen/regmgr.mli: Desc Dtype Frame Import Insn

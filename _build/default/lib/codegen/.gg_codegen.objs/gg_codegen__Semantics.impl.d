@@ -1,0 +1,1 @@
+lib/codegen/semantics.ml: Action Array Desc Dtype Fmt Frame Grammar Import Insn Insn_table Int64 Lazy List Matcher Mode Op Option Regconv Regmgr String Symtab Termname Tree

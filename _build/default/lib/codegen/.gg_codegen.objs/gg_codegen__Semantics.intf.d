@@ -1,0 +1,1 @@
+lib/codegen/semantics.mli: Desc Frame Grammar Import Insn Matcher Regmgr

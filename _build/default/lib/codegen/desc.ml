@@ -1,0 +1,26 @@
+open Import
+
+type t = { mutable operand : Mode.t; ty : Dtype.t; mutable owned : int list }
+
+type sval = Node of Tree.t | D of t | Done
+
+let make ?(owned = []) ty operand = { operand; ty; owned }
+
+let node = function
+  | Node t -> t
+  | D _ | Done ->
+    invalid_arg "Desc.node: expected a shifted terminal on the stack"
+
+let desc = function
+  | D d -> d
+  | Node t ->
+    Fmt.invalid_arg "Desc.desc: expected a descriptor, got node %s"
+      (Tree.to_string t)
+  | Done -> invalid_arg "Desc.desc: expected a descriptor, got a statement"
+
+let pp ppf d =
+  Fmt.pf ppf "<%s:%a%a>" (Dtype.suffix d.ty) Mode.pp d.operand
+    Fmt.(
+      if d.owned = [] then nop
+      else fun ppf () -> Fmt.pf ppf " owns %a" (Fmt.list Fmt.int) d.owned)
+    ()

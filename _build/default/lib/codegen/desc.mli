@@ -1,0 +1,29 @@
+open Import
+
+(** Semantic descriptors — the attribute values carried on the pattern
+    matcher's stack (paper section 5.2: "each encapsulating reduction
+    condenses the semantic attributes of the pattern into a signature
+    associated with the left-hand-side non-terminal"). *)
+
+type t = {
+  mutable operand : Mode.t;
+      (** mutable so the register manager can redirect a descriptor to
+          its spill temporary (a "virtual register") *)
+  ty : Dtype.t;
+  mutable owned : int list;
+      (** allocatable registers that die when this descriptor is
+          consumed *)
+}
+
+(** Values on the matcher stack: shifted terminals carry their tree
+    node, reductions carry descriptors, completed statements carry
+    nothing. *)
+type sval = Node of Tree.t | D of t | Done
+
+val make : ?owned:int list -> Dtype.t -> Mode.t -> t
+
+(** Projections that fail loudly on grammar/semantics mismatches. *)
+val node : sval -> Tree.t
+
+val desc : sval -> t
+val pp : t Fmt.t

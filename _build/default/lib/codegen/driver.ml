@@ -1,0 +1,169 @@
+open Import
+
+type options = {
+  grammar : Grammar_def.options;
+  transform : Transform.options;
+  idioms : bool;
+  peephole : bool;
+}
+
+let default_options =
+  {
+    grammar = Grammar_def.default;
+    transform = Transform.default_options;
+    idioms = true;
+    peephole = false;
+  }
+
+let build_tables gopts = Tables.build (Grammar_def.grammar gopts)
+
+let default_tables = lazy (build_tables Grammar_def.default)
+
+type compiled_func = {
+  cf_name : string;
+  cf_insns : Insn.t list;
+  cf_frame_size : int;
+}
+
+type output = {
+  assembly : string;
+  funcs : compiled_func list;
+  program : Tree.program;
+}
+
+let compile_stmts tables sem (body : Tree.stmt list) =
+  let cb = Semantics.callbacks sem (Tables.grammar tables) in
+  List.iter
+    (fun (s : Tree.stmt) ->
+      match s with
+      | Tree.Stree tree ->
+        let outcome = Matcher.run_tree tables cb tree in
+        (match outcome.Matcher.value with
+        | Desc.Done -> ()
+        | Desc.D d ->
+          (* an expression evaluated for its side effects only *)
+          Regmgr.release (Semantics.regmgr sem) d
+        | Desc.Node _ -> failwith "matcher returned a raw node");
+        Regmgr.assert_clean (Semantics.regmgr sem)
+      | Tree.Slabel l -> Semantics.emit sem (Insn.Lab l)
+      | Tree.Sjump l -> Semantics.emit sem (Insn.Branch ("jbr", l))
+      | Tree.Sret -> Semantics.emit sem Insn.Ret
+      | Tree.Scall (f, n, _) -> Semantics.emit sem (Insn.Call (f, n))
+      | Tree.Scomment c -> Semantics.emit sem (Insn.Comment c))
+    body
+
+(* allocatable registers appearing as Dreg leaves are register
+   variables: withhold them from the register manager *)
+let reserved_registers (f : Tree.func) =
+  let add acc t =
+    Tree.fold
+      (fun acc node ->
+        match node with
+        | Tree.Dreg (_, r) | Tree.Autoinc (_, r) | Tree.Autodec (_, r)
+          when List.mem r Regconv.allocatable && not (List.mem r acc) ->
+          r :: acc
+        | _ -> acc)
+      acc t
+  in
+  List.fold_left
+    (fun acc s -> match s with Tree.Stree t -> add acc t | _ -> acc)
+    [] f.Tree.body
+
+let compile_func ?(options = default_options) tables (f : Tree.func) =
+  let reserved = reserved_registers f in
+  let pool = List.length Regconv.allocatable - List.length reserved in
+  let tr =
+    Transform.run ~options:options.transform ~spill_limit:(max 2 (pool - 1)) f
+  in
+  let frame =
+    Frame.create ~locals_size:f.Tree.locals_size ~temps:tr.Transform.temps
+  in
+  let sem = Semantics.create ~idioms:options.idioms ~reserved frame in
+  compile_stmts tables sem tr.Transform.func.Tree.body;
+  let insns = Semantics.output sem in
+  let insns =
+    if options.peephole then fst (Peephole.optimize insns) else insns
+  in
+  {
+    cf_name = f.Tree.fname;
+    cf_insns = insns;
+    cf_frame_size = Frame.size frame;
+  }
+
+let render_func buf (cf : compiled_func) =
+  Buffer.add_string buf (Fmt.str "\t.globl\t%s\n" cf.cf_name);
+  Buffer.add_string buf (cf.cf_name ^ ":\n");
+  if cf.cf_frame_size > 0 then
+    Buffer.add_string buf (Fmt.str "\tsubl2\t$%d,sp\n" cf.cf_frame_size);
+  List.iter
+    (fun i -> Buffer.add_string buf (Insn.assembly i ^ "\n"))
+    cf.cf_insns;
+  (* a fall-off-the-end return for functions without a trailing Sret *)
+  Buffer.add_string buf "\tret\n"
+
+let render_program (p : Tree.program) funcs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, _, size) ->
+      Buffer.add_string buf (Fmt.str "\t.comm\t%s,%d\n" name size))
+    p.Tree.globals;
+  List.iter (fun cf -> render_func buf cf) funcs;
+  Buffer.contents buf
+
+let compile_program ?(options = default_options) ?tables (p : Tree.program) =
+  let tables =
+    match tables with
+    | Some t -> t
+    | None ->
+      if options.grammar = Grammar_def.default then Lazy.force default_tables
+      else build_tables options.grammar
+  in
+  let funcs = List.map (compile_func ~options tables) p.Tree.funcs in
+  { assembly = render_program p funcs; funcs; program = p }
+
+let singleton_func tree =
+  {
+    Tree.fname = "snippet";
+    formals = [];
+    ret_type = Dtype.Long;
+    locals_size = 0;
+    body = [ Tree.Stree tree ];
+  }
+
+let compile_tree ?(options = default_options) ?tables tree =
+  let tables =
+    match tables with Some t -> t | None -> Lazy.force default_tables
+  in
+  (compile_func ~options tables (singleton_func tree)).cf_insns
+
+let compile_tree_traced ?(options = default_options) ?tables tree =
+  let tables =
+    match tables with Some t -> t | None -> Lazy.force default_tables
+  in
+  let f = singleton_func tree in
+  let tr = Transform.run ~options:options.transform f in
+  let frame = Frame.create ~locals_size:0 ~temps:tr.Transform.temps in
+  let sem = Semantics.create ~idioms:options.idioms frame in
+  let cb = Semantics.callbacks sem (Tables.grammar tables) in
+  let traces = ref [] in
+  List.iter
+    (fun (s : Tree.stmt) ->
+      match s with
+      | Tree.Stree t ->
+        let outcome = Matcher.run_tree ~trace:true tables cb t in
+        traces := outcome.Matcher.trace :: !traces
+      | _ -> ())
+    tr.Transform.func.Tree.body;
+  (Semantics.output sem, List.concat (List.rev !traces))
+
+let total_cycles out =
+  List.fold_left
+    (fun acc cf -> acc + Insn.total_cycles cf.cf_insns + 2 (* prologue *))
+    0 out.funcs
+
+let total_lines out =
+  List.fold_left
+    (fun acc cf -> acc + Insn.count_lines cf.cf_insns + 3
+      (* .globl, entry label, ret *))
+    0 out.funcs
+  + List.length out.program.Tree.globals

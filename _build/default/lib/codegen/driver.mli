@@ -1,0 +1,61 @@
+open Import
+
+(** The complete Graham-Glanville code generator: transform, match,
+    select, allocate, print (paper Fig. 2).
+
+    The table-driven backend replaces PCC's second pass: it consumes the
+    same IR forests as {!Gg_pcc} and produces VAX assembly text plus the
+    structured instruction lists the benchmarks analyse. *)
+
+type options = {
+  grammar : Grammar_def.options;
+  transform : Transform.options;
+  idioms : bool;  (** run the idiom recogniser (section 5.3.2) *)
+  peephole : bool;
+      (** run the peephole pass over the emitted code (the section 6.1
+          alternative organisation); off by default, as in the paper *)
+}
+
+val default_options : options
+
+(** Parse tables for the given options; building them is expensive, so
+    build once and reuse (callers share {!default_tables}). *)
+val build_tables : Grammar_def.options -> Tables.t
+
+val default_tables : Tables.t Lazy.t
+
+type compiled_func = {
+  cf_name : string;
+  cf_insns : Insn.t list;  (** body, without prologue/epilogue *)
+  cf_frame_size : int;
+}
+
+type output = {
+  assembly : string;  (** complete assembler file *)
+  funcs : compiled_func list;
+  program : Tree.program;
+}
+
+(** Compile one function (already transformed trees are not required:
+    the driver runs Phase 1 itself). *)
+val compile_func : ?options:options -> Tables.t -> Tree.func -> compiled_func
+
+val compile_program : ?options:options -> ?tables:Tables.t -> Tree.program -> output
+
+(** Compile a single statement tree against the default tables and
+    return the instructions — convenient for tests and examples. *)
+val compile_tree : ?options:options -> ?tables:Tables.t -> Tree.t -> Insn.t list
+
+(** Like {!compile_tree} but also returns the matcher trace (for the
+    paper's Appendix example). *)
+val compile_tree_traced :
+  ?options:options ->
+  ?tables:Tables.t ->
+  Tree.t ->
+  Insn.t list * Matcher.step list
+
+(** Total static cycles / line counts over an output (code-quality
+    metrics for the benchmarks). *)
+val total_cycles : output -> int
+
+val total_lines : output -> int

@@ -1,0 +1,36 @@
+open Import
+
+type t = {
+  mutable next : int;  (* positive: bytes below fp already used *)
+  temp_offsets : (int, int) Hashtbl.t;
+}
+
+let align n a = (n + a - 1) / a * a
+
+let create ~locals_size ~temps =
+  let t = { next = locals_size; temp_offsets = Hashtbl.create 16 } in
+  List.iter
+    (fun (id, ty) ->
+      let size = Dtype.size ty in
+      t.next <- align t.next size + size;
+      Hashtbl.replace t.temp_offsets id t.next)
+    temps;
+  t
+
+let temp_mode t id ty =
+  match Hashtbl.find_opt t.temp_offsets id with
+  | Some off -> Mode.mem_disp (Int64.of_int (-off)) Regconv.fp
+  | None ->
+    (* a temporary that appeared in the trees but was not declared:
+       allocate it on first sight *)
+    let size = Dtype.size ty in
+    t.next <- align t.next size + size;
+    Hashtbl.replace t.temp_offsets id t.next;
+    Mode.mem_disp (Int64.of_int (-t.next)) Regconv.fp
+
+let alloc_virtual t ty =
+  let size = Dtype.size ty in
+  t.next <- align t.next size + size;
+  Mode.mem_disp (Int64.of_int (-t.next)) Regconv.fp
+
+let size t = align t.next 4

@@ -1,0 +1,22 @@
+open Import
+
+(** Stack-frame slot allocation.
+
+    Locals occupy the bytes just below the frame pointer (the front end
+    assigns their offsets); compiler temporaries from Phase 1 and the
+    register manager's spill slots ("virtual registers", paper section
+    5.3.3) are allocated below them. *)
+
+type t
+
+val create : locals_size:int -> temps:(int * Dtype.t) list -> t
+
+(** Addressing mode of a Phase-1 temporary, e.g. [-12(fp)]. *)
+val temp_mode : t -> int -> Dtype.t -> Mode.t
+
+(** A fresh spill slot. *)
+val alloc_virtual : t -> Dtype.t -> Mode.t
+
+(** Total frame size in bytes (for the function prologue); grows as
+    virtual registers are allocated. *)
+val size : t -> int

@@ -1,0 +1,138 @@
+open Import
+
+type stats = {
+  removed_jumps : int;
+  inverted_branches : int;
+  removed_moves : int;
+  removed_tests : int;
+  removed_labels : int;
+}
+
+let empty_stats =
+  {
+    removed_jumps = 0;
+    inverted_branches = 0;
+    removed_moves = 0;
+    removed_tests = 0;
+    removed_labels = 0;
+  }
+
+let add_stats a b =
+  {
+    removed_jumps = a.removed_jumps + b.removed_jumps;
+    inverted_branches = a.inverted_branches + b.inverted_branches;
+    removed_moves = a.removed_moves + b.removed_moves;
+    removed_tests = a.removed_tests + b.removed_tests;
+    removed_labels = a.removed_labels + b.removed_labels;
+  }
+
+let invert = function
+  | "jeql" -> Some "jneq"
+  | "jneq" -> Some "jeql"
+  | "jlss" -> Some "jgeq"
+  | "jgeq" -> Some "jlss"
+  | "jgtr" -> Some "jleq"
+  | "jleq" -> Some "jgtr"
+  | "jlssu" -> Some "jgequ"
+  | "jgequ" -> Some "jlssu"
+  | "jgtru" -> Some "jlequ"
+  | "jlequ" -> Some "jgtru"
+  | _ -> None
+
+let has_prefix p m =
+  String.length m >= String.length p && String.sub m 0 (String.length p) = p
+
+let is_mov m = has_prefix "mov" m && not (has_prefix "mova" m)
+
+(* instructions whose condition codes reflect the value written to their
+   last operand *)
+let result_sets_cc m =
+  List.exists
+    (fun p -> has_prefix p m)
+    [ "mov"; "add"; "sub"; "mul"; "div"; "bis"; "xor"; "mneg"; "mcom"; "cvt";
+      "inc"; "dec"; "clr"; "ashl" ]
+  && not (has_prefix "mova" m)
+
+let has_auto (m : Mode.t) =
+  match m with Mode.Mem { auto = Some _; _ } -> true | _ -> false
+
+let last_operand ops = List.nth_opt ops (List.length ops - 1)
+
+(* removing an instruction right before a conditional branch would
+   change the condition codes the branch observes *)
+let rec next_is_cond_branch = function
+  | Insn.Comment _ :: rest -> next_is_cond_branch rest
+  | Insn.Branch (cc, _) :: _ -> cc <> "jbr"
+  | _ -> false
+
+let rec next_label = function
+  | Insn.Comment _ :: rest -> next_label rest
+  | Insn.Lab l :: _ -> Some l
+  | _ -> None
+
+let referenced_labels insns =
+  List.filter_map
+    (function Insn.Branch (_, l) -> Some l | _ -> None)
+    insns
+  |> List.sort_uniq Int.compare
+
+let one_pass insns =
+  let stats = ref empty_stats in
+  let bump f = stats := f !stats in
+  let referenced = referenced_labels insns in
+  let rec go = function
+    | [] -> []
+    (* jump to the next label *)
+    | Insn.Branch ("jbr", l) :: rest when next_label rest = Some l ->
+      bump (fun s -> { s with removed_jumps = s.removed_jumps + 1 });
+      go rest
+    (* conditional branch over an unconditional jump *)
+    | Insn.Branch (cc, l1) :: Insn.Branch ("jbr", l2) :: rest
+      when next_label rest = Some l1 && invert cc <> None ->
+      bump (fun s -> { s with inverted_branches = s.inverted_branches + 1 });
+      Insn.Branch (Option.get (invert cc), l2) :: go rest
+    (* mov to itself *)
+    | Insn.Insn (m, [ a; b ]) :: rest
+      when is_mov m && Mode.equal a b && (not (has_auto a))
+           && not (next_is_cond_branch rest) ->
+      bump (fun s -> { s with removed_moves = s.removed_moves + 1 });
+      go rest
+    (* x -> y; y -> x: the second move is dead *)
+    | Insn.Insn (m1, [ a; b ]) :: Insn.Insn (m2, [ b'; a' ]) :: rest
+      when is_mov m1 && m1 = m2 && Mode.equal a a' && Mode.equal b b'
+           && (not (has_auto a)) && (not (has_auto b))
+           && not (next_is_cond_branch rest) ->
+      bump (fun s -> { s with removed_moves = s.removed_moves + 1 });
+      Insn.Insn (m1, [ a; b ]) :: go rest
+    (* test of a value just computed *)
+    | Insn.Insn (m, ops) :: Insn.Insn (t, [ x ]) :: rest
+      when has_prefix "tst" t && result_sets_cc m
+           && (match last_operand ops with
+              | Some dst -> Mode.equal dst x && not (has_auto x)
+              | None -> false) ->
+      bump (fun s -> { s with removed_tests = s.removed_tests + 1 });
+      go (Insn.Insn (m, ops) :: rest)
+    (* unreferenced labels *)
+    | Insn.Lab l :: rest when not (List.mem l referenced) ->
+      bump (fun s -> { s with removed_labels = s.removed_labels + 1 });
+      go rest
+    | i :: rest -> i :: go rest
+  in
+  let out = go insns in
+  (out, !stats)
+
+let optimize insns =
+  let rec fixpoint n insns acc =
+    if n = 0 then (insns, acc)
+    else
+      let insns', stats = one_pass insns in
+      if stats = empty_stats then (insns', acc)
+      else fixpoint (n - 1) insns' (add_stats acc stats)
+  in
+  fixpoint 8 insns empty_stats
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d jumps, %d inverted branches, %d moves, %d tests, %d labels removed"
+    s.removed_jumps s.inverted_branches s.removed_moves s.removed_tests
+    s.removed_labels

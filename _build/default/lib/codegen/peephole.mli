@@ -1,0 +1,40 @@
+open Import
+
+(** A small peephole optimizer over emitted instruction lists.
+
+    The paper discusses pairing the table-driven code generator with "a
+    peephole optimizer with data flow analysis" as an alternative home
+    for autoincrement and condition-code improvements (section 6.1) and
+    notes that many of the idiom recogniser's choices "could instead be
+    made by a more general peephole optimizer".  This is a window-based
+    version of that idea:
+
+    - a jump to the immediately following label disappears;
+    - a conditional branch over an unconditional jump inverts
+      ([jeql L1; jbr L2; L1:] becomes [jneq L2; L1:]);
+    - a move whose source and destination are the same location
+      disappears, as does the second move of an [x -> y; y -> x] pair;
+    - a test whose operand was just computed by a condition-code-setting
+      instruction disappears (the code generator already avoids these
+      for register results; this pass catches the memory-destination
+      cases and everything the PCC backend emits);
+    - labels that no branch references are dropped.
+
+    All rewrites are local and need no liveness information, so the pass
+    is safe on any instruction list. *)
+
+type stats = {
+  removed_jumps : int;
+  inverted_branches : int;
+  removed_moves : int;
+  removed_tests : int;
+  removed_labels : int;
+}
+
+val empty_stats : stats
+val add_stats : stats -> stats -> stats
+
+(** Optimise one function body to a fixed point (bounded). *)
+val optimize : Insn.t list -> Insn.t list * stats
+
+val pp_stats : stats Fmt.t

@@ -1,0 +1,125 @@
+open Import
+
+type slot = Free | InUse of { mutable owner : Desc.t; mutable pinned : bool }
+
+type t = {
+  slots : slot array;  (* indexed by register number; only allocatable used *)
+  mutable stack : int list;  (* allocation order, most recent first *)
+  mutable free : int list;  (* most recently freed first *)
+  frame : Frame.t;
+  emit : Insn.t -> unit;
+}
+
+let is_allocatable r = List.mem r Regconv.allocatable
+
+(* doubles and quads live in consecutive register pairs rn/rn+1 *)
+let needs_pair ty = Dtype.size ty = 8
+
+let create ?(reserved = []) ~emit frame =
+  {
+    slots = Array.make 16 Free;
+    stack = [];
+    free = List.filter (fun r -> not (List.mem r reserved)) Regconv.allocatable;
+    frame;
+    emit;
+  }
+
+let free_reg t r =
+  t.slots.(r) <- Free;
+  t.stack <- List.filter (fun x -> x <> r) t.stack;
+  if not (List.mem r t.free) then t.free <- r :: t.free
+
+let release t (d : Desc.t) =
+  List.iter (fun r -> if is_allocatable r then free_reg t r) d.Desc.owned;
+  d.Desc.owned <- []
+
+let mov_mnemonic ty = "mov" ^ Dtype.suffix ty
+
+(* Spill the register nearest the bottom of the stack whose owner can be
+   redirected (operand is exactly that register, not pinned inside a
+   composite operand). *)
+let spill_one t =
+  let rec find = function
+    | [] -> failwith "register manager: out of registers (all pinned)"
+    | r :: rest -> (
+      match t.slots.(r) with
+      | InUse { pinned = false; owner } when owner.Desc.operand = Mode.Reg r ->
+        (r, owner)
+      | _ -> find rest)
+  in
+  (* bottom of the stack = least recently allocated = end of list *)
+  let r, owner = find (List.rev t.stack) in
+  let vslot = Frame.alloc_virtual t.frame owner.Desc.ty in
+  t.emit (Insn.insn (mov_mnemonic owner.Desc.ty) [ Mode.Reg r; vslot ]);
+  t.emit (Insn.Comment (Fmt.str "spill %s" (Regconv.name r)));
+  owner.Desc.operand <- vslot;
+  release t owner
+
+let take t r owner =
+  t.slots.(r) <- InUse { owner; pinned = false };
+  t.free <- List.filter (fun x -> x <> r) t.free;
+  t.stack <- r :: t.stack
+
+let rec alloc t ty : Desc.t =
+  if needs_pair ty then alloc_pair t ty
+  else
+    match t.free with
+    | r :: _ ->
+      let d = Desc.make ~owned:[ r ] ty (Mode.Reg r) in
+      take t r d;
+      d
+    | [] ->
+      spill_one t;
+      alloc t ty
+
+(* consecutive pair rn/rn+1, both allocatable and free *)
+and alloc_pair t ty : Desc.t =
+  let pair_free r =
+    is_allocatable r && is_allocatable (r + 1)
+    && List.mem r t.free && List.mem (r + 1) t.free
+  in
+  match List.find_opt pair_free Regconv.allocatable with
+  | Some r ->
+    let d = Desc.make ~owned:[ r; r + 1 ] ty (Mode.Reg r) in
+    take t r d;
+    take t (r + 1) d;
+    d
+  | None ->
+    spill_one t;
+    alloc_pair t ty
+
+let as_register t (d : Desc.t) =
+  match d.Desc.operand with
+  | Mode.Reg _ -> d
+  | operand ->
+    release t d;
+    let rd = alloc t d.Desc.ty in
+    t.emit (Insn.insn (mov_mnemonic d.Desc.ty) [ operand; rd.Desc.operand ]);
+    rd
+
+let compose t (d : Desc.t) =
+  List.iter
+    (fun r ->
+      if is_allocatable r then
+        match t.slots.(r) with
+        | InUse s ->
+          s.owner <- d;
+          s.pinned <- true
+        | Free ->
+          (* ownership arrived from a descriptor already released; take
+             the register back *)
+          take t r d;
+          (match t.slots.(r) with
+          | InUse s -> s.pinned <- true
+          | Free -> assert false))
+    d.Desc.owned;
+  d
+
+let in_use t = List.length t.stack
+
+let assert_clean t =
+  if t.stack <> [] then
+    failwith
+      (Fmt.str "register manager: registers %a still in use between statements"
+         Fmt.(list ~sep:comma (of_to_string Regconv.name))
+         t.stack)

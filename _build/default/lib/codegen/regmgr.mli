@@ -1,0 +1,43 @@
+open Import
+
+(** The register manager (paper section 5.3.3).
+
+    "Extremely simple and unsophisticated" by design: allocatable
+    registers (r6-r11 under PCC conventions) are assigned and freed with
+    a stack discipline.  When a register is requested as a destination,
+    the manager first reclaims registers dying with the instruction's
+    source operands.  When no register is free, the register at the
+    bottom of the stack is spilled to a compiler temporary (a "virtual
+    register") and the descriptor that owned it is redirected there. *)
+
+type t
+
+(** [reserved] registers (register variables) are excluded from the
+    allocatable pool for this function. *)
+val create : ?reserved:int list -> emit:(Insn.t -> unit) -> Frame.t -> t
+
+(** Consume a descriptor: its owned registers become reclaimable. *)
+val release : t -> Desc.t -> unit
+
+(** Allocate a register for a value of the given type and return its
+    descriptor.  May emit a spill. *)
+val alloc : t -> Dtype.t -> Desc.t
+
+(** Ensure the descriptor's operand is a plain register (reloading a
+    spilled virtual register, or loading a memory/immediate operand).
+    Used where the machine requires a register, e.g. address bases and
+    index registers. *)
+val as_register : t -> Desc.t -> Desc.t
+
+(** Transfer ownership of the registers inside a composite (memory)
+    operand to a new descriptor and pin them: pinned registers are never
+    chosen for spilling because the operand that embeds them could not
+    be repaired. *)
+val compose : t -> Desc.t -> Desc.t
+
+(** Number of registers currently in use (diagnostics). *)
+val in_use : t -> int
+
+(** Raise [Failure] if any allocatable register is still in use — the
+    between-statements invariant. *)
+val assert_clean : t -> unit

@@ -1,0 +1,30 @@
+open Import
+
+(** The semantic actions of the code generator: what happens at each
+    reduction of the pattern matcher (paper sections 5.2-5.4).
+
+    Reductions with [Mode] actions condense the matched phrase into an
+    operand descriptor; [Emit] actions select an instruction from the
+    instruction table, run the idiom recogniser (binding idioms, range
+    idioms, pseudo-instruction expansion — section 5.3.2), call the
+    register manager, and append assembly to the output buffer. *)
+
+type t
+
+(** [create ~idioms ~reserved frame] — [idioms:false] disables the
+    idiom recogniser (the paper notes it is optional: correct but worse
+    code results); [reserved] registers hold register variables and are
+    withheld from the register manager. *)
+val create : ?idioms:bool -> ?reserved:int list -> Frame.t -> t
+
+(** Matcher callbacks bound to this state and grammar. *)
+val callbacks : t -> Grammar.t -> Desc.sval Matcher.callbacks
+
+(** Instructions emitted so far, in order. *)
+val output : t -> Insn.t list
+
+(** Append an instruction directly (used by the driver for labels,
+    jumps, calls and returns). *)
+val emit : t -> Insn.t -> unit
+
+val regmgr : t -> Regmgr.t

@@ -1,0 +1,1 @@
+lib/frontc/ast.ml: Fmt

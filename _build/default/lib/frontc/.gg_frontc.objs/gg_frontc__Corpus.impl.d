@@ -1,0 +1,1 @@
+lib/frontc/corpus.ml: Ast Fmt Int64 List

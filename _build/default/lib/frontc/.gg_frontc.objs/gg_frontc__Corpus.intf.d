@@ -1,0 +1,1 @@
+lib/frontc/corpus.mli: Ast

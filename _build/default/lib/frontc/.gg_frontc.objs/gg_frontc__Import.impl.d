@@ -1,0 +1,1 @@
+lib/frontc/import.ml: Gg_ir

@@ -1,0 +1,1 @@
+lib/frontc/lexer.ml: Char Fmt Int64 List String

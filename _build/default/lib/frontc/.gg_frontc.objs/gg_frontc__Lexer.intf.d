@@ -1,0 +1,1 @@
+lib/frontc/lexer.mli: Fmt

@@ -1,0 +1,1 @@
+lib/frontc/parser.ml: Ast Fmt Int64 Lexer List Option String

@@ -1,0 +1,1 @@
+lib/frontc/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/frontc/sema.ml: Ast Dtype Fmt Hashtbl Import Int64 Label List Op Parser Regconv Tree

@@ -1,0 +1,1 @@
+lib/frontc/sema.mli: Ast Dtype Import Tree

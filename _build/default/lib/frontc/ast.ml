@@ -1,0 +1,69 @@
+type cty =
+  | Tchar
+  | Tshort
+  | Tint
+  | Tuint
+  | Tfloat
+  | Tdouble
+  | Tptr of cty
+  | Tarray of cty * int
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Bland | Blor
+
+type unop = Uneg | Ucom | Unot
+
+type expr =
+  | Eint of int64
+  | Efloat of float
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eassign of expr * expr
+  | Eopassign of binop * expr * expr
+  | Epreincr of bool * expr
+  | Epostincr of bool * expr
+  | Econd of expr * expr * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of cty * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of expr option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type storage = Auto | Register
+
+type func = {
+  fname : string;
+  ret : cty;
+  params : (string * cty) list;
+  locals : (string * cty * storage) list;
+  body : stmt list;
+}
+
+type decl = Dglobal of string * cty | Dfunc of func
+
+type program = decl list
+
+let rec pp_cty ppf = function
+  | Tchar -> Fmt.string ppf "char"
+  | Tshort -> Fmt.string ppf "short"
+  | Tint -> Fmt.string ppf "int"
+  | Tuint -> Fmt.string ppf "unsigned"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tdouble -> Fmt.string ppf "double"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_cty t
+  | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp_cty t n

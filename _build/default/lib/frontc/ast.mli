@@ -1,0 +1,74 @@
+(** Abstract syntax of the mini-C language.
+
+    The language is the K&R-flavoured subset needed to exercise the code
+    generator the way PCC's first pass did: integer types of three
+    sizes, unsigned ints, floats and doubles, pointers and arrays,
+    the full expression grammar including short-circuit operators,
+    selection, compound assignment and increment/decrement, and
+    structured control flow. *)
+
+type cty =
+  | Tchar
+  | Tshort
+  | Tint
+  | Tuint  (** unsigned int *)
+  | Tfloat  (** stored as F_floating; promoted to double in expressions *)
+  | Tdouble
+  | Tptr of cty
+  | Tarray of cty * int
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Bland | Blor  (** short-circuit *)
+
+type unop = Uneg | Ucom | Unot
+
+type expr =
+  | Eint of int64
+  | Efloat of float
+  | Evar of string
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Eassign of expr * expr  (** lvalue = value *)
+  | Eopassign of binop * expr * expr  (** lvalue op= value *)
+  | Epreincr of bool * expr  (** true = increment, false = decrement *)
+  | Epostincr of bool * expr
+  | Econd of expr * expr * expr
+  | Ecall of string * expr list
+  | Eindex of expr * expr  (** a[i] *)
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of cty * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of expr option * expr option * expr option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+(** Storage class of a local declaration; [Register] asks for a
+    dedicated register (a hint, as in C: ignored when no register is
+    available or the type does not fit one). *)
+type storage = Auto | Register
+
+type func = {
+  fname : string;
+  ret : cty;
+  params : (string * cty) list;
+  locals : (string * cty * storage) list;
+      (** all block-scoped declarations *)
+  body : stmt list;
+}
+
+type decl = Dglobal of string * cty | Dfunc of func
+
+type program = decl list
+
+val pp_cty : cty Fmt.t

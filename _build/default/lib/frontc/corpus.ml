@@ -1,0 +1,396 @@
+open Ast
+
+(* a small deterministic PRNG (xorshift) so corpora are reproducible *)
+type rng = { mutable s : int64 }
+
+let rng seed = { s = Int64.of_int ((seed * 2654435761) lor 1) }
+
+let next r =
+  let x = r.s in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.s <- x;
+  Int64.to_int (Int64.logand x 0x3fffffffL)
+
+let pick r xs = List.nth xs (next r mod List.length xs)
+let range r lo hi = lo + (next r mod (hi - lo + 1))
+
+(* -- expression generation ---------------------------------------------- *)
+
+(* integer variables in scope plus the global arrays.
+
+   Calls never appear inside larger expressions and loop counters are
+   never assigned by loop bodies: the first keeps evaluation order
+   observable-equivalent between the reference interpreter and the
+   compiled code (C leaves the order unspecified, and Phase 1a hoists
+   embedded calls), the second guarantees termination. *)
+type genv = {
+  ivars : string list;  (** readable int variables *)
+  assignable : string list;  (** assignment targets *)
+  dvars : string list;  (** double-valued variables *)
+  arrays : (string * int) list;  (** int arrays with their sizes *)
+  callables : (string * int) list;  (** functions and their int arity *)
+  counters : string list;  (** loop counters still available *)
+}
+
+let lit r = Eint (Int64.of_int (range r (-40) 100))
+
+(* an in-bounds index: (e & (size-1)) for power-of-two sizes *)
+let bounded_index r env depth size =
+  let base =
+    if depth <= 0 || env.ivars = [] then lit r
+    else Evar (pick r env.ivars)
+  in
+  Ebin (Band, base, Eint (Int64.of_int (size - 1)))
+
+let rec int_expr r env depth =
+  if depth <= 0 then
+    match (env.ivars, next r mod 3) with
+    | v :: _, 0 -> Evar (pick r (v :: env.ivars))
+    | _, _ -> lit r
+  else
+    match next r mod 14 with
+    | 0 | 1 ->
+      Ebin
+        ( pick r [ Badd; Bsub; Bmul ],
+          int_expr r env (depth - 1),
+          int_expr r env (depth - 1) )
+    | 2 ->
+      (* safe division: divisor = (e & 15) + 1 *)
+      Ebin
+        ( pick r [ Bdiv; Bmod ],
+          int_expr r env (depth - 1),
+          Ebin (Badd, Ebin (Band, int_expr r env (depth - 1), Eint 15L), Eint 1L)
+        )
+    | 3 -> Ebin (pick r [ Band; Bor; Bxor ], int_expr r env (depth - 1),
+                 int_expr r env (depth - 1))
+    | 4 ->
+      Ebin
+        ( pick r [ Bshl; Bshr ],
+          int_expr r env (depth - 1),
+          Eint (Int64.of_int (range r 0 7)) )
+    | 5 ->
+      Ebin
+        ( pick r [ Beq; Bne; Blt; Ble; Bgt; Bge ],
+          int_expr r env (depth - 1),
+          int_expr r env (depth - 1) )
+    | 6 when env.arrays <> [] ->
+      let name, size = pick r env.arrays in
+      Eindex (Evar name, bounded_index r env (depth - 1) size)
+    | 7 -> Eun (pick r [ Uneg; Ucom ], int_expr r env (depth - 1))
+    | 8 ->
+      Ebin
+        ( pick r [ Bland; Blor ],
+          int_expr r env (depth - 1),
+          int_expr r env (depth - 1) )
+    | 9 ->
+      Econd
+        ( int_expr r env (depth - 1),
+          int_expr r env (depth - 1),
+          int_expr r env (depth - 1) )
+    | 11 when env.dvars <> [] ->
+      (* a double clamped into int range *)
+      Ecast (Tint, Ebin (Bmul, Efloat 0.5,
+                         Ecast (Tdouble, int_expr r env (depth - 1))))
+    | _ -> int_expr r env 0
+
+let double_expr r env depth =
+  if env.dvars = [] || depth <= 0 then Efloat (float_of_int (range r 0 20) /. 4.)
+  else
+    Ebin
+      ( pick r [ Badd; Bsub; Bmul ],
+        Evar (pick r env.dvars),
+        Efloat (float_of_int (range r 1 8) /. 2.) )
+
+(* -- statements ----------------------------------------------------------- *)
+
+let rec stmts r env budget : stmt list =
+  if budget <= 0 then []
+  else begin
+    let s, cost =
+      match next r mod 12 with
+      | 0 | 1 | 2 ->
+        (Sexpr (Eassign (Evar (pick r env.assignable), int_expr r env 3)), 1)
+      | 3 when env.arrays <> [] ->
+        let name, size = pick r env.arrays in
+        ( Sexpr
+            (Eassign
+               (Eindex (Evar name, bounded_index r env 1 size),
+                int_expr r env 2)),
+          1 )
+      | 4 ->
+        let v = pick r env.assignable in
+        ( Sexpr
+            (Eopassign (pick r [ Badd; Bsub; Bxor ], Evar v, int_expr r env 2)),
+          1 )
+      | 5 ->
+        let v = pick r env.assignable in
+        (Sexpr (Epostincr (next r mod 2 = 0, Evar v)), 1)
+      | 6 ->
+        let body = stmts r env (min 3 (budget - 1)) in
+        (Sif (int_expr r env 2, body, stmts r env (min 2 (budget - 2))), 3)
+      | 7 when env.counters <> [] ->
+        (* a bounded counting loop over a reserved counter the body can
+           read but never assign *)
+        let v = List.hd env.counters in
+        let inner = { env with counters = List.tl env.counters } in
+        let n = range r 2 8 in
+        let body = stmts r inner (min 3 (budget - 1)) in
+        ( Sfor
+            ( Some (Eassign (Evar v, Eint 0L)),
+              Some (Ebin (Blt, Evar v, Eint (Int64.of_int n))),
+              Some (Epostincr (true, Evar v)),
+              body ),
+          4 )
+      | 8 when env.dvars <> [] ->
+        (Sexpr (Eassign (Evar (pick r env.dvars), double_expr r env 2)), 1)
+      | 9 -> (Sexpr (Ecall ("print", [ int_expr r env 2 ])), 1)
+      | 10 when env.callables <> [] ->
+        (* calls only as whole statements: x = f(pure args) *)
+        let f, arity = pick r env.callables in
+        ( Sexpr
+            (Eassign
+               (Evar (pick r env.assignable),
+                Ecall (f, List.init arity (fun _ -> int_expr r env 2)))),
+          2 )
+      | _ ->
+        (Sexpr (Eassign (Evar (pick r env.assignable), int_expr r env 4)), 2)
+    in
+    s :: stmts r env (budget - cost)
+  end
+
+(* -- programs ---------------------------------------------------------------- *)
+
+let function_names n = List.init n (fun i -> Fmt.str "f%d" i)
+
+let program ~seed ~functions ~stmts_per_function =
+  let r = rng seed in
+  let globals =
+    [
+      Dglobal ("g0", Tint); Dglobal ("g1", Tint); Dglobal ("g2", Tint);
+      Dglobal ("gu", Tuint); Dglobal ("gd", Tdouble);
+      Dglobal ("arr", Tarray (Tint, 16)); Dglobal ("bytes", Tarray (Tchar, 8));
+      Dglobal ("shorts", Tarray (Tshort, 8));
+    ]
+  in
+  let arrays = [ ("arr", 16); ("bytes", 8); ("shorts", 8) ] in
+  let fnames = function_names functions in
+  let funcs =
+    List.mapi
+      (fun i name ->
+        let params = [ ("a", Tint); ("b", Tint) ] in
+        let k0_storage = if i mod 2 = 0 then Register else Auto in
+        let locals =
+          [ ("x", Tint, Auto); ("y", Tint, Auto); ("k0", Tint, k0_storage);
+            ("k1", Tint, Auto) ]
+        in
+        let env =
+          {
+            ivars = [ "a"; "b"; "x"; "y"; "k0"; "k1"; "g0"; "g1"; "g2" ];
+            assignable = [ "a"; "b"; "x"; "y"; "g0"; "g1"; "g2" ];
+            dvars = [ "gd" ];
+            arrays;
+            (* may call earlier functions only: no unbounded recursion *)
+            callables =
+              List.filteri (fun j _ -> j < i) fnames
+              |> List.map (fun f -> (f, 2));
+            counters = [ "k0"; "k1" ];
+          }
+        in
+        let body =
+          (* initialise every local: uninitialised reads are undefined
+             behaviour the differential harness cannot tolerate *)
+          [ Sexpr (Eassign (Evar "x", Eint 1L));
+            Sexpr (Eassign (Evar "y", Eint 2L));
+            Sexpr (Eassign (Evar "k0", Eint 0L));
+            Sexpr (Eassign (Evar "k1", Eint 0L)) ]
+          @ stmts r env stmts_per_function
+          @ [ Sreturn (Some (int_expr r env 2)) ]
+        in
+        Dfunc { fname = name; ret = Tint; params; locals; body })
+      fnames
+  in
+  let main_env =
+    {
+      ivars = [ "i"; "j"; "t"; "g0"; "g1"; "g2" ];
+      assignable = [ "t"; "g0"; "g1"; "g2" ];
+      dvars = [ "gd" ];
+      arrays;
+      callables = List.map (fun f -> (f, 2)) fnames;
+      counters = [ "i"; "j" ];
+    }
+  in
+  let main_body =
+    [
+      Sexpr (Eassign (Evar "t", Eint 0L));
+      Sexpr (Eassign (Evar "i", Eint 0L));
+      Sexpr (Eassign (Evar "j", Eint 0L));
+      Sexpr (Eassign (Evar "g0", Eint 3L));
+      Sexpr (Eassign (Evar "g1", Eint 5L));
+      Sexpr (Eassign (Evar "g2", Eint 7L));
+    ]
+    @ stmts r main_env (3 * stmts_per_function)
+    @ List.map
+        (fun f ->
+          Sexpr (Eassign (Evar "t",
+                          Ebin (Badd, Evar "t",
+                                Ecall (f, [ Evar "g0"; Evar "g1" ])))))
+        fnames
+    @ [
+        Sexpr (Ecall ("print", [ Evar "t" ]));
+        Sexpr (Ecall ("print", [ Evar "g0" ]));
+        Sreturn (Some (Ebin (Band, Evar "t", Eint 0xffffL)));
+      ]
+  in
+  globals @ funcs
+  @ [
+      Dfunc
+        {
+          fname = "main";
+          ret = Tint;
+          params = [];
+          locals = [ ("i", Tint, Auto); ("j", Tint, Auto); ("t", Tint, Auto) ];
+          body = main_body;
+        };
+    ]
+
+let large_program ~seed ~target_stmts =
+  let per = 12 in
+  let functions = max 2 (target_stmts / (2 * per)) in
+  program ~seed ~functions ~stmts_per_function:per
+
+let fixed_programs =
+  [
+    ( "bubble_sort",
+      {|
+int a[16];
+int n;
+
+int main() {
+  int i; int j; int t; int sum;
+  n = 16;
+  for (i = 0; i < n; i++) a[i] = (n - i) * 3 % 17;
+  for (i = 0; i < n - 1; i++)
+    for (j = 0; j < n - 1 - i; j++)
+      if (a[j] > a[j+1]) { t = a[j]; a[j] = a[j+1]; a[j+1] = t; }
+  sum = 0;
+  for (i = 0; i < n; i++) sum = sum * 2 + a[i];
+  print(sum);
+  return sum & 255;
+}
+|} );
+    ( "matrix3",
+      {|
+int a[9]; int b[9]; int c[9];
+
+int main() {
+  int i; int j; int k; int s;
+  for (i = 0; i < 9; i++) { a[i] = i + 1; b[i] = 9 - i; }
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 3; j++) {
+      s = 0;
+      for (k = 0; k < 3; k++) s += a[i*3+k] * b[k*3+j];
+      c[i*3+j] = s;
+    }
+  s = 0;
+  for (i = 0; i < 9; i++) s ^= c[i] * (i + 1);
+  print(s);
+  return s & 1023;
+}
+|} );
+    ( "checksum",
+      {|
+char buf[64];
+unsigned h;
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) buf[i] = (i * 7 + 3) % 127;
+  h = 5381;
+  for (i = 0; i < 64; i++) h = h * 33 + buf[i];
+  h = h % 65521;
+  print(h);
+  return h & 32767;
+}
+|} );
+    ( "floats",
+      {|
+double acc;
+float ratio;
+
+double step(double x, int k) {
+  if (k % 2) return x * 1.5 - 0.25;
+  return x / 2.0 + 3.0;
+}
+
+int main() {
+  int i;
+  acc = 1.0;
+  ratio = 0.5;
+  for (i = 0; i < 10; i++) acc = step(acc, i) + ratio;
+  print(acc);
+  return (int) acc;
+}
+|} );
+    ( "recursion",
+      {|
+int calls;
+
+int ack(int m, int n) {
+  calls++;
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+
+int gcd(int a, int b) {
+  if (b == 0) return a;
+  return gcd(b, a % b);
+}
+
+int main() {
+  int r;
+  calls = 0;
+  r = ack(2, 3) * 100 + gcd(252, 105);
+  print(r);
+  print(calls);
+  return r & 4095;
+}
+|} );
+    ( "register_autoinc",
+      {|
+int data[8];
+int total;
+
+int main() {
+  register int *p;
+  register int i;
+  int k;
+  for (k = 0; k < 8; k++) data[k] = k * 3 + 1;
+  total = 0;
+  p = &data[0];
+  for (i = 0; i < 8; i++) total += *p++;
+  p = &data[8];
+  for (i = 0; i < 8; i++) total += *--p;
+  print(total);
+  return total;
+}
+|} );
+    ( "pointers",
+      {|
+int data[8];
+int total;
+
+int main() {
+  int i; int *p;
+  for (i = 0; i < 8; i++) data[i] = i * i + 1;
+  total = 0;
+  p = &data[0];
+  for (i = 0; i < 8; i++) total += *(p + i);
+  for (i = 0; i < 8; i++) if (data[i] % 2 == 0) total -= data[i] / 2;
+  print(total);
+  return total;
+}
+|} );
+  ]

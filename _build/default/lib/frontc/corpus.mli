@@ -1,0 +1,23 @@
+(** Deterministic random-program generator.
+
+    The paper's measurements ran the two code generators over large C
+    programs (section 8: 11k lines of assembly).  This module generates
+    arbitrarily large, terminating, trap-free mini-C programs from a
+    seed: every division has a provably non-zero divisor, every array
+    index is masked into bounds, all loops have constant bounds, and
+    recursion is depth-bounded — so the differential harness can run
+    them to completion under both the interpreter and the simulator. *)
+
+(** [program ~seed ~functions ~stmts_per_function] — a complete program
+    whose [main] exercises every generated function and prints
+    observable results. *)
+val program : seed:int -> functions:int -> stmts_per_function:int -> Ast.program
+
+(** A small fixed benchmark suite of hand-written programs (sort,
+    matrix, string-less checksum, float accumulation, recursion), used
+    by the benchmarks alongside the random corpus. *)
+val fixed_programs : (string * string) list
+
+(** Concatenated random programs totalling roughly [target_stmts]
+    statements — the "particular large C program" stand-in. *)
+val large_program : seed:int -> target_stmts:int -> Ast.program

@@ -1,0 +1,26 @@
+(** Hand-written lexer for the mini-C language. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string  (** keyword *)
+  | PUNCT of string  (** operator or punctuation, longest-match *)
+  | EOF
+
+exception Lex_error of int * string  (** line, message *)
+
+type t
+
+val create : string -> t
+
+(** Current token (EOF at end). *)
+val peek : t -> token
+
+(** Advance and return the token just consumed. *)
+val next : t -> token
+
+(** Line number of the current token, for error messages. *)
+val line : t -> int
+
+val pp_token : token Fmt.t

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the mini-C language. *)
+
+exception Parse_error of int * string  (** line, message *)
+
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (for tests). *)
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,26 @@
+open Import
+
+(** Type checking and lowering from mini-C to the IR.
+
+    Plays the role of PCC's first pass: produces a forest of typed
+    expression trees with generic operators.  Follows classic (K&R) C
+    semantics: char/short promote to int in expressions, float promotes
+    to double, float parameters are passed as doubles, arithmetic on
+    unsigned ints selects the unsigned operators and comparisons.
+
+    Expressions may still contain short-circuit operators, selections,
+    comparison values, embedded assignments and calls — eliminating
+    those is the code generator's Phase 1a, exactly as in the paper. *)
+
+exception Semantic_error of string
+
+(** Lower a checked program. *)
+val lower_program : Ast.program -> Tree.program
+
+(** Convenience: parse and lower C source. *)
+val compile : string -> Tree.program
+
+(** The IR type of a C type as stored in memory. *)
+val dtype_of_cty : Ast.cty -> Dtype.t
+
+val sizeof : Ast.cty -> int

@@ -1,0 +1,1 @@
+lib/grammar/action.mli: Fmt

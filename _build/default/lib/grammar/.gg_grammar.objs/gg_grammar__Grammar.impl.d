@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Action Array Fmt Fun Hashtbl List Seq String Symtab

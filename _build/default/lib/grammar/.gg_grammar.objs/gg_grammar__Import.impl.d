@@ -1,0 +1,1 @@
+lib/grammar/import.ml: Gg_ir

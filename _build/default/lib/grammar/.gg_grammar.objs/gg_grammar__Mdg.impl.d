@@ -1,0 +1,1 @@
+lib/grammar/mdg.ml: Action Buffer Dtype Fmt Grammar Import List Schema String

@@ -1,0 +1,1 @@
+lib/grammar/mdg.mli: Dtype Grammar Import Schema

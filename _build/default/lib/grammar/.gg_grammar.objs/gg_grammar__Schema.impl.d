@@ -1,0 +1,1 @@
+lib/grammar/schema.ml: Action Buffer Dtype Fmt Grammar Import List String

@@ -1,0 +1,1 @@
+lib/grammar/schema.mli: Action Dtype Grammar Import

@@ -1,0 +1,1 @@
+lib/grammar/symtab.ml: Array Fmt Hashtbl Int String

@@ -1,0 +1,1 @@
+lib/grammar/symtab.mli: Fmt

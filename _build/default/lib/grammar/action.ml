@@ -1,0 +1,23 @@
+type t = Chain | Mode of string | Emit of string | Start
+
+let equal a b =
+  match (a, b) with
+  | Chain, Chain | Start, Start -> true
+  | Mode x, Mode y | Emit x, Emit y -> String.equal x y
+  | (Chain | Mode _ | Emit _ | Start), _ -> false
+
+let payload = function
+  | Chain | Start -> None
+  | Mode s | Emit s -> Some s
+
+let map_payload f = function
+  | Chain -> Chain
+  | Start -> Start
+  | Mode s -> Mode (f s)
+  | Emit s -> Emit (f s)
+
+let pp ppf = function
+  | Chain -> Fmt.string ppf "chain"
+  | Start -> Fmt.string ppf "start"
+  | Mode s -> Fmt.pf ppf "mode:%s" s
+  | Emit s -> Fmt.pf ppf "emit:%s" s

@@ -1,0 +1,29 @@
+(** Semantic action tags attached to productions.
+
+    The paper distinguishes three roles for productions in a factored
+    grammar: encapsulating phrases (addressing modes), emitting
+    instructions, and glue (section 4).  The tag names a semantic
+    routine; the code generator maps names to behaviour (the paper's
+    hand-written C routines reached through the [R(n)] interface,
+    section 6.4). *)
+
+type t =
+  | Chain  (** glue / condense: the descriptor passes through unchanged *)
+  | Mode of string
+      (** encapsulate the matched phrase into an addressing-mode
+          descriptor built by the named builder *)
+  | Emit of string
+      (** emit instruction(s) by looking up the named cluster in the
+          instruction table (paper Fig. 3) *)
+  | Start  (** the augmented start production *)
+
+val equal : t -> t -> bool
+
+(** The embedded name, if any. *)
+val payload : t -> string option
+
+(** Apply a substitution to the embedded name (used by type
+    replication). *)
+val map_payload : (string -> string) -> t -> t
+
+val pp : t Fmt.t

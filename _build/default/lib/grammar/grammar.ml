@@ -1,0 +1,162 @@
+type production = {
+  id : int;
+  lhs : int;
+  rhs : Symtab.sym array;
+  action : Action.t;
+  note : string;
+}
+
+type t = {
+  symtab : Symtab.t;
+  start : int;
+  prods : production array;
+  by_lhs : int array array;
+}
+
+type spec = string * string list * Action.t * string
+
+let make ~start specs =
+  let symtab = Symtab.create () in
+  let exception Bad of string in
+  let bad fmt = Fmt.kstr (fun s -> raise (Bad s)) fmt in
+  try
+    let start_idx =
+      match Symtab.intern symtab start with
+      | Symtab.N i -> i
+      | Symtab.T _ -> bad "start symbol %s is a terminal" start
+    in
+    let seen = Hashtbl.create 512 in
+    let prods =
+      List.mapi
+        (fun id (lhs, rhs, action, note) ->
+          if rhs = [] then bad "production %d (%s): empty right-hand side" id lhs;
+          let lhs_idx =
+            match Symtab.intern symtab lhs with
+            | Symtab.N i -> i
+            | Symtab.T _ -> bad "terminal %s used as a left-hand side" lhs
+          in
+          let rhs = Array.of_list (List.map (Symtab.intern symtab) rhs) in
+          let key = (lhs_idx, rhs) in
+          if Hashtbl.mem seen key then
+            bad "duplicate production: %s <- %s" lhs
+              (String.concat " " (Array.to_list (Array.map (Symtab.name symtab) rhs)));
+          Hashtbl.replace seen key ();
+          { id; lhs = lhs_idx; rhs; action; note })
+        specs
+      |> Array.of_list
+    in
+    (* every non-terminal mentioned must have at least one production *)
+    let defined = Array.make (Symtab.n_nonterms symtab) false in
+    Array.iter (fun p -> defined.(p.lhs) <- true) prods;
+    defined.(start_idx) <- true;
+    Array.iter
+      (fun p ->
+        Array.iter
+          (function
+            | Symtab.N i when not defined.(i) ->
+              bad "undefined non-terminal %s" (Symtab.nonterm_name symtab i)
+            | Symtab.N _ | Symtab.T _ -> ())
+          p.rhs)
+      prods;
+    let by_lhs =
+      Array.init (Symtab.n_nonterms symtab) (fun n ->
+          Array.of_seq
+            (Seq.filter_map
+               (fun p -> if p.lhs = n then Some p.id else None)
+               (Array.to_seq prods)))
+    in
+    Ok { symtab; start = start_idx; prods; by_lhs }
+  with Bad msg -> Error msg
+
+let make_exn ~start specs =
+  match make ~start specs with
+  | Ok g -> g
+  | Error msg -> invalid_arg ("Grammar.make: " ^ msg)
+
+let n_productions g = Array.length g.prods
+let production g i = g.prods.(i)
+
+let is_chain p =
+  Array.length p.rhs = 1
+  && match p.rhs.(0) with Symtab.N _ -> true | Symtab.T _ -> false
+
+type report = { unreachable : string list; unproductive : string list }
+
+let check g =
+  let nn = Symtab.n_nonterms g.symtab in
+  (* reachability from the start symbol *)
+  let reachable = Array.make nn false in
+  let rec reach n =
+    if not reachable.(n) then begin
+      reachable.(n) <- true;
+      Array.iter
+        (fun pid ->
+          Array.iter
+            (function Symtab.N m -> reach m | Symtab.T _ -> ())
+            g.prods.(pid).rhs)
+        g.by_lhs.(n)
+    end
+  in
+  reach g.start;
+  (* productivity: fixed point over "derives some terminal string" *)
+  let productive = Array.make nn false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        if not productive.(p.lhs) then
+          let all_ok =
+            Array.for_all
+              (function Symtab.N m -> productive.(m) | Symtab.T _ -> true)
+              p.rhs
+          in
+          if all_ok then begin
+            productive.(p.lhs) <- true;
+            changed := true
+          end)
+      g.prods
+  done;
+  let collect pred =
+    List.filter_map
+      (fun i -> if pred i then Some (Symtab.nonterm_name g.symtab i) else None)
+      (List.init nn Fun.id)
+  in
+  {
+    unreachable = collect (fun i -> not reachable.(i));
+    unproductive = collect (fun i -> reachable.(i) && not productive.(i));
+  }
+
+type stats = {
+  productions : int;
+  terminals : int;
+  nonterminals : int;
+  chain_productions : int;
+  max_rhs : int;
+}
+
+let stats g =
+  {
+    productions = Array.length g.prods;
+    terminals = Symtab.n_terms g.symtab;
+    nonterminals = Symtab.n_nonterms g.symtab;
+    chain_productions =
+      Array.fold_left (fun n p -> if is_chain p then n + 1 else n) 0 g.prods;
+    max_rhs = Array.fold_left (fun n p -> max n (Array.length p.rhs)) 0 g.prods;
+  }
+
+let pp_production g ppf p =
+  Fmt.pf ppf "%s <- %s  [%a]%s"
+    (Symtab.nonterm_name g.symtab p.lhs)
+    (String.concat " " (Array.to_list (Array.map (Symtab.name g.symtab) p.rhs)))
+    Action.pp p.action
+    (if p.note = "" then "" else "  ; " ^ p.note)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d productions, %d terminals, %d nonterminals (%d chain productions, \
+     longest rhs %d)"
+    s.productions s.terminals s.nonterminals s.chain_productions s.max_rhs
+
+let pp ppf g =
+  Array.iter (fun p -> Fmt.pf ppf "%a@\n" (pp_production g) p) g.prods

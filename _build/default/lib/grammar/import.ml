@@ -1,0 +1,5 @@
+(* Short aliases for the IR modules used throughout this library. *)
+module Dtype = Gg_ir.Dtype
+module Op = Gg_ir.Op
+module Tree = Gg_ir.Tree
+module Termname = Gg_ir.Termname

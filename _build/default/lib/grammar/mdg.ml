@@ -1,0 +1,188 @@
+open Import
+
+type t = {
+  start : string;
+  classes : (string * Dtype.t list) list;
+  schemas : Schema.t list;
+}
+
+exception Mdg_error of int * string
+
+let error line fmt = Fmt.kstr (fun s -> raise (Mdg_error (line, s))) fmt
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let suffixes_of line words =
+  List.map
+    (fun w ->
+      match Dtype.of_suffix w with
+      | Some ty -> ty
+      | None -> error line "unknown type suffix %s" w)
+    words
+
+(* split "... [action] ..." into before, action-words, after *)
+let extract_bracketed line s =
+  match (String.index_opt s '[', String.index_opt s ']') with
+  | Some i, Some j when i < j ->
+    ( String.sub s 0 i,
+      split_ws (String.sub s (i + 1) (j - i - 1)),
+      String.sub s (j + 1) (String.length s - j - 1) )
+  | _ -> error line "production needs an [action]"
+
+let parse_action line = function
+  | [ "chain" ] -> Action.Chain
+  | [ "mode"; name ] -> Action.Mode name
+  | [ "emit"; name ] -> Action.Emit name
+  | ws -> error line "bad action [%s]" (String.concat " " ws)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let start = ref None in
+  let classes = ref [] in
+  let schemas = ref [] in
+  let class_named line name =
+    match List.assoc_opt name !classes with
+    | Some tys -> tys
+    | None -> error line "unknown class %s" name
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let s = String.trim s in
+      if s = "" then ()
+      else if String.length s > 6 && String.sub s 0 6 = "%start" then
+        start := Some (String.trim (String.sub s 6 (String.length s - 6)))
+      else if String.length s > 6 && String.sub s 0 6 = "%class" then begin
+        match String.index_opt s '=' with
+        | None -> error line "bad %%class: missing ="
+        | Some j ->
+          let name =
+            String.trim (String.sub s 6 (j - 6))
+          in
+          let tys =
+            suffixes_of line (split_ws (String.sub s (j + 1) (String.length s - j - 1)))
+          in
+          classes := (name, tys) :: !classes
+      end
+      else begin
+        (* a production line: lhs <- rhs [action] (%over C | %pairs A B)? (; note)? *)
+        let s, note =
+          match String.index_opt s ';' with
+          | Some j ->
+            ( String.sub s 0 j,
+              String.trim (String.sub s (j + 1) (String.length s - j - 1)) )
+          | None -> (s, "")
+        in
+        let before, action_words, after = extract_bracketed line s in
+        let action = parse_action line action_words in
+        let over =
+          match split_ws after with
+          | [] -> Schema.Literal
+          | [ "%over"; c ] -> Schema.Types (class_named line c)
+          | [ "%pairs"; a; b ] ->
+            let ca = class_named line a and cb = class_named line b in
+            Schema.Pairs
+              (List.concat_map
+                 (fun x ->
+                   List.filter_map
+                     (fun y ->
+                       if Dtype.equal x y then None else Some (x, y))
+                     cb)
+                 ca)
+          | ws -> error line "unexpected trailing tokens: %s" (String.concat " " ws)
+        in
+        match split_ws before with
+        | lhs :: "<-" :: rhs when rhs <> [] ->
+          schemas := { Schema.lhs; rhs; action; note; over } :: !schemas
+        | _ -> error line "expected: lhs <- rhs ... [action]"
+      end)
+    lines;
+  match !start with
+  | None -> error 0 "missing %%start declaration"
+  | Some start ->
+    { start; classes = List.rev !classes; schemas = List.rev !schemas }
+
+(* -- printing ----------------------------------------------------------------- *)
+
+let class_name_of classes tys =
+  List.find_map
+    (fun (name, ctys) -> if ctys = tys then Some name else None)
+    classes
+
+let print t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Fmt.str "%%start %s\n" t.start);
+  List.iter
+    (fun (name, tys) ->
+      Buffer.add_string buf
+        (Fmt.str "%%class %s = %s\n" name
+           (String.concat " " (List.map Dtype.suffix tys))))
+    t.classes;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (sch : Schema.t) ->
+      let action =
+        match sch.Schema.action with
+        | Action.Chain -> "[chain]"
+        | Action.Mode m -> Fmt.str "[mode %s]" m
+        | Action.Emit e -> Fmt.str "[emit %s]" e
+        | Action.Start -> "[chain]"
+      in
+      let over =
+        match sch.Schema.over with
+        | Schema.Literal -> ""
+        | Schema.Types tys -> (
+          match class_name_of t.classes tys with
+          | Some name -> Fmt.str " %%over %s" name
+          | None ->
+            Fmt.str " %%over %s"
+              (String.concat "" (List.map Dtype.suffix tys)))
+        | Schema.Pairs ps -> (
+          (* recover the class pair when the expansion is a full cross
+             product of two known classes *)
+          let firsts = List.sort_uniq compare (List.map fst ps) in
+          let seconds = List.sort_uniq compare (List.map snd ps) in
+          match (class_name_of t.classes firsts, class_name_of t.classes seconds) with
+          | Some a, Some b -> Fmt.str " %%pairs %s %s" a b
+          | _ -> " %pairs ? ?")
+      in
+      let note = if sch.Schema.note = "" then "" else " ; " ^ sch.Schema.note in
+      Buffer.add_string buf
+        (Fmt.str "%s <- %s %s%s%s\n" sch.Schema.lhs
+           (String.concat " " sch.Schema.rhs)
+           action over note))
+    t.schemas;
+  Buffer.contents buf
+
+let to_grammar t =
+  Grammar.make_exn ~start:t.start (Schema.expand_all t.schemas)
+
+let of_schemas ~start schemas =
+  (* synthesise class names for each distinct type set *)
+  let counter = ref 0 in
+  let classes = ref [] in
+  let class_for tys =
+    match class_name_of !classes tys with
+    | Some _ -> ()
+    | None ->
+      incr counter;
+      classes := !classes @ [ (Fmt.str "C%d" !counter, tys) ]
+  in
+  List.iter
+    (fun (sch : Schema.t) ->
+      match sch.Schema.over with
+      | Schema.Literal -> ()
+      | Schema.Types tys -> class_for tys
+      | Schema.Pairs ps ->
+        class_for (List.sort_uniq compare (List.map fst ps));
+        class_for (List.sort_uniq compare (List.map snd ps)))
+    schemas;
+  { start; classes = !classes; schemas }

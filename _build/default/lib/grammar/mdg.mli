@@ -1,0 +1,50 @@
+open Import
+
+(** Textual machine-description format (".mdg").
+
+    The paper's machine descriptions are text files processed by a
+    macro preprocessor before table construction (section 6.4).  This
+    module is that surface syntax: generic productions with named
+    replication classes, expanded by {!Schema}.
+
+    Format, line oriented; [#] starts a comment:
+
+    {v
+    %start stmt
+    %class I = b w l          # a named set of type suffixes
+    %class Y = b w l f d
+
+    # lhs <- rhs ...  [action]  %over CLASS | %pairs C1 C2   ; note
+    imm.$t  <- Const.$t                     [mode imm]  %over I  ; $n
+    reg.$t  <- Plus.$t rval.$t rval.$t      [emit add.$t] %over I
+    reg.$t  <- Cvt.$f$t rval.$f             [emit cvt.$f$t] %pairs Y Y
+    rval.l  <- reg.l                        [chain]
+    v}
+
+    Actions: [[chain]], [[mode NAME]], [[emit NAME]].
+    [%over C] replicates the production once per suffix in class [C]
+    (binding [$t] and the scale variable [$c]); [%pairs A B] replicates
+    over all ordered pairs of distinct suffixes (binding [$f] and
+    [$t]). *)
+
+type t = {
+  start : string;
+  classes : (string * Dtype.t list) list;
+  schemas : Schema.t list;
+}
+
+exception Mdg_error of int * string  (** line, message *)
+
+val parse : string -> t
+
+(** Render back to the textual format; [parse (print t)] yields an
+    equivalent description. *)
+val print : t -> string
+
+(** Expand and build the grammar. *)
+val to_grammar : t -> Grammar.t
+
+(** Convenience: wrap a schema list (e.g. from
+    {!Gg_vax.Grammar_def.schemas}) as a description for printing.
+    Classes are synthesised from the type sets found in the schemas. *)
+val of_schemas : start:string -> Schema.t list -> t

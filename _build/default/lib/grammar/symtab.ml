@@ -1,0 +1,80 @@
+type sym = T of int | N of int
+
+type t = {
+  by_name : (string, sym) Hashtbl.t;
+  mutable term_names : string array;
+  mutable n_terms : int;
+  mutable nonterm_names : string array;
+  mutable n_nonterms : int;
+}
+
+let create () =
+  {
+    by_name = Hashtbl.create 256;
+    term_names = Array.make 64 "";
+    n_terms = 0;
+    nonterm_names = Array.make 64 "";
+    n_nonterms = 0;
+  }
+
+let is_terminal_name s =
+  String.length s > 0
+  &&
+  match s.[0] with
+  | 'A' .. 'Z' -> true
+  | _ -> false
+
+let push names n v =
+  let names =
+    if n >= Array.length names then begin
+      let bigger = Array.make (2 * Array.length names) "" in
+      Array.blit names 0 bigger 0 n;
+      bigger
+    end
+    else names
+  in
+  names.(n) <- v;
+  names
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some sym -> sym
+  | None ->
+    if s = "" then invalid_arg "Symtab.intern: empty symbol name";
+    let sym =
+      if is_terminal_name s then begin
+        t.term_names <- push t.term_names t.n_terms s;
+        let sym = T t.n_terms in
+        t.n_terms <- t.n_terms + 1;
+        sym
+      end
+      else begin
+        t.nonterm_names <- push t.nonterm_names t.n_nonterms s;
+        let sym = N t.n_nonterms in
+        t.n_nonterms <- t.n_nonterms + 1;
+        sym
+      end
+    in
+    Hashtbl.replace t.by_name s sym;
+    sym
+
+let find t s = Hashtbl.find_opt t.by_name s
+
+let term_name t i =
+  assert (i >= 0 && i < t.n_terms);
+  t.term_names.(i)
+
+let nonterm_name t i =
+  assert (i >= 0 && i < t.n_nonterms);
+  t.nonterm_names.(i)
+
+let name t = function T i -> term_name t i | N i -> nonterm_name t i
+let n_terms t = t.n_terms
+let n_nonterms t = t.n_nonterms
+
+let sym_equal a b =
+  match (a, b) with
+  | T x, T y | N x, N y -> Int.equal x y
+  | T _, N _ | N _, T _ -> false
+
+let pp_sym t ppf sym = Fmt.string ppf (name t sym)

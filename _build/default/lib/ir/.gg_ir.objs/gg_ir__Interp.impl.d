@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Buffer Bytes Char Dtype Float Fmt Hashtbl Int32 Int64 Label List Op Regconv String Tree

@@ -1,0 +1,1 @@
+lib/ir/termname.ml: Dtype Fmt Int64 List Op Tree

@@ -1,0 +1,1 @@
+lib/ir/termname.mli: Dtype Fmt Op Tree

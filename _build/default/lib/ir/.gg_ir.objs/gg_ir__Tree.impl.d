@@ -1,0 +1,1 @@
+lib/ir/tree.ml: Dtype Float Fmt Int Int64 Label List Op String

@@ -1,0 +1,1 @@
+lib/ir/tree.mli: Dtype Fmt Label Op

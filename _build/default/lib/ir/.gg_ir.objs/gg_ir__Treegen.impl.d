@@ -1,0 +1,1 @@
+lib/ir/treegen.ml: Dtype Int64 List Op Regconv Tree

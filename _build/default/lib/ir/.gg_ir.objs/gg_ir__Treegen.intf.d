@@ -1,0 +1,1 @@
+lib/ir/treegen.mli: Dtype Tree

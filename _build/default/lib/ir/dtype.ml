@@ -1,0 +1,50 @@
+type t = Byte | Word | Long | Quad | Flt | Dbl
+
+type signedness = Signed | Unsigned
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let size = function
+  | Byte -> 1
+  | Word -> 2
+  | Long | Flt -> 4
+  | Quad | Dbl -> 8
+
+let suffix = function
+  | Byte -> "b"
+  | Word -> "w"
+  | Long -> "l"
+  | Quad -> "q"
+  | Flt -> "f"
+  | Dbl -> "d"
+
+let of_suffix = function
+  | "b" -> Some Byte
+  | "w" -> Some Word
+  | "l" -> Some Long
+  | "q" -> Some Quad
+  | "f" -> Some Flt
+  | "d" -> Some Dbl
+  | _ -> None
+
+let name = function
+  | Byte -> "byte"
+  | Word -> "word"
+  | Long -> "long"
+  | Quad -> "quad"
+  | Flt -> "float"
+  | Dbl -> "double"
+
+let is_integer = function Byte | Word | Long | Quad -> true | Flt | Dbl -> false
+let is_float t = not (is_integer t)
+
+let integers = [ Byte; Word; Long; Quad ]
+let floats = [ Flt; Dbl ]
+let all = integers @ floats
+
+let widest a b =
+  assert (is_integer a && is_integer b);
+  if size a >= size b then a else b
+
+let pp ppf t = Fmt.string ppf (name t)

@@ -1,0 +1,50 @@
+(** Machine data types of the VAX target, as seen by the intermediate
+    representation.
+
+    The paper encodes the data type of every operator and operand in the
+    symbol alphabet of the machine grammar ("syntax for semantics",
+    paper section 6.4).  This module is the single source of truth for
+    the type alphabet: the one-letter suffixes used in replicated symbol
+    names ([Plus.l], [Const.b], ...) come from {!suffix}. *)
+
+type t =
+  | Byte   (** 8-bit integer *)
+  | Word   (** 16-bit integer *)
+  | Long   (** 32-bit integer; also the type of pointers *)
+  | Quad   (** 64-bit integer *)
+  | Flt    (** 32-bit float (VAX F_floating) *)
+  | Dbl    (** 64-bit float (VAX D_floating) *)
+
+type signedness = Signed | Unsigned
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Size of a value of this type in bytes. *)
+val size : t -> int
+
+(** One-letter suffix used in replicated grammar symbols: [b w l q f d]. *)
+val suffix : t -> string
+
+(** Inverse of {!suffix}; [None] for unknown suffixes. *)
+val of_suffix : string -> t option
+
+(** Full VAX name, e.g. [Long] -> ["long"]. *)
+val name : t -> string
+
+val is_integer : t -> bool
+val is_float : t -> bool
+
+(** All types, in increasing size order (integers first). *)
+val all : t list
+
+(** The integer types [b w l q], the replication class the paper
+    calls "Y". *)
+val integers : t list
+
+val floats : t list
+
+(** Widest of two integer types (usual arithmetic conversion target). *)
+val widest : t -> t -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,485 @@
+type value = VInt of int64 | VFloat of float
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type outcome = {
+  return_value : value;
+  globals : (string * value) list;
+  output : string list;
+  steps : int;
+}
+
+let pp_value ppf = function
+  | VInt n -> Fmt.pf ppf "%Ld" n
+  | VFloat f -> Fmt.pf ppf "%g" f
+
+let value_equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> Int64.equal x y
+  | VFloat x, VFloat y -> Float.equal x y
+  | VInt _, VFloat _ | VFloat _, VInt _ -> false
+
+(* -- machine state ------------------------------------------------------ *)
+
+type state = {
+  mem : Bytes.t;
+  regs : int64 array;
+  mutable temps : (int, value) Hashtbl.t;
+  globals_layout : (string, int * Dtype.t * int) Hashtbl.t;
+  global_order : (string * Dtype.t * int) list;
+  funcs : (string, Tree.func) Hashtbl.t;
+  out : Buffer.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let mem_size = 1 lsl 20
+let globals_base = 0x100
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then error "step budget exceeded (infinite loop?)"
+
+(* -- memory access ------------------------------------------------------ *)
+
+let check_addr st addr size =
+  if addr < 0 || addr + size > Bytes.length st.mem then
+    error "memory access out of range: %d (size %d)" addr size
+
+let load_bytes st addr size =
+  check_addr st addr size;
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (Int64.logor (Int64.shift_left acc 8)
+           (Int64.of_int (Char.code (Bytes.get st.mem (addr + i)))))
+  in
+  go (size - 1) 0L
+
+let store_bytes st addr size v =
+  check_addr st addr size;
+  for i = 0 to size - 1 do
+    Bytes.set st.mem (addr + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let load st ty addr =
+  match ty with
+  | Dtype.Byte | Dtype.Word | Dtype.Long | Dtype.Quad ->
+    VInt (Tree.wrap ty (load_bytes st addr (Dtype.size ty)))
+  | Dtype.Flt ->
+    VFloat (Int32.float_of_bits (Int64.to_int32 (load_bytes st addr 4)))
+  | Dtype.Dbl -> VFloat (Int64.float_of_bits (load_bytes st addr 8))
+
+let store st ty addr v =
+  match (ty, v) with
+  | (Dtype.Byte | Dtype.Word | Dtype.Long | Dtype.Quad), VInt n ->
+    store_bytes st addr (Dtype.size ty) n
+  | Dtype.Flt, VFloat f ->
+    store_bytes st addr 4 (Int64.of_int32 (Int32.bits_of_float f))
+  | Dtype.Dbl, VFloat f -> store_bytes st addr 8 (Int64.bits_of_float f)
+  | _, _ -> error "store: value kind does not match type %s" (Dtype.name ty)
+
+let reg_get st ty r =
+  match ty with
+  | Dtype.Byte | Dtype.Word | Dtype.Long | Dtype.Quad ->
+    VInt (Tree.wrap ty st.regs.(r))
+  | Dtype.Flt -> VFloat (Int32.float_of_bits (Int64.to_int32 st.regs.(r)))
+  | Dtype.Dbl -> VFloat (Int64.float_of_bits st.regs.(r))
+
+let reg_set st ty r v =
+  match (ty, v) with
+  | (Dtype.Byte | Dtype.Word | Dtype.Long | Dtype.Quad), VInt n ->
+    st.regs.(r) <- Tree.wrap ty n
+  | Dtype.Flt, VFloat f -> st.regs.(r) <- Int64.of_int32 (Int32.bits_of_float f)
+  | Dtype.Dbl, VFloat f -> st.regs.(r) <- Int64.bits_of_float f
+  | _, _ -> error "register store: value kind mismatch"
+
+(* -- arithmetic --------------------------------------------------------- *)
+
+let as_int = function
+  | VInt n -> n
+  | VFloat _ -> error "integer operand expected"
+
+let as_float = function
+  | VFloat f -> f
+  | VInt _ -> error "float operand expected"
+
+let unsigned_of ty n =
+  match ty with
+  | Dtype.Byte -> Int64.logand n 0xffL
+  | Dtype.Word -> Int64.logand n 0xffffL
+  | Dtype.Long -> Int64.logand n 0xffffffffL
+  | Dtype.Quad -> n
+  | Dtype.Flt | Dtype.Dbl -> error "unsigned_of on float type"
+
+let int_binop ty op a b =
+  let wrap n = Tree.wrap ty n in
+  match (op : Op.binop) with
+  | Plus -> wrap (Int64.add a b)
+  | Minus -> wrap (Int64.sub a b)
+  | Rminus -> wrap (Int64.sub b a)
+  | Mul -> wrap (Int64.mul a b)
+  | Div | Rdiv ->
+    let x, y = if op = Op.Div then (a, b) else (b, a) in
+    if Int64.equal y 0L then error "division by zero";
+    wrap (Int64.div x y)
+  | Mod | Rmod ->
+    let x, y = if op = Op.Mod then (a, b) else (b, a) in
+    if Int64.equal y 0L then error "modulus by zero";
+    wrap (Int64.rem x y)
+  | Udiv ->
+    if Int64.equal b 0L then error "division by zero";
+    wrap (Int64.unsigned_div (unsigned_of ty a) (unsigned_of ty b))
+  | Umod ->
+    if Int64.equal b 0L then error "modulus by zero";
+    wrap (Int64.unsigned_rem (unsigned_of ty a) (unsigned_of ty b))
+  | And -> wrap (Int64.logand a b)
+  | Or -> wrap (Int64.logor a b)
+  | Xor -> wrap (Int64.logxor a b)
+  | Lsh | Rlsh ->
+    let x, c = if op = Op.Lsh then (a, b) else (b, a) in
+    let c = Int64.to_int c land 63 in
+    wrap (Int64.shift_left x c)
+  | Rsh | Rrsh ->
+    let x, c = if op = Op.Rsh then (a, b) else (b, a) in
+    let c = Int64.to_int c land 63 in
+    wrap (Int64.shift_right x c)
+
+let float_binop op a b =
+  match (op : Op.binop) with
+  | Plus -> a +. b
+  | Minus -> a -. b
+  | Rminus -> b -. a
+  | Mul -> a *. b
+  | Div -> a /. b
+  | Rdiv -> b /. a
+  | Mod | Rmod | Udiv | Umod | And | Or | Xor | Lsh | Rsh | Rlsh | Rrsh ->
+    error "operator %s undefined on floats" (Op.binop_name op)
+
+let convert ~to_ ~from v =
+  match (Dtype.is_float from, Dtype.is_float to_, v) with
+  | false, false, VInt n -> VInt (Tree.wrap to_ n)
+  | false, true, VInt n -> VFloat (Int64.to_float n)
+  | true, false, VFloat f ->
+    (* VAX cvt: truncation toward zero *)
+    VInt (Tree.wrap to_ (Int64.of_float f))
+  | true, true, VFloat f -> VFloat f
+  | _, _, _ -> error "conversion value kind mismatch"
+
+(* -- expression evaluation ---------------------------------------------- *)
+
+type loc = Lmem of Dtype.t * int | Lreg of Dtype.t * int | Ltemp of Dtype.t * int
+
+(* shared comparison semantics for Cbranch and Relval *)
+let compare_values _st rel sg ty va vb =
+  if Dtype.is_float ty then
+    let x = as_float va and y = as_float vb in
+    match (rel : Op.relop) with
+    | Op.Eq -> Float.equal x y
+    | Op.Ne -> not (Float.equal x y)
+    | Op.Lt -> x < y
+    | Op.Le -> x <= y
+    | Op.Gt -> x > y
+    | Op.Ge -> x >= y
+  else
+    let x = as_int va and y = as_int vb in
+    let x, y =
+      match sg with
+      | Dtype.Signed -> (x, y)
+      | Dtype.Unsigned ->
+        ( Int64.add (unsigned_of ty x) Int64.min_int,
+          Int64.add (unsigned_of ty y) Int64.min_int )
+    in
+    Op.eval_relop rel x y
+
+let global_addr st name =
+  match Hashtbl.find_opt st.globals_layout name with
+  | Some (addr, _, _) -> addr
+  | None -> error "unknown global %s" name
+
+let rec eval st (t : Tree.t) : value =
+  match t with
+  | Const (_, n) -> VInt n
+  | Fconst (_, f) -> VFloat f
+  | Name _ | Temp _ | Dreg _ | Indir _ | Autoinc _ | Autodec _ ->
+    load_loc st (eval_loc st t)
+  | Addr e -> (
+    match eval_loc st e with
+    | Lmem (_, addr) -> VInt (Int64.of_int addr)
+    | Lreg _ -> error "Addr of a register"
+    | Ltemp _ -> error "Addr of a compiler temporary")
+  | Unop (op, ty, e) -> (
+    let v = eval st e in
+    match (op, Dtype.is_float ty) with
+    | Op.Neg, false -> VInt (Tree.wrap ty (Int64.neg (as_int v)))
+    | Op.Neg, true -> VFloat (-.as_float v)
+    | Op.Com, false -> VInt (Tree.wrap ty (Int64.lognot (as_int v)))
+    | Op.Com, true -> error "complement of a float")
+  | Binop (op, ty, a, b) ->
+    let va = eval st a in
+    let vb = eval st b in
+    if Dtype.is_float ty then VFloat (float_binop op (as_float va) (as_float vb))
+    else VInt (int_binop ty op (as_int va) (as_int vb))
+  | Conv (to_, from, e) -> convert ~to_ ~from (eval st e)
+  | Assign (_, dst, src) ->
+    let l = eval_loc st dst in
+    let v = eval st src in
+    store_loc st l v;
+    v
+  | Rassign (_, src, dst) ->
+    let v = eval st src in
+    let l = eval_loc st dst in
+    store_loc st l v;
+    v
+  | Cbranch _ -> error "Cbranch evaluated as an expression"
+  | Arg _ -> error "Arg evaluated as an expression"
+  | Land (a, b) ->
+    if Int64.equal (as_int (eval st a)) 0L then VInt 0L
+    else VInt (if Int64.equal (as_int (eval st b)) 0L then 0L else 1L)
+  | Lor (a, b) ->
+    if not (Int64.equal (as_int (eval st a)) 0L) then VInt 1L
+    else VInt (if Int64.equal (as_int (eval st b)) 0L then 0L else 1L)
+  | Lnot e -> VInt (if Int64.equal (as_int (eval st e)) 0L then 1L else 0L)
+  | Select (_, c, a, b) ->
+    if Int64.equal (as_int (eval st c)) 0L then eval st b else eval st a
+  | Relval (rel, sg, ty, a, b) ->
+    let va = eval st a in
+    let vb = eval st b in
+    let taken = compare_values st rel sg ty va vb in
+    VInt (if taken then 1L else 0L)
+  | Call (ty, f, args) -> call st ty f args
+
+and eval_loc st (t : Tree.t) : loc =
+  match t with
+  | Name (ty, n) -> Lmem (ty, global_addr st n)
+  | Temp (ty, i) -> Ltemp (ty, i)
+  | Dreg (ty, r) -> Lreg (ty, r)
+  | Indir (ty, addr) -> Lmem (ty, Int64.to_int (as_int (eval st addr)))
+  | Autoinc (ty, r) ->
+    let addr = Int64.to_int st.regs.(r) in
+    st.regs.(r) <- Int64.add st.regs.(r) (Int64.of_int (Dtype.size ty));
+    Lmem (ty, addr)
+  | Autodec (ty, r) ->
+    st.regs.(r) <- Int64.sub st.regs.(r) (Int64.of_int (Dtype.size ty));
+    Lmem (ty, Int64.to_int st.regs.(r))
+  | Const _ | Fconst _ | Addr _ | Unop _ | Binop _ | Conv _ | Assign _
+  | Rassign _ | Cbranch _ | Call _ | Arg _ | Land _ | Lor _ | Lnot _
+  | Select _ | Relval _ ->
+    error "not an lvalue: %s" (Tree.to_string t)
+
+and load_loc st = function
+  | Lmem (ty, addr) -> load st ty addr
+  | Lreg (ty, r) -> reg_get st ty r
+  | Ltemp (ty, i) -> (
+    match Hashtbl.find_opt st.temps i with
+    | Some v -> v
+    | None -> error "read of undefined temporary T%d (%s)" i (Dtype.name ty))
+
+and store_loc st l v =
+  match l with
+  | Lmem (ty, addr) -> store st ty addr v
+  | Lreg (ty, r) -> reg_set st ty r v
+  | Ltemp (_, i) -> Hashtbl.replace st.temps i v
+
+(* -- calls and statement execution -------------------------------------- *)
+
+and push_slot st ty v =
+  (* Arguments occupy 4-byte longword slots; doubles occupy two slots
+     (VAX calls layout). *)
+  let size = if Dtype.size ty > 4 then 8 else 4 in
+  st.regs.(Regconv.sp) <- Int64.sub st.regs.(Regconv.sp) (Int64.of_int size);
+  let addr = Int64.to_int st.regs.(Regconv.sp) in
+  let sty =
+    match ty with
+    | Dtype.Byte | Dtype.Word | Dtype.Long | Dtype.Flt -> Dtype.Long
+    | (Dtype.Quad | Dtype.Dbl) as wide -> wide
+  in
+  let v =
+    match (ty, v) with
+    | Dtype.Flt, VFloat f ->
+      (* a float pushed as a longword keeps its 32-bit pattern *)
+      VInt (Int64.of_int32 (Int32.bits_of_float f))
+    | _, VInt n -> VInt (Tree.wrap Dtype.Long n)
+    | _ -> v
+  in
+  store st sty addr v
+
+and slots_of_type ty = if Dtype.size ty > 4 then 2 else 1
+
+(* [invoke] runs [fname] assuming its arguments have already been pushed
+   (lowest-addressed slot = first argument), mirroring VAX calls/ret. *)
+and invoke st ~ret_ty fname ~slots : value =
+  match fname with
+  | "print" ->
+    let sp = Int64.to_int st.regs.(Regconv.sp) in
+    let v =
+      if slots = 2 then load st Dtype.Dbl sp else load st Dtype.Long sp
+    in
+    Buffer.add_string st.out (Fmt.str "%a\n" pp_value v);
+    st.regs.(Regconv.sp) <-
+      Int64.add st.regs.(Regconv.sp) (Int64.of_int (4 * slots));
+    VInt 0L
+  | _ -> (
+    match Hashtbl.find_opt st.funcs fname with
+    | None -> error "call to unknown function %s" fname
+    | Some f ->
+      let saved_regs = Array.copy st.regs in
+      let saved_temps = st.temps in
+      st.temps <- Hashtbl.create 16;
+      (* push the longword count, point ap (and fp) at it *)
+      st.regs.(Regconv.sp) <- Int64.sub st.regs.(Regconv.sp) 4L;
+      store st Dtype.Long
+        (Int64.to_int st.regs.(Regconv.sp))
+        (VInt (Int64.of_int slots));
+      st.regs.(Regconv.ap) <- st.regs.(Regconv.sp);
+      st.regs.(Regconv.fp) <- st.regs.(Regconv.sp);
+      st.regs.(Regconv.sp) <-
+        Int64.sub st.regs.(Regconv.sp) (Int64.of_int (f.locals_size + 512));
+      exec_body st f;
+      let result = reg_get st ret_ty Regconv.r0 in
+      (* ret preserves r2-r11 and the frame registers, and pops the
+         argument list *)
+      let arg_base = st.regs.(Regconv.ap) in
+      Array.blit saved_regs 2 st.regs 2 12;
+      st.regs.(Regconv.sp) <- Int64.add arg_base (Int64.of_int (4 * (slots + 1)));
+      st.temps <- saved_temps;
+      result)
+
+and call st ty fname args : value =
+  let f_formals =
+    match Hashtbl.find_opt st.funcs fname with
+    | Some f -> Some (List.map snd f.formals)
+    | None -> None
+  in
+  let values = List.map (eval st) args in
+  let types =
+    match f_formals with
+    | Some tys when List.length tys = List.length values -> tys
+    | Some _ -> error "arity mismatch calling %s" fname
+    | None -> List.map Tree.dtype args
+  in
+  (* push right to left so the first argument has the lowest address *)
+  List.iter2 (push_slot st) (List.rev types) (List.rev values);
+  let slots = List.fold_left (fun acc t -> acc + slots_of_type t) 0 types in
+  invoke st ~ret_ty:ty fname ~slots
+
+and exec_body st (f : Tree.func) =
+  let body = Array.of_list f.body in
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s ->
+      match s with Tree.Slabel l -> Hashtbl.replace labels l i | _ -> ())
+    body;
+  let goto l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> error "undefined label %a in %s" Label.pp l f.fname
+  in
+  let rec run i =
+    if i < Array.length body then begin
+      tick st;
+      match body.(i) with
+      | Tree.Slabel _ | Tree.Scomment _ -> run (i + 1)
+      | Tree.Sjump l -> run (goto l)
+      | Tree.Sret -> ()
+      | Tree.Scall (fname, slots, ret_ty) ->
+        ignore (invoke st ~ret_ty fname ~slots);
+        run (i + 1)
+      | Tree.Stree (Tree.Arg (ty, e)) ->
+        let v = eval st e in
+        push_slot st ty v;
+        run (i + 1)
+      | Tree.Stree (Tree.Cbranch (rel, sg, ty, a, b, l)) ->
+        let va = eval st a in
+        let vb = eval st b in
+        if compare_values st rel sg ty va vb then run (goto l)
+        else run (i + 1)
+      | Tree.Stree t ->
+        ignore (eval st t);
+        run (i + 1)
+    end
+  in
+  run 0
+
+(* -- program setup ------------------------------------------------------ *)
+
+let layout_globals (p : Tree.program) =
+  let tbl = Hashtbl.create 16 in
+  let next = ref globals_base in
+  List.iter
+    (fun (name, ty, total) ->
+      let align = Dtype.size ty in
+      next := (!next + align - 1) / align * align;
+      Hashtbl.replace tbl name (!next, ty, total);
+      next := !next + total)
+    p.globals;
+  tbl
+
+let run ?(max_steps = 1_000_000) (p : Tree.program) ~entry args =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Tree.func) -> Hashtbl.replace funcs f.fname f) p.funcs;
+  let st =
+    {
+      mem = Bytes.make mem_size '\000';
+      regs = Array.make 16 0L;
+      temps = Hashtbl.create 16;
+      globals_layout = layout_globals p;
+      global_order = p.globals;
+      funcs;
+      out = Buffer.create 256;
+      steps = 0;
+      max_steps;
+    }
+  in
+  st.regs.(Regconv.sp) <- Int64.of_int mem_size;
+  st.regs.(Regconv.fp) <- Int64.of_int mem_size;
+  let entry_fn =
+    match Hashtbl.find_opt funcs entry with
+    | Some f -> f
+    | None -> error "entry function %s not found" entry
+  in
+  let arg_trees =
+    List.map
+      (fun v ->
+        match v with
+        | VInt n -> Tree.Const (Dtype.Long, n)
+        | VFloat f -> Tree.Fconst (Dtype.Dbl, f))
+      args
+  in
+  let return_value = call st entry_fn.ret_type entry arg_trees in
+  ignore entry_fn;
+  let globals =
+    List.filter_map
+      (fun (name, ty, total) ->
+        if total = Dtype.size ty then
+          Some (name, load st ty (global_addr st name))
+        else None)
+      st.global_order
+  in
+  let output =
+    Buffer.contents st.out |> String.split_on_char '\n'
+    |> List.filter (fun s -> s <> "")
+  in
+  { return_value; globals; output; steps = st.steps }
+
+let eval_tree t =
+  let st =
+    {
+      mem = Bytes.make 4096 '\000';
+      regs = Array.make 16 0L;
+      temps = Hashtbl.create 16;
+      globals_layout = Hashtbl.create 1;
+      global_order = [];
+      funcs = Hashtbl.create 1;
+      out = Buffer.create 16;
+      steps = 0;
+      max_steps = 100_000;
+    }
+  in
+  st.regs.(Regconv.sp) <- 4096L;
+  st.regs.(Regconv.fp) <- 4096L;
+  eval st t

@@ -1,0 +1,16 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+
+type gen = int ref
+
+let gen ?(first = 1) () = ref first
+
+let fresh g =
+  let l = !g in
+  incr g;
+  l
+
+let name l = "L" ^ string_of_int l
+let pp ppf l = Fmt.string ppf (name l)

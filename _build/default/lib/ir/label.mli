@@ -1,0 +1,18 @@
+(** Assembly labels for control flow. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** A generator of fresh labels.  Each front end / transformation pass
+    owns one so that label numbering is deterministic per compilation. *)
+type gen
+
+val gen : ?first:int -> unit -> gen
+val fresh : gen -> t
+
+(** Printable assembly form, e.g. ["L7"]. *)
+val name : t -> string
+
+val pp : t Fmt.t

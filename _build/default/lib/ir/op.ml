@@ -1,0 +1,134 @@
+type binop =
+  | Plus
+  | Minus
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Xor
+  | Lsh
+  | Rsh
+  | Udiv
+  | Umod
+  | Rminus
+  | Rdiv
+  | Rmod
+  | Rlsh
+  | Rrsh
+
+type unop = Neg | Com
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+let binop_name = function
+  | Plus -> "Plus"
+  | Minus -> "Minus"
+  | Mul -> "Mul"
+  | Div -> "Div"
+  | Mod -> "Mod"
+  | And -> "And"
+  | Or -> "Or"
+  | Xor -> "Xor"
+  | Lsh -> "Lsh"
+  | Rsh -> "Rsh"
+  | Udiv -> "Udiv"
+  | Umod -> "Umod"
+  | Rminus -> "Rminus"
+  | Rdiv -> "Rdiv"
+  | Rmod -> "Rmod"
+  | Rlsh -> "Rlsh"
+  | Rrsh -> "Rrsh"
+
+let unop_name = function Neg -> "Neg" | Com -> "Com"
+
+let relop_name = function
+  | Eq -> "Eq"
+  | Ne -> "Ne"
+  | Lt -> "Lt"
+  | Le -> "Le"
+  | Gt -> "Gt"
+  | Ge -> "Ge"
+
+let binop_commutative = function
+  | Plus | Mul | And | Or | Xor -> true
+  | Minus | Div | Mod | Lsh | Rsh | Udiv | Umod | Rminus | Rdiv | Rmod | Rlsh
+  | Rrsh ->
+    false
+
+let reverse_binop = function
+  | Minus -> Some Rminus
+  | Div -> Some Rdiv
+  | Mod -> Some Rmod
+  | Lsh -> Some Rlsh
+  | Rsh -> Some Rrsh
+  | Plus | Mul | And | Or | Xor | Udiv | Umod | Rminus | Rdiv | Rmod | Rlsh
+  | Rrsh ->
+    None
+
+let unreverse = function
+  | Rminus -> Minus
+  | Rdiv -> Div
+  | Rmod -> Mod
+  | Rlsh -> Lsh
+  | Rrsh -> Rsh
+  | (Plus | Minus | Mul | Div | Mod | And | Or | Xor | Lsh | Rsh | Udiv | Umod)
+    as op ->
+    op
+
+let is_reverse = function
+  | Rminus | Rdiv | Rmod | Rlsh | Rrsh -> true
+  | Plus | Minus | Mul | Div | Mod | And | Or | Xor | Lsh | Rsh | Udiv | Umod ->
+    false
+
+let negate_relop = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let swap_relop = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let relop_vax = function
+  | Eq -> "eql"
+  | Ne -> "neq"
+  | Lt -> "lss"
+  | Le -> "leq"
+  | Gt -> "gtr"
+  | Ge -> "geq"
+
+let relop_vax_unsigned = function
+  | Eq -> "eql"
+  | Ne -> "neq"
+  | Lt -> "lssu"
+  | Le -> "lequ"
+  | Gt -> "gtru"
+  | Ge -> "gequ"
+
+let eval_relop r a b =
+  match r with
+  | Eq -> Int64.equal a b
+  | Ne -> not (Int64.equal a b)
+  | Lt -> Int64.compare a b < 0
+  | Le -> Int64.compare a b <= 0
+  | Gt -> Int64.compare a b > 0
+  | Ge -> Int64.compare a b >= 0
+
+let all_binops =
+  [ Plus; Minus; Mul; Div; Mod; And; Or; Xor; Lsh; Rsh; Udiv; Umod; Rminus;
+    Rdiv; Rmod; Rlsh; Rrsh ]
+
+let all_unops = [ Neg; Com ]
+let all_relops = [ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let pp_binop ppf op = Fmt.string ppf (binop_name op)
+let pp_unop ppf op = Fmt.string ppf (unop_name op)
+let pp_relop ppf op = Fmt.string ppf (relop_name op)

@@ -1,0 +1,78 @@
+(** Generic operators of the intermediate representation.
+
+    These are the node labels of the expression trees handed to the code
+    generator (paper Fig. 1), i.e. the terminal alphabet of the machine
+    description grammar before type replication.
+
+    The [R]-prefixed binary operators are the {e reverse} operators
+    introduced by the evaluation-ordering phase (paper section 5.1.3):
+    [Rminus a b] computes [b - a] but evaluates [a] first.  Commutative
+    operators need no reverse form. *)
+
+type binop =
+  | Plus
+  | Minus
+  | Mul
+  | Div
+  | Mod
+  | And   (** bitwise and *)
+  | Or    (** bitwise or *)
+  | Xor
+  | Lsh   (** left shift *)
+  | Rsh   (** arithmetic right shift *)
+  | Udiv  (** unsigned division — a pseudo-instruction on the VAX,
+              expanded to a library call by the idiom recogniser *)
+  | Umod  (** unsigned modulus, likewise *)
+  | Rminus
+  | Rdiv
+  | Rmod
+  | Rlsh
+  | Rrsh
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Com  (** bitwise complement *)
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+val binop_name : binop -> string
+val unop_name : unop -> string
+val relop_name : relop -> string
+
+val binop_commutative : binop -> bool
+
+(** [reverse_binop op] is the reverse form of a non-commutative [op]
+    ([Minus] -> [Rminus], ...); [None] for commutative or
+    already-reversed operators. *)
+val reverse_binop : binop -> binop option
+
+(** [unreverse op] undoes {!reverse_binop}: [Rminus] -> [Minus], other
+    operators unchanged. *)
+val unreverse : binop -> binop
+
+val is_reverse : binop -> bool
+
+(** Negation of a comparison, used when rewriting conditional branches:
+    [negate_relop Lt = Ge]. *)
+val negate_relop : relop -> relop
+
+(** [swap_relop r] is the relation that holds for [(b, a)] exactly when
+    [r] holds for [(a, b)]: [swap_relop Lt = Gt]. *)
+val swap_relop : relop -> relop
+
+(** VAX condition-branch mnemonic suffix for a (signed) relation:
+    [Eq] -> ["eql"], [Lt] -> ["lss"], ... *)
+val relop_vax : relop -> string
+
+(** Unsigned variant: [Lt] -> ["lssu"], equality unchanged. *)
+val relop_vax_unsigned : relop -> string
+
+val eval_relop : relop -> int64 -> int64 -> bool
+
+val all_binops : binop list
+val all_unops : unop list
+val all_relops : relop list
+
+val pp_binop : binop Fmt.t
+val pp_unop : unop Fmt.t
+val pp_relop : relop Fmt.t

@@ -1,0 +1,29 @@
+let r0 = 0
+let r1 = 1
+let ap = 12
+let fp = 13
+let sp = 14
+let pc = 15
+
+let allocatable = [ 6; 7; 8; 9; 10; 11 ]
+let dedicated = [ 6; 7; 8; 9; 10; 11; ap; fp; sp ]
+
+let name r =
+  match r with
+  | 12 -> "ap"
+  | 13 -> "fp"
+  | 14 -> "sp"
+  | 15 -> "pc"
+  | _ -> "r" ^ string_of_int r
+
+let of_name = function
+  | "ap" -> Some ap
+  | "fp" -> Some fp
+  | "sp" -> Some sp
+  | "pc" -> Some pc
+  | s ->
+    if String.length s >= 2 && s.[0] = 'r' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n when n >= 0 && n <= 15 -> Some n
+      | _ -> None
+    else None

@@ -1,0 +1,37 @@
+(** Register-numbering conventions shared by the IR, both code
+    generators, and the simulator.
+
+    These mirror PCC's conventions for the VAX (paper section 5.3.3):
+    r0/r1 carry function results, r0-r5 are scratch across calls,
+    r6-r11 are allocatable/register-variable registers, and ap/fp/sp/pc
+    are the VAX dedicated registers. *)
+
+val r0 : int
+
+val r1 : int
+
+(** Argument pointer, r12. *)
+val ap : int
+
+(** Frame pointer, r13. *)
+val fp : int
+
+(** Stack pointer, r14. *)
+val sp : int
+
+(** Program counter, r15. *)
+val pc : int
+
+(** Registers the register manager may allocate, in allocation order
+    (r6 .. r11 under PCC conventions; r0-r5 are reserved for results,
+    temporaries of pseudo-instructions and actual parameters). *)
+val allocatable : int list
+
+(** Dedicated registers that may appear as [Dreg] leaves in incoming
+    trees (register variables plus ap/fp/sp). *)
+val dedicated : int list
+
+(** Assembler name, e.g. 13 -> ["fp"], 3 -> ["r3"]. *)
+val name : int -> string
+
+val of_name : string -> int option

@@ -1,0 +1,73 @@
+let typed base ty = base ^ "." ^ Dtype.suffix ty
+
+let binop op ty = typed (Op.binop_name op) ty
+let unop op ty = typed (Op.unop_name op) ty
+let assign ty = typed "Assign" ty
+let rassign ty = typed "Rassign" ty
+let indir ty = typed "Indir" ty
+let name_ ty = typed "Name" ty
+let temp ty = typed "Temp" ty
+let dreg ty = typed "Dreg" ty
+let autoinc ty = typed "Autoinc" ty
+let autodec ty = typed "Autodec" ty
+let const ty = typed "Const" ty
+let fconst ty = typed "Fconst" ty
+let addr ty = typed "Addr" ty
+let cvt ~from ~to_ = "Cvt." ^ Dtype.suffix from ^ Dtype.suffix to_
+let cbranch = "Cbranch"
+let cmp ty = typed "Cmp" ty
+let label = "Label"
+let arg ty = typed "Arg" ty
+
+let special_const ty n =
+  if Dtype.is_float ty then None
+  else
+    match Int64.to_int n with
+    | 0 -> Some (typed "Zero" ty)
+    | 1 -> Some (typed "One" ty)
+    | 2 -> Some (typed "Two" ty)
+    | 4 -> Some (typed "Four" ty)
+    | 8 -> Some (typed "Eight" ty)
+    | _ -> None
+
+type token = { term : string; node : Tree.t }
+
+let linearize ?(special_constants = true) tree =
+  let buf = ref [] in
+  let emit term node = buf := { term; node } :: !buf in
+  let rec go (t : Tree.t) =
+    (match t with
+    | Const (ty, n) -> (
+      match if special_constants then special_const ty n else None with
+      | Some s -> emit s t
+      | None -> emit (const ty) t)
+    | Fconst (ty, _) -> emit (fconst ty) t
+    | Name (ty, _) -> emit (name_ ty) t
+    | Temp (ty, _) -> emit (temp ty) t
+    | Dreg (ty, _) -> emit (dreg ty) t
+    | Autoinc (ty, _) -> emit (autoinc ty) t
+    | Autodec (ty, _) -> emit (autodec ty) t
+    | Indir (ty, _) -> emit (indir ty) t
+    | Addr e -> emit (addr (Tree.dtype e)) t
+    | Unop (op, ty, _) -> emit (unop op ty) t
+    | Binop (op, ty, _, _) -> emit (binop op ty) t
+    | Conv (to_, from, _) -> emit (cvt ~from ~to_) t
+    | Assign (ty, _, _) -> emit (assign ty) t
+    | Rassign (ty, _, _) -> emit (rassign ty) t
+    | Cbranch (_, _, ty, _, _, _) ->
+      emit cbranch t;
+      emit (cmp ty) t
+    | Call _ ->
+      invalid_arg "Termname.linearize: Call trees are lowered before matching"
+    | Land _ | Lor _ | Lnot _ | Select _ | Relval _ ->
+      invalid_arg
+        "Termname.linearize: short-circuit/selection operators are rewritten \
+         by Phase 1a before matching"
+    | Arg (ty, _) -> emit (arg ty) t);
+    List.iter go (Tree.children t);
+    match t with Cbranch _ -> emit label t | _ -> ()
+  in
+  go tree;
+  List.rev !buf
+
+let pp_token ppf { term; node = _ } = Fmt.string ppf term

@@ -1,0 +1,264 @@
+type t =
+  | Const of Dtype.t * int64
+  | Fconst of Dtype.t * float
+  | Name of Dtype.t * string
+  | Temp of Dtype.t * int
+  | Dreg of Dtype.t * int
+  | Autoinc of Dtype.t * int
+  | Autodec of Dtype.t * int
+  | Indir of Dtype.t * t
+  | Addr of t
+  | Unop of Op.unop * Dtype.t * t
+  | Binop of Op.binop * Dtype.t * t * t
+  | Conv of Dtype.t * Dtype.t * t
+  | Assign of Dtype.t * t * t
+  | Rassign of Dtype.t * t * t
+  | Cbranch of Op.relop * Dtype.signedness * Dtype.t * t * t * Label.t
+  | Call of Dtype.t * string * t list
+  | Arg of Dtype.t * t
+  | Land of t * t
+  | Lor of t * t
+  | Lnot of t
+  | Select of Dtype.t * t * t * t
+  | Relval of Op.relop * Dtype.signedness * Dtype.t * t * t
+
+type stmt =
+  | Stree of t
+  | Slabel of Label.t
+  | Sjump of Label.t
+  | Sret
+  | Scall of string * int * Dtype.t
+  | Scomment of string
+
+type func = {
+  fname : string;
+  formals : (string * Dtype.t) list;
+  ret_type : Dtype.t;
+  locals_size : int;
+  body : stmt list;
+}
+
+type program = {
+  globals : (string * Dtype.t * int) list;
+  funcs : func list;
+}
+
+let dtype = function
+  | Const (ty, _)
+  | Fconst (ty, _)
+  | Name (ty, _)
+  | Temp (ty, _)
+  | Dreg (ty, _)
+  | Autoinc (ty, _)
+  | Autodec (ty, _)
+  | Indir (ty, _)
+  | Unop (_, ty, _)
+  | Binop (_, ty, _, _)
+  | Conv (ty, _, _)
+  | Assign (ty, _, _)
+  | Rassign (ty, _, _)
+  | Call (ty, _, _)
+  | Arg (ty, _)
+  | Select (ty, _, _, _) ->
+    ty
+  | Addr _ | Land _ | Lor _ | Lnot _ | Relval _ -> Dtype.Long
+  | Cbranch _ -> Dtype.Long
+
+let children = function
+  | Const _ | Fconst _ | Name _ | Temp _ | Dreg _ | Autoinc _ | Autodec _ -> []
+  | Indir (_, e) | Addr e | Unop (_, _, e) | Conv (_, _, e) | Arg (_, e)
+  | Lnot e ->
+    [ e ]
+  | Binop (_, _, a, b)
+  | Assign (_, a, b)
+  | Rassign (_, a, b)
+  | Cbranch (_, _, _, a, b, _)
+  | Land (a, b)
+  | Lor (a, b)
+  | Relval (_, _, _, a, b) ->
+    [ a; b ]
+  | Select (_, c, a, b) -> [ c; a; b ]
+  | Call (_, _, args) -> args
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 (children t)
+
+let rec equal a b =
+  match (a, b) with
+  | Const (ta, va), Const (tb, vb) -> Dtype.equal ta tb && Int64.equal va vb
+  | Fconst (ta, va), Fconst (tb, vb) -> Dtype.equal ta tb && Float.equal va vb
+  | Name (ta, na), Name (tb, nb) -> Dtype.equal ta tb && String.equal na nb
+  | Temp (ta, na), Temp (tb, nb) | Dreg (ta, na), Dreg (tb, nb)
+  | Autoinc (ta, na), Autoinc (tb, nb) | Autodec (ta, na), Autodec (tb, nb) ->
+    Dtype.equal ta tb && Int.equal na nb
+  | Indir (ta, ea), Indir (tb, eb) -> Dtype.equal ta tb && equal ea eb
+  | Addr ea, Addr eb -> equal ea eb
+  | Unop (oa, ta, ea), Unop (ob, tb, eb) ->
+    oa = ob && Dtype.equal ta tb && equal ea eb
+  | Binop (oa, ta, xa, ya), Binop (ob, tb, xb, yb) ->
+    oa = ob && Dtype.equal ta tb && equal xa xb && equal ya yb
+  | Conv (ta, fa, ea), Conv (tb, fb, eb) ->
+    Dtype.equal ta tb && Dtype.equal fa fb && equal ea eb
+  | Assign (ta, xa, ya), Assign (tb, xb, yb)
+  | Rassign (ta, xa, ya), Rassign (tb, xb, yb) ->
+    Dtype.equal ta tb && equal xa xb && equal ya yb
+  | Cbranch (ra, sa, ta, xa, ya, la), Cbranch (rb, sb, tb, xb, yb, lb) ->
+    ra = rb && sa = sb && Dtype.equal ta tb && equal xa xb && equal ya yb
+    && Label.equal la lb
+  | Call (ta, na, aa), Call (tb, nb, ab) ->
+    Dtype.equal ta tb && String.equal na nb
+    && List.length aa = List.length ab
+    && List.for_all2 equal aa ab
+  | Arg (ta, ea), Arg (tb, eb) -> Dtype.equal ta tb && equal ea eb
+  | Land (xa, ya), Land (xb, yb) | Lor (xa, ya), Lor (xb, yb) ->
+    equal xa xb && equal ya yb
+  | Lnot ea, Lnot eb -> equal ea eb
+  | Select (ta, ca, xa, ya), Select (tb, cb, xb, yb) ->
+    Dtype.equal ta tb && equal ca cb && equal xa xb && equal ya yb
+  | Relval (ra, sa, ta, xa, ya), Relval (rb, sb, tb, xb, yb) ->
+    ra = rb && sa = sb && Dtype.equal ta tb && equal xa xb && equal ya yb
+  | ( ( Const _ | Fconst _ | Name _ | Temp _ | Dreg _ | Autoinc _ | Autodec _
+      | Indir _ | Addr _ | Unop _ | Binop _ | Conv _ | Assign _ | Rassign _
+      | Cbranch _ | Call _ | Arg _ | Land _ | Lor _ | Lnot _ | Select _
+      | Relval _ ),
+      _ ) ->
+    false
+
+let is_lvalue = function
+  | Name _ | Temp _ | Dreg _ | Indir _ | Autoinc _ | Autodec _ -> true
+  | Const _ | Fconst _ | Addr _ | Unop _ | Binop _ | Conv _ | Assign _
+  | Rassign _ | Cbranch _ | Call _ | Arg _ | Land _ | Lor _ | Lnot _
+  | Select _ | Relval _ ->
+    false
+
+let wrap ty n =
+  match ty with
+  | Dtype.Byte -> Int64.of_int (Int64.to_int n land 0xff |> fun v ->
+      if v >= 0x80 then v - 0x100 else v)
+  | Dtype.Word -> Int64.of_int (Int64.to_int n land 0xffff |> fun v ->
+      if v >= 0x8000 then v - 0x10000 else v)
+  | Dtype.Long ->
+    Int64.of_int32 (Int64.to_int32 n)
+  | Dtype.Quad | Dtype.Flt | Dtype.Dbl -> n
+
+let const ty n = Const (ty, wrap ty n)
+
+let check ?(after_phase1 = false) tree =
+  let exception Bad of string in
+  let bad fmt = Fmt.kstr (fun s -> raise (Bad s)) fmt in
+  let rec go ~root t =
+    (match t with
+    | Assign (ty, dst, src) | Rassign (ty, src, dst) ->
+      if not (is_lvalue dst) then
+        bad "assignment destination is not an lvalue";
+      if not (Dtype.equal (dtype dst) ty) then
+        bad "assignment destination type mismatch";
+      ignore src
+    | Indir (_, addr) ->
+      if not (Dtype.equal (dtype addr) Dtype.Long) then
+        bad "Indir address is not Long"
+    | Addr e -> if not (is_lvalue e) then bad "Addr of a non-lvalue"
+    | Conv (to_, from, e) ->
+      if not (Dtype.equal (dtype e) from) then bad "Conv source type mismatch";
+      if Dtype.equal to_ from then bad "Conv to identical type"
+    | Call _ ->
+      if after_phase1 && not root then
+        bad "embedded Call survives Phase 1a"
+    | Cbranch _ ->
+      if not root then bad "Cbranch below the root"
+    | Arg _ ->
+      if not root then bad "Arg below the root"
+    | Land _ | Lor _ | Lnot _ | Select _ | Relval _ ->
+      if after_phase1 then
+        bad "short-circuit/selection/comparison value survives Phase 1a"
+    | Const _ | Fconst _ | Name _ | Temp _ | Dreg _ | Autoinc _ | Autodec _
+    | Unop _ | Binop _ ->
+      ());
+    (* An Assign root may directly store a Call result (Phase 1a's own
+       output), so its source child keeps root-like status for calls. *)
+    let child_root =
+      match t with Assign _ | Rassign _ -> true | _ -> false
+    in
+    List.iter (go ~root:child_root) (children t)
+  in
+  match go ~root:true tree with
+  | () -> Ok ()
+  | exception Bad msg -> Error msg
+
+let rec pp ppf t =
+  let sfx ty = Dtype.suffix ty in
+  match t with
+  | Const (ty, n) -> Fmt.pf ppf "Const.%s(%Ld)" (sfx ty) n
+  | Fconst (ty, f) -> Fmt.pf ppf "Fconst.%s(%g)" (sfx ty) f
+  | Name (ty, s) -> Fmt.pf ppf "Name.%s(%s)" (sfx ty) s
+  | Temp (ty, i) -> Fmt.pf ppf "Temp.%s(T%d)" (sfx ty) i
+  | Dreg (ty, r) -> Fmt.pf ppf "Dreg.%s(r%d)" (sfx ty) r
+  | Autoinc (ty, r) -> Fmt.pf ppf "Autoinc.%s(r%d)" (sfx ty) r
+  | Autodec (ty, r) -> Fmt.pf ppf "Autodec.%s(r%d)" (sfx ty) r
+  | Indir (ty, e) -> Fmt.pf ppf "Indir.%s %a" (sfx ty) pp e
+  | Addr e -> Fmt.pf ppf "Addr %a" pp e
+  | Unop (op, ty, e) -> Fmt.pf ppf "%s.%s %a" (Op.unop_name op) (sfx ty) pp e
+  | Binop (op, ty, a, b) ->
+    Fmt.pf ppf "%s.%s %a %a" (Op.binop_name op) (sfx ty) pp a pp b
+  | Conv (to_, from, e) ->
+    Fmt.pf ppf "Cvt.%s%s %a" (sfx from) (sfx to_) pp e
+  | Assign (ty, d, s) -> Fmt.pf ppf "Assign.%s %a %a" (sfx ty) pp d pp s
+  | Rassign (ty, s, d) -> Fmt.pf ppf "Rassign.%s %a %a" (sfx ty) pp s pp d
+  | Cbranch (r, sg, ty, a, b, l) ->
+    Fmt.pf ppf "Cbranch Cmp%s.%s(%s) %a %a %a"
+      (match sg with Dtype.Unsigned -> "u" | Dtype.Signed -> "")
+      (sfx ty) (Op.relop_name r) pp a pp b Label.pp l
+  | Call (ty, f, args) ->
+    Fmt.pf ppf "Call.%s(%s)[%a]" (sfx ty) f (Fmt.list ~sep:Fmt.comma pp) args
+  | Arg (ty, e) -> Fmt.pf ppf "Arg.%s %a" (sfx ty) pp e
+  | Land (a, b) -> Fmt.pf ppf "Land %a %a" pp a pp b
+  | Lor (a, b) -> Fmt.pf ppf "Lor %a %a" pp a pp b
+  | Lnot e -> Fmt.pf ppf "Lnot %a" pp e
+  | Select (ty, c, a, b) ->
+    Fmt.pf ppf "Select.%s %a %a %a" (sfx ty) pp c pp a pp b
+  | Relval (r, sg, ty, a, b) ->
+    Fmt.pf ppf "Relval.%s%s(%s) %a %a"
+      (match sg with Dtype.Unsigned -> "u" | Dtype.Signed -> "")
+      (sfx ty) (Op.relop_name r) pp a pp b
+
+let pp_stmt ppf = function
+  | Stree t -> Fmt.pf ppf "  %a" pp t
+  | Slabel l -> Fmt.pf ppf "%a:" Label.pp l
+  | Sjump l -> Fmt.pf ppf "  jbr %a" Label.pp l
+  | Sret -> Fmt.pf ppf "  ret"
+  | Scall (f, n, ty) -> Fmt.pf ppf "  calls $%d,%s ; result %s" n f (Dtype.name ty)
+  | Scomment s -> Fmt.pf ppf "  # %s" s
+
+let pp_func ppf f =
+  Fmt.pf ppf "func %s(%a) locals=%d@\n%a" f.fname
+    Fmt.(list ~sep:comma (pair ~sep:(any ":") string Dtype.pp))
+    f.formals f.locals_size
+    Fmt.(list ~sep:(any "@\n") pp_stmt)
+    f.body
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec map_bottom_up f t =
+  let go = map_bottom_up f in
+  let t' =
+    match t with
+    | Const _ | Fconst _ | Name _ | Temp _ | Dreg _ | Autoinc _ | Autodec _ ->
+      t
+    | Indir (ty, e) -> Indir (ty, go e)
+    | Addr e -> Addr (go e)
+    | Unop (op, ty, e) -> Unop (op, ty, go e)
+    | Binop (op, ty, a, b) -> Binop (op, ty, go a, go b)
+    | Conv (to_, from, e) -> Conv (to_, from, go e)
+    | Assign (ty, a, b) -> Assign (ty, go a, go b)
+    | Rassign (ty, a, b) -> Rassign (ty, go a, go b)
+    | Cbranch (r, sg, ty, a, b, l) -> Cbranch (r, sg, ty, go a, go b, l)
+    | Call (ty, name, args) -> Call (ty, name, List.map go args)
+    | Arg (ty, e) -> Arg (ty, go e)
+    | Land (a, b) -> Land (go a, go b)
+    | Lor (a, b) -> Lor (go a, go b)
+    | Lnot e -> Lnot (go e)
+    | Select (ty, c, a, b) -> Select (ty, go c, go a, go b)
+    | Relval (r, sg, ty, a, b) -> Relval (r, sg, ty, go a, go b)
+  in
+  f t'
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) (children t)

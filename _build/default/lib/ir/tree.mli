@@ -1,0 +1,126 @@
+(** Intermediate-representation expression trees.
+
+    This is the interface between compiler front ends (PCC's first pass
+    in the paper; {!Gg_frontc} here) and the code generator: a forest of
+    typed expression trees built from generic operators, interspersed
+    with labels and jumps (paper section 2).
+
+    Every interior node carries the {!Dtype.t} of the value it produces;
+    leaves denote memory operands ([Name], [Temp], locals written as
+    [Indir (Plus (Const off) (Dreg fp))]), constants, or dedicated
+    registers. *)
+
+type t =
+  | Const of Dtype.t * int64
+      (** integer constant (value wrapped to the type's width) *)
+  | Fconst of Dtype.t * float  (** floating constant *)
+  | Name of Dtype.t * string   (** global variable as a memory operand *)
+  | Temp of Dtype.t * int      (** compiler-generated temporary *)
+  | Dreg of Dtype.t * int      (** dedicated register (fp, ap, sp, register vars) *)
+  | Autoinc of Dtype.t * int
+      (** [*(r++)] on dedicated register [r]; the type is the element type
+          and the register advances by its size (paper section 6.1) *)
+  | Autodec of Dtype.t * int   (** [*(--r)] *)
+  | Indir of Dtype.t * t       (** memory fetch; the child computes a Long address *)
+  | Addr of t                  (** address of an addressable tree; value type Long *)
+  | Unop of Op.unop * Dtype.t * t
+  | Binop of Op.binop * Dtype.t * t * t
+  | Conv of Dtype.t * Dtype.t * t  (** [Conv (to_, from, e)] type conversion *)
+  | Assign of Dtype.t * t * t      (** [Assign (ty, dest, src)]; dest first *)
+  | Rassign of Dtype.t * t * t
+      (** [Rassign (ty, src, dest)] — reverse assignment produced by
+          evaluation ordering; children appear in evaluation order, so
+          the source subtree comes first (paper section 5.1.3) *)
+  | Cbranch of Op.relop * Dtype.signedness * Dtype.t * t * t * Label.t
+      (** conditional branch on a comparison (paper: Cbranch over Cmp) *)
+  | Call of Dtype.t * string * t list
+      (** function call; after Phase 1a these occur only at tree roots *)
+  | Arg of Dtype.t * t
+      (** argument push, produced by Phase 1a when lowering calls; the
+          operand has already been promoted to Long or Dbl *)
+  | Land of t * t
+      (** C [&&]: implicit control flow, eliminated by Phase 1a
+          (paper section 5.1.1); value type Long *)
+  | Lor of t * t  (** C [||], likewise *)
+  | Lnot of t  (** C [!], likewise *)
+  | Select of Dtype.t * t * t * t
+      (** selection operator [cond ? a : b], eliminated by Phase 1a *)
+  | Relval of Op.relop * Dtype.signedness * Dtype.t * t * t
+      (** a comparison used as a 0/1 value; the VAX has no instruction
+          for this, so Phase 1a rewrites it into tests, jumps and
+          assignments (paper section 5.1.1); value type Long *)
+
+(** Statements of the forest handed to the code generator. *)
+type stmt =
+  | Stree of t          (** generate code for one expression tree *)
+  | Slabel of Label.t
+  | Sjump of Label.t
+  | Sret                (** branch to the function epilogue *)
+  | Scall of string * int * Dtype.t
+      (** [calls $n, f] after the arguments have been pushed (Phase 1a
+          output); the result is left in r0 *)
+  | Scomment of string
+
+type func = {
+  fname : string;
+  formals : (string * Dtype.t) list;
+  ret_type : Dtype.t;
+  locals_size : int;  (** bytes of locals below the frame pointer *)
+  body : stmt list;
+}
+
+type program = {
+  globals : (string * Dtype.t * int) list;
+      (** name, element type, total byte size (size > elt size ⟹ array) *)
+  funcs : func list;
+}
+
+(** {1 Observers} *)
+
+(** Type of the value computed by a tree. *)
+val dtype : t -> Dtype.t
+
+(** Number of nodes; the evaluation-ordering heuristic's complexity
+    measure (paper section 5.1.3). *)
+val size : t -> int
+
+val equal : t -> t -> bool
+
+(** Trees that may appear as assignment destinations / operands fetched
+    from memory. *)
+val is_lvalue : t -> bool
+
+(** Structural well-formedness: lvalues in destination positions, child
+    types consistent with conversions; when [after_phase1] is set, also
+    that no embedded calls, short-circuit operators, selections or
+    comparison values survive.  Returns an error message for the first
+    violation found. *)
+val check : ?after_phase1:bool -> t -> (unit, string) result
+
+(** {1 Building} *)
+
+(** [const ty n] wraps [n] to [ty]'s width. *)
+val const : Dtype.t -> int64 -> t
+
+(** Sign-extend / wrap [n] to the width of [ty] (what a fetch of a
+    signed value of that type yields). *)
+val wrap : Dtype.t -> int64 -> int64
+
+(** {1 Printing} *)
+
+(** Linearised prefix form with type suffixes, matching the paper's
+    Appendix, e.g. [Assign.l Name.l(a) Plus.l Const.b(27) ...]. *)
+val pp : t Fmt.t
+
+val pp_stmt : stmt Fmt.t
+val pp_func : func Fmt.t
+val to_string : t -> string
+
+(** {1 Traversal} *)
+
+val children : t -> t list
+
+(** Bottom-up rewriting: children first, then the node itself. *)
+val map_bottom_up : (t -> t) -> t -> t
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a

@@ -1,0 +1,143 @@
+(* A generator of random *typed IR programs* for differential testing.
+
+   The mini-C corpus only exercises Long arithmetic (C promotes), so the
+   byte/word instruction patterns and the conversion cross-product of
+   the machine grammar (section 6.4) are reached only through memory
+   accesses.  This generator builds IR directly: arithmetic at every
+   integer width, float/double arithmetic, and conversions between all
+   of them — all trap-free by construction. *)
+
+type rng = { mutable s : int64 }
+
+let rng seed = { s = Int64.of_int ((seed * 69069) lor 1) }
+
+let next r =
+  let x = r.s in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.s <- x;
+  Int64.to_int (Int64.logand x 0x3fffffffL)
+
+let pick r xs = List.nth xs (next r mod List.length xs)
+let range r lo hi = lo + (next r mod (hi - lo + 1))
+
+let int_types = [ Dtype.Byte; Dtype.Word; Dtype.Long ]
+let float_types = [ Dtype.Flt; Dtype.Dbl ]
+let all_types = int_types @ float_types
+
+let global_of ty =
+  match ty with
+  | Dtype.Byte -> "gb"
+  | Dtype.Word -> "gw"
+  | Dtype.Long -> "gl"
+  | Dtype.Flt -> "gf"
+  | Dtype.Dbl -> "gd"
+  | Dtype.Quad -> assert false
+
+let globals =
+  List.map (fun ty -> (global_of ty, ty, Dtype.size ty)) all_types
+
+(* a value of [ty], depth-bounded, trap-free *)
+let rec value r ty depth : Tree.t =
+  if depth <= 0 then leaf r ty
+  else if Dtype.is_float ty then
+    match next r mod 6 with
+    | 0 | 1 ->
+      Tree.Binop
+        (pick r [ Op.Plus; Op.Minus; Op.Mul ], ty, value r ty (depth - 1),
+         value r ty (depth - 1))
+    | 2 ->
+      (* conversion in from any other type *)
+      let from = pick r (List.filter (fun t -> t <> ty) all_types) in
+      Tree.Conv (ty, from, value r from (depth - 1))
+    | 3 -> Tree.Unop (Op.Neg, ty, value r ty (depth - 1))
+    | _ -> leaf r ty
+  else
+    match next r mod 10 with
+    | 0 | 1 | 2 ->
+      Tree.Binop
+        (pick r [ Op.Plus; Op.Minus; Op.Mul; Op.And; Op.Or; Op.Xor ], ty,
+         value r ty (depth - 1), value r ty (depth - 1))
+    | 3 ->
+      (* division by a non-zero constant *)
+      Tree.Binop
+        (pick r [ Op.Div; Op.Mod ], ty, value r ty (depth - 1),
+         Tree.const ty (Int64.of_int (range r 1 13)))
+    | 4 ->
+      let from =
+        pick r (List.filter (fun t -> t <> ty) int_types)
+      in
+      Tree.Conv (ty, from, value r from (depth - 1))
+    | 5 when ty = Dtype.Long ->
+      (* float to int conversions only at long, with a bounded operand
+         so truncation semantics, not range overflow, is what we test *)
+      let from = pick r float_types in
+      Tree.Conv
+        (ty, from,
+         Tree.Binop (Op.Mul, from, leaf r from, Tree.Fconst (from, 0.125)))
+    | 6 -> Tree.Unop (pick r [ Op.Neg; Op.Com ], ty, value r ty (depth - 1))
+    | 7 when ty = Dtype.Long ->
+      Tree.Binop
+        (pick r [ Op.Lsh; Op.Rsh ], ty, value r ty (depth - 1),
+         Tree.const ty (Int64.of_int (range r 0 7)))
+    | _ -> leaf r ty
+
+and leaf r ty : Tree.t =
+  if Dtype.is_float ty then
+    match next r mod 2 with
+    | 0 -> Tree.Fconst (ty, float_of_int (range r (-40) 40) /. 8.)
+    | _ -> Tree.Name (ty, global_of ty)
+  else
+    match next r mod 3 with
+    | 0 -> Tree.const ty (Int64.of_int (range r (-100) 100))
+    | 1 -> Tree.Name (ty, global_of ty)
+    | _ ->
+      (* a read of a differently-typed global, converted *)
+      let from = pick r (List.filter (fun t -> t <> ty) int_types) in
+      Tree.Conv (ty, from, Tree.Name (from, global_of from))
+
+let statement r : Tree.stmt =
+  let ty = pick r all_types in
+  Tree.Stree
+    (Tree.Assign (ty, Tree.Name (ty, global_of ty), value r ty (range r 1 4)))
+
+let program ~seed ~stmts : Tree.program =
+  let r = rng seed in
+  let body =
+    List.init stmts (fun _ -> statement r)
+    @ [
+        (* checksum: fold the integer globals into the return value *)
+        Tree.Stree
+          (Tree.Assign
+             ( Dtype.Long,
+               Tree.Dreg (Dtype.Long, Regconv.r0),
+               Tree.Binop
+                 ( Op.And,
+                   Dtype.Long,
+                   Tree.Binop
+                     ( Op.Plus,
+                       Dtype.Long,
+                       Tree.Conv (Dtype.Long, Dtype.Byte, Tree.Name (Dtype.Byte, "gb")),
+                       Tree.Binop
+                         ( Op.Xor,
+                           Dtype.Long,
+                           Tree.Conv (Dtype.Long, Dtype.Word, Tree.Name (Dtype.Word, "gw")),
+                           Tree.Name (Dtype.Long, "gl") ) ),
+                   Tree.Const (Dtype.Long, 0xffffL) ) ));
+        Tree.Sret;
+      ]
+  in
+  {
+    Tree.globals;
+    funcs =
+      [
+        {
+          Tree.fname = "main";
+          formals = [];
+          ret_type = Dtype.Long;
+          locals_size = 0;
+          body;
+        };
+      ];
+  }

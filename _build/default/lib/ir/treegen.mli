@@ -1,0 +1,17 @@
+(** A generator of random typed IR programs for differential testing
+    and grammar-coverage measurement.
+
+    The mini-C corpus only exercises Long arithmetic (C promotes), so
+    the byte/word instruction patterns and the conversion cross-product
+    of the machine grammar (paper section 6.4) are reached only through
+    memory accesses.  This generator builds IR directly: arithmetic at
+    every integer width, float/double arithmetic, and conversions
+    between all of them — trap-free by construction, deterministic per
+    seed. *)
+
+(** The scalar globals every generated program uses (one per type). *)
+val globals : (string * Dtype.t * int) list
+
+(** [program ~seed ~stmts] — a [main] of [stmts] random assignments
+    followed by a checksum return. *)
+val program : seed:int -> stmts:int -> Tree.program

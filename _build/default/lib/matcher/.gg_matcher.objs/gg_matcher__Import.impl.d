@@ -1,0 +1,1 @@
+lib/matcher/import.ml: Gg_grammar Gg_ir Gg_tablegen

@@ -1,0 +1,1 @@
+lib/matcher/matcher.ml: Array Fmt Fun Gg_tablegen Grammar Import List Symtab Tables Termname

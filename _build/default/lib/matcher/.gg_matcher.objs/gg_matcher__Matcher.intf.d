@@ -1,0 +1,1 @@
+lib/matcher/matcher.mli: Fmt Gg_tablegen Grammar Import Tables Termname Tree

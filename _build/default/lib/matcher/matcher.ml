@@ -1,0 +1,173 @@
+open Import
+
+type 'a callbacks = {
+  on_shift : Termname.token -> 'a;
+  on_reduce : Grammar.production -> 'a array -> 'a;
+  choose : Grammar.production array -> 'a array list -> int;
+}
+
+type step = Sshift of string | Sreduce of int | Saccept
+
+type error = {
+  at : int;
+  token : string;
+  state : int;
+  expected : string list;
+}
+
+exception Reject of error
+
+type 'a outcome = { value : 'a; trace : step list }
+
+(* the generic driver, abstracted over table access so both the dense
+   and the packed representations can drive it *)
+let run_with ?(trace = false) ~(g : Grammar.t) ~eof
+    ~(action : int -> int -> Tables.action) ~(goto : int -> int -> int)
+    ~(expected : int -> int list) cb tokens =
+  let tokens = Array.of_list tokens in
+  let n = Array.length tokens in
+  (* the value slot of the bottom entry is never read *)
+  let stack = ref [] in
+  let state = ref 0 in
+  let steps = ref [] in
+  let record s = if trace then steps := s :: !steps in
+  let term_id i =
+    if i >= n then eof
+    else
+      let name = tokens.(i).Termname.term in
+      match Symtab.find g.symtab name with
+      | Some (Symtab.T a) -> a
+      | Some (Symtab.N _) | None ->
+        raise
+          (Reject
+             {
+               at = i;
+               token = name;
+               state = !state;
+               expected = [];
+             })
+  in
+  let expected_names s =
+    List.filter_map
+      (fun a ->
+        if a = eof then Some "<eof>" else Some (Symtab.term_name g.symtab a))
+      (expected s)
+  in
+  let reject i a =
+    raise
+      (Reject
+         {
+           at = i;
+           token = (if a = eof then "<eof>" else Symtab.term_name g.symtab a);
+           state = !state;
+           expected = expected_names !state;
+         })
+  in
+  (* A grammar bug (a chain-rule loop the table generator failed to
+     catch, paper section 3.2) could make the matcher reduce forever
+     without consuming input; bound the total number of actions. *)
+  let budget = ref ((64 * n) + 1024) in
+  let rec loop i =
+    decr budget;
+    if !budget < 0 then
+      raise
+        (Reject
+           {
+             at = min i (n - 1) |> max 0;
+             token = "<looping>";
+             state = !state;
+             expected = expected_names !state;
+           });
+    let a = term_id i in
+    match action !state a with
+    | Tables.Shift s' ->
+      record (Sshift tokens.(i).Termname.term);
+      stack := (!state, cb.on_shift tokens.(i)) :: !stack;
+      state := s';
+      loop (i + 1)
+    | Tables.Reduce candidates ->
+      let pop_args len =
+        (* returns (args, remaining stack, exposed state) *)
+        let rec go k acc st =
+          if k = 0 then (acc, st)
+          else
+            match st with
+            | (s, v) :: rest -> go (k - 1) ((s, v) :: acc) rest
+            | [] -> assert false
+        in
+        let popped, rest = go len [] !stack in
+        (Array.of_list (List.map snd popped), popped, rest)
+      in
+      let pid =
+        if Array.length candidates = 1 then candidates.(0)
+        else begin
+          (* a genuine tie: all candidates have equal rhs length *)
+          let prods = Array.map (Grammar.production g) candidates in
+          let len = Array.length prods.(0).rhs in
+          let args, _, _ = pop_args len in
+          let idx = cb.choose prods [ args ] in
+          candidates.(idx)
+        end
+      in
+      let p = Grammar.production g pid in
+      let len = Array.length p.rhs in
+      let args, popped, rest = pop_args len in
+      let exposed =
+        match popped with (s, _) :: _ -> s | [] -> assert false
+      in
+      record (Sreduce pid);
+      let v = cb.on_reduce p args in
+      let target = goto exposed p.Grammar.lhs in
+      if target < 0 then reject i a;
+      stack := (exposed, v) :: rest;
+      state := target;
+      loop i
+    | Tables.Accept -> (
+      record Saccept;
+      match !stack with
+      | [ (_, v) ] -> v
+      | _ -> assert false)
+    | Tables.Error -> reject i a
+  in
+  let value = loop 0 in
+  { value; trace = List.rev !steps }
+
+let run ?trace (tables : Tables.t) cb tokens =
+  run_with ?trace
+    ~g:(Tables.grammar tables)
+    ~eof:(Tables.eof tables)
+    ~action:(fun s a -> tables.Tables.action.(s).(a))
+    ~goto:(fun s n -> tables.Tables.goto_.(s).(n))
+    ~expected:(Tables.expected tables)
+    cb tokens
+
+let run_packed ?trace (packed : Gg_tablegen.Packed.t) ~grammar cb tokens =
+  let g : Grammar.t = grammar in
+  let eof = Symtab.n_terms g.Grammar.symtab in
+  run_with ?trace ~g ~eof
+    ~action:(Gg_tablegen.Packed.action packed)
+    ~goto:(Gg_tablegen.Packed.goto packed)
+    ~expected:(fun s ->
+      List.filter
+        (fun a -> Gg_tablegen.Packed.action packed s a <> Tables.Error)
+        (List.init (eof + 1) Fun.id))
+    cb tokens
+
+let run_tree ?trace ?special_constants tables cb tree =
+  run ?trace tables cb (Termname.linearize ?special_constants tree)
+
+let pp_step g ppf = function
+  | Sshift name -> Fmt.pf ppf "shift  %s" name
+  | Sreduce pid ->
+    Fmt.pf ppf "reduce %a" (Grammar.pp_production g) (Grammar.production g pid)
+  | Saccept -> Fmt.string ppf "accept"
+
+let pp_trace g ppf steps =
+  Fmt.(list ~sep:(any "@\n") (pp_step g)) ppf steps
+
+let pp_error ppf e =
+  Fmt.pf ppf
+    "syntactic block at token %d (%s) in state %d; expected one of: %a" e.at
+    e.token e.state
+    Fmt.(list ~sep:comma string)
+    e.expected

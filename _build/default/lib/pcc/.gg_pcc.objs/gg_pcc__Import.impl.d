@@ -1,0 +1,1 @@
+lib/pcc/import.ml: Gg_codegen Gg_ir Gg_transform Gg_vax

@@ -1,0 +1,1 @@
+lib/pcc/pcc.ml: Buffer Dtype Fmt Frame Gg_codegen Import Insn Int Int64 List Mode Op Option Phase1c Regconv Transform Tree

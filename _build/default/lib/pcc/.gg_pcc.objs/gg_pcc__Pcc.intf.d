@@ -1,0 +1,1 @@
+lib/pcc/pcc.mli: Import Insn Tree

@@ -1,0 +1,13 @@
+(* Short aliases for modules used throughout this library. *)
+module Dtype = Gg_ir.Dtype
+module Op = Gg_ir.Op
+module Tree = Gg_ir.Tree
+module Label = Gg_ir.Label
+module Regconv = Gg_ir.Regconv
+module Mode = Gg_vax.Mode
+module Insn = Gg_vax.Insn
+module Transform = Gg_transform.Transform
+module Phase1a = Gg_transform.Phase1a
+module Phase1c = Gg_transform.Phase1c
+module Context = Gg_transform.Context
+module Frame = Gg_codegen.Frame

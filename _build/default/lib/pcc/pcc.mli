@@ -1,0 +1,42 @@
+open Import
+
+(** The comparison baseline: a hand-written, PCC-style second pass.
+
+    This backend plays the role the portable C compiler's second pass
+    plays in the paper's experiment (section 8): a recursive ad hoc tree
+    matcher with hand-coded addressing-mode cases, Sethi-Ullman operand
+    ordering decided during generation, and a simple register counter.
+    It shares the register conventions, frame layout, instruction
+    assembly and cost model with the table-driven backend so that
+    compile-time, code-size and code-quality comparisons measure only
+    the instruction-selection technique.
+
+    Differences from the table-driven backend, chosen to reflect PCC's
+    character: no scaled-index or symbol-displacement addressing
+    patterns (index arithmetic is done with explicit multiplies and
+    adds), no autoincrement recognition, and no two-address binding
+    idioms beyond the inc/dec/clr/tst specials. *)
+
+type compiled_func = {
+  cf_name : string;
+  cf_insns : Insn.t list;
+  cf_frame_size : int;
+}
+
+type output = {
+  assembly : string;
+  funcs : compiled_func list;
+  program : Tree.program;
+}
+
+(** [peephole] applies {!Gg_codegen.Peephole} to the output (off by
+    default, like the 1982 PCC second pass). *)
+val reserved_registers : Tree.func -> int list
+
+val compile_func : ?peephole:bool -> Tree.func -> compiled_func
+
+val compile_program : ?peephole:bool -> Tree.program -> output
+val compile_tree : Tree.t -> Insn.t list
+
+val total_cycles : output -> int
+val total_lines : output -> int

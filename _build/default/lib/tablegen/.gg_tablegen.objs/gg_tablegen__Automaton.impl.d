@@ -1,0 +1,1 @@
+lib/tablegen/automaton.ml: Array Fmt Grammar Import List Symtab

@@ -1,0 +1,1 @@
+lib/tablegen/automaton.mli: Fmt Grammar Import

@@ -1,0 +1,1 @@
+lib/tablegen/checks.ml: Action Array Automaton Fmt Grammar Hashtbl Import List Symtab Tables

@@ -1,0 +1,1 @@
+lib/tablegen/checks.mli: Fmt Grammar Import Tables

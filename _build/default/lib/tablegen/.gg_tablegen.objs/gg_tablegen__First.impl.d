@@ -1,0 +1,1 @@
+lib/tablegen/first.ml: Array Grammar Import Symtab

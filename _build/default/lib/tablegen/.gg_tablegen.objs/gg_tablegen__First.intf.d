@@ -1,0 +1,1 @@
+lib/tablegen/first.mli: Grammar Import Symtab

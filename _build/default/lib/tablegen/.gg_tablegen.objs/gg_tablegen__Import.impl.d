@@ -1,0 +1,1 @@
+lib/tablegen/import.ml: Gg_grammar

@@ -1,0 +1,1 @@
+lib/tablegen/lr0.ml: Array Automaton Grammar Hashtbl Import Int List Queue Symtab

@@ -1,0 +1,1 @@
+lib/tablegen/lr0.mli: Automaton Grammar Import

@@ -1,0 +1,1 @@
+lib/tablegen/naive.ml: Array Automaton Grammar Import Int List Queue Symtab

@@ -1,0 +1,1 @@
+lib/tablegen/naive.mli: Automaton Grammar Import

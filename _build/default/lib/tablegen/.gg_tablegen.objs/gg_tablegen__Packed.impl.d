@@ -1,0 +1,1 @@
+lib/tablegen/packed.ml: Array Fmt Grammar Hashtbl Import List Marshal String Symtab Tables

@@ -1,0 +1,1 @@
+lib/tablegen/packed.mli: Fmt Gg_grammar Tables

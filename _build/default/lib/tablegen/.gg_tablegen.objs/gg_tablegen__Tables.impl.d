@@ -1,0 +1,1 @@
+lib/tablegen/tables.ml: Array Automaton First Fmt Grammar Import Int List Lr0 Symtab

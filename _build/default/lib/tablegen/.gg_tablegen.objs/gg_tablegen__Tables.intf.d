@@ -1,0 +1,1 @@
+lib/tablegen/tables.mli: Automaton First Fmt Grammar Import

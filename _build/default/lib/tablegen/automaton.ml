@@ -1,0 +1,50 @@
+open Import
+
+type t = {
+  grammar : Grammar.t;
+  n_states : int;
+  kernels : int array array;
+  term_moves : (int * int) list array;
+  nonterm_moves : (int * int) list array;
+}
+
+let max_rhs = 63
+let item ~pid ~dot = (pid lsl 6) lor dot
+let item_pid code = code lsr 6
+let item_dot code = code land 63
+
+let augmented_pid (g : Grammar.t) = Grammar.n_productions g
+
+let prod_len (g : Grammar.t) pid =
+  if pid = augmented_pid g then 1 else Array.length g.prods.(pid).rhs
+
+let reductions t s =
+  let g = t.grammar in
+  Array.to_list t.kernels.(s)
+  |> List.filter_map (fun code ->
+         let pid = item_pid code in
+         if item_dot code = prod_len g pid then Some pid else None)
+
+let pp_item (g : Grammar.t) ppf code =
+  let pid = item_pid code in
+  let dot = item_dot code in
+  if pid = augmented_pid g then
+    Fmt.pf ppf "%s' <- %s%s%s"
+      (Symtab.nonterm_name g.symtab g.start)
+      (if dot = 0 then ". " else "")
+      (Symtab.nonterm_name g.symtab g.start)
+      (if dot = 1 then " ." else "")
+  else begin
+    let p = g.prods.(pid) in
+    Fmt.pf ppf "%s <-" (Symtab.nonterm_name g.symtab p.lhs);
+    Array.iteri
+      (fun i sym ->
+        if i = dot then Fmt.pf ppf " .";
+        Fmt.pf ppf " %s" (Symtab.name g.symtab sym))
+      p.rhs;
+    if dot = Array.length p.rhs then Fmt.pf ppf " ."
+  end
+
+let pp_state t ppf s =
+  Fmt.pf ppf "state %d:" s;
+  Array.iter (fun code -> Fmt.pf ppf "@\n  %a" (pp_item t.grammar) code) t.kernels.(s)

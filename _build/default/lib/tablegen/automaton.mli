@@ -1,0 +1,34 @@
+open Import
+
+(** The LR(0) characteristic automaton of a machine grammar.
+
+    Items are packed into integers ([production id lsl 6 | dot]); kernel
+    item arrays are sorted, so state identity is array equality.  The
+    augmented production [S' -> start] has id [n_productions] and is
+    never stored in the grammar itself. *)
+
+type t = {
+  grammar : Grammar.t;
+  n_states : int;
+  kernels : int array array;
+  term_moves : (int * int) list array;
+      (** per state: (terminal, target) transitions *)
+  nonterm_moves : (int * int) list array;
+      (** per state: (non-terminal, target) transitions *)
+}
+
+val item : pid:int -> dot:int -> int
+val item_pid : int -> int
+val item_dot : int -> int
+
+(** Maximum supported right-hand-side length (packing limit). *)
+val max_rhs : int
+
+(** Id of the augmented start production for this grammar. *)
+val augmented_pid : Grammar.t -> int
+
+(** Completed (reducible) items of a state's kernel: production ids. *)
+val reductions : t -> int -> int list
+
+val pp_item : Grammar.t -> int Fmt.t
+val pp_state : t -> int Fmt.t

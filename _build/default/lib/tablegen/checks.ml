@@ -1,0 +1,132 @@
+open Import
+
+type chain_report = {
+  silent_cycles : string list list;
+  emitting_cycles : string list list;
+}
+
+let chains (g : Grammar.t) =
+  let nn = Symtab.n_nonterms g.symtab in
+  (* edges (a, b, silent) for chain production a <- b *)
+  let edges = Array.make nn [] in
+  Array.iter
+    (fun (p : Grammar.production) ->
+      if Grammar.is_chain p then
+        match p.rhs.(0) with
+        | Symtab.N b ->
+          let silent = match p.action with Action.Chain -> true | _ -> false in
+          edges.(p.lhs) <- (b, silent) :: edges.(p.lhs)
+        | Symtab.T _ -> assert false)
+    g.prods;
+  (* Find elementary cycles by DFS from each node, restricted to nodes
+     >= root so each cycle is reported once.  Chain graphs are tiny. *)
+  let silent_cycles = ref [] and emitting_cycles = ref [] in
+  for root = 0 to nn - 1 do
+    let rec dfs path_silent path n =
+      List.iter
+        (fun (m, silent) ->
+          if m = root then begin
+            let names =
+              List.rev_map (Symtab.nonterm_name g.symtab) (n :: path)
+            in
+            if path_silent && silent then
+              silent_cycles := names :: !silent_cycles
+            else emitting_cycles := names :: !emitting_cycles
+          end
+          else if m > root && not (List.mem m (n :: path)) then
+            dfs (path_silent && silent) (n :: path) m)
+        edges.(n)
+    in
+    dfs true [] root
+  done;
+  { silent_cycles = !silent_cycles; emitting_cycles = !emitting_cycles }
+
+type block = { state : int; terminal : string; items : string list }
+
+(* The tree position of the dot in a production: walk the already-
+   consumed rhs symbols, maintaining a stack of (operator, children
+   still missing).  A non-terminal or a leaf terminal completes one
+   child of the innermost open operator. *)
+let dot_position (g : Grammar.t) ~arity pid dot =
+  let aug = Automaton.augmented_pid g in
+  let rhs =
+    if pid = aug then [| Symtab.N g.start |]
+    else (Grammar.production g pid).rhs
+  in
+  if dot >= Array.length rhs then None (* complete item: no position *)
+  else begin
+    let stack = ref [] in
+    let complete_child () =
+      let rec pop () =
+        match !stack with
+        | [] -> () (* completed the whole pattern prefix: dot at end *)
+        | (op, k, total) :: rest ->
+          if k = 1 then begin
+            stack := rest;
+            pop ()
+          end
+          else stack := (op, k - 1, total) :: rest
+      in
+      pop ()
+    in
+    for i = 0 to dot - 1 do
+      (* operator-class non-terminals may themselves be operators of
+         non-zero arity (the paper's factored operator classes) *)
+      let name = Symtab.name g.symtab rhs.(i) in
+      let k = match rhs.(i) with Symtab.T _ -> arity name | Symtab.N _ -> arity name in
+      if k = 0 then complete_child () else stack := (name, k, k) :: !stack
+    done;
+    match !stack with
+    | [] -> Some (None, 0) (* root position (dot = 0) *)
+    | (op, k, total) :: _ -> Some (Some op, total - k)
+  end
+
+let blocks (tables : Tables.t) ~arity ~starts =
+  let auto = tables.automaton in
+  let g = auto.grammar in
+  let result = ref [] in
+  for s = 0 to auto.n_states - 1 do
+    let state_items () =
+      Array.to_list auto.kernels.(s)
+      |> List.map (Fmt.str "%a" (Automaton.pp_item g))
+    in
+    let required = Hashtbl.create 16 in
+    let missing = Hashtbl.create 4 in
+    Array.iter
+      (fun code ->
+        let pid = Automaton.item_pid code in
+        let dot = Automaton.item_dot code in
+        match dot_position g ~arity pid dot with
+        | None -> ()
+        | Some (parent, child) ->
+          List.iter
+            (fun name ->
+              match Symtab.find g.symtab name with
+              | Some (Symtab.T a) -> Hashtbl.replace required a ()
+              | Some (Symtab.N _) -> ()
+              | None ->
+                (* a legal input terminal the grammar never mentions at
+                   all: blocks wherever it is required *)
+                Hashtbl.replace missing name ())
+            (starts ~parent ~child))
+      auto.kernels.(s);
+    Hashtbl.iter
+      (fun a () ->
+        if tables.action.(s).(a) = Tables.Error then
+          result :=
+            { state = s;
+              terminal = Symtab.term_name g.symtab a;
+              items = state_items () }
+            :: !result)
+      required;
+    Hashtbl.iter
+      (fun name () ->
+        result := { state = s; terminal = name; items = state_items () } :: !result)
+      missing
+  done;
+  List.sort compare !result
+
+let pp_block ppf b =
+  Fmt.pf ppf "state %d blocks on %s:@\n  %a" b.state b.terminal
+    Fmt.(list ~sep:(any "@\n  ") string)
+    b.items

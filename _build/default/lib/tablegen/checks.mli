@@ -1,0 +1,52 @@
+open Import
+
+(** Static safety checks on grammars and tables.
+
+    The paper's table generator "contains algorithms to ensure that the
+    pattern matcher will not get into a looping configuration, where
+    non-terminal chain rules are cyclically reduced", and "checks if
+    there is some input for which the pattern matcher will perform an
+    error action, also called a syntactic block" (section 3.2). *)
+
+(** Cycles among chain productions (each cycle as a list of non-terminal
+    names, e.g. [["reg.l"; "rval.l"]] if both [rval.l <- reg.l] and
+    [reg.l <- rval.l] are chain productions).  A cycle whose productions
+    all have {!Action.Chain} actions would let the matcher reduce
+    forever without progress; a cycle through an emitting production is
+    reported separately because reductions are state-directed and such
+    cycles are never actually followed. *)
+type chain_report = {
+  silent_cycles : string list list;
+  emitting_cycles : string list list;
+}
+
+val chains : Grammar.t -> chain_report
+
+(** Potential syntactic blocks.
+
+    In prefix-linearised input every token begins a subtree, so every
+    dot position in every kernel item is the start of some operand.
+    Which terminals may legally begin that operand is a property of the
+    {e tree language}: it depends on the parent operator above the
+    position and the child index (e.g. the first child of [Assign.l]
+    must be an lvalue tree; the children of [Plus.l] are long trees).
+    A state {e blocks} on terminal [a] if [a] may legally start the
+    operand at one of the state's dot positions but the state has no
+    action on [a] (paper sections 3.2, 6.2.2).
+
+    [arity] gives the number of children each terminal has in the
+    linearised tree (e.g. 2 for [Plus.l], 0 for [Const.l], 4 for a
+    branch token followed by comparison, two operands and a label).
+    [starts ~parent ~child] lists the terminals that can begin the
+    subtree at child position [child] of operator [parent]
+    ([~parent:None] is the root position).  Both are supplied by the
+    target description. *)
+type block = { state : int; terminal : string; items : string list }
+
+val blocks :
+  Tables.t ->
+  arity:(string -> int) ->
+  starts:(parent:string option -> child:int -> string list) ->
+  block list
+
+val pp_block : block Fmt.t

@@ -1,0 +1,84 @@
+open Import
+
+type t = {
+  n_terms : int;  (* real terminals; eof = n_terms *)
+  first_sets : bool array array;  (* nonterm -> terminal bitmap *)
+  follow_sets : bool array array;  (* nonterm -> terminal+eof bitmap *)
+}
+
+let eof t = t.n_terms
+
+let compute (g : Grammar.t) =
+  let nt = Symtab.n_terms g.symtab in
+  let nn = Symtab.n_nonterms g.symtab in
+  let first_sets = Array.init nn (fun _ -> Array.make nt false) in
+  let changed = ref true in
+  (* FIRST: no nullable symbols, so only the leading rhs symbol counts *)
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        let dst = first_sets.(p.lhs) in
+        match p.rhs.(0) with
+        | Symtab.T a ->
+          if not dst.(a) then begin
+            dst.(a) <- true;
+            changed := true
+          end
+        | Symtab.N b ->
+          Array.iteri
+            (fun a v ->
+              if v && not dst.(a) then begin
+                dst.(a) <- true;
+                changed := true
+              end)
+            first_sets.(b))
+      g.prods
+  done;
+  let follow_sets = Array.init nn (fun _ -> Array.make (nt + 1) false) in
+  follow_sets.(g.start).(nt) <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (p : Grammar.production) ->
+        let len = Array.length p.rhs in
+        Array.iteri
+          (fun i sym ->
+            match sym with
+            | Symtab.T _ -> ()
+            | Symtab.N b ->
+              let dst = follow_sets.(b) in
+              let add a =
+                if not dst.(a) then begin
+                  dst.(a) <- true;
+                  changed := true
+                end
+              in
+              if i + 1 < len then
+                match p.rhs.(i + 1) with
+                | Symtab.T a -> add a
+                | Symtab.N c ->
+                  Array.iteri (fun a v -> if v then add a) first_sets.(c)
+              else
+                Array.iteri (fun a v -> if v then add a) follow_sets.(p.lhs))
+          p.rhs)
+      g.prods
+  done;
+  { n_terms = nt; first_sets; follow_sets }
+
+let to_list bitmap =
+  let acc = ref [] in
+  for i = Array.length bitmap - 1 downto 0 do
+    if bitmap.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let first t n = to_list t.first_sets.(n)
+let follow t n = to_list t.follow_sets.(n)
+let mem_first t n a = a < t.n_terms && t.first_sets.(n).(a)
+let mem_follow t n a = t.follow_sets.(n).(a)
+
+let first_of_sym t = function
+  | Symtab.T a -> [ a ]
+  | Symtab.N n -> first t n

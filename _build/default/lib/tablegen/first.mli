@@ -1,0 +1,31 @@
+open Import
+
+(** FIRST and FOLLOW sets for a machine description grammar.
+
+    Machine grammars have no empty right-hand sides (a production always
+    matches at least one tree node), which rules out nullable symbols
+    and keeps the computation a plain fixed point.
+
+    Terminals are indexed [0 .. n_terms - 1]; the virtual end-of-tree
+    marker {!eof} gets index [n_terms]. *)
+
+type t
+
+val compute : Grammar.t -> t
+
+(** Index of the end-of-input marker. *)
+val eof : t -> int
+
+(** [first t n] — terminals that can begin a string derived from
+    non-terminal [n]. *)
+val first : t -> int -> int list
+
+(** [follow t n] — terminals (including {!eof}) that can follow
+    non-terminal [n] in a sentential form. *)
+val follow : t -> int -> int list
+
+val mem_first : t -> int -> int -> bool
+val mem_follow : t -> int -> int -> bool
+
+(** [first_of_sym t sym] — FIRST of a single grammar symbol. *)
+val first_of_sym : t -> Symtab.sym -> int list

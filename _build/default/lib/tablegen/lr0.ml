@@ -1,0 +1,127 @@
+open Import
+
+(* For every non-terminal [n], the set of non-terminals whose productions
+   belong to the closure of an item with the dot before [n]: the
+   reflexive-transitive closure of "first rhs symbol is a non-terminal". *)
+let closure_nonterms (g : Grammar.t) =
+  let nn = Symtab.n_nonterms g.symtab in
+  let direct = Array.make nn [] in
+  for n = 0 to nn - 1 do
+    let succs = ref [] in
+    Array.iter
+      (fun pid ->
+        match (Grammar.production g pid).rhs.(0) with
+        | Symtab.N m -> succs := m :: !succs
+        | Symtab.T _ -> ())
+      g.by_lhs.(n);
+    direct.(n) <- !succs
+  done;
+  let closure = Array.init nn (fun _ -> Array.make nn false) in
+  for n = 0 to nn - 1 do
+    let set = closure.(n) in
+    let rec visit m =
+      if not set.(m) then begin
+        set.(m) <- true;
+        List.iter visit direct.(m)
+      end
+    in
+    visit n
+  done;
+  closure
+
+let build (g : Grammar.t) : Automaton.t =
+  let nt = Symtab.n_terms g.symtab in
+  let nn = Symtab.n_nonterms g.symtab in
+  let aug = Automaton.augmented_pid g in
+  if (Grammar.stats g).max_rhs > Automaton.max_rhs then
+    invalid_arg "Lr0.build: right-hand side too long for item packing";
+  let cl_nts = closure_nonterms g in
+  (* symbol at the dot of an item, or None when the item is complete *)
+  let sym_at pid dot =
+    if pid = aug then
+      if dot = 0 then Some (Symtab.N g.start) else None
+    else
+      let rhs = (Grammar.production g pid).rhs in
+      if dot < Array.length rhs then Some rhs.(dot) else None
+  in
+  let symcode = function Symtab.T a -> a | Symtab.N n -> nt + n in
+  let states : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+  let kernels = ref [] (* reversed *) in
+  let n_states = ref 0 in
+  let term_moves = Hashtbl.create 1024 in
+  let nonterm_moves = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let intern_state kernel =
+    match Hashtbl.find_opt states kernel with
+    | Some id -> id
+    | None ->
+      let id = !n_states in
+      incr n_states;
+      Hashtbl.replace states kernel id;
+      kernels := kernel :: !kernels;
+      Queue.add (id, kernel) queue;
+      id
+  in
+  let _ = intern_state [| Automaton.item ~pid:aug ~dot:0 |] in
+  let moves = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    let id, kernel = Queue.pop queue in
+    Hashtbl.reset moves;
+    let add_move sym code =
+      let key = symcode sym in
+      let prev = try Hashtbl.find moves key with Not_found -> [] in
+      Hashtbl.replace moves key (code :: prev)
+    in
+    (* closure non-terminals of this state *)
+    let cl = Array.make nn false in
+    let mark n =
+      Array.iteri (fun m v -> if v then cl.(m) <- true) cl_nts.(n)
+    in
+    Array.iter
+      (fun code ->
+        let pid = Automaton.item_pid code in
+        let dot = Automaton.item_dot code in
+        match sym_at pid dot with
+        | None -> ()
+        | Some sym ->
+          add_move sym (Automaton.item ~pid ~dot:(dot + 1));
+          (match sym with Symtab.N n -> mark n | Symtab.T _ -> ()))
+      kernel;
+    for n = 0 to nn - 1 do
+      if cl.(n) then
+        Array.iter
+          (fun pid ->
+            let sym = (Grammar.production g pid).rhs.(0) in
+            add_move sym (Automaton.item ~pid ~dot:1))
+          g.by_lhs.(n)
+    done;
+    (* deterministic order: ascending symbol code *)
+    let keys =
+      Hashtbl.fold (fun k _ acc -> k :: acc) moves [] |> List.sort Int.compare
+    in
+    let tmoves = ref [] and ntmoves = ref [] in
+    List.iter
+      (fun key ->
+        let items = Hashtbl.find moves key in
+        let kernel' =
+          List.sort_uniq Int.compare items |> Array.of_list
+        in
+        let target = intern_state kernel' in
+        if key < nt then tmoves := (key, target) :: !tmoves
+        else ntmoves := (key - nt, target) :: !ntmoves)
+      keys;
+    Hashtbl.replace term_moves id (List.rev !tmoves);
+    Hashtbl.replace nonterm_moves id (List.rev !ntmoves)
+  done;
+  let n = !n_states in
+  let kernel_arr = Array.of_list (List.rev !kernels) in
+  {
+    Automaton.grammar = g;
+    n_states = n;
+    kernels = kernel_arr;
+    term_moves =
+      Array.init n (fun s -> try Hashtbl.find term_moves s with Not_found -> []);
+    nonterm_moves =
+      Array.init n (fun s ->
+          try Hashtbl.find nonterm_moves s with Not_found -> []);
+  }

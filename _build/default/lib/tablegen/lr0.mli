@@ -1,0 +1,15 @@
+open Import
+
+(** Optimised LR(0) automaton construction.
+
+    This is the "ten minutes" constructor of the paper's section 9:
+    packed integer items, hashed kernel lookup, and per-non-terminal
+    closure sets precomputed once, instead of recomputing closures per
+    state (see {!Naive} for the deliberately slow baseline). *)
+
+val build : Grammar.t -> Automaton.t
+
+(** For each non-terminal [n], a boolean map over non-terminals: the
+    reflexive-transitive set of non-terminals whose productions enter
+    the closure of an item with the dot before [n]. *)
+val closure_nonterms : Grammar.t -> bool array array

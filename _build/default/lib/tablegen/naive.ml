@@ -1,0 +1,101 @@
+open Import
+
+(* An item is (pid, dot); a state is the *closed* item set as a sorted
+   list.  Everything below is lists and structural equality, on purpose. *)
+
+let sym_at (g : Grammar.t) aug (pid, dot) =
+  if pid = aug then if dot = 0 then Some (Symtab.N g.start) else None
+  else
+    let rhs = (Grammar.production g pid).rhs in
+    if dot < Array.length rhs then Some rhs.(dot) else None
+
+let closure (g : Grammar.t) aug items =
+  let rec fixpoint items =
+    let additions =
+      List.concat_map
+        (fun it ->
+          match sym_at g aug it with
+          | Some (Symtab.N n) ->
+            Array.to_list g.by_lhs.(n)
+            |> List.filter_map (fun pid ->
+                   if List.mem (pid, 0) items then None else Some (pid, 0))
+          | Some (Symtab.T _) | None -> [])
+        items
+    in
+    match List.sort_uniq compare additions with
+    | [] -> items
+    | adds -> fixpoint (List.sort_uniq compare (adds @ items))
+  in
+  fixpoint (List.sort_uniq compare items)
+
+let goto (g : Grammar.t) aug items sym =
+  List.filter_map
+    (fun ((pid, dot) as it) ->
+      match sym_at g aug it with
+      | Some s when Symtab.sym_equal s sym -> Some (pid, dot + 1)
+      | Some _ | None -> None)
+    items
+  |> closure g aug
+
+let build (g : Grammar.t) : Automaton.t =
+  let nt = Symtab.n_terms g.symtab in
+  let nn = Symtab.n_nonterms g.symtab in
+  let aug = Automaton.augmented_pid g in
+  let sym_of_code code =
+    if code < nt then Symtab.T code else Symtab.N (code - nt)
+  in
+  let states = ref [] (* (closed item set, id), reversed *) in
+  let n_states = ref 0 in
+  let queue = Queue.create () in
+  let tmoves = ref [] and ntmoves = ref [] in
+  let intern set =
+    match List.assoc_opt set !states with
+    | Some id -> id
+    | None ->
+      let id = !n_states in
+      incr n_states;
+      states := (set, id) :: !states;
+      Queue.add (id, set) queue;
+      id
+  in
+  let _ = intern (closure g aug [ (aug, 0) ]) in
+  while not (Queue.is_empty queue) do
+    let id, set = Queue.pop queue in
+    let ts = ref [] and nts = ref [] in
+    for code = 0 to nt + nn - 1 do
+      let sym = sym_of_code code in
+      match goto g aug set sym with
+      | [] -> ()
+      | next ->
+        let target = intern next in
+        if code < nt then ts := (code, target) :: !ts
+        else nts := (code - nt, target) :: !nts
+    done;
+    tmoves := (id, List.rev !ts) :: !tmoves;
+    ntmoves := (id, List.rev !nts) :: !ntmoves
+  done;
+  let n = !n_states in
+  (* Reduce each closed set to its kernel for the shared representation. *)
+  let kernel_of set =
+    List.filter_map
+      (fun (pid, dot) ->
+        if dot > 0 || pid = aug then
+          Some (Automaton.item ~pid ~dot)
+        else None)
+      set
+    |> List.sort_uniq Int.compare |> Array.of_list
+  in
+  let kernels = Array.make n [||] in
+  List.iter (fun (set, id) -> kernels.(id) <- kernel_of set) !states;
+  let to_arr assoc =
+    let a = Array.make n [] in
+    List.iter (fun (id, moves) -> a.(id) <- moves) assoc;
+    a
+  in
+  {
+    Automaton.grammar = g;
+    n_states = n;
+    kernels;
+    term_moves = to_arr !tmoves;
+    nonterm_moves = to_arr !ntmoves;
+  }

@@ -1,0 +1,13 @@
+open Import
+
+(** Textbook LR(0) construction, kept deliberately simple: item sets as
+    sorted association lists, closures recomputed from scratch for every
+    state, and state lookup by linear scan over full closed sets.
+
+    This is the baseline for the paper's table-construction experiment
+    (section 9: "over two memory-intensive hours of VAX CPU time", later
+    reduced to ten minutes by better algorithms).  It produces exactly
+    the same automaton — including state numbering — as {!Lr0.build};
+    the test suite checks that. *)
+
+val build : Grammar.t -> Automaton.t

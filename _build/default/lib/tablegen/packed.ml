@@ -1,0 +1,229 @@
+open Import
+
+(* encoded actions: 0 = error; (s<<2)|1 = shift s; (p<<2)|2 = reduce p;
+   3 = accept; ((i+1)<<2)|3 = semantic tie, candidates in aux.(i) *)
+let encode aux = function
+  | Tables.Error -> 0
+  | Tables.Shift s -> (s lsl 2) lor 1
+  | Tables.Accept -> 3
+  | Tables.Reduce [| p |] -> (p lsl 2) lor 2
+  | Tables.Reduce candidates ->
+    aux := candidates :: !aux;
+    ((List.length !aux lsl 2) lor 3 : int)
+
+type t = {
+  n_terms : int;  (* action row width is n_terms + 1 (eof) *)
+  n_nonterms : int;
+  n_states : int;
+  defaults : int array;  (* encoded default reduce per state; 0 = none *)
+  act_base : int array;
+  act_check : int array;
+  act_value : int array;
+  goto_base : int array;
+  goto_check : int array;
+  goto_value : int array;  (* target + 1; 0 = none *)
+  aux : int array array;  (* reversed tie candidate lists *)
+}
+
+(* first-fit row displacement packing *)
+let comb_pack ~width ~n_states rows =
+  let size = ref (width * 4) in
+  let check = ref (Array.make !size (-1)) in
+  let value = ref (Array.make !size 0) in
+  let grow upto =
+    if upto >= !size then begin
+      let nsize = max (2 * !size) (upto + width + 1) in
+      let ncheck = Array.make nsize (-1) in
+      let nvalue = Array.make nsize 0 in
+      Array.blit !check 0 ncheck 0 !size;
+      Array.blit !value 0 nvalue 0 !size;
+      check := ncheck;
+      value := nvalue;
+      size := nsize
+    end
+  in
+  let base = Array.make n_states 0 in
+  (* densest rows first pack tightest *)
+  let order =
+    List.sort
+      (fun (_, a) (_, b) -> compare (List.length b) (List.length a))
+      rows
+  in
+  let high = ref 0 in
+  List.iter
+    (fun (s, entries) ->
+      match entries with
+      | [] -> base.(s) <- 0
+      | _ ->
+        let fits b =
+          List.for_all
+            (fun (col, _) ->
+              let i = b + col in
+              grow i;
+              !check.(i) = -1)
+            entries
+        in
+        let rec find b = if fits b then b else find (b + 1) in
+        let b = find 0 in
+        base.(s) <- b;
+        List.iter
+          (fun (col, code) ->
+            let i = b + col in
+            !check.(i) <- s;
+            !value.(i) <- code;
+            if i + 1 > !high then high := i + 1)
+          entries)
+    order;
+  let trim a = Array.sub a 0 (max 1 !high) in
+  (base, trim !check, trim !value)
+
+let pack (tables : Tables.t) =
+  let g = Tables.grammar tables in
+  let nt = Symtab.n_terms g.Grammar.symtab in
+  let nn = Symtab.n_nonterms g.Grammar.symtab in
+  let n_states = Tables.n_states tables in
+  let aux = ref [] in
+  (* default reductions: the most frequent reduce action of each row *)
+  let defaults = Array.make n_states 0 in
+  let act_rows =
+    List.init n_states (fun s ->
+        let counts = Hashtbl.create 8 in
+        Array.iter
+          (fun action ->
+            match action with
+            | Tables.Reduce _ ->
+              let k = try Hashtbl.find counts action with Not_found -> 0 in
+              Hashtbl.replace counts action (k + 1)
+            | _ -> ())
+          tables.Tables.action.(s);
+        let default =
+          Hashtbl.fold
+            (fun action k best ->
+              match best with
+              | Some (_, bk) when bk >= k -> best
+              | _ -> Some (action, k))
+            counts None
+        in
+        (match default with
+        | Some (action, _) -> defaults.(s) <- encode aux action
+        | None -> ());
+        let entries = ref [] in
+        Array.iteri
+          (fun a action ->
+            match action with
+            | Tables.Error -> ()
+            | other ->
+              let code = encode aux other in
+              if code <> defaults.(s) then entries := (a, code) :: !entries)
+          tables.Tables.action.(s);
+        (s, !entries))
+  in
+  let goto_rows =
+    List.init n_states (fun s ->
+        let entries = ref [] in
+        Array.iteri
+          (fun n target ->
+            if target >= 0 then entries := (n, target + 1) :: !entries)
+          tables.Tables.goto_.(s);
+        (s, !entries))
+  in
+  let act_base, act_check, act_value =
+    comb_pack ~width:(nt + 1) ~n_states act_rows
+  in
+  let goto_base, goto_check, goto_value =
+    comb_pack ~width:nn ~n_states goto_rows
+  in
+  {
+    n_terms = nt;
+    n_nonterms = nn;
+    n_states;
+    defaults;
+    act_base;
+    act_check;
+    act_value;
+    goto_base;
+    goto_check;
+    goto_value;
+    aux = Array.of_list (List.rev !aux);
+  }
+
+let decode t code =
+  if code = 0 then Tables.Error
+  else if code = 3 then Tables.Accept
+  else
+    match code land 3 with
+    | 1 -> Tables.Shift (code lsr 2)
+    | 2 -> Tables.Reduce [| code lsr 2 |]
+    | 3 -> Tables.Reduce t.aux.((code lsr 2) - 1)
+    | _ -> Tables.Error
+
+let action t s a =
+  let i = t.act_base.(s) + a in
+  if i < 0 || i >= Array.length t.act_check || t.act_check.(i) <> s then
+    decode t t.defaults.(s)
+  else decode t t.act_value.(i)
+
+let default_of t s =
+  match decode t t.defaults.(s) with
+  | Tables.Error -> None
+  | other -> Some other
+
+let goto t s n =
+  let i = t.goto_base.(s) + n in
+  if i < 0 || i >= Array.length t.goto_check || t.goto_check.(i) <> s then -1
+  else t.goto_value.(i) - 1
+
+type stats = {
+  states : int;
+  dense_cells : int;
+  packed_cells : int;
+  dense_bytes : int;
+  packed_bytes : int;
+  ratio : float;
+}
+
+let stats t =
+  let dense_cells = t.n_states * (t.n_terms + 1 + t.n_nonterms) in
+  let packed_cells =
+    (2 * Array.length t.act_check)
+    + (2 * Array.length t.goto_check)
+    + (3 * t.n_states) (* the base and default arrays *)
+  in
+  let word = 4 in
+  {
+    states = t.n_states;
+    dense_cells;
+    packed_cells;
+    dense_bytes = dense_cells * word;
+    packed_bytes = packed_cells * word;
+    ratio = float_of_int packed_cells /. float_of_int dense_cells;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d states: %d dense cells (%d KB) -> %d packed cells (%d KB), %.2fx"
+    s.states s.dense_cells (s.dense_bytes / 1024) s.packed_cells
+    (s.packed_bytes / 1024) s.ratio
+
+let magic = "ggcg-tables-v1"
+
+let save t path =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  Marshal.to_channel oc t [];
+  close_out oc
+
+let load (g : Grammar.t) path =
+  let ic = open_in_bin path in
+  let m = really_input_string ic (String.length magic) in
+  if m <> magic then begin
+    close_in ic;
+    Fmt.failwith "%s: not a ggcg table file" path
+  end;
+  let t : t = Marshal.from_channel ic in
+  close_in ic;
+  if
+    t.n_terms <> Symtab.n_terms g.Grammar.symtab
+    || t.n_nonterms <> Symtab.n_nonterms g.Grammar.symtab
+  then Fmt.failwith "%s: tables do not match this grammar" path;
+  t

@@ -1,0 +1,53 @@
+(** Comb-compressed parse tables.
+
+    The CGGWS the paper started from "produced tables that were too
+    large" and its matcher "spent too much time … unpacking cumbersome
+    tables" (section 2); table size is a recurring concern (sections 6.4
+    and 9).  This module measures the tradeoff: the sparse action/goto
+    matrices are packed by the classic row-displacement (comb)
+    technique — each state's row is slid over a single value array until
+    its non-error entries fall into free slots, with an owner check
+    array making lookups safe.
+
+    LR rows are dominated by reduce entries, so before packing, each
+    state's most frequent reduce becomes its {e default action} (the
+    classic yacc-style transformation): only shifts, accepts and
+    minority reduces are stored as exceptions.  As in every parser that
+    does this, error entries in a defaulted row answer with the default
+    reduce — harmless here because reductions consume no input and the
+    error resurfaces at the next shift; the pattern matcher proper keeps
+    using the dense tables.
+
+    Lookup stays O(1); {!stats} reports the achieved compression. *)
+
+type t
+
+val pack : Tables.t -> t
+
+(** O(1) decoded lookups; equal to the dense table's entries except
+    that error cells of a state with a default reduction return that
+    reduction (see above). *)
+val action : t -> int -> int -> Tables.action
+
+(** The state's default reduction, if any. *)
+val default_of : t -> int -> Tables.action option
+
+val goto : t -> int -> int -> int
+
+type stats = {
+  states : int;
+  dense_cells : int;  (** action + goto cells in the dense tables *)
+  packed_cells : int;  (** slots used by the packed arrays *)
+  dense_bytes : int;  (** at one word per cell *)
+  packed_bytes : int;
+  ratio : float;  (** packed / dense *)
+}
+
+val stats : t -> stats
+val pp_stats : stats Fmt.t
+
+(** Serialise to / from a file (the tables are built once per target
+    machine, as in the paper, and shipped with the compiler). *)
+val save : t -> string -> unit
+
+val load : Gg_grammar.Grammar.t -> string -> t

@@ -1,0 +1,122 @@
+open Import
+
+type action = Shift of int | Reduce of int array | Accept | Error
+
+type conflicts = {
+  shift_reduce : int;
+  reduce_reduce : int;
+  semantic_ties : int;
+}
+
+type t = {
+  automaton : Automaton.t;
+  firsts : First.t;
+  action : action array array;
+  goto_ : int array array;
+  conflicts : conflicts;
+}
+
+let of_automaton (auto : Automaton.t) =
+  let g = auto.grammar in
+  let nt = Symtab.n_terms g.symtab in
+  let nn = Symtab.n_nonterms g.symtab in
+  let aug = Automaton.augmented_pid g in
+  let firsts = First.compute g in
+  let eof = First.eof firsts in
+  let action = Array.init auto.n_states (fun _ -> Array.make (nt + 1) Error) in
+  let goto_ = Array.init auto.n_states (fun _ -> Array.make nn (-1)) in
+  let sr = ref 0 and rr = ref 0 and ties = ref 0 in
+  let rhs_len pid = Array.length (Grammar.production g pid).rhs in
+  let resolve s a pid =
+    (* install [Reduce pid] into action.(s).(a) under maximal munch *)
+    match action.(s).(a) with
+    | Error -> action.(s).(a) <- Reduce [| pid |]
+    | Shift _ -> incr sr (* shift wins *)
+    | Accept -> ()
+    | Reduce existing ->
+      let len_new = rhs_len pid in
+      let len_old = rhs_len existing.(0) in
+      if len_new > len_old then begin
+        incr rr;
+        action.(s).(a) <- Reduce [| pid |]
+      end
+      else if len_new < len_old then incr rr
+      else begin
+        incr ties;
+        if not (Array.exists (Int.equal pid) existing) then
+          action.(s).(a) <- Reduce (Array.append existing [| pid |])
+      end
+  in
+  for s = 0 to auto.n_states - 1 do
+    List.iter (fun (a, target) -> action.(s).(a) <- Shift target)
+      auto.term_moves.(s);
+    List.iter (fun (n, target) -> goto_.(s).(n) <- target)
+      auto.nonterm_moves.(s)
+  done;
+  for s = 0 to auto.n_states - 1 do
+    List.iter
+      (fun pid ->
+        if pid = aug then action.(s).(eof) <- Accept
+        else
+          let lhs = (Grammar.production g pid).lhs in
+          List.iter
+            (fun a ->
+              match action.(s).(a) with
+              | Shift _ -> incr sr
+              | _ -> resolve s a pid)
+            (First.follow firsts lhs))
+      (Automaton.reductions auto s)
+  done;
+  { automaton = auto; firsts; action; goto_; conflicts =
+      { shift_reduce = !sr; reduce_reduce = !rr; semantic_ties = !ties } }
+
+let build g = of_automaton (Lr0.build g)
+
+let grammar t = t.automaton.grammar
+let n_states t = t.automaton.n_states
+let eof t = First.eof t.firsts
+
+type stats = {
+  states : int;
+  action_entries : int;
+  goto_entries : int;
+  conflicts : conflicts;
+}
+
+let stats t =
+  let action_entries =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc a -> match a with Error -> acc | _ -> acc + 1)
+          acc row)
+      0 t.action
+  in
+  let goto_entries =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc g -> if g >= 0 then acc + 1 else acc) acc row)
+      0 t.goto_
+  in
+  {
+    states = n_states t;
+    action_entries;
+    goto_entries;
+    conflicts = t.conflicts;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d states, %d action entries, %d goto entries; conflicts: %d \
+     shift/reduce (shift preferred), %d reduce/reduce (longest preferred), \
+     %d semantic ties"
+    s.states s.action_entries s.goto_entries s.conflicts.shift_reduce
+    s.conflicts.reduce_reduce s.conflicts.semantic_ties
+
+let expected t s =
+  let row = t.action.(s) in
+  let acc = ref [] in
+  for a = Array.length row - 1 downto 0 do
+    match row.(a) with Error -> () | _ -> acc := a :: !acc
+  done;
+  !acc

@@ -1,0 +1,58 @@
+open Import
+
+(** SLR(1)-style parse tables with the paper's conflict resolution.
+
+    The machine grammar is highly ambiguous; the table generator
+    disambiguates by the maximal munch rule (paper section 3.2):
+    - shift/reduce conflicts are resolved in favour of the shift;
+    - reduce/reduce conflicts are resolved in favour of the longest
+      production;
+    - remaining ties (equal-length reductions) are kept as candidate
+      lists for the pattern matcher to choose among dynamically using
+      semantic attributes. *)
+
+type action =
+  | Shift of int
+  | Reduce of int array
+      (** candidate production ids, longest first; a singleton unless a
+          tie was left to semantics *)
+  | Accept
+  | Error
+
+type conflicts = {
+  shift_reduce : int;  (** resolved in favour of shift *)
+  reduce_reduce : int;  (** resolved by the longest-rule preference *)
+  semantic_ties : int;  (** equal-length ties left to the matcher *)
+}
+
+type t = {
+  automaton : Automaton.t;
+  firsts : First.t;
+  action : action array array;  (** [state][terminal]; eof = n_terms *)
+  goto_ : int array array;  (** [state][non-terminal]; -1 = none *)
+  conflicts : conflicts;
+}
+
+(** Build tables from an automaton (use {!Lr0.build} or
+    {!Naive.build}). *)
+val of_automaton : Automaton.t -> t
+
+(** Convenience: {!Lr0.build} followed by {!of_automaton}. *)
+val build : Grammar.t -> t
+
+val grammar : t -> Grammar.t
+val n_states : t -> int
+val eof : t -> int
+
+type stats = {
+  states : int;
+  action_entries : int;  (** non-error action cells *)
+  goto_entries : int;
+  conflicts : conflicts;
+}
+
+val stats : t -> stats
+val pp_stats : stats Fmt.t
+
+(** Terminals with a non-error action in a state (for diagnostics). *)
+val expected : t -> int -> int list

@@ -1,0 +1,1 @@
+lib/transform/context.ml: Dtype Import Label List Tree

@@ -1,0 +1,1 @@
+lib/transform/context.mli: Dtype Import Label Tree

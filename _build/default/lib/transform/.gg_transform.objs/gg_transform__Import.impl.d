@@ -1,0 +1,1 @@
+lib/transform/import.ml: Gg_ir

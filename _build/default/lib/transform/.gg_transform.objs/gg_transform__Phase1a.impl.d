@@ -1,0 +1,1 @@
+lib/transform/phase1a.ml: Context Dtype Import List Op Regconv Tree

@@ -1,0 +1,1 @@
+lib/transform/phase1a.mli: Context Import Tree

@@ -1,0 +1,1 @@
+lib/transform/phase1b.ml: Dtype Import Int64 List Op Tree

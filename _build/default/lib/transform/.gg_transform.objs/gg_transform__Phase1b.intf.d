@@ -1,0 +1,1 @@
+lib/transform/phase1b.mli: Import Tree

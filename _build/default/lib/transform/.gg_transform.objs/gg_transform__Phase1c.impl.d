@@ -1,0 +1,1 @@
+lib/transform/phase1c.ml: Context Import List Op Option Phase1b Tree

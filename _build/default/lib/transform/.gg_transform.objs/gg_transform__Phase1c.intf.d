@@ -1,0 +1,1 @@
+lib/transform/phase1c.mli: Context Import Tree

@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Context Dtype Import List Phase1a Phase1b Phase1c Tree

@@ -1,0 +1,1 @@
+lib/transform/transform.mli: Dtype Import Phase1c Tree

@@ -1,0 +1,26 @@
+open Import
+
+(** Shared state of the tree-rewriting phases: fresh labels and fresh
+    compiler temporaries.
+
+    The paper's first phase has its own register manager for the
+    temporaries its rewrites introduce (section 5.1.1) and flags this as
+    a tradeoff to reevaluate; we store phase-1 results in memory
+    temporaries instead, which removes the duplicated register manager
+    at the cost of a load (see DESIGN.md). *)
+
+type t
+
+(** [create func] scans [func] for the largest label and temporary id
+    already in use so fresh ones never collide. *)
+val create : Tree.func -> t
+
+val fresh_label : t -> Label.t
+
+(** [fresh_temp t ty] allocates a new temporary and returns its leaf. *)
+val fresh_temp : t -> Dtype.t -> Tree.t
+
+(** Types of all temporaries allocated through this context (including
+    ids observed in the original function), for the code generator's
+    frame allocation. *)
+val temp_types : t -> (int * Dtype.t) list

@@ -1,0 +1,196 @@
+open Import
+
+let zero_of ty =
+  if Dtype.is_float ty then Tree.Fconst (ty, 0.0) else Tree.Const (ty, 0L)
+
+(* Argument slots: everything narrower than Long is pushed as a Long,
+   floats as doubles (the VAX calls layout; paper section 5.1.1 extracts
+   calls so that "context switching does not occur within expression
+   trees"). *)
+let promote_arg e =
+  match Tree.dtype e with
+  | Dtype.Byte | Dtype.Word as ty -> (Tree.Conv (Dtype.Long, ty, e), 1)
+  | Dtype.Long -> (e, 1)
+  | Dtype.Flt -> (Tree.Conv (Dtype.Dbl, Dtype.Flt, e), 2)
+  | Dtype.Dbl -> (e, 2)
+  | Dtype.Quad -> (e, 2)
+
+let rec lower_value ctx (t : Tree.t) : Tree.stmt list * Tree.t =
+  match t with
+  | Const _ | Fconst _ | Name _ | Temp _ | Dreg _ | Autoinc _ | Autodec _ ->
+    ([], t)
+  | Indir (ty, e) ->
+    let pre, e' = lower_value ctx e in
+    (pre, Indir (ty, e'))
+  | Addr e ->
+    let pre, e' = lower_value ctx e in
+    (pre, Addr e')
+  | Unop (op, ty, e) ->
+    let pre, e' = lower_value ctx e in
+    (pre, Unop (op, ty, e'))
+  | Binop (op, ty, a, b) ->
+    let pa, a' = lower_value ctx a in
+    let pb, b' = lower_value ctx b in
+    (pa @ pb, Binop (op, ty, a', b'))
+  | Conv (to_, from, e) ->
+    let pre, e' = lower_value ctx e in
+    (pre, Conv (to_, from, e'))
+  | Assign (ty, dst, src) ->
+    (* an embedded assignment: the grammar only has statement-level
+       assignment patterns, so extract it, remembering the stored value
+       in a temporary (the value of the whole expression) *)
+    let pd, dst' = lower_value ctx dst in
+    let ps, src' = lower_value ctx src in
+    let tmp = Context.fresh_temp ctx ty in
+    ( pd @ ps
+      @ [
+          Tree.Stree (Tree.Assign (ty, tmp, src'));
+          Tree.Stree (Tree.Assign (ty, dst', tmp));
+        ],
+      tmp )
+  | Rassign (ty, src, dst) ->
+    let ps, src' = lower_value ctx src in
+    let pd, dst' = lower_value ctx dst in
+    let tmp = Context.fresh_temp ctx ty in
+    ( ps @ pd
+      @ [
+          Tree.Stree (Tree.Assign (ty, tmp, src'));
+          Tree.Stree (Tree.Assign (ty, dst', tmp));
+        ],
+      tmp )
+  | Call (ty, f, args) ->
+    let pre, stmts = lower_call ctx ty f args in
+    let tmp = Context.fresh_temp ctx ty in
+    ( pre @ stmts
+      @ [ Tree.Stree (Tree.Assign (ty, tmp, Tree.Dreg (ty, Regconv.r0))) ],
+      tmp )
+  | Land _ | Lor _ | Lnot _ | Relval _ ->
+    let tmp = Context.fresh_temp ctx Dtype.Long in
+    let l_false = Context.fresh_label ctx in
+    let l_end = Context.fresh_label ctx in
+    let test = branch_false ctx t l_false in
+    ( test
+      @ [
+          Tree.Stree (Tree.Assign (Dtype.Long, tmp, Tree.Const (Dtype.Long, 1L)));
+          Tree.Sjump l_end;
+          Tree.Slabel l_false;
+          Tree.Stree (Tree.Assign (Dtype.Long, tmp, Tree.Const (Dtype.Long, 0L)));
+          Tree.Slabel l_end;
+        ],
+      tmp )
+  | Select (ty, cond, a, b) ->
+    let tmp = Context.fresh_temp ctx ty in
+    let l_else = Context.fresh_label ctx in
+    let l_end = Context.fresh_label ctx in
+    let test = branch_false ctx cond l_else in
+    let pa, a' = lower_value ctx a in
+    let pb, b' = lower_value ctx b in
+    ( test
+      @ pa
+      @ [
+          Tree.Stree (Tree.Assign (ty, tmp, a'));
+          Tree.Sjump l_end;
+          Tree.Slabel l_else;
+        ]
+      @ pb
+      @ [ Tree.Stree (Tree.Assign (ty, tmp, b')); Tree.Slabel l_end ],
+      tmp )
+  | Cbranch _ -> invalid_arg "Phase1a.lower_value: Cbranch in value position"
+  | Arg _ -> invalid_arg "Phase1a.lower_value: Arg in value position"
+
+(* Lower a call: returns (argument preludes, pushes + Scall). *)
+and lower_call ctx ty f args : Tree.stmt list * Tree.stmt list =
+  let lowered = List.map (lower_value ctx) args in
+  let pre = List.concat_map fst lowered in
+  let promoted = List.map (fun (_, e) -> promote_arg e) lowered in
+  let slots = List.fold_left (fun acc (_, s) -> acc + s) 0 promoted in
+  (* push right to left so the first argument ends up lowest *)
+  let pushes =
+    List.rev_map
+      (fun (e, _) -> Tree.Stree (Tree.Arg (Tree.dtype e, e)))
+      promoted
+  in
+  (pre, pushes @ [ Tree.Scall (f, slots, ty) ])
+
+(* [branch_true ctx t target]: statements that branch to [target] when
+   [t] is true (non-zero), and fall through otherwise. *)
+and branch_true ctx (t : Tree.t) target : Tree.stmt list =
+  match t with
+  | Land (a, b) ->
+    let l_skip = Context.fresh_label ctx in
+    branch_false ctx a l_skip @ branch_true ctx b target
+    @ [ Tree.Slabel l_skip ]
+  | Lor (a, b) -> branch_true ctx a target @ branch_true ctx b target
+  | Lnot e -> branch_false ctx e target
+  | Relval (rel, sg, ty, a, b) ->
+    let pa, a' = lower_value ctx a in
+    let pb, b' = lower_value ctx b in
+    pa @ pb @ [ Tree.Stree (Tree.Cbranch (rel, sg, ty, a', b', target)) ]
+  | e ->
+    let pre, e' = lower_value ctx e in
+    let ty = Tree.dtype e' in
+    pre
+    @ [ Tree.Stree (Tree.Cbranch (Op.Ne, Dtype.Signed, ty, e', zero_of ty, target)) ]
+
+and branch_false ctx (t : Tree.t) target : Tree.stmt list =
+  match t with
+  | Land (a, b) -> branch_false ctx a target @ branch_false ctx b target
+  | Lor (a, b) ->
+    let l_taken = Context.fresh_label ctx in
+    branch_true ctx a l_taken @ branch_false ctx b target
+    @ [ Tree.Slabel l_taken ]
+  | Lnot e -> branch_true ctx e target
+  | Relval (rel, sg, ty, a, b) ->
+    let pa, a' = lower_value ctx a in
+    let pb, b' = lower_value ctx b in
+    pa @ pb
+    @ [ Tree.Stree (Tree.Cbranch (Op.negate_relop rel, sg, ty, a', b', target)) ]
+  | e ->
+    let pre, e' = lower_value ctx e in
+    let ty = Tree.dtype e' in
+    pre
+    @ [ Tree.Stree (Tree.Cbranch (Op.Eq, Dtype.Signed, ty, e', zero_of ty, target)) ]
+
+let lower_stmt ctx (s : Tree.stmt) : Tree.stmt list =
+  match s with
+  | Tree.Slabel _ | Tree.Sjump _ | Tree.Sret | Tree.Scall _ | Tree.Scomment _ ->
+    [ s ]
+  | Tree.Stree (Tree.Cbranch (rel, sg, ty, a, Tree.Const (cty, 0L), l))
+    when rel = Op.Ne && sg = Dtype.Signed ->
+    ignore (ty, cty);
+    (* [if (e) goto l] — route through branch_true so short-circuit
+       operators in [e] expand into branch structure, not into a
+       materialised 0/1 value *)
+    branch_true ctx a l
+  | Tree.Stree (Tree.Cbranch (rel, sg, ty, a, Tree.Const (cty, 0L), l))
+    when rel = Op.Eq && sg = Dtype.Signed ->
+    ignore (ty, cty);
+    branch_false ctx a l
+  | Tree.Stree (Tree.Cbranch (rel, sg, ty, a, b, l)) ->
+    let pa, a' = lower_value ctx a in
+    let pb, b' = lower_value ctx b in
+    pa @ pb @ [ Tree.Stree (Tree.Cbranch (rel, sg, ty, a', b', l)) ]
+  | Tree.Stree (Tree.Call (ty, f, args)) ->
+    (* result discarded *)
+    let pre, call = lower_call ctx ty f args in
+    pre @ call
+  | Tree.Stree (Tree.Assign (ty, dst, Tree.Call (cty, f, args))) ->
+    (* store the call result directly from r0, avoiding a temporary *)
+    let pd, dst' = lower_value ctx dst in
+    let pre, call = lower_call ctx cty f args in
+    pd @ pre @ call
+    @ [ Tree.Stree (Tree.Assign (ty, dst', Tree.Dreg (cty, Regconv.r0))) ]
+  | Tree.Stree (Tree.Assign (ty, dst, src)) ->
+    (* a root assignment is the grammar's statement form: keep it *)
+    let pd, dst' = lower_value ctx dst in
+    let ps, src' = lower_value ctx src in
+    pd @ ps @ [ Tree.Stree (Tree.Assign (ty, dst', src')) ]
+  | Tree.Stree (Tree.Rassign (ty, src, dst)) ->
+    let ps, src' = lower_value ctx src in
+    let pd, dst' = lower_value ctx dst in
+    ps @ pd @ [ Tree.Stree (Tree.Rassign (ty, src', dst')) ]
+  | Tree.Stree t ->
+    let pre, t' = lower_value ctx t in
+    pre @ [ Tree.Stree t' ]
+
+let run ctx body = List.concat_map (lower_stmt ctx) body

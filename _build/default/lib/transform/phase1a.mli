@@ -1,0 +1,24 @@
+open Import
+
+(** Phase 1a — explicit control flow (paper section 5.1.1).
+
+    Rewrites every statement so that:
+    - short-circuit operators ([Land]/[Lor]/[Lnot]) become explicit
+      tests and conditional branches;
+    - selection operators ([Select]) become branches around assignments
+      to a compiler temporary;
+    - comparisons used as values ([Relval]) are built by test/jump/
+      assign sequences (the VAX has no instruction that constructs a
+      truth value);
+    - embedded function calls are replaced by compiler temporaries, the
+      call itself becoming an argument-push sequence plus [Scall]
+      preceding the expression tree.
+
+    After this phase, [Tree.check ~after_phase1:true] holds for every
+    tree in the body. *)
+
+val run : Context.t -> Tree.stmt list -> Tree.stmt list
+
+(** Lower one expression: returns the prelude statements and the clean
+    tree (exposed for unit tests). *)
+val lower_value : Context.t -> Tree.t -> Tree.stmt list * Tree.t

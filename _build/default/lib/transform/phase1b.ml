@@ -1,0 +1,49 @@
+open Import
+
+(* Subtrees that the addressing-mode productions expect on the left of
+   [Plus]/[Mul]: constants and symbol addresses. *)
+let address_shaped (t : Tree.t) =
+  match t with
+  | Tree.Const _ -> true
+  | Tree.Addr (Tree.Name _) | Tree.Addr (Tree.Temp _) -> true
+  | _ -> false
+
+let rewrite (t : Tree.t) : Tree.t =
+  match t with
+  (* left shift by a small constant -> multiply by a power of two *)
+  | Tree.Binop (Op.Lsh, ty, x, Tree.Const (_, k))
+    when Dtype.is_integer ty && Int64.compare k 0L >= 0 && Int64.compare k 30L <= 0 ->
+    Tree.Binop (Op.Mul, ty, Tree.const ty (Int64.shift_left 1L (Int64.to_int k)), x)
+  (* subtraction of a constant -> addition of its negation *)
+  | Tree.Binop (Op.Minus, ty, x, Tree.Const (_, k)) when Dtype.is_integer ty ->
+    Tree.Binop (Op.Plus, ty, Tree.const ty (Int64.neg k), x)
+  (* commutativity ordering: constants / symbol addresses to the left *)
+  | Tree.Binop ((Op.Plus | Op.Mul) as op, ty, x, y)
+    when address_shaped y && not (address_shaped x) ->
+    Tree.Binop (op, ty, y, x)
+  (* additive and multiplicative identities *)
+  | Tree.Binop (Op.Plus, ty, Tree.Const (_, 0L), x) when Dtype.is_integer ty -> x
+  | Tree.Binop (Op.Mul, _, Tree.Const (_, 1L), x) -> x
+  (* address algebra *)
+  | Tree.Addr (Tree.Indir (_, e)) -> e
+  | Tree.Indir (ty, Tree.Addr lv) when Dtype.equal (Tree.dtype lv) ty -> lv
+  | other -> other
+
+(* One rewrite can expose another at the same node (moving a constant
+   left exposes the plus-zero identity), so iterate to a fixed point at
+   each node; children are already rewritten when the node is visited. *)
+let rec fixpoint n t =
+  let t' = rewrite t in
+  if n = 0 || t' == t then t' else fixpoint (n - 1) t'
+
+let rewrite_tree t = Tree.map_bottom_up (fixpoint 8) t
+
+let run body =
+  List.map
+    (fun s ->
+      match s with
+      | Tree.Stree t -> Tree.Stree (rewrite_tree t)
+      | Tree.Slabel _ | Tree.Sjump _ | Tree.Sret | Tree.Scall _
+      | Tree.Scomment _ ->
+        s)
+    body

@@ -1,0 +1,25 @@
+open Import
+
+(** Phase 1b — operator expansion and commutativity-ordered operands
+    (paper section 5.1.2).
+
+    Pure bottom-up rewrites that reduce the number of patterns the
+    machine grammar needs, especially the address-shaped ones:
+    - left shift by a small constant becomes multiplication by the
+      corresponding power of two (which the addressing hardware can
+      fold);
+    - subtraction of a constant becomes addition of its negation;
+    - constant operands of [Plus] and [Mul] are forced to be the left
+      child, and [Addr (Name _)] operands of [Plus] likewise (matching
+      the displacement productions);
+    - [Addr (Indir e)] collapses to [e] and [Indir (Addr lv)] to [lv];
+    - additions of zero and multiplications by one disappear. *)
+
+val rewrite_tree : Tree.t -> Tree.t
+
+val run : Tree.stmt list -> Tree.stmt list
+
+(** Subtrees the addressing-mode productions expect on the left of
+    [Plus]/[Mul] (constants and symbol addresses); Phase 1c leaves them
+    in place when reordering operands. *)
+val address_shaped : Tree.t -> bool

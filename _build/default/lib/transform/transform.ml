@@ -1,0 +1,31 @@
+open Import
+
+type options = { reverse_ops : bool; reorder : bool; spill_guard : bool }
+
+let default_options = { reverse_ops = true; reorder = true; spill_guard = true }
+
+type result = {
+  func : Tree.func;
+  temps : (int * Dtype.t) list;
+  ordering_stats : Phase1c.stats;
+}
+
+let run ?(options = default_options) ?spill_limit (f : Tree.func) =
+  let ctx = Context.create f in
+  let stats = Phase1c.fresh_stats () in
+  let body = Phase1a.run ctx f.Tree.body in
+  let body = Phase1b.run body in
+  let body =
+    if options.reorder then
+      Phase1c.run ~reverse_ops:options.reverse_ops
+        ~spill_guard:options.spill_guard ?spill_limit ~stats ctx body
+    else body
+  in
+  {
+    func = { f with Tree.body };
+    temps = Context.temp_types ctx;
+    ordering_stats = stats;
+  }
+
+let run_program ?options (p : Tree.program) =
+  List.map (fun f -> (f, run ?options f)) p.Tree.funcs

@@ -1,0 +1,29 @@
+open Import
+
+(** The complete first phase of the code generator: tree transformation
+    (paper section 5.1 and Fig. 2).
+
+    Runs Phases 1a, 1b and 1c over a function body and returns the
+    rewritten function together with the types of all compiler
+    temporaries (the code generator allocates frame slots for them). *)
+
+type options = {
+  reverse_ops : bool;  (** allow operand swapping via reverse operators *)
+  reorder : bool;  (** run the evaluation-ordering heuristic at all *)
+  spill_guard : bool;  (** factor register-hungry subtrees into temps *)
+}
+
+val default_options : options
+
+type result = {
+  func : Tree.func;
+  temps : (int * Dtype.t) list;  (** temporary id -> type *)
+  ordering_stats : Phase1c.stats;
+}
+
+(** [spill_limit] overrides the register budget of the spill guard
+    (reduce it when register variables occupy allocatable registers). *)
+val run : ?options:options -> ?spill_limit:int -> Tree.func -> result
+
+(** Transform every function of a program. *)
+val run_program : ?options:options -> Tree.program -> (Tree.func * result) list

@@ -1,0 +1,1 @@
+lib/vax/grammar_def.ml: Action Dtype Grammar Import List Op Schema String Treelang

@@ -1,0 +1,1 @@
+lib/vax/grammar_def.mli: Dtype Grammar Import Lazy Schema Treelang

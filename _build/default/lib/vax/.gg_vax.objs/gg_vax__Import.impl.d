@@ -1,0 +1,1 @@
+lib/vax/import.ml: Gg_grammar Gg_ir

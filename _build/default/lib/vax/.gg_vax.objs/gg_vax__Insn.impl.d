@@ -1,0 +1,1 @@
+lib/vax/insn.ml: Fmt Import Label List Mode String

@@ -1,0 +1,1 @@
+lib/vax/insn.mli: Fmt Import Label Mode

@@ -1,0 +1,1 @@
+lib/vax/insn_table.ml: Dtype Fmt Import List Mode String

@@ -1,0 +1,1 @@
+lib/vax/insn_table.mli: Mode

@@ -1,0 +1,1 @@
+lib/vax/mode.ml: Float Fmt Import Int Int64 Option Regconv

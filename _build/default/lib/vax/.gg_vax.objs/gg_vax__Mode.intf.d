@@ -1,0 +1,1 @@
+lib/vax/mode.mli: Fmt

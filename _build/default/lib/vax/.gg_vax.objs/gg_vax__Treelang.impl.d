@@ -1,0 +1,1 @@
+lib/vax/treelang.ml: Dtype Import List Op String Termname

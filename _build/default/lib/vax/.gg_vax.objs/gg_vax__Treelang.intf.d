@@ -1,0 +1,1 @@
+lib/vax/treelang.mli: Dtype Import Op

@@ -1,0 +1,49 @@
+open Import
+
+(** The VAX machine description grammar.
+
+    The description is written as generic schemas and type-replicated
+    (paper section 6.4).  It is {e factored} (paper section 4): address
+    computations are encapsulated by the [ea.t] non-terminals, operand
+    classes by [rval.t]/[lval.t]/[mem.t]/[imm.t], and values in
+    registers by [reg.t].  The sentential symbol is [stmt].
+
+    Options reproduce the paper's design alternatives:
+    - [reverse_ops] adds patterns for the reverse operators introduced
+      by evaluation ordering (section 5.1.3, quantified in the
+      reverse-ops ablation benchmark);
+    - [overfactored] groups [Plus] and [Mul] into an operator-class
+      non-terminal together with [Or]/[Xor], reproducing the
+      over-factoring mistake of section 6.2.1;
+    - [with_bridges] includes the bridge productions that remove the
+      syntactic blocks in the long addressing-mode patterns (sections
+      6.2.2 and 6.3) — disable to observe the blocks. *)
+
+type options = {
+  int_types : Dtype.t list;
+  float_types : Dtype.t list;
+  reverse_ops : bool;
+  overfactored : bool;
+  with_bridges : bool;
+  condition_code_fix : bool;
+      (** include the [Branch Cmp Dreg Zero Label] production that
+          section 6.2.1 adds to repair the over-factored condition-code
+          assumption; disabling it reproduces the original bug (a branch
+          on stale condition codes) *)
+}
+
+val default : options
+
+(** The generic (pre-replication) schemas; their count is the paper's
+    "458 productions before type replication" statistic. *)
+val schemas : options -> Schema.t list
+
+(** The replicated grammar. *)
+val grammar : options -> Grammar.t
+
+(** [grammar default], built once. *)
+val default_grammar : Grammar.t Lazy.t
+
+(** Tree-language description matching [options] (for the block
+    checker). *)
+val treelang : options -> Treelang.t

@@ -1,0 +1,10 @@
+(* Short aliases for modules used throughout this library. *)
+module Dtype = Gg_ir.Dtype
+module Op = Gg_ir.Op
+module Tree = Gg_ir.Tree
+module Label = Gg_ir.Label
+module Regconv = Gg_ir.Regconv
+module Termname = Gg_ir.Termname
+module Grammar = Gg_grammar.Grammar
+module Schema = Gg_grammar.Schema
+module Action = Gg_grammar.Action

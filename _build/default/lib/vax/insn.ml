@@ -1,0 +1,63 @@
+open Import
+
+type t =
+  | Insn of string * Mode.t list
+  | Branch of string * Label.t
+  | Call of string * int
+  | Ret
+  | Lab of Label.t
+  | Comment of string
+
+let insn m ops = Insn (m, ops)
+
+let assembly = function
+  | Insn (m, ops) ->
+    Fmt.str "\t%s\t%s" m (String.concat "," (List.map Mode.assembly ops))
+  | Branch (m, l) -> Fmt.str "\t%s\t%s" m (Label.name l)
+  | Call (f, n) -> Fmt.str "\tcalls\t$%d,%s" n f
+  | Ret -> "\tret"
+  | Lab l -> Label.name l ^ ":"
+  | Comment s -> "\t# " ^ s
+
+(* coarse VAX-11/780-flavoured base costs by mnemonic prefix *)
+let base_cost m =
+  let has_prefix p =
+    String.length m >= String.length p && String.sub m 0 (String.length p) = p
+  in
+  if has_prefix "mul" then 12
+  else if has_prefix "div" then 18
+  else if has_prefix "emul" || has_prefix "ediv" then 20
+  else if has_prefix "ash" then 5
+  else if has_prefix "mov" || has_prefix "clr" || has_prefix "push" then 2
+  else if has_prefix "cvt" then 4
+  else if has_prefix "tst" || has_prefix "cmp" then 2
+  else 3 (* add, sub, logicals, inc/dec, mneg, mcom, ... *)
+
+let cycles = function
+  | Insn (m, ops) ->
+    base_cost m + List.fold_left (fun acc o -> acc + Mode.cost o) 0 ops
+  | Branch _ -> 4
+  | Call (_, n) -> 12 + n
+  | Ret -> 10
+  | Lab _ | Comment _ -> 0
+
+let sets_cc = function
+  | Insn (m, _) ->
+    (* mova/pusha compute addresses but do set cc from the address; the
+       distinction does not matter to our use (result-producing
+       instructions preceding a branch) *)
+    not (String.length m >= 4 && String.sub m 0 4 = "push")
+  | Branch _ | Call _ | Ret | Lab _ | Comment _ -> false
+
+let pp ppf t = Fmt.string ppf (assembly t)
+
+let pp_program ppf insns =
+  List.iter (fun i -> Fmt.pf ppf "%s@\n" (assembly i)) insns
+
+let count_lines insns =
+  List.fold_left
+    (fun acc i -> match i with Comment _ -> acc | _ -> acc + 1)
+    0 insns
+
+let total_cycles insns =
+  List.fold_left (fun acc i -> acc + cycles i) 0 insns

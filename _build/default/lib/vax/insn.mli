@@ -1,0 +1,40 @@
+open Import
+
+(** Emitted VAX instructions.
+
+    An instruction is a mnemonic plus operand list; {!assembly} prints
+    UNIX [as] syntax.  {!cycles} is a coarse VAX-11/780 cost model used
+    by the benchmarks to compare code quality between backends (it does
+    not claim cycle accuracy; only relative weight matters). *)
+
+type t =
+  | Insn of string * Mode.t list  (** ordinary instruction *)
+  | Branch of string * Label.t  (** conditional or unconditional jump *)
+  | Call of string * int  (** [calls $n, f] *)
+  | Ret
+  | Lab of Label.t
+  | Comment of string
+
+val insn : string -> Mode.t list -> t
+
+(** Assembler line (labels are rendered flush left, instructions
+    indented). *)
+val assembly : t -> string
+
+(** Cost in (approximate) cycles: base cost by mnemonic class plus
+    addressing cost of each operand; labels and comments are free. *)
+val cycles : t -> int
+
+(** Does this instruction set the condition codes from its result?
+    (Nearly every VAX instruction does; branches, calls and labels do
+    not.) *)
+val sets_cc : t -> bool
+
+val pp : t Fmt.t
+val pp_program : t list Fmt.t
+
+(** Number of assembly lines (excluding comments) — the paper's
+    "lines of assembly code" metric (section 8). *)
+val count_lines : t list -> int
+
+val total_cycles : t list -> int

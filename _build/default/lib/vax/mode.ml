@@ -1,0 +1,94 @@
+open Import
+
+type mem = {
+  base : int option;
+  sym : string option;
+  disp : int64;
+  index : int option;
+  auto : [ `Inc | `Dec ] option;
+}
+
+type t = Reg of int | Imm of int64 | Fimm of float | Mem of mem
+
+let plain_mem = { base = None; sym = None; disp = 0L; index = None; auto = None }
+
+let reg r = Reg r
+let imm n = Imm n
+let mem_sym s = Mem { plain_mem with sym = Some s }
+let mem_disp ?sym disp base = Mem { plain_mem with sym; disp; base = Some base }
+let mem_deferred r = Mem { plain_mem with base = Some r }
+let autoinc r = Mem { plain_mem with base = Some r; auto = Some `Inc }
+let autodec r = Mem { plain_mem with base = Some r; auto = Some `Dec }
+
+let with_index t rx =
+  match t with
+  | Mem ({ auto = None; index = None; _ } as m) -> Mem { m with index = Some rx }
+  | Mem _ -> invalid_arg "Mode.with_index: operand already indexed or auto"
+  | Reg _ | Imm _ | Fimm _ -> invalid_arg "Mode.with_index: not a memory operand"
+
+let equal a b =
+  match (a, b) with
+  | Reg x, Reg y -> Int.equal x y
+  | Imm x, Imm y -> Int64.equal x y
+  | Fimm x, Fimm y -> Float.equal x y
+  | Mem x, Mem y ->
+    x.base = y.base && x.sym = y.sym
+    && Int64.equal x.disp y.disp
+    && x.index = y.index && x.auto = y.auto
+  | (Reg _ | Imm _ | Fimm _ | Mem _), _ -> false
+
+let registers = function
+  | Reg r -> [ r ]
+  | Imm _ | Fimm _ -> []
+  | Mem m -> (
+    match (m.base, m.index) with
+    | Some b, Some x -> [ b; x ]
+    | Some b, None -> [ b ]
+    | None, Some x -> [ x ]
+    | None, None -> [])
+
+let is_register = function Reg _ -> true | Imm _ | Fimm _ | Mem _ -> false
+let is_memory = function Mem _ -> true | Reg _ | Imm _ | Fimm _ -> false
+let is_immediate = function Imm _ | Fimm _ -> true | Reg _ | Mem _ -> false
+let immediate = function Imm n -> Some n | Reg _ | Fimm _ | Mem _ -> None
+
+(* The addressing mode format table (paper phase 4). *)
+let assembly = function
+  | Reg r -> Regconv.name r
+  | Imm n -> Fmt.str "$%Ld" n
+  | Fimm f -> Fmt.str "$0f%g" f
+  | Mem m -> (
+    let base = Option.map Regconv.name m.base in
+    let index = match m.index with None -> "" | Some rx -> Fmt.str "[%s]" (Regconv.name rx) in
+    match m.auto with
+    | Some `Inc -> Fmt.str "(%s)+" (Option.value base ~default:"?")
+    | Some `Dec -> Fmt.str "-(%s)" (Option.value base ~default:"?")
+    | None ->
+      let disp =
+        match (m.sym, m.disp) with
+        | None, d -> if d = 0L && base <> None then "" else Fmt.str "%Ld" d
+        | Some s, 0L -> s
+        | Some s, d when d > 0L -> Fmt.str "%s+%Ld" s d
+        | Some s, d -> Fmt.str "%s%Ld" s d
+      in
+      let base_part =
+        match base with None -> "" | Some b -> Fmt.str "(%s)" b
+      in
+      let body = disp ^ base_part in
+      let body = if body = "" then "0" else body in
+      body ^ index)
+
+let cost = function
+  | Reg _ | Imm _ | Fimm _ -> 0
+  | Mem m ->
+    let base_cost =
+      match m.auto with
+      | Some _ -> 2
+      | None -> (
+        match (m.base, m.sym, m.disp) with
+        | Some _, None, 0L -> 1 (* register deferred *)
+        | _ -> 1 (* displacement or absolute *))
+    in
+    base_cost + (match m.index with Some _ -> 2 | None -> 0)
+
+let pp ppf t = Fmt.string ppf (assembly t)

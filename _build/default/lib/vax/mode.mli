@@ -1,0 +1,62 @@
+(** VAX addressing modes.
+
+    A {!t} is the semantic descriptor the pattern matcher's reductions
+    build up (paper section 5.2): how an operand is referenced in an
+    instruction.  {!assembly} is the hand-written addressing-mode format
+    table of paper section 5.4. *)
+
+type mem = {
+  base : int option;  (** base register, printed [(rn)] *)
+  sym : string option;  (** symbolic part of the displacement *)
+  disp : int64;  (** numeric displacement *)
+  index : int option;  (** index register [\[rx\]], scaled by operand size *)
+  auto : [ `Inc | `Dec ] option;
+      (** autoincrement [(rn)+] / autodecrement [-(rn)]; excludes
+          displacement and index *)
+}
+
+type t =
+  | Reg of int  (** register direct *)
+  | Imm of int64  (** immediate / literal, [$n] *)
+  | Fimm of float  (** floating literal, [$0f1.5] *)
+  | Mem of mem
+
+val reg : int -> t
+val imm : int64 -> t
+val mem_sym : string -> t
+
+(** [mem_disp ?sym disp base] — [d(rn)]. *)
+val mem_disp : ?sym:string -> int64 -> int -> t
+
+val mem_deferred : int -> t  (** [(rn)] *)
+
+val autoinc : int -> t
+val autodec : int -> t
+
+(** Attach an index register to a memory operand.  Raises
+    [Invalid_argument] on non-memory or auto modes. *)
+val with_index : t -> int -> t
+
+val equal : t -> t -> bool
+
+(** Registers read when this operand is evaluated (for register
+    reclamation). *)
+val registers : t -> int list
+
+val is_register : t -> bool
+val is_memory : t -> bool
+val is_immediate : t -> bool
+
+(** The immediate value, if the operand is one. *)
+val immediate : t -> int64 option
+
+(** Assembler syntax, e.g. [Mem {sym = Some "a"; disp = 4; base = Some 13; _}]
+    prints as ["a+4(fp)"]. *)
+val assembly : t -> string
+
+(** Addressing-cost contribution of the operand in cycles (a coarse
+    model: literals and registers are free, displacements cost 1,
+    indexing and autoincrement cost 2). *)
+val cost : t -> int
+
+val pp : t Fmt.t

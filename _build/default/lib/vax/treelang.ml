@@ -1,0 +1,121 @@
+open Import
+
+type t = {
+  arity : string -> int;
+  starts : parent:string option -> child:int -> string list;
+  stmt_starts : string list;
+  value_starts : Dtype.t -> string list;
+  lvalue_starts : Dtype.t -> string list;
+}
+
+let int_binops ty ~reverse_ops =
+  let base = [ Op.Plus; Op.Minus; Op.Mul; Op.Div; Op.Mod ] in
+  let logical = [ Op.And; Op.Or; Op.Xor ] in
+  let long_only =
+    if ty = Dtype.Long then [ Op.Lsh; Op.Rsh; Op.Udiv; Op.Umod ] else []
+  in
+  let rev =
+    if not reverse_ops then []
+    else
+      [ Op.Rminus; Op.Rdiv; Op.Rmod ]
+      @ if ty = Dtype.Long then [ Op.Rlsh; Op.Rrsh ] else []
+  in
+  base @ logical @ long_only @ rev
+
+let float_binops ~reverse_ops =
+  [ Op.Plus; Op.Minus; Op.Mul; Op.Div ]
+  @ if reverse_ops then [ Op.Rminus; Op.Rdiv ] else []
+
+let split_name name =
+  match String.rindex_opt name '.' with
+  | None -> (name, "")
+  | Some i ->
+    (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let description ?(int_types = [ Dtype.Byte; Dtype.Word; Dtype.Long ])
+    ?(float_types = [ Dtype.Flt; Dtype.Dbl ]) ?(reverse_ops = true) () =
+  let all_types = int_types @ float_types in
+  let arity name =
+    let base, _ = split_name name in
+    match base with
+    | "Assign" | "Rassign" | "Plus" | "Minus" | "Mul" | "Div" | "Mod" | "And"
+    | "Or" | "Xor" | "Lsh" | "Rsh" | "Udiv" | "Umod" | "Rminus" | "Rdiv"
+    | "Rmod" | "Rlsh" | "Rrsh" ->
+      2
+    | "Neg" | "Com" | "Indir" | "Cvt" | "Arg" | "Addr" | "Cbranch" -> 1
+    | "Cmp" -> 3 (* two operands and the Label *)
+    | _ -> 0
+  in
+  let lvalue_starts ty =
+    let s = Dtype.suffix ty in
+    [ "Name." ^ s; "Temp." ^ s; "Indir." ^ s; "Dreg." ^ s; "Autoinc." ^ s;
+      "Autodec." ^ s ]
+  in
+  let value_starts ty =
+    let s = Dtype.suffix ty in
+    let leaves =
+      if Dtype.is_integer ty then
+        [ "Const." ^ s; "Zero." ^ s; "One." ^ s; "Two." ^ s; "Four." ^ s;
+          "Eight." ^ s ]
+      else [ "Fconst." ^ s ]
+    in
+    let ops =
+      if Dtype.is_integer ty then
+        List.map (fun op -> Termname.binop op ty) (int_binops ty ~reverse_ops)
+        @ [ Termname.unop Op.Neg ty; Termname.unop Op.Com ty ]
+      else
+        List.map (fun op -> Termname.binop op ty) (float_binops ~reverse_ops)
+        @ [ Termname.unop Op.Neg ty ]
+    in
+    let conversions =
+      List.filter_map
+        (fun from ->
+          if Dtype.equal from ty then None
+          else Some (Termname.cvt ~from ~to_:ty))
+        all_types
+    in
+    let addr =
+      if ty = Dtype.Long then List.map Termname.addr all_types else []
+    in
+    leaves @ lvalue_starts ty @ ops @ conversions @ addr
+  in
+  let stmt_starts =
+    List.concat_map
+      (fun ty -> [ Termname.assign ty; Termname.rassign ty ])
+      all_types
+    @ [ Termname.cbranch; Termname.arg Dtype.Long; Termname.arg Dtype.Dbl ]
+  in
+  let starts ~parent ~child =
+    match parent with
+    | None -> stmt_starts
+    | Some name -> (
+      let base, sfx = split_name name in
+      let ty = Dtype.of_suffix sfx in
+      match (base, ty, child) with
+      | "Assign", Some ty, 0 -> lvalue_starts ty
+      | "Assign", Some ty, 1 -> value_starts ty
+      | "Rassign", Some ty, 0 -> value_starts ty
+      | "Rassign", Some ty, 1 -> lvalue_starts ty
+      | ( ( "Plus" | "Minus" | "Mul" | "Div" | "Mod" | "And" | "Or" | "Xor"
+          | "Lsh" | "Rsh" | "Udiv" | "Umod" | "Rminus" | "Rdiv" | "Rmod"
+          | "Rlsh" | "Rrsh" | "Neg" | "Com" ),
+          Some ty,
+          _ ) ->
+        value_starts ty
+      | "Indir", Some _, 0 -> value_starts Dtype.Long
+      | "Arg", Some ty, 0 -> value_starts ty
+      | "Addr", Some ty, 0 ->
+        (* addresses are taken of named or computed memory locations *)
+        let s = Dtype.suffix ty in
+        [ "Name." ^ s; "Temp." ^ s; "Indir." ^ s ]
+      | "Cvt", None, 0 when String.length sfx = 2 -> (
+        match Dtype.of_suffix (String.make 1 sfx.[0]) with
+        | Some from -> value_starts from
+        | None -> [])
+      | "Cmp", Some ty, (0 | 1) -> value_starts ty
+      | "Cmp", Some _, 2 -> [ Termname.label ]
+      | "Cbranch", None, 0 ->
+        List.map (fun ty -> Termname.cmp ty) all_types
+      | _ -> [])
+  in
+  { arity; starts; stmt_starts; value_starts; lvalue_starts }

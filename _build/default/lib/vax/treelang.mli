@@ -1,0 +1,37 @@
+open Import
+
+(** Description of the tree language the front ends produce — which
+    terminals exist, their arities in prefix-linearised form, and which
+    terminals may begin the subtree at each position.
+
+    This is what the syntactic-block checker needs to decide whether an
+    error entry in the tables is reachable on legal input (paper
+    section 3.2), and what documentation tools use to enumerate the
+    terminal vocabulary (paper Fig. 1). *)
+
+type t = {
+  arity : string -> int;
+  starts : parent:string option -> child:int -> string list;
+  stmt_starts : string list;
+  value_starts : Dtype.t -> string list;
+  lvalue_starts : Dtype.t -> string list;
+}
+
+(** [description ~int_types ~float_types ~reverse_ops ()] builds the
+    tree-language description matching a grammar built with the same
+    options.  When [reverse_ops] is false the reverse operators are
+    excluded from the language (the evaluation-ordering phase must then
+    be run without operand swapping). *)
+val description :
+  ?int_types:Dtype.t list ->
+  ?float_types:Dtype.t list ->
+  ?reverse_ops:bool ->
+  unit ->
+  t
+
+(** The integer binary operators implemented for a given type (shifts
+    and unsigned division only exist at Long, following PCC's
+    promotion rules). *)
+val int_binops : Dtype.t -> reverse_ops:bool -> Op.binop list
+
+val float_binops : reverse_ops:bool -> Op.binop list

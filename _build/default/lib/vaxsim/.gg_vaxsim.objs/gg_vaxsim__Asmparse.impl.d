@@ -1,0 +1,1 @@
+lib/vaxsim/asmparse.ml: Fmt Import Insn Int64 Label List Mode Regconv String

@@ -1,0 +1,1 @@
+lib/vaxsim/asmparse.mli: Import Insn Label Mode

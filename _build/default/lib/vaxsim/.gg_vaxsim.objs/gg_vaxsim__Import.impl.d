@@ -1,0 +1,1 @@
+lib/vaxsim/import.ml: Gg_ir Gg_vax

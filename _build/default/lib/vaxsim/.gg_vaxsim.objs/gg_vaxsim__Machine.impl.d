@@ -1,0 +1,1 @@
+lib/vaxsim/machine.ml: Array Asmparse Buffer Bytes Char Dtype Fmt Hashtbl Import Insn Int32 Int64 Interp Label List Mode Regconv String Tree

@@ -1,0 +1,1 @@
+lib/vaxsim/machine.mli: Asmparse Dtype Import Interp

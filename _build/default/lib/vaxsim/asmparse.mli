@@ -1,0 +1,28 @@
+open Import
+
+(** Parser for the VAX assembly subset the code generators emit.
+
+    The parser inverts {!Gg_vax.Insn.assembly} and the addressing-mode
+    format table, recovering structured instructions so the simulator
+    and the cost model operate on the same representation the compiler
+    produced.  Local labels ([L7]) are scoped to their function; global
+    symbols come from [.globl] and [.comm]. *)
+
+type item =
+  | Globl of string
+  | Comm of string * int  (** name, size in bytes *)
+  | Deflabel of string  (** function entry or other global label *)
+  | Locallabel of Label.t
+  | Instruction of Insn.t
+
+type program = {
+  items : item list;
+  text : string;  (** original source, for error reporting *)
+}
+
+exception Parse_error of int * string  (** line number, message *)
+
+val parse : string -> program
+
+(** Parse a single operand (exposed for tests), e.g. ["-4(fp)[r6]"]. *)
+val parse_operand : string -> Mode.t

@@ -1,0 +1,625 @@
+open Import
+
+type outcome = {
+  return_value : Interp.value;
+  globals : (string * Interp.value) list;
+  output : string list;
+  insns_executed : int;
+  cycles : int;
+}
+
+exception Sim_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Sim_error s)) fmt
+
+let mem_size = 1 lsl 20
+let globals_base = 0x100
+
+(* -- loaded program ------------------------------------------------------- *)
+
+type image = {
+  code : Insn.t array;
+  func_of_pc : string array;  (** enclosing function of each instruction *)
+  entries : (string, int) Hashtbl.t;  (** global label -> code index *)
+  labels : (string * Label.t, int) Hashtbl.t;  (** (function, L) -> index *)
+  symbols : (string, int) Hashtbl.t;  (** global name -> address *)
+}
+
+let load (p : Asmparse.program) =
+  let code = ref [] in
+  let n = ref 0 in
+  let func_of = ref [] in
+  let entries = Hashtbl.create 16 in
+  let labels = Hashtbl.create 64 in
+  let symbols = Hashtbl.create 16 in
+  let current = ref "?" in
+  let next_addr = ref globals_base in
+  List.iter
+    (fun (item : Asmparse.item) ->
+      match item with
+      | Asmparse.Globl _ -> ()
+      | Asmparse.Comm (name, size) ->
+        let align =
+          if size mod 8 = 0 then 8
+          else if size mod 4 = 0 then 4
+          else if size mod 2 = 0 then 2
+          else 1
+        in
+        next_addr := (!next_addr + align - 1) / align * align;
+        Hashtbl.replace symbols name !next_addr;
+        next_addr := !next_addr + size
+      | Asmparse.Deflabel name ->
+        current := name;
+        Hashtbl.replace entries name !n
+      | Asmparse.Locallabel l -> Hashtbl.replace labels (!current, l) !n
+      | Asmparse.Instruction i ->
+        code := i :: !code;
+        func_of := !current :: !func_of;
+        incr n)
+    p.Asmparse.items;
+  {
+    code = Array.of_list (List.rev !code);
+    func_of_pc = Array.of_list (List.rev !func_of);
+    entries;
+    labels;
+    symbols;
+  }
+
+(* -- machine state -------------------------------------------------------- *)
+
+type state = {
+  image : image;
+  mem : Bytes.t;
+  regs : int64 array;  (** 32-bit values, sign-extended into int64 *)
+  mutable flag_n : bool;
+  mutable flag_z : bool;
+  mutable flag_c : bool;
+  out : Buffer.t;
+  mutable pc : int;
+  mutable depth : int;  (** call depth; ret at depth 0 stops execution *)
+  mutable steps : int;
+  mutable cycles : int;
+  max_steps : int;
+}
+
+let wrap32 n = Int64.of_int32 (Int64.to_int32 n)
+
+let reg_get st r = st.regs.(r)
+let reg_set st r v = st.regs.(r) <- wrap32 v
+
+let check_addr st addr size =
+  if addr < 0 || addr + size > Bytes.length st.mem then
+    error "memory access out of range: %d" addr
+
+let load_bytes st addr size =
+  check_addr st addr size;
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (Int64.logor (Int64.shift_left acc 8)
+           (Int64.of_int (Char.code (Bytes.get st.mem (addr + i)))))
+  in
+  go (size - 1) 0L
+
+let store_bytes st addr size v =
+  check_addr st addr size;
+  for i = 0 to size - 1 do
+    Bytes.set st.mem (addr + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let push_long st v =
+  reg_set st Regconv.sp (Int64.sub (reg_get st Regconv.sp) 4L);
+  store_bytes st (Int64.to_int (reg_get st Regconv.sp)) 4 v
+
+let pop_long st =
+  let v = load_bytes st (Int64.to_int (reg_get st Regconv.sp)) 4 in
+  reg_set st Regconv.sp (Int64.add (reg_get st Regconv.sp) 4L);
+  Tree.wrap Dtype.Long v
+
+(* -- operand access ------------------------------------------------------- *)
+
+(* widths are 1, 2, 4 or 8 bytes; [fp_kind] distinguishes float access *)
+type access = { width : int; float_ : bool }
+
+let acc_of_type ty = { width = Dtype.size ty; float_ = Dtype.is_float ty }
+
+let symbol_addr st s =
+  match Hashtbl.find_opt st.image.symbols s with
+  | Some a -> a
+  | None -> error "undefined symbol %s" s
+
+(* effective address of a memory operand; performs auto side effects *)
+let effective_addr st (m : Mode.mem) access =
+  match m.Mode.auto with
+  | Some `Inc ->
+    let base = match m.Mode.base with Some b -> b | None -> error "auto without base" in
+    let addr = Int64.to_int (reg_get st base) in
+    reg_set st base (Int64.add (reg_get st base) (Int64.of_int access.width));
+    addr
+  | Some `Dec ->
+    let base = match m.Mode.base with Some b -> b | None -> error "auto without base" in
+    reg_set st base (Int64.sub (reg_get st base) (Int64.of_int access.width));
+    Int64.to_int (reg_get st base)
+  | None ->
+    let base =
+      match m.Mode.base with
+      | Some b -> Int64.to_int (reg_get st b)
+      | None -> 0
+    in
+    let sym = match m.Mode.sym with Some s -> symbol_addr st s | None -> 0 in
+    let index =
+      match m.Mode.index with
+      | Some rx -> Int64.to_int (reg_get st rx) * access.width
+      | None -> 0
+    in
+    base + sym + Int64.to_int m.Mode.disp + index
+
+let sign_extend width v =
+  match width with
+  | 1 -> Tree.wrap Dtype.Byte v
+  | 2 -> Tree.wrap Dtype.Word v
+  | 4 -> Tree.wrap Dtype.Long v
+  | 8 -> v
+  | _ -> assert false
+
+(* read an integer operand *)
+let read_int st (operand : Mode.t) access =
+  match operand with
+  | Mode.Imm n -> sign_extend access.width n
+  | Mode.Fimm _ -> error "float literal in integer context"
+  | Mode.Reg r ->
+    if access.width = 8 then
+      (* register pair rn/rn+1: rn low half, rn+1 high half *)
+      Int64.logor
+        (Int64.logand (reg_get st r) 0xffffffffL)
+        (Int64.shift_left (reg_get st (r + 1)) 32)
+    else sign_extend access.width (reg_get st r)
+  | Mode.Mem m ->
+    sign_extend access.width
+      (load_bytes st (effective_addr st m access) access.width)
+
+let write_int st (operand : Mode.t) access v =
+  match operand with
+  | Mode.Imm _ | Mode.Fimm _ -> error "store to an immediate"
+  | Mode.Reg r ->
+    if access.width = 8 then begin
+      reg_set st r (Int64.logand v 0xffffffffL);
+      reg_set st (r + 1) (Int64.shift_right v 32)
+    end
+    else reg_set st r (sign_extend access.width v)
+  | Mode.Mem m -> store_bytes st (effective_addr st m access) access.width v
+
+let read_float st (operand : Mode.t) access =
+  match operand with
+  | Mode.Fimm f -> f
+  | Mode.Imm n -> Int64.to_float n
+  | Mode.Reg _ | Mode.Mem _ ->
+    let bits = read_int st operand access in
+    if access.width = 4 then Int32.float_of_bits (Int64.to_int32 bits)
+    else Int64.float_of_bits bits
+
+let write_float st operand access f =
+  let bits =
+    if access.width = 4 then Int64.of_int32 (Int32.bits_of_float f)
+    else Int64.bits_of_float f
+  in
+  write_int st operand access bits
+
+(* -- flags ----------------------------------------------------------------- *)
+
+let set_flags_int st ~width v =
+  let v = sign_extend width v in
+  st.flag_z <- Int64.equal v 0L;
+  st.flag_n <- Int64.compare v 0L < 0;
+  st.flag_c <- false
+
+let set_flags_float st f =
+  st.flag_z <- f = 0.0;
+  st.flag_n <- f < 0.0;
+  st.flag_c <- false
+
+let unsigned_of_width width n =
+  match width with
+  | 1 -> Int64.logand n 0xffL
+  | 2 -> Int64.logand n 0xffffL
+  | 4 -> Int64.logand n 0xffffffffL
+  | _ -> n
+
+let set_flags_cmp_int st ~width a b =
+  st.flag_z <- Int64.equal a b;
+  st.flag_n <- Int64.compare a b < 0;
+  st.flag_c <-
+    Int64.unsigned_compare (unsigned_of_width width a) (unsigned_of_width width b)
+    < 0
+
+let set_flags_cmp_float st a b =
+  st.flag_z <- a = b;
+  st.flag_n <- a < b;
+  st.flag_c <- false
+
+let branch_taken st cc =
+  match cc with
+  | "jbr" -> true
+  | "jeql" -> st.flag_z
+  | "jneq" -> not st.flag_z
+  | "jlss" -> st.flag_n
+  | "jleq" -> st.flag_n || st.flag_z
+  | "jgtr" -> not (st.flag_n || st.flag_z)
+  | "jgeq" -> not st.flag_n
+  | "jlssu" -> st.flag_c
+  | "jlequ" -> st.flag_c || st.flag_z
+  | "jgtru" -> not (st.flag_c || st.flag_z)
+  | "jgequ" -> not st.flag_c
+  | _ -> error "unknown branch %s" cc
+
+(* -- instruction execution ------------------------------------------------- *)
+
+let type_of_char = function
+  | 'b' -> Dtype.Byte
+  | 'w' -> Dtype.Word
+  | 'l' -> Dtype.Long
+  | 'f' -> Dtype.Flt
+  | 'd' -> Dtype.Dbl
+  | c -> error "unknown type suffix %c" c
+
+(* saved state layout pushed by calls (beyond the argument list):
+   argc, return pc, saved fp, saved ap, saved r2..r11 *)
+let do_call st fname argc ret_pc =
+  match fname with
+  | "print" ->
+    let sp = Int64.to_int (reg_get st Regconv.sp) in
+    let line =
+      if argc = 2 then
+        Fmt.str "%g" (Int64.float_of_bits (load_bytes st sp 8))
+      else Fmt.str "%Ld" (Tree.wrap Dtype.Long (load_bytes st sp 4))
+    in
+    Buffer.add_string st.out (line ^ "\n");
+    reg_set st Regconv.sp
+      (Int64.add (reg_get st Regconv.sp) (Int64.of_int (4 * argc)));
+    st.pc <- ret_pc
+  | "__udivl" | "__umodl" ->
+    let sp = Int64.to_int (reg_get st Regconv.sp) in
+    let a = unsigned_of_width 4 (load_bytes st sp 4) in
+    let b = unsigned_of_width 4 (load_bytes st (sp + 4) 4) in
+    if Int64.equal b 0L then error "unsigned division by zero";
+    let r =
+      if fname = "__udivl" then Int64.unsigned_div a b
+      else Int64.unsigned_rem a b
+    in
+    reg_set st Regconv.r0 r;
+    reg_set st Regconv.sp
+      (Int64.add (reg_get st Regconv.sp) (Int64.of_int (4 * argc)));
+    st.pc <- ret_pc
+  | _ -> (
+    match Hashtbl.find_opt st.image.entries fname with
+    | None -> error "call to undefined function %s" fname
+    | Some target ->
+      push_long st (Int64.of_int argc);
+      push_long st (Int64.of_int ret_pc);
+      push_long st (reg_get st Regconv.fp);
+      push_long st (reg_get st Regconv.ap);
+      for r = 2 to 11 do
+        push_long st (reg_get st r)
+      done;
+      (* ap points at the argument count; 4(ap) is the first argument *)
+      reg_set st Regconv.ap
+        (Int64.add (reg_get st Regconv.sp) (Int64.of_int (4 * 13)));
+      reg_set st Regconv.fp (reg_get st Regconv.sp);
+      st.depth <- st.depth + 1;
+      st.pc <- target)
+
+let do_ret st =
+  reg_set st Regconv.sp (reg_get st Regconv.fp);
+  for r = 11 downto 2 do
+    reg_set st r (pop_long st)
+  done;
+  let ap = pop_long st in
+  let fp = pop_long st in
+  let ret_pc = pop_long st in
+  let argc = pop_long st in
+  reg_set st Regconv.ap ap;
+  reg_set st Regconv.fp fp;
+  reg_set st Regconv.sp
+    (Int64.add (reg_get st Regconv.sp) (Int64.mul 4L argc));
+  st.depth <- st.depth - 1;
+  st.pc <- Int64.to_int ret_pc
+
+let exec_general st mnemonic operands =
+  let n = String.length mnemonic in
+  let prefix k = if n >= k then String.sub mnemonic 0 k else "" in
+  let op2 f_int f_float src dst tchar =
+    let ty = type_of_char tchar in
+    let a = acc_of_type ty in
+    if Dtype.is_float ty then begin
+      let v = f_float (read_float st src a) in
+      write_float st dst a v;
+      set_flags_float st v
+    end
+    else begin
+      let v = f_int (read_int st src a) in
+      let v = sign_extend a.width v in
+      write_int st dst a v;
+      set_flags_int st ~width:a.width v
+    end
+  in
+  let arith f_int f_float tchar =
+    (* 2-operand: dst := dst OP src; 3-operand: dst := a OP b.
+       VAX operand order: add2 src,dst / add3 a,b,dst, where for
+       sub/div the instruction computes (second OP first). *)
+    let ty = type_of_char tchar in
+    let a = acc_of_type ty in
+    match operands with
+    | [ src; dst ] ->
+      if Dtype.is_float ty then begin
+        let v = f_float (read_float st dst a) (read_float st src a) in
+        write_float st dst a v;
+        set_flags_float st v
+      end
+      else begin
+        let v =
+          sign_extend a.width (f_int (read_int st dst a) (read_int st src a))
+        in
+        write_int st dst a v;
+        set_flags_int st ~width:a.width v
+      end
+    | [ x; y; dst ] ->
+      if Dtype.is_float ty then begin
+        let v = f_float (read_float st y a) (read_float st x a) in
+        write_float st dst a v;
+        set_flags_float st v
+      end
+      else begin
+        let v =
+          sign_extend a.width (f_int (read_int st y a) (read_int st x a))
+        in
+        write_int st dst a v;
+        set_flags_int st ~width:a.width v
+      end
+    | _ -> error "%s: bad operand count" mnemonic
+  in
+  match () with
+  | _ when prefix 3 = "mov" && n = 4 -> (
+    match operands with
+    | [ src; dst ] ->
+      op2 (fun v -> v) (fun v -> v) src dst mnemonic.[3]
+    | _ -> error "mov: bad operands")
+  | _ when prefix 4 = "mova" -> (
+    (* address of the operand, scaled for its datatype *)
+    match operands with
+    | [ Mode.Mem m; dst ] ->
+      let ty = type_of_char mnemonic.[4] in
+      let addr = effective_addr st m (acc_of_type ty) in
+      write_int st dst (acc_of_type Dtype.Long) (Int64.of_int addr);
+      set_flags_int st ~width:4 (Int64.of_int addr)
+    | _ -> error "mova: bad operands")
+  | _ when prefix 3 = "clr" -> (
+    match operands with
+    | [ dst ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      if Dtype.is_float ty then write_float st dst a 0.0
+      else write_int st dst a 0L;
+      st.flag_z <- true;
+      st.flag_n <- false;
+      st.flag_c <- false
+    | _ -> error "clr: bad operands")
+  | _ when prefix 4 = "push" -> (
+    match operands with
+    | [ src ] ->
+      let v = read_int st src (acc_of_type Dtype.Long) in
+      push_long st v;
+      set_flags_int st ~width:4 v
+    | _ -> error "push: bad operands")
+  | _ when prefix 4 = "mneg" -> (
+    match operands with
+    | [ src; dst ] -> op2 Int64.neg (fun f -> -.f) src dst mnemonic.[4]
+    | _ -> error "mneg: bad operands")
+  | _ when prefix 4 = "mcom" -> (
+    match operands with
+    | [ src; dst ] ->
+      op2 Int64.lognot (fun _ -> error "mcom on float") src dst mnemonic.[4]
+    | _ -> error "mcom: bad operands")
+  | _ when prefix 3 = "inc" -> (
+    match operands with
+    | [ dst ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      let v = sign_extend a.width (Int64.add (read_int st dst a) 1L) in
+      write_int st dst a v;
+      set_flags_int st ~width:a.width v
+    | _ -> error "inc: bad operands")
+  | _ when prefix 3 = "dec" -> (
+    match operands with
+    | [ dst ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      let v = sign_extend a.width (Int64.sub (read_int st dst a) 1L) in
+      write_int st dst a v;
+      set_flags_int st ~width:a.width v
+    | _ -> error "dec: bad operands")
+  | _ when prefix 3 = "add" -> arith Int64.add ( +. ) mnemonic.[3]
+  | _ when prefix 3 = "sub" -> arith Int64.sub ( -. ) mnemonic.[3]
+  | _ when prefix 3 = "mul" -> arith Int64.mul ( *. ) mnemonic.[3]
+  | _ when prefix 3 = "div" ->
+    arith
+      (fun a b ->
+        if Int64.equal b 0L then error "division by zero";
+        Int64.div a b)
+      (fun a b -> a /. b)
+      mnemonic.[3]
+  | _ when prefix 3 = "bis" ->
+    arith Int64.logor (fun _ _ -> error "bis on float") mnemonic.[3]
+  | _ when prefix 3 = "xor" ->
+    arith Int64.logxor (fun _ _ -> error "xor on float") mnemonic.[3]
+  | _ when prefix 3 = "bic" ->
+    (* dst = second AND NOT first; arith applies (second OP first) *)
+    arith
+      (fun b a -> Int64.logand b (Int64.lognot a))
+      (fun _ _ -> error "bic on float")
+      mnemonic.[3]
+  | _ when mnemonic = "ashl" -> (
+    match operands with
+    | [ cnt; src; dst ] ->
+      let a4 = acc_of_type Dtype.Long in
+      let c = Int64.to_int (read_int st cnt a4) in
+      let v = read_int st src a4 in
+      let r =
+        if c >= 0 then Int64.shift_left v (min c 63)
+        else Int64.shift_right v (min (-c) 63)
+      in
+      let r = sign_extend 4 r in
+      write_int st dst a4 r;
+      set_flags_int st ~width:4 r
+    | _ -> error "ashl: bad operands")
+  | _ when prefix 3 = "cvt" && n = 5 -> (
+    match operands with
+    | [ src; dst ] ->
+      let fty = type_of_char mnemonic.[3] in
+      let tty = type_of_char mnemonic.[4] in
+      let fa = acc_of_type fty in
+      let ta = acc_of_type tty in
+      if Dtype.is_float fty && Dtype.is_float tty then begin
+        let v = read_float st src fa in
+        write_float st dst ta v;
+        set_flags_float st v
+      end
+      else if Dtype.is_float fty then begin
+        let v = Int64.of_float (read_float st src fa) in
+        let v = sign_extend ta.width v in
+        write_int st dst ta v;
+        set_flags_int st ~width:ta.width v
+      end
+      else if Dtype.is_float tty then begin
+        let v = Int64.to_float (read_int st src fa) in
+        write_float st dst ta v;
+        set_flags_float st v
+      end
+      else begin
+        let v = sign_extend ta.width (read_int st src fa) in
+        write_int st dst ta v;
+        set_flags_int st ~width:ta.width v
+      end
+    | _ -> error "cvt: bad operands")
+  | _ when prefix 3 = "tst" -> (
+    match operands with
+    | [ src ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      if Dtype.is_float ty then set_flags_cmp_float st (read_float st src a) 0.0
+      else set_flags_cmp_int st ~width:a.width (read_int st src a) 0L
+    | _ -> error "tst: bad operands")
+  | _ when prefix 3 = "cmp" -> (
+    match operands with
+    | [ x; y ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      if Dtype.is_float ty then
+        set_flags_cmp_float st (read_float st x a) (read_float st y a)
+      else
+        set_flags_cmp_int st ~width:a.width (read_int st x a)
+          (read_int st y a)
+    | _ -> error "cmp: bad operands")
+  | _ -> error "unimplemented instruction %s" mnemonic
+
+let step st =
+  if st.steps >= st.max_steps then
+    error "step budget exceeded (infinite loop?)";
+  st.steps <- st.steps + 1;
+  let insn = st.image.code.(st.pc) in
+  st.cycles <- st.cycles + Insn.cycles insn;
+  let next = st.pc + 1 in
+  match insn with
+  | Insn.Lab _ | Insn.Comment _ -> st.pc <- next
+  | Insn.Insn (m, ops) ->
+    exec_general st m ops;
+    st.pc <- next
+  | Insn.Branch (cc, l) ->
+    if branch_taken st cc then begin
+      let f = st.image.func_of_pc.(st.pc) in
+      match Hashtbl.find_opt st.image.labels (f, l) with
+      | Some target -> st.pc <- target
+      | None -> error "undefined label L%d in %s" l f
+    end
+    else st.pc <- next
+  | Insn.Call (f, argc) -> do_call st f argc next
+  | Insn.Ret -> do_ret st
+
+let run ?(max_steps = 2_000_000) ?(global_types = []) ?(ret_type = Dtype.Long)
+    (p : Asmparse.program) ~entry args =
+  let image = load p in
+  let st =
+    {
+      image;
+      mem = Bytes.make mem_size '\000';
+      regs = Array.make 16 0L;
+      flag_n = false;
+      flag_z = false;
+      flag_c = false;
+      out = Buffer.create 256;
+      pc = 0;
+      depth = 0;
+      steps = 0;
+      cycles = 0;
+      max_steps;
+    }
+  in
+  reg_set st Regconv.sp (Int64.of_int mem_size);
+  reg_set st Regconv.fp (Int64.of_int mem_size);
+  (* push the entry arguments like a caller would *)
+  let slots = ref 0 in
+  List.iter
+    (fun v ->
+      match v with
+      | Interp.VInt n ->
+        push_long st n;
+        incr slots
+      | Interp.VFloat f ->
+        let bits = Int64.bits_of_float f in
+        push_long st (Int64.shift_right_logical bits 32);
+        push_long st bits;
+        slots := !slots + 2)
+    (List.rev args);
+  do_call st entry !slots (-1);
+  if st.pc < 0 then error "entry %s is a builtin" entry;
+  st.depth <- 1;
+  while st.depth > 0 && st.pc >= 0 do
+    step st
+  done;
+  let read_global (name, ty, total) =
+    if total = Dtype.size ty then begin
+      match Hashtbl.find_opt image.symbols name with
+      | None -> None
+      | Some addr ->
+        let a = acc_of_type ty in
+        if Dtype.is_float ty then
+          Some
+            ( name,
+              Interp.VFloat
+                (if a.width = 4 then
+                   Int32.float_of_bits (Int64.to_int32 (load_bytes st addr 4))
+                 else Int64.float_of_bits (load_bytes st addr 8)) )
+        else
+          Some (name, Interp.VInt (sign_extend a.width (load_bytes st addr a.width)))
+    end
+    else None
+  in
+  let return_value =
+    let a = acc_of_type ret_type in
+    if Dtype.is_float ret_type then
+      Interp.VFloat (read_float st (Mode.Reg Regconv.r0) a)
+    else Interp.VInt (read_int st (Mode.Reg Regconv.r0) a)
+  in
+  {
+    return_value;
+    globals = List.filter_map read_global global_types;
+    output =
+      Buffer.contents st.out |> String.split_on_char '\n'
+      |> List.filter (fun s -> s <> "");
+    insns_executed = st.steps;
+    cycles = st.cycles;
+  }
+
+let run_text ?max_steps ?global_types ?ret_type text ~entry args =
+  run ?max_steps ?global_types ?ret_type (Asmparse.parse text) ~entry args

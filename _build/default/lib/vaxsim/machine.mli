@@ -1,0 +1,47 @@
+open Import
+
+(** The VAX-subset simulator.
+
+    Executes parsed assembly over a flat byte-addressable memory with
+    the same calling convention, arithmetic semantics and observable
+    state as {!Gg_ir.Interp} — the two are the two ends of the
+    differential-testing harness.  Registers are 32 bits wide; doubles
+    occupy register pairs rn/rn+1, as on the real machine.
+
+    Builtins: [print] (one long or double argument, appended to the
+    output), and [__udivl]/[__umodl], the unsigned division support
+    routines the idiom recogniser calls, which modify no registers
+    (paper section 5.3.2). *)
+
+type outcome = {
+  return_value : Interp.value;
+  globals : (string * Interp.value) list;
+  output : string list;
+  insns_executed : int;
+  cycles : int;  (** accumulated {!Gg_vax.Insn.cycles} cost *)
+}
+
+exception Sim_error of string
+
+(** [run program ~entry args] loads and executes.  [global_types] gives
+    the element type of each global so scalar finals can be reported
+    (pass the IR program's globals).  [ret_type] tells how to read r0
+    at the end. *)
+val run :
+  ?max_steps:int ->
+  ?global_types:(string * Dtype.t * int) list ->
+  ?ret_type:Dtype.t ->
+  Asmparse.program ->
+  entry:string ->
+  Interp.value list ->
+  outcome
+
+(** Parse and run assembly text in one step. *)
+val run_text :
+  ?max_steps:int ->
+  ?global_types:(string * Dtype.t * int) list ->
+  ?ret_type:Dtype.t ->
+  string ->
+  entry:string ->
+  Interp.value list ->
+  outcome

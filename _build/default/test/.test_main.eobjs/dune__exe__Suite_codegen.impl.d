@@ -1,0 +1,1 @@
+test/suite_codegen.ml: Alcotest Dtype Fmt Gg_codegen Gg_frontc Gg_ir Gg_matcher Gg_tablegen Gg_vax Gg_vaxsim Int Int64 Lazy List Op Regconv String Tree

@@ -1,0 +1,1 @@
+test/suite_diff.ml: Alcotest Fmt Gg_codegen Gg_frontc Gg_ir Gg_pcc Gg_transform Gg_vax Gg_vaxsim Interp List Tree

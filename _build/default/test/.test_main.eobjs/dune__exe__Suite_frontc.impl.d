@@ -1,0 +1,1 @@
+test/suite_frontc.ml: Alcotest Ast Corpus Dtype Fmt Gg_frontc Gg_ir Interp Lexer List Op Parser Sema Tree

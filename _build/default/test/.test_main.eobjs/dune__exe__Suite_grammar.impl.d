@@ -1,0 +1,1 @@
+test/suite_grammar.ml: Action Alcotest Fmt Gg_grammar Gg_ir Gg_vax Grammar List Mdg Schema String Symtab Toy

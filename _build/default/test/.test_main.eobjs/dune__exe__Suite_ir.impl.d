@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Dtype Fmt Gg_ir Int64 Interp Label List Op Regconv Termname Tree

@@ -1,0 +1,1 @@
+test/suite_matcher.ml: Alcotest Fmt Gg_ir Gg_matcher Gg_tablegen Int64 Lazy List Matcher QCheck QCheck_alcotest String Tables Toy

@@ -1,0 +1,1 @@
+test/suite_pcc.ml: Alcotest Dtype Fmt Gg_codegen Gg_frontc Gg_ir Gg_pcc Gg_vax List Op String Tree

@@ -1,0 +1,1 @@
+test/suite_peephole.ml: Alcotest Gg_codegen Gg_vax List Peephole String

@@ -1,0 +1,1 @@
+test/suite_regmgr.ml: Alcotest Desc Dtype Frame Gg_codegen Gg_ir Gg_vax Int64 List Regmgr

@@ -1,0 +1,1 @@
+test/suite_tablegen.ml: Action Alcotest Array Automaton Checks Filename First Fmt Gg_grammar Gg_ir Gg_tablegen Gg_vax Grammar Lazy List Lr0 Naive Packed String Symtab Sys Tables Toy

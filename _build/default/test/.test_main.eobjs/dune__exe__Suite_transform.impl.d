@@ -1,0 +1,1 @@
+test/suite_transform.ml: Alcotest Context Dtype Fmt Gg_ir Gg_transform Int64 Interp List Op Phase1a Phase1b Phase1c QCheck Regconv Transform Tree

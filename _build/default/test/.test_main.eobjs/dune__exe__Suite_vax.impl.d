@@ -1,0 +1,1 @@
+test/suite_vax.ml: Alcotest Gg_grammar Gg_ir Gg_tablegen Gg_vax Grammar_def Insn Insn_table Lazy List Mode Regconv Treelang

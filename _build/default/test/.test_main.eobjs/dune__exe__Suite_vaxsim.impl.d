@@ -1,0 +1,1 @@
+test/suite_vaxsim.ml: Alcotest Asmparse Dtype Gg_ir Gg_vax Gg_vaxsim Int64 Interp List Machine QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/toy.ml: Array Dtype Fmt Gg_grammar Gg_ir Gg_matcher List Op String Tree

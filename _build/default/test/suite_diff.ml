@@ -1,0 +1,145 @@
+(* The differential harness: every program is executed three ways —
+   reference interpreter on the IR, the table-driven backend's output
+   under the VAX simulator, and the PCC-style backend's output under
+   the simulator — and all observables (return value, final scalar
+   globals, print output) must agree.
+
+   This is the reproduction of the paper's correctness claim ("our code
+   generator produces code that passes validation suites", section 8),
+   with the simulator standing in for the hardware. *)
+
+open Gg_ir
+module Driver = Gg_codegen.Driver
+module Pcc = Gg_pcc.Pcc
+module Machine = Gg_vaxsim.Machine
+
+let observations_match (i : Interp.outcome) (s : Machine.outcome) =
+  Interp.value_equal s.Machine.return_value i.Interp.return_value
+  && s.Machine.output = i.Interp.output
+  && List.length s.Machine.globals = List.length i.Interp.globals
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> n1 = n2 && Interp.value_equal v1 v2)
+       s.Machine.globals i.Interp.globals
+
+let check_program ?(options = Driver.default_options) name prog =
+  let reference =
+    try Interp.run ~max_steps:10_000_000 prog ~entry:"main" []
+    with Interp.Runtime_error m -> Alcotest.failf "%s: interpreter: %s" name m
+  in
+  let run_backend bname assembly =
+    let out =
+      try
+        Machine.run_text ~max_steps:40_000_000 assembly
+          ~global_types:prog.Tree.globals ~entry:"main" []
+      with
+      | Machine.Sim_error m -> Alcotest.failf "%s/%s: simulator: %s" name bname m
+      | Gg_vaxsim.Asmparse.Parse_error (l, m) ->
+        Alcotest.failf "%s/%s: asm parse error line %d: %s" name bname l m
+    in
+    if not (observations_match reference out) then
+      Alcotest.failf "%s/%s: observable state differs (ret %a vs %a)" name
+        bname Interp.pp_value out.Machine.return_value Interp.pp_value
+        reference.Interp.return_value
+  in
+  run_backend "gg" (Driver.compile_program ~options prog).Driver.assembly;
+  run_backend "pcc" (Pcc.compile_program prog).Pcc.assembly
+
+let test_fixed_programs () =
+  List.iter
+    (fun (name, src) -> check_program name (Gg_frontc.Sema.compile src))
+    Gg_frontc.Corpus.fixed_programs
+
+let random_prog seed =
+  Gg_frontc.Sema.lower_program
+    (Gg_frontc.Corpus.program ~seed ~functions:3 ~stmts_per_function:10)
+
+let test_random_corpus () =
+  for seed = 1 to 40 do
+    check_program (Fmt.str "random-%d" seed) (random_prog seed)
+  done
+
+let test_random_corpus_no_idioms () =
+  (* "the idiom recogniser is optional in the sense that if it were
+     omitted, correct code would still be generated" (section 5.3.2) *)
+  let options = { Driver.default_options with Driver.idioms = false } in
+  for seed = 41 to 55 do
+    check_program ~options (Fmt.str "noidiom-%d" seed) (random_prog seed)
+  done
+
+let test_random_corpus_no_reverse_ops () =
+  (* the reverse-operator machinery off: grammar without R* patterns and
+     ordering phase forbidden to swap non-commutative operands *)
+  let gopts = { Gg_vax.Grammar_def.default with Gg_vax.Grammar_def.reverse_ops = false } in
+  let options =
+    {
+      Driver.grammar = gopts;
+      transform =
+        { Gg_transform.Transform.default_options with
+          Gg_transform.Transform.reverse_ops = false };
+      idioms = true;
+      peephole = false;
+    }
+  in
+  let tables = Driver.build_tables gopts in
+  for seed = 56 to 65 do
+    let prog = random_prog seed in
+    let name = Fmt.str "norev-%d" seed in
+    let reference = Interp.run ~max_steps:10_000_000 prog ~entry:"main" [] in
+    let out =
+      Machine.run_text ~max_steps:40_000_000
+        (Driver.compile_program ~options ~tables prog).Driver.assembly
+        ~global_types:prog.Tree.globals ~entry:"main" []
+    in
+    if not (observations_match reference out) then
+      Alcotest.failf "%s: observable state differs" name
+  done
+
+let test_random_corpus_with_peephole () =
+  (* the section 6.1 alternative organisation: peephole on both
+     backends, still observationally equal to the interpreter *)
+  let options = { Driver.default_options with Driver.peephole = true } in
+  for seed = 80 to 95 do
+    let prog = random_prog seed in
+    let name = Fmt.str "peephole-%d" seed in
+    let reference = Interp.run ~max_steps:10_000_000 prog ~entry:"main" [] in
+    let check asm =
+      observations_match reference
+        (Machine.run_text ~max_steps:40_000_000 asm
+           ~global_types:prog.Tree.globals ~entry:"main" [])
+    in
+    if not (check (Driver.compile_program ~options prog).Driver.assembly) then
+      Alcotest.failf "%s: gg+peephole differs" name;
+    if not (check (Pcc.compile_program ~peephole:true prog).Pcc.assembly) then
+      Alcotest.failf "%s: pcc+peephole differs" name
+  done
+
+let test_typed_tree_corpus () =
+  (* direct IR programs with byte/word/float arithmetic and the full
+     conversion cross product — paths C's promotion rules never take *)
+  for seed = 1 to 60 do
+    check_program (Fmt.str "typed-%d" seed) (Gg_ir.Treegen.program ~seed ~stmts:25)
+  done
+
+let test_larger_programs () =
+  for seed = 70 to 73 do
+    check_program
+      (Fmt.str "large-%d" seed)
+      (Gg_frontc.Sema.lower_program
+         (Gg_frontc.Corpus.program ~seed ~functions:6 ~stmts_per_function:25))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "fixed programs, both backends" `Quick
+      test_fixed_programs;
+    Alcotest.test_case "random corpus, both backends" `Slow test_random_corpus;
+    Alcotest.test_case "random corpus without idioms" `Slow
+      test_random_corpus_no_idioms;
+    Alcotest.test_case "random corpus without reverse ops" `Slow
+      test_random_corpus_no_reverse_ops;
+    Alcotest.test_case "typed tree corpus (byte/word/float paths)" `Slow
+      test_typed_tree_corpus;
+    Alcotest.test_case "random corpus with peephole" `Slow
+      test_random_corpus_with_peephole;
+    Alcotest.test_case "larger programs" `Slow test_larger_programs;
+  ]

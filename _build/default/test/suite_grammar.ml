@@ -1,0 +1,257 @@
+(* Unit tests for the grammar library: symbol interning, schemas /
+   type replication, grammar construction and well-formedness. *)
+
+open Gg_grammar
+module Dtype = Gg_ir.Dtype
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- Symtab --------------------------------------------------------------- *)
+
+let test_symtab_classification () =
+  let t = Symtab.create () in
+  (match Symtab.intern t "Plus.l" with
+  | Symtab.T 0 -> ()
+  | _ -> Alcotest.fail "first terminal should get index 0");
+  (match Symtab.intern t "reg.l" with
+  | Symtab.N 0 -> ()
+  | _ -> Alcotest.fail "first nonterminal should get index 0");
+  (* idempotent interning *)
+  (match Symtab.intern t "Plus.l" with
+  | Symtab.T 0 -> ()
+  | _ -> Alcotest.fail "re-interning changed the id");
+  check_int "terms" 1 (Symtab.n_terms t);
+  check_int "nonterms" 1 (Symtab.n_nonterms t);
+  check_str "name back" "Plus.l" (Symtab.name t (Symtab.T 0))
+
+let test_symtab_find () =
+  let t = Symtab.create () in
+  ignore (Symtab.intern t "Const.b");
+  (match Symtab.find t "Const.b" with
+  | Some (Symtab.T _) -> ()
+  | _ -> Alcotest.fail "find failed");
+  match Symtab.find t "missing" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "found a symbol never interned"
+
+(* -- Schema --------------------------------------------------------------- *)
+
+let test_subst () =
+  check_str "simple" "Plus.l"
+    (Schema.subst ~vars:[ ('t', "l") ] "Plus.$t");
+  check_str "two vars" "Cvt.bl"
+    (Schema.subst ~vars:[ ('f', "b"); ('t', "l") ] "Cvt.$f$t");
+  check_str "scale" "Four.l"
+    (Schema.subst ~vars:[ ('c', "Four") ] "$c.l");
+  match Schema.subst ~vars:[] "$z" with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "unknown variable accepted: %s" s
+
+let test_scale_tokens () =
+  check_str "byte" "One" (Schema.scale_token Dtype.Byte);
+  check_str "word" "Two" (Schema.scale_token Dtype.Word);
+  check_str "long" "Four" (Schema.scale_token Dtype.Long);
+  check_str "dbl" "Eight" (Schema.scale_token Dtype.Dbl)
+
+let test_typed_expansion () =
+  let sch =
+    Schema.typed
+      [ Dtype.Byte; Dtype.Word; Dtype.Long ]
+      "reg.$t"
+      [ "Plus.$t"; "rval.$t"; "rval.$t" ]
+      (Action.Emit "add.$t")
+  in
+  let specs = Schema.expand sch in
+  check_int "three copies" 3 (List.length specs);
+  match specs with
+  | (lhs, rhs, action, _) :: _ ->
+    check_str "lhs" "reg.b" lhs;
+    Alcotest.(check (list string)) "rhs" [ "Plus.b"; "rval.b"; "rval.b" ] rhs;
+    (match action with
+    | Action.Emit "add.b" -> ()
+    | a -> Alcotest.failf "wrong action %a" Action.pp a)
+  | [] -> Alcotest.fail "no expansion"
+
+let test_pairs_expansion () =
+  let sch =
+    Schema.pairs
+      [ (Dtype.Byte, Dtype.Long); (Dtype.Word, Dtype.Long) ]
+      "reg.$t" [ "Cvt.$f$t"; "rval.$f" ] (Action.Emit "cvt.$f$t")
+  in
+  match Schema.expand sch with
+  | [ (l1, r1, _, _); (l2, r2, _, _) ] ->
+    check_str "lhs 1" "reg.l" l1;
+    Alcotest.(check (list string)) "rhs 1" [ "Cvt.bl"; "rval.b" ] r1;
+    check_str "lhs 2" "reg.l" l2;
+    Alcotest.(check (list string)) "rhs 2" [ "Cvt.wl"; "rval.w" ] r2
+  | _ -> Alcotest.fail "wrong expansion count"
+
+let test_scale_substitution_in_rhs () =
+  let sch =
+    Schema.typed [ Dtype.Long ] "dx.$t"
+      [ "Plus.l"; "Const.l"; "reg.l"; "Mul.l"; "$c.l"; "reg.l" ]
+      (Action.Mode "dx")
+  in
+  match Schema.expand sch with
+  | [ (_, rhs, _, _) ] ->
+    Alcotest.(check (list string)) "scale token"
+      [ "Plus.l"; "Const.l"; "reg.l"; "Mul.l"; "Four.l"; "reg.l" ]
+      rhs
+  | _ -> Alcotest.fail "wrong expansion count"
+
+(* -- Grammar -------------------------------------------------------------- *)
+
+let test_toy_grammar_stats () =
+  let s = Grammar.stats Toy.grammar in
+  check_int "productions" (List.length Toy.specs) s.Grammar.productions;
+  check_int "chains" 5 s.Grammar.chain_productions;
+  check_int "longest rhs" 5 s.Grammar.max_rhs
+
+let test_rejects_empty_rhs () =
+  match Grammar.make ~start:"s" [ ("s", [], Action.Chain, "") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted empty rhs"
+
+let test_rejects_terminal_lhs () =
+  match Grammar.make ~start:"s" [ ("Splat", [ "s" ], Action.Chain, "") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted terminal lhs"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_rejects_undefined_nonterminal () =
+  match
+    Grammar.make ~start:"s" [ ("s", [ "ghost" ], Action.Chain, "") ]
+  with
+  | Error msg ->
+    Alcotest.(check bool) "mentions ghost" true (contains msg "ghost")
+  | Ok _ -> Alcotest.fail "accepted undefined nonterminal"
+
+let test_rejects_duplicates () =
+  match
+    Grammar.make ~start:"s"
+      [
+        ("s", [ "X" ], Action.Chain, "");
+        ("s", [ "X" ], Action.Emit "dup", "");
+      ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted duplicate production"
+
+let test_check_unreachable () =
+  let g =
+    Grammar.make_exn ~start:"s"
+      [
+        ("s", [ "X" ], Action.Chain, "");
+        ("island", [ "Y" ], Action.Chain, "");
+      ]
+  in
+  let report = Grammar.check g in
+  Alcotest.(check (list string)) "unreachable" [ "island" ]
+    report.Grammar.unreachable;
+  Alcotest.(check (list string)) "unproductive" [] report.Grammar.unproductive
+
+let test_check_unproductive () =
+  let g =
+    Grammar.make_exn ~start:"s"
+      [
+        ("s", [ "X" ], Action.Chain, "");
+        ("s", [ "loop" ], Action.Chain, "");
+        ("loop", [ "loop"; "X" ], Action.Chain, "");
+      ]
+  in
+  let report = Grammar.check g in
+  Alcotest.(check (list string)) "unproductive" [ "loop" ]
+    report.Grammar.unproductive
+
+(* -- Mdg text format ------------------------------------------------------- *)
+
+let sample_mdg =
+  {|
+%start stmt
+%class I = b w l
+
+# a tiny description
+imm.$t <- Const.$t [mode imm] %over I ; immediate
+rval.$t <- imm.$t [chain] %over I
+reg.$t <- Plus.$t rval.$t rval.$t [emit add.$t] %over I
+reg.$t <- Cvt.$f$t rval.$f [emit cvt.$f$t] %pairs I I
+rval.$t <- reg.$t [chain] %over I
+stmt <- Assign.l lval.l rval.l [emit mov.l]
+lval.l <- Name.l [mode name]
+|}
+
+let test_mdg_parse () =
+  let mdg = Mdg.parse sample_mdg in
+  check_str "start" "stmt" mdg.Mdg.start;
+  check_int "one class" 1 (List.length mdg.Mdg.classes);
+  check_int "schemas" 7 (List.length mdg.Mdg.schemas);
+  let g = Mdg.to_grammar mdg in
+  (* 3 imm + 3 rval-chain + 3 add + 6 cvt pairs + 3 reg-chain + 2 literals *)
+  check_int "expanded productions" 20 (Grammar.stats g).Grammar.productions
+
+let test_mdg_errors () =
+  let expect_line n src =
+    match Mdg.parse src with
+    | exception Mdg.Mdg_error (l, _) -> check_int "error line" n l
+    | _ -> Alcotest.fail "bad description accepted"
+  in
+  expect_line 0 "x <- Y [chain]
+";
+  (* missing %start *)
+  expect_line 2 "%start s
+s <- X
+";
+  (* missing action *)
+  expect_line 2 "%start s
+s <- X [emit e] %over NOPE
+"
+
+let test_mdg_roundtrip_vax () =
+  (* print the full VAX description and re-parse it: the grammars must
+     be identical production for production *)
+  let schemas = Gg_vax.Grammar_def.schemas Gg_vax.Grammar_def.default in
+  let printed = Mdg.print (Mdg.of_schemas ~start:"stmt" schemas) in
+  let reparsed = Mdg.to_grammar (Mdg.parse printed) in
+  let original = Gg_vax.Grammar_def.grammar Gg_vax.Grammar_def.default in
+  check_int "same production count"
+    (Grammar.n_productions original)
+    (Grammar.n_productions reparsed);
+  for i = 0 to Grammar.n_productions original - 1 do
+    let po = Grammar.production original i in
+    let pr = Grammar.production reparsed i in
+    check_str
+      (Fmt.str "production %d" i)
+      (Fmt.str "%a" (Grammar.pp_production original) po)
+      (Fmt.str "%a" (Grammar.pp_production reparsed) pr)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "symtab classification" `Quick test_symtab_classification;
+    Alcotest.test_case "symtab find" `Quick test_symtab_find;
+    Alcotest.test_case "subst" `Quick test_subst;
+    Alcotest.test_case "scale tokens" `Quick test_scale_tokens;
+    Alcotest.test_case "typed expansion" `Quick test_typed_expansion;
+    Alcotest.test_case "pairs expansion" `Quick test_pairs_expansion;
+    Alcotest.test_case "scale substitution in rhs" `Quick
+      test_scale_substitution_in_rhs;
+    Alcotest.test_case "toy grammar stats" `Quick test_toy_grammar_stats;
+    Alcotest.test_case "rejects empty rhs" `Quick test_rejects_empty_rhs;
+    Alcotest.test_case "rejects terminal lhs" `Quick test_rejects_terminal_lhs;
+    Alcotest.test_case "rejects undefined nonterminal" `Quick
+      test_rejects_undefined_nonterminal;
+    Alcotest.test_case "rejects duplicates" `Quick test_rejects_duplicates;
+    Alcotest.test_case "unreachable nonterminal reported" `Quick
+      test_check_unreachable;
+    Alcotest.test_case "unproductive nonterminal reported" `Quick
+      test_check_unproductive;
+    Alcotest.test_case "mdg parse" `Quick test_mdg_parse;
+    Alcotest.test_case "mdg errors" `Quick test_mdg_errors;
+    Alcotest.test_case "mdg roundtrip of the VAX description" `Quick
+      test_mdg_roundtrip_vax;
+  ]

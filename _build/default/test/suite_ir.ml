@@ -1,0 +1,462 @@
+(* Unit tests for the IR: data types, operators, trees, linearisation,
+   and the reference interpreter. *)
+
+open Gg_ir
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let i64 = Alcotest.testable (fun ppf -> Fmt.pf ppf "%Ld") Int64.equal
+
+(* -- Dtype -------------------------------------------------------------- *)
+
+let test_dtype_sizes () =
+  check_int "byte" 1 (Dtype.size Dtype.Byte);
+  check_int "word" 2 (Dtype.size Dtype.Word);
+  check_int "long" 4 (Dtype.size Dtype.Long);
+  check_int "quad" 8 (Dtype.size Dtype.Quad);
+  check_int "flt" 4 (Dtype.size Dtype.Flt);
+  check_int "dbl" 8 (Dtype.size Dtype.Dbl)
+
+let test_dtype_suffix_roundtrip () =
+  List.iter
+    (fun ty ->
+      match Dtype.of_suffix (Dtype.suffix ty) with
+      | Some ty' -> check_bool (Dtype.name ty) true (Dtype.equal ty ty')
+      | None -> Alcotest.failf "suffix of %s did not round-trip" (Dtype.name ty))
+    Dtype.all;
+  Alcotest.(check (option reject)) "unknown suffix" None (Dtype.of_suffix "z")
+
+let test_dtype_widest () =
+  check_bool "w vs l" true
+    (Dtype.equal Dtype.Long (Dtype.widest Dtype.Word Dtype.Long));
+  check_bool "b vs b" true
+    (Dtype.equal Dtype.Byte (Dtype.widest Dtype.Byte Dtype.Byte))
+
+(* -- Op ------------------------------------------------------------------ *)
+
+let test_reverse_binops () =
+  List.iter
+    (fun op ->
+      match Op.reverse_binop op with
+      | Some rop ->
+        check_bool "reverse is reverse" true (Op.is_reverse rop);
+        check_bool "unreverse undoes" true (Op.unreverse rop = op)
+      | None ->
+        check_bool "commutative or unreversible" true
+          (Op.binop_commutative op || Op.is_reverse op
+          || op = Op.Udiv || op = Op.Umod))
+    Op.all_binops
+
+let test_relop_negate_involution () =
+  List.iter
+    (fun r ->
+      check_bool "negate twice" true (Op.negate_relop (Op.negate_relop r) = r);
+      check_bool "swap twice" true (Op.swap_relop (Op.swap_relop r) = r))
+    Op.all_relops
+
+let test_relop_semantics () =
+  check_bool "negate complements" true
+    (List.for_all
+       (fun r ->
+         List.for_all
+           (fun (a, b) ->
+             Op.eval_relop r a b <> Op.eval_relop (Op.negate_relop r) a b)
+           [ (1L, 2L); (2L, 1L); (3L, 3L) ])
+       Op.all_relops);
+  check_bool "swap mirrors" true
+    (List.for_all
+       (fun r ->
+         List.for_all
+           (fun (a, b) -> Op.eval_relop r a b = Op.eval_relop (Op.swap_relop r) b a)
+           [ (1L, 2L); (2L, 1L); (3L, 3L) ])
+       Op.all_relops)
+
+(* -- Tree ---------------------------------------------------------------- *)
+
+let test_wrap () =
+  Alcotest.check i64 "byte wraps" (-1L) (Tree.wrap Dtype.Byte 255L);
+  Alcotest.check i64 "byte small" 27L (Tree.wrap Dtype.Byte 27L);
+  Alcotest.check i64 "word wraps" (-32768L) (Tree.wrap Dtype.Word 32768L);
+  Alcotest.check i64 "long wraps" (-2147483648L) (Tree.wrap Dtype.Long 2147483648L);
+  Alcotest.check i64 "quad id" Int64.min_int (Tree.wrap Dtype.Quad Int64.min_int)
+
+let appendix_tree =
+  (* the paper's Appendix: a := 27 + b with a long global and b a byte
+     local at the frame pointer *)
+  Tree.Assign
+    ( Dtype.Long,
+      Tree.Name (Dtype.Long, "a"),
+      Tree.Binop
+        ( Op.Plus,
+          Dtype.Long,
+          Tree.Const (Dtype.Byte, 27L),
+          Tree.Conv
+            ( Dtype.Long,
+              Dtype.Byte,
+              Tree.Indir
+                ( Dtype.Byte,
+                  Tree.Binop
+                    ( Op.Plus,
+                      Dtype.Long,
+                      Tree.Const (Dtype.Long, -4L),
+                      Tree.Dreg (Dtype.Long, Regconv.fp) ) ) ) ) )
+
+let test_tree_size () =
+  check_int "appendix tree nodes" 9 (Tree.size appendix_tree);
+  check_int "leaf" 1 (Tree.size (Tree.Const (Dtype.Long, 0L)))
+
+let test_tree_dtype () =
+  check_bool "assign type" true (Tree.dtype appendix_tree = Dtype.Long);
+  check_bool "addr type" true
+    (Tree.dtype (Tree.Addr (Tree.Name (Dtype.Byte, "x"))) = Dtype.Long)
+
+let test_tree_check_accepts () =
+  match Tree.check appendix_tree with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "check rejected appendix tree: %s" msg
+
+let test_tree_check_rejects_bad_assign () =
+  let bad =
+    Tree.Assign
+      (Dtype.Long, Tree.Const (Dtype.Long, 1L), Tree.Const (Dtype.Long, 2L))
+  in
+  match Tree.check bad with
+  | Ok () -> Alcotest.fail "accepted assignment to a constant"
+  | Error _ -> ()
+
+let test_tree_check_rejects_embedded_call () =
+  let bad =
+    Tree.Binop
+      ( Op.Plus,
+        Dtype.Long,
+        Tree.Call (Dtype.Long, "f", []),
+        Tree.Const (Dtype.Long, 1L) )
+  in
+  (match Tree.check ~after_phase1:true bad with
+  | Ok () -> Alcotest.fail "accepted embedded call after phase 1"
+  | Error _ -> ());
+  match Tree.check ~after_phase1:false bad with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "rejected embedded call before phase 1: %s" msg
+
+let test_map_bottom_up () =
+  let t =
+    Tree.Binop
+      (Op.Plus, Dtype.Long, Tree.Const (Dtype.Long, 1L), Tree.Const (Dtype.Long, 2L))
+  in
+  let doubled =
+    Tree.map_bottom_up
+      (function
+        | Tree.Const (ty, n) -> Tree.Const (ty, Int64.mul 2L n)
+        | other -> other)
+      t
+  in
+  match doubled with
+  | Tree.Binop (_, _, Tree.Const (_, 2L), Tree.Const (_, 4L)) -> ()
+  | _ -> Alcotest.fail "map_bottom_up did not rewrite leaves"
+
+(* -- Termname / linearisation ------------------------------------------- *)
+
+let test_linearize_names () =
+  let tokens = Termname.linearize appendix_tree in
+  let names = List.map (fun { Termname.term; _ } -> term) tokens in
+  Alcotest.(check (list string)) "appendix linearisation"
+    [
+      "Assign.l"; "Name.l"; "Plus.l"; "Const.b"; "Cvt.bl"; "Indir.b"; "Plus.l";
+      "Const.l"; "Dreg.l";
+    ]
+    names
+
+let test_linearize_special_constants () =
+  let t =
+    Tree.Binop
+      (Op.Mul, Dtype.Long, Tree.Const (Dtype.Long, 4L), Tree.Dreg (Dtype.Long, 6))
+  in
+  let names sc =
+    List.map
+      (fun { Termname.term; _ } -> term)
+      (Termname.linearize ~special_constants:sc t)
+  in
+  Alcotest.(check (list string)) "with" [ "Mul.l"; "Four.l"; "Dreg.l" ] (names true);
+  Alcotest.(check (list string)) "without" [ "Mul.l"; "Const.l"; "Dreg.l" ]
+    (names false)
+
+let test_linearize_cbranch () =
+  let t =
+    Tree.Cbranch
+      ( Op.Lt,
+        Dtype.Signed,
+        Dtype.Long,
+        Tree.Name (Dtype.Long, "x"),
+        Tree.Const (Dtype.Long, 0L),
+        7 )
+  in
+  let names =
+    List.map (fun { Termname.term; _ } -> term) (Termname.linearize t)
+  in
+  Alcotest.(check (list string)) "cbranch shape"
+    [ "Cbranch"; "Cmp.l"; "Name.l"; "Zero.l"; "Label" ]
+    names
+
+(* -- Interp --------------------------------------------------------------- *)
+
+let value =
+  Alcotest.testable Interp.pp_value Interp.value_equal
+
+let test_eval_arith () =
+  let open Tree in
+  let t ty op a b = Binop (op, ty, Const (ty, a), Const (ty, b)) in
+  Alcotest.check value "add" (Interp.VInt 5L)
+    (Interp.eval_tree (t Dtype.Long Op.Plus 2L 3L));
+  Alcotest.check value "byte overflow wraps" (Interp.VInt (-126L))
+    (Interp.eval_tree (t Dtype.Byte Op.Plus 100L 30L));
+  Alcotest.check value "div truncates toward zero" (Interp.VInt (-2L))
+    (Interp.eval_tree (t Dtype.Long Op.Div (-7L) 3L));
+  Alcotest.check value "mod sign of dividend" (Interp.VInt (-1L))
+    (Interp.eval_tree (t Dtype.Long Op.Mod (-7L) 3L));
+  Alcotest.check value "rminus reverses" (Interp.VInt 1L)
+    (Interp.eval_tree (t Dtype.Long Op.Rminus 2L 3L));
+  Alcotest.check value "udiv on byte" (Interp.VInt 127L)
+    (Interp.eval_tree (t Dtype.Byte Op.Udiv (-2L) 2L))
+
+let test_eval_division_by_zero () =
+  let t =
+    Tree.Binop
+      (Op.Div, Dtype.Long, Tree.Const (Dtype.Long, 1L), Tree.Const (Dtype.Long, 0L))
+  in
+  match Interp.eval_tree t with
+  | exception Interp.Runtime_error _ -> ()
+  | v -> Alcotest.failf "expected error, got %a" Interp.pp_value v
+
+let test_eval_conv () =
+  Alcotest.check value "l->b truncates" (Interp.VInt 1L)
+    (Interp.eval_tree
+       (Tree.Conv (Dtype.Byte, Dtype.Long, Tree.Const (Dtype.Long, 257L))));
+  Alcotest.check value "int->float" (Interp.VFloat 5.0)
+    (Interp.eval_tree
+       (Tree.Conv (Dtype.Dbl, Dtype.Long, Tree.Const (Dtype.Long, 5L))));
+  Alcotest.check value "float->int truncates" (Interp.VInt (-2L))
+    (Interp.eval_tree
+       (Tree.Conv (Dtype.Long, Dtype.Dbl, Tree.Fconst (Dtype.Dbl, -2.7))))
+
+(* a program: int g; int main() { g = 0; for i in 1..5: g += i; return g } *)
+let sum_program =
+  let open Tree in
+  let lg = Label.gen () in
+  let l_loop = Label.fresh lg in
+  let l_done = Label.fresh lg in
+  let i = Name (Dtype.Long, "i") in
+  let g = Name (Dtype.Long, "g") in
+  {
+    globals = [ ("g", Dtype.Long, 4); ("i", Dtype.Long, 4) ];
+    funcs =
+      [
+        {
+          fname = "main";
+          formals = [];
+          ret_type = Dtype.Long;
+          locals_size = 0;
+          body =
+            [
+              Stree (Assign (Dtype.Long, g, Const (Dtype.Long, 0L)));
+              Stree (Assign (Dtype.Long, i, Const (Dtype.Long, 1L)));
+              Slabel l_loop;
+              Stree
+                (Cbranch (Op.Gt, Dtype.Signed, Dtype.Long, i,
+                          Const (Dtype.Long, 5L), l_done));
+              Stree (Assign (Dtype.Long, g, Binop (Op.Plus, Dtype.Long, g, i)));
+              Stree (Assign (Dtype.Long, i, Binop (Op.Plus, Dtype.Long, i,
+                                                   Const (Dtype.Long, 1L))));
+              Sjump l_loop;
+              Slabel l_done;
+              Stree (Assign (Dtype.Long, Dreg (Dtype.Long, Regconv.r0), g));
+              Sret;
+            ];
+        };
+      ];
+  }
+
+let test_run_loop_program () =
+  let outcome = Interp.run sum_program ~entry:"main" [] in
+  Alcotest.check value "1+..+5" (Interp.VInt 15L) outcome.Interp.return_value;
+  match List.assoc_opt "g" outcome.Interp.globals with
+  | Some v -> Alcotest.check value "global g" (Interp.VInt 15L) v
+  | None -> Alcotest.fail "global g not reported"
+
+(* recursion: fact(n) *)
+let fact_program =
+  let open Tree in
+  let lg = Label.gen () in
+  let l_base = Label.fresh lg in
+  let n = Indir (Dtype.Long, Binop (Op.Plus, Dtype.Long, Const (Dtype.Long, 4L),
+                                    Dreg (Dtype.Long, Regconv.ap))) in
+  {
+    globals = [];
+    funcs =
+      [
+        {
+          fname = "fact";
+          formals = [ ("n", Dtype.Long) ];
+          ret_type = Dtype.Long;
+          locals_size = 0;
+          body =
+            [
+              Stree
+                (Cbranch (Op.Le, Dtype.Signed, Dtype.Long, n,
+                          Const (Dtype.Long, 1L), l_base));
+              Stree
+                (Assign
+                   ( Dtype.Long,
+                     Dreg (Dtype.Long, Regconv.r0),
+                     Binop
+                       ( Op.Mul,
+                         Dtype.Long,
+                         n,
+                         Call
+                           ( Dtype.Long,
+                             "fact",
+                             [ Binop (Op.Minus, Dtype.Long, n,
+                                      Const (Dtype.Long, 1L)) ] ) ) ));
+              Sret;
+              Slabel l_base;
+              Stree (Assign (Dtype.Long, Dreg (Dtype.Long, Regconv.r0),
+                             Const (Dtype.Long, 1L)));
+              Sret;
+            ];
+        };
+      ];
+  }
+
+let test_run_recursion () =
+  let outcome = Interp.run fact_program ~entry:"fact" [ Interp.VInt 6L ] in
+  Alcotest.check value "6!" (Interp.VInt 720L) outcome.Interp.return_value
+
+let test_run_print_output () =
+  let open Tree in
+  let program =
+    {
+      globals = [];
+      funcs =
+        [
+          {
+            fname = "main";
+            formals = [];
+            ret_type = Dtype.Long;
+            locals_size = 0;
+            body =
+              [
+                Stree (Call (Dtype.Long, "print", [ Const (Dtype.Long, 42L) ]));
+                Stree (Call (Dtype.Long, "print", [ Const (Dtype.Long, -1L) ]));
+                Stree (Assign (Dtype.Long, Dreg (Dtype.Long, Regconv.r0),
+                               Const (Dtype.Long, 0L)));
+                Sret;
+              ];
+          };
+        ];
+    }
+  in
+  let outcome = Interp.run program ~entry:"main" [] in
+  Alcotest.(check (list string)) "print lines" [ "42"; "-1" ]
+    outcome.Interp.output
+
+let test_step_budget () =
+  let open Tree in
+  let lg = Label.gen () in
+  let l = Label.fresh lg in
+  let program =
+    {
+      globals = [];
+      funcs =
+        [
+          {
+            fname = "main";
+            formals = [];
+            ret_type = Dtype.Long;
+            locals_size = 0;
+            body = [ Slabel l; Sjump l ];
+          };
+        ];
+    }
+  in
+  match Interp.run ~max_steps:1000 program ~entry:"main" [] with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "infinite loop not caught"
+
+let test_autoinc_side_effect () =
+  (* r6 points at memory; *(r6++) reads and advances *)
+  let open Tree in
+  let program =
+    {
+      globals = [ ("a", Dtype.Long, 8); ("s", Dtype.Long, 4) ];
+      funcs =
+        [
+          {
+            fname = "main";
+            formals = [];
+            ret_type = Dtype.Long;
+            locals_size = 0;
+            body =
+              [
+                (* a[0] = 7; a[1] = 9; r6 = &a[0]; s = *(r6++) + *(r6++) *)
+                Stree (Assign (Dtype.Long,
+                               Indir (Dtype.Long, Addr (Name (Dtype.Long, "a"))),
+                               Const (Dtype.Long, 7L)));
+                Stree (Assign (Dtype.Long,
+                               Indir (Dtype.Long,
+                                      Binop (Op.Plus, Dtype.Long,
+                                             Const (Dtype.Long, 4L),
+                                             Addr (Name (Dtype.Long, "a")))),
+                               Const (Dtype.Long, 9L)));
+                Stree (Assign (Dtype.Long, Dreg (Dtype.Long, 6),
+                               Addr (Name (Dtype.Long, "a"))));
+                Stree (Assign (Dtype.Long, Name (Dtype.Long, "s"),
+                               Binop (Op.Plus, Dtype.Long,
+                                      Autoinc (Dtype.Long, 6),
+                                      Autoinc (Dtype.Long, 6))));
+                Stree (Assign (Dtype.Long, Dreg (Dtype.Long, Regconv.r0),
+                               Name (Dtype.Long, "s")));
+                Sret;
+              ];
+          };
+        ];
+    }
+  in
+  let outcome = Interp.run program ~entry:"main" [] in
+  Alcotest.check value "7+9" (Interp.VInt 16L) outcome.Interp.return_value
+
+let suite =
+  [
+    Alcotest.test_case "dtype sizes" `Quick test_dtype_sizes;
+    Alcotest.test_case "dtype suffix roundtrip" `Quick test_dtype_suffix_roundtrip;
+    Alcotest.test_case "dtype widest" `Quick test_dtype_widest;
+    Alcotest.test_case "reverse binops" `Quick test_reverse_binops;
+    Alcotest.test_case "relop negate/swap involutions" `Quick
+      test_relop_negate_involution;
+    Alcotest.test_case "relop semantics" `Quick test_relop_semantics;
+    Alcotest.test_case "wrap" `Quick test_wrap;
+    Alcotest.test_case "tree size" `Quick test_tree_size;
+    Alcotest.test_case "tree dtype" `Quick test_tree_dtype;
+    Alcotest.test_case "check accepts appendix tree" `Quick
+      test_tree_check_accepts;
+    Alcotest.test_case "check rejects bad assign" `Quick
+      test_tree_check_rejects_bad_assign;
+    Alcotest.test_case "check rejects embedded call" `Quick
+      test_tree_check_rejects_embedded_call;
+    Alcotest.test_case "map_bottom_up" `Quick test_map_bottom_up;
+    Alcotest.test_case "linearize appendix" `Quick test_linearize_names;
+    Alcotest.test_case "linearize special constants" `Quick
+      test_linearize_special_constants;
+    Alcotest.test_case "linearize cbranch" `Quick test_linearize_cbranch;
+    Alcotest.test_case "eval arithmetic" `Quick test_eval_arith;
+    Alcotest.test_case "eval division by zero" `Quick
+      test_eval_division_by_zero;
+    Alcotest.test_case "eval conversions" `Quick test_eval_conv;
+    Alcotest.test_case "run loop program" `Quick test_run_loop_program;
+    Alcotest.test_case "run recursion" `Quick test_run_recursion;
+    Alcotest.test_case "print output" `Quick test_run_print_output;
+    Alcotest.test_case "step budget" `Quick test_step_budget;
+    Alcotest.test_case "autoincrement side effect" `Quick
+      test_autoinc_side_effect;
+  ]

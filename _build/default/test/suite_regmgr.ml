@@ -1,0 +1,157 @@
+(* Direct unit tests for the register manager (paper section 5.3.3):
+   stack discipline, source reclamation, pinning, spilling to virtual
+   registers, and descriptor redirection. *)
+
+open Gg_ir
+open Gg_codegen
+module Insn = Gg_vax.Insn
+module Mode = Gg_vax.Mode
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let setup ?reserved () =
+  let out = ref [] in
+  let frame = Frame.create ~locals_size:0 ~temps:[] in
+  let regs = Regmgr.create ?reserved ~emit:(fun i -> out := i :: !out) frame in
+  (regs, frame, out)
+
+let reg_of (d : Desc.t) =
+  match d.Desc.operand with
+  | Mode.Reg r -> r
+  | m -> Alcotest.failf "expected a register, got %s" (Mode.assembly m)
+
+let test_allocation_order () =
+  let regs, _, _ = setup () in
+  let d1 = Regmgr.alloc regs Dtype.Long in
+  let d2 = Regmgr.alloc regs Dtype.Long in
+  check_int "first r6" 6 (reg_of d1);
+  check_int "then r7" 7 (reg_of d2);
+  check_int "two in use" 2 (Regmgr.in_use regs)
+
+let test_release_and_reuse () =
+  let regs, _, _ = setup () in
+  let d1 = Regmgr.alloc regs Dtype.Long in
+  let r1 = reg_of d1 in
+  Regmgr.release regs d1;
+  check_int "freed" 0 (Regmgr.in_use regs);
+  (* the most recently freed register is reused first (the paper's
+     reclaim-from-sources behaviour) *)
+  let d2 = Regmgr.alloc regs Dtype.Long in
+  check_int "reclaimed" r1 (reg_of d2)
+
+let test_pair_allocation () =
+  let regs, _, _ = setup () in
+  let d = Regmgr.alloc regs Dtype.Dbl in
+  let r = reg_of d in
+  Alcotest.(check (list int)) "owns both halves" [ r; r + 1 ] d.Desc.owned;
+  (* the next single must avoid both halves *)
+  let d2 = Regmgr.alloc regs Dtype.Long in
+  check_bool "no overlap" true (reg_of d2 <> r && reg_of d2 <> r + 1)
+
+let test_spill_bottom_of_stack () =
+  let regs, _, out = setup () in
+  let first = Regmgr.alloc regs Dtype.Long in
+  let first_reg = reg_of first in
+  (* exhaust the bank *)
+  let rest = List.init 5 (fun _ -> Regmgr.alloc regs Dtype.Long) in
+  check_int "bank full" 6 (Regmgr.in_use regs);
+  (* the 7th allocation spills the oldest (bottom of the stack) *)
+  let d7 = Regmgr.alloc regs Dtype.Long in
+  check_int "spill reuses the bottom register" first_reg (reg_of d7);
+  (* the spilled descriptor was redirected to a frame slot *)
+  check_bool "redirected to memory" true (Mode.is_memory first.Desc.operand);
+  Alcotest.(check (list int)) "ownership dropped" [] first.Desc.owned;
+  (* and a spill store was emitted *)
+  check_bool "spill store emitted" true
+    (List.exists
+       (function
+         | Insn.Insn ("movl", [ Mode.Reg r; m ]) ->
+           r = first_reg && Mode.is_memory m
+         | _ -> false)
+       !out);
+  ignore rest
+
+let test_pinned_never_spilled () =
+  let regs, _, _ = setup () in
+  let base = Regmgr.alloc regs Dtype.Long in
+  let br = reg_of base in
+  (* compose a memory operand owning the base register: it gets pinned *)
+  let mem =
+    Regmgr.compose regs
+      (Desc.make ~owned:base.Desc.owned Dtype.Long (Mode.mem_deferred br))
+  in
+  (* exhaust and force spills: the pinned register must survive *)
+  let others = List.init 5 (fun _ -> Regmgr.alloc regs Dtype.Long) in
+  let extra = Regmgr.alloc regs Dtype.Long in
+  check_bool "pinned register not taken" true (reg_of extra <> br);
+  check_bool "operand intact" true
+    (Mode.equal mem.Desc.operand (Mode.mem_deferred br));
+  ignore others
+
+let test_as_register_loads_memory () =
+  let regs, _, out = setup () in
+  let d = Desc.make Dtype.Long (Mode.mem_sym "a") in
+  let rd = Regmgr.as_register regs d in
+  check_bool "now a register" true (Mode.is_register rd.Desc.operand);
+  check_bool "load emitted" true
+    (List.exists
+       (function
+         | Insn.Insn ("movl", [ m; Mode.Reg _ ]) -> Mode.is_memory m
+         | _ -> false)
+       !out)
+
+let test_reserved_excluded () =
+  let regs, _, _ = setup ~reserved:[ 6; 7 ] () in
+  let d = Regmgr.alloc regs Dtype.Long in
+  check_bool "skips reserved" true (reg_of d <> 6 && reg_of d <> 7)
+
+let test_assert_clean () =
+  let regs, _, _ = setup () in
+  let d = Regmgr.alloc regs Dtype.Long in
+  (match Regmgr.assert_clean regs with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "leak not detected");
+  Regmgr.release regs d;
+  Regmgr.assert_clean regs
+
+(* -- Frame ------------------------------------------------------------------- *)
+
+let test_frame_layout () =
+  let f = Frame.create ~locals_size:8 ~temps:[ (0, Dtype.Long); (1, Dtype.Dbl) ] in
+  (* temp 0 lands just below the locals, aligned *)
+  (match Frame.temp_mode f 0 Dtype.Long with
+  | Mode.Mem { disp = -12L; base = Some 13; _ } -> ()
+  | m -> Alcotest.failf "temp 0 at %s" (Mode.assembly m));
+  (* the double is 8-aligned *)
+  (match Frame.temp_mode f 1 Dtype.Dbl with
+  | Mode.Mem { disp; _ } -> check_bool "8-aligned" true (Int64.rem disp 8L = 0L)
+  | m -> Alcotest.failf "temp 1 at %s" (Mode.assembly m));
+  let before = Frame.size f in
+  let _slot = Frame.alloc_virtual f Dtype.Long in
+  check_bool "frame grows" true (Frame.size f > before)
+
+let test_frame_lazy_temp () =
+  let f = Frame.create ~locals_size:0 ~temps:[] in
+  (* an undeclared temporary gets a slot on first sight *)
+  let m1 = Frame.temp_mode f 42 Dtype.Word in
+  let m2 = Frame.temp_mode f 42 Dtype.Word in
+  check_bool "stable slot" true (Mode.equal m1 m2)
+
+let suite =
+  [
+    Alcotest.test_case "allocation order" `Quick test_allocation_order;
+    Alcotest.test_case "release and reuse" `Quick test_release_and_reuse;
+    Alcotest.test_case "pair allocation" `Quick test_pair_allocation;
+    Alcotest.test_case "spill bottom of stack" `Quick
+      test_spill_bottom_of_stack;
+    Alcotest.test_case "pinned registers never spilled" `Quick
+      test_pinned_never_spilled;
+    Alcotest.test_case "as_register loads memory" `Quick
+      test_as_register_loads_memory;
+    Alcotest.test_case "reserved registers excluded" `Quick
+      test_reserved_excluded;
+    Alcotest.test_case "between-statements invariant" `Quick test_assert_clean;
+    Alcotest.test_case "frame layout" `Quick test_frame_layout;
+    Alcotest.test_case "frame lazy temporaries" `Quick test_frame_lazy_temp;
+  ]

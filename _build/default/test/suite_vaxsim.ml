@@ -1,0 +1,203 @@
+(* Tests for the VAX simulator: operand parsing (including a roundtrip
+   property against the addressing-mode formatter), instruction
+   execution, flags and branches, and the calls/ret convention. *)
+
+open Gg_ir
+open Gg_vaxsim
+module Mode = Gg_vax.Mode
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let value = Alcotest.testable Interp.pp_value Interp.value_equal
+
+(* -- operand parsing --------------------------------------------------------- *)
+
+let test_parse_operands () =
+  let roundtrip s =
+    Alcotest.(check string) s s (Mode.assembly (Asmparse.parse_operand s))
+  in
+  List.iter roundtrip
+    [ "r6"; "fp"; "sp"; "$42"; "$-7"; "a"; "-4(fp)"; "a+8(r6)"; "(r7)";
+      "(r6)+"; "-(sp)"; "8(r6)[r7]"; "arr[r9]"; "512" ]
+
+let mode = Alcotest.testable Mode.pp Mode.equal
+
+let test_parse_specific () =
+  Alcotest.check mode "deferred" (Mode.mem_deferred 7)
+    (Asmparse.parse_operand "(r7)");
+  Alcotest.check mode "float" (Mode.Fimm 1.5) (Asmparse.parse_operand "$0f1.5");
+  Alcotest.check mode "indexed"
+    (Mode.with_index (Mode.mem_disp 8L 6) 7)
+    (Asmparse.parse_operand "8(r6)[r7]")
+
+let prop_operand_roundtrip =
+  (* every mode the compiler can emit must survive print -> parse *)
+  let gen =
+    let open QCheck.Gen in
+    oneof
+      [
+        map (fun r -> Mode.reg (6 + (abs r mod 6))) int;
+        map (fun n -> Mode.imm (Int64.of_int n)) (int_range (-5000) 5000);
+        return (Mode.mem_sym "gv");
+        map (fun (d, r) -> Mode.mem_disp (Int64.of_int d) (6 + (abs r mod 6)))
+          (pair (int_range (-500) 500) int);
+        map (fun (d, r) -> Mode.mem_disp ~sym:"gv" (Int64.of_int d) (6 + (abs r mod 6)))
+          (pair (int_range 0 64) int);
+        map (fun r -> Mode.mem_deferred (6 + (abs r mod 6))) int;
+        map (fun r -> Mode.autoinc (6 + (abs r mod 6))) int;
+        map (fun r -> Mode.autodec (6 + (abs r mod 6))) int;
+        map (fun (d, r, x) ->
+            Mode.with_index (Mode.mem_disp (Int64.of_int d) (6 + (abs r mod 3)))
+              (9 + (abs x mod 3)))
+          (triple (int_range (-100) 100) int int);
+      ]
+  in
+  QCheck.Test.make ~name:"operand print/parse roundtrip" ~count:500
+    (QCheck.make gen) (fun m ->
+      Mode.equal m (Asmparse.parse_operand (Mode.assembly m)))
+
+let test_parse_program_items () =
+  let p = Asmparse.parse "\t.comm\tg,4\n\t.globl\tmain\nmain:\nL3:\n\tmovl\t$1,r6\n\tjbr\tL3\n\tret\n" in
+  match p.Asmparse.items with
+  | [ Asmparse.Comm ("g", 4); Asmparse.Globl "main"; Asmparse.Deflabel "main";
+      Asmparse.Locallabel 3; Asmparse.Instruction _;
+      Asmparse.Instruction (Gg_vax.Insn.Branch ("jbr", 3));
+      Asmparse.Instruction Gg_vax.Insn.Ret ] ->
+    ()
+  | items -> Alcotest.failf "unexpected item shape (%d items)" (List.length items)
+
+let test_parse_error_line () =
+  match Asmparse.parse "\tmovl\t$1,r6\n\tbogus!!\t$1\n" with
+  | exception Asmparse.Parse_error (2, _) -> ()
+  | exception Asmparse.Parse_error (n, m) ->
+    Alcotest.failf "wrong line %d: %s" n m
+  | _ -> Alcotest.fail "junk accepted"
+
+(* -- execution ----------------------------------------------------------------- *)
+
+let run_asm ?(globals = []) ?(args = []) src =
+  Machine.run_text ~global_types:globals src ~entry:"main" args
+
+let test_simple_arith () =
+  let out = run_asm "main:\n\tmovl\t$20,r6\n\taddl2\t$22,r6\n\tmovl\tr6,r0\n\tret\n" in
+  Alcotest.check value "42" (Interp.VInt 42L) out.Machine.return_value
+
+let test_memory_and_globals () =
+  let out =
+    run_asm ~globals:[ ("g", Dtype.Long, 4) ]
+      "\t.comm\tg,4\nmain:\n\tmovl\t$7,g\n\tmull3\t$6,g,r0\n\tret\n"
+  in
+  Alcotest.check value "42" (Interp.VInt 42L) out.Machine.return_value;
+  Alcotest.(check (list (pair string value))) "global" [ ("g", Interp.VInt 7L) ]
+    out.Machine.globals
+
+let test_byte_sign_extension () =
+  let out =
+    run_asm ~globals:[ ("b", Dtype.Byte, 1) ]
+      "\t.comm\tb,1\nmain:\n\tmovb\t$-1,b\n\tcvtbl\tb,r0\n\tret\n"
+  in
+  Alcotest.check value "sign extended" (Interp.VInt (-1L)) out.Machine.return_value
+
+let test_branches_signed_unsigned () =
+  (* -1 < 1 signed, but 0xffffffff > 1 unsigned *)
+  let src =
+    "main:\n\tclrl\tr0\n\tcmpl\t$-1,$1\n\tjlss\tL1\n\tjbr\tL2\nL1:\n\tbisl2\t$1,r0\nL2:\n\tcmpl\t$-1,$1\n\tjgtru\tL3\n\tjbr\tL4\nL3:\n\tbisl2\t$2,r0\nL4:\n\tret\n"
+  in
+  let out = run_asm src in
+  Alcotest.check value "both branch kinds" (Interp.VInt 3L) out.Machine.return_value
+
+let test_autoincrement_execution () =
+  let src =
+    "\t.comm\ta,8\nmain:\n\tmovl\t$7,a\n\tmovl\t$9,a+4\n\tmoval\ta,r6\n\taddl3\t(r6)+,(r6)+,r0\n\tret\n"
+  in
+  let out = run_asm ~globals:[ ("a", Dtype.Long, 8) ] src in
+  Alcotest.check value "7+9" (Interp.VInt 16L) out.Machine.return_value
+
+let test_indexed_scaling () =
+  (* [rx] scales by operand size: longs by 4 *)
+  let src =
+    "\t.comm\ta,8\nmain:\n\tmovl\t$5,a\n\tmovl\t$11,a+4\n\tmovl\t$1,r7\n\tmovl\ta[r7],r0\n\tret\n"
+  in
+  let out = run_asm ~globals:[ ("a", Dtype.Long, 8) ] src in
+  Alcotest.check value "a[1]" (Interp.VInt 11L) out.Machine.return_value
+
+let test_calls_and_ret () =
+  let src =
+    "\t.globl\tdouble\ndouble:\n\taddl3\t4(ap),4(ap),r0\n\tret\n\
+     \t.globl\tmain\nmain:\n\tpushl\t$21\n\tcalls\t$1,double\n\tret\n"
+  in
+  let out = run_asm src in
+  Alcotest.check value "42" (Interp.VInt 42L) out.Machine.return_value
+
+let test_calls_preserves_registers () =
+  let src =
+    "\t.globl\tclobber\nclobber:\n\tmovl\t$99,r6\n\tmovl\t$99,r11\n\tret\n\
+     \t.globl\tmain\nmain:\n\tmovl\t$5,r6\n\tmovl\t$6,r11\n\tcalls\t$0,clobber\n\taddl3\tr6,r11,r0\n\tret\n"
+  in
+  let out = run_asm src in
+  Alcotest.check value "r6/r11 preserved" (Interp.VInt 11L) out.Machine.return_value
+
+let test_udivl_builtin () =
+  let src =
+    "main:\n\tpushl\t$3\n\tpushl\t$-2\n\tcalls\t$2,__udivl\n\tret\n"
+  in
+  let out = run_asm src in
+  (* 0xfffffffe / 3 = 0x55555554 *)
+  Alcotest.check value "unsigned divide" (Interp.VInt 0x55555554L)
+    out.Machine.return_value
+
+let test_double_register_pairs () =
+  (* movd into a register pair and back *)
+  let src =
+    "\t.comm\td,8\nmain:\n\tmovd\t$0f2.5,r6\n\taddd2\t$0f0.25,r6\n\tmovd\tr6,d\n\tclrl\tr0\n\tret\n"
+  in
+  let out = run_asm ~globals:[ ("d", Dtype.Dbl, 8) ] src in
+  Alcotest.(check (list (pair string value))) "double global"
+    [ ("d", Interp.VFloat 2.75) ]
+    out.Machine.globals
+
+let test_print_builtin () =
+  let out = run_asm "main:\n\tpushl\t$-3\n\tcalls\t$1,print\n\tclrl\tr0\n\tret\n" in
+  Alcotest.(check (list string)) "printed" [ "-3" ] out.Machine.output
+
+let test_step_budget () =
+  match run_asm "main:\nL1:\n\tjbr\tL1\n" with
+  | exception Machine.Sim_error _ -> ()
+  | _ -> Alcotest.fail "infinite loop not caught"
+
+let test_division_by_zero () =
+  match run_asm "main:\n\tclrl\tr6\n\tdivl3\tr6,$5,r0\n\tret\n" with
+  | exception Machine.Sim_error _ -> ()
+  | _ -> Alcotest.fail "division by zero not caught"
+
+let test_cycles_accumulate () =
+  let out = run_asm "main:\n\tmovl\t$2,r6\n\tmull2\t$3,r6\n\tmovl\tr6,r0\n\tret\n" in
+  check_bool "cycles counted" true (out.Machine.cycles > 10);
+  check_int "instructions" 4 out.Machine.insns_executed
+
+let suite =
+  [
+    Alcotest.test_case "parse operands roundtrip" `Quick test_parse_operands;
+    Alcotest.test_case "parse specific operands" `Quick test_parse_specific;
+    QCheck_alcotest.to_alcotest prop_operand_roundtrip;
+    Alcotest.test_case "parse program items" `Quick test_parse_program_items;
+    Alcotest.test_case "parse error reports line" `Quick test_parse_error_line;
+    Alcotest.test_case "simple arithmetic" `Quick test_simple_arith;
+    Alcotest.test_case "memory and globals" `Quick test_memory_and_globals;
+    Alcotest.test_case "byte sign extension" `Quick test_byte_sign_extension;
+    Alcotest.test_case "signed and unsigned branches" `Quick
+      test_branches_signed_unsigned;
+    Alcotest.test_case "autoincrement execution" `Quick
+      test_autoincrement_execution;
+    Alcotest.test_case "indexed scaling" `Quick test_indexed_scaling;
+    Alcotest.test_case "calls and ret" `Quick test_calls_and_ret;
+    Alcotest.test_case "calls preserves registers" `Quick
+      test_calls_preserves_registers;
+    Alcotest.test_case "__udivl builtin" `Quick test_udivl_builtin;
+    Alcotest.test_case "double register pairs" `Quick
+      test_double_register_pairs;
+    Alcotest.test_case "print builtin" `Quick test_print_builtin;
+    Alcotest.test_case "step budget" `Quick test_step_budget;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "cycle accounting" `Quick test_cycles_accumulate;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "ggcg"
+    [
+      ("ir", Suite_ir.suite);
+      ("grammar", Suite_grammar.suite);
+      ("tablegen", Suite_tablegen.suite);
+      ("matcher", Suite_matcher.suite);
+      ("transform", Suite_transform.suite);
+      ("vax", Suite_vax.suite);
+      ("codegen", Suite_codegen.suite);
+      ("vaxsim", Suite_vaxsim.suite);
+      ("peephole", Suite_peephole.suite);
+      ("regmgr", Suite_regmgr.suite);
+      ("frontc", Suite_frontc.suite);
+      ("pcc", Suite_pcc.suite);
+      ("differential", Suite_diff.suite);
+    ]
