@@ -10,6 +10,8 @@ module Grammar = Gg_grammar.Grammar
 module Tables = Gg_tablegen.Tables
 module Naive = Gg_tablegen.Naive
 module Lr0 = Gg_tablegen.Lr0
+module Packed = Gg_tablegen.Packed
+module Profile = Gg_profile.Profile
 module Matcher = Gg_matcher.Matcher
 module Transform = Gg_transform.Transform
 module Phase1c = Gg_transform.Phase1c
@@ -228,7 +230,28 @@ let bench_table_construction () =
   row "  speedup:               %8.1fx   (paper: ~12x on the full grammar)@."
     (t_naive /. max 1e-6 t_fast_subset);
   row "full grammar, improved constructor + SLR tables: %.3f s (%d states)@."
-    t_fast_full (Tables.n_states tables_full)
+    t_fast_full (Tables.n_states tables_full);
+  (* the production path: ggcc never reconstructs a cached grammar's
+     tables — it loads the packed file keyed by grammar digest *)
+  let t_pack, packed = time_once (fun () -> Packed.pack tables_full) in
+  let file = Filename.temp_file "ggcg-bench" ".tbl" in
+  Packed.save packed file;
+  let loads = if quick then 5 else 20 in
+  let t_load_total, () =
+    time_once (fun () ->
+        for _ = 1 to loads do
+          ignore (Packed.load full file)
+        done)
+  in
+  Sys.remove file;
+  let t_load = t_load_total /. float_of_int loads in
+  row "packing the full tables:                         %.3f s@." t_pack;
+  row "cached load of the packed tables:                %.4f s (avg of %d)@."
+    t_load loads;
+  row
+    "  speedup vs optimised construction:             %8.1fx   (acceptance: \
+     >= 10x)@."
+    (t_fast_full /. max 1e-6 t_load)
 
 (* ============================================================================ *)
 (* T-MEM: table size and compression (sections 2, 6.4, 9)                        *)
@@ -270,7 +293,7 @@ let bench_phase_profile () =
         List.iter
           (fun s ->
             match s with
-            | Tree.Stree t -> ignore (Matcher.run_tree tables null_cb t)
+            | Tree.Stree t -> ignore (Matcher.run_tree_engine tables null_cb t)
             | _ -> ())
           tr.Transform.func.Tree.body)
       transformed
@@ -285,16 +308,35 @@ let bench_phase_profile () =
         ("full", fun () -> ignore (Driver.compile_program ~tables prog));
       ]
   in
-  match
-    (lookup results "transform", lookup results "match", lookup results "full")
-  with
+  (match
+     (lookup results "transform", lookup results "match", lookup results "full")
+   with
   | Some tr, Some m, Some full ->
     row "phase 1 (transform):            %6.2f ms@." (tr /. 1e6);
     row "phase 2 (pattern match only):   %6.2f ms@." (m /. 1e6);
     row "full pipeline:                  %6.2f ms@." (full /. 1e6);
     row "pattern matching share of full: %.0f%%   (paper: ~50%%)@."
       (100. *. m /. full)
-  | _ -> row "measurement failed@."
+  | _ -> row "measurement failed@.");
+  (* the same claim from the standing gg_profile instrumentation (what
+     ggcc -profile prints), one instrumented corpus compile *)
+  let was = !Profile.enabled in
+  Profile.enabled := true;
+  Profile.reset ();
+  ignore (Driver.compile_program ~tables prog);
+  let t_transform = Profile.seconds "phase1.transform" in
+  let t_match = Profile.seconds "phase2.match" in
+  row
+    "instrumented (-profile): transform %.2f ms, match+emit %.2f ms -> \
+     matching %.0f%% of the two phases@."
+    (t_transform *. 1e3) (t_match *. 1e3)
+    (100. *. t_match /. max 1e-9 (t_transform +. t_match));
+  row "  matcher counters: %d runs, %d shifts, %d reduces, %d semantic ties@."
+    Profile.counters.Profile.matcher_runs Profile.counters.Profile.shifts
+    Profile.counters.Profile.reduces
+    Profile.counters.Profile.semantic_choices;
+  Profile.enabled := was;
+  Profile.reset ()
 
 (* ============================================================================ *)
 (* T-TIME: code generation speed, GG vs PCC (section 8)                         *)
@@ -487,7 +529,7 @@ let bench_peephole () =
 let bench_coverage () =
   section "COV: grammar production coverage (completeness check)";
   let tables = Lazy.force Driver.default_tables in
-  let g = Tables.grammar tables in
+  let g = Driver.grammar tables in
   let used = Array.make (Grammar.n_productions g) false in
   let null_cb : unit Matcher.callbacks =
     {
@@ -503,7 +545,7 @@ let bench_coverage () =
         List.iter
           (fun s ->
             match s with
-            | Tree.Stree t -> ignore (Matcher.run_tree tables null_cb t)
+            | Tree.Stree t -> ignore (Matcher.run_tree_engine tables null_cb t)
             | _ -> ())
           tr.Transform.func.Tree.body)
       prog.Tree.funcs
@@ -556,7 +598,7 @@ let bench_appendix () =
                                 Tree.Dreg (Dtype.Long, Regconv.fp)) ) ) ) )
   in
   let insns, trace = Driver.compile_tree_traced tree in
-  let g = Tables.grammar (Lazy.force Driver.default_tables) in
+  let g = Driver.grammar (Lazy.force Driver.default_tables) in
   Fmt.pr "%a@." (Matcher.pp_trace g) trace;
   row "emitted code:@.";
   List.iter (fun i -> row "%s@." (Insn.assembly i)) insns

@@ -21,12 +21,35 @@ let read_file path =
   close_in ic;
   s
 
-let compile_source backend ~idioms ~peephole src =
-  let prog = Sema.compile src in
+(* Table acquisition for the gg backend, in order of preference: an
+   explicit -tables file (created on first use), the per-user cache
+   keyed by grammar digest, or an in-process build (--no-cache). *)
+let gg_tables ~tables_file ~no_cache () =
+  let g = Lazy.force Gg_vax.Grammar_def.default_grammar in
+  match tables_file with
+  | Some path ->
+    let packed =
+      if Sys.file_exists path then
+        Gg_profile.Profile.time "tables.load" (fun () ->
+            Gg_tablegen.Packed.load g path)
+      else begin
+        let p = Gg_tablegen.Cache.build g in
+        Gg_tablegen.Packed.save p path;
+        p
+      end
+    in
+    Gg_matcher.Matcher.packed_engine ~grammar:g packed
+  | None ->
+    if no_cache then Lazy.force Driver.default_tables
+    else Driver.cached_tables Driver.default_options.Driver.grammar
+
+let compile_source backend ~idioms ~peephole ~tables src =
+  let prog = Gg_profile.Profile.time "frontend" (fun () -> Sema.compile src) in
   match backend with
   | Gg ->
     let options = { Driver.default_options with Driver.idioms; peephole } in
-    ((Driver.compile_program ~options prog).Driver.assembly, prog)
+    let tables = Lazy.force tables in
+    ((Driver.compile_program ~options ~tables prog).Driver.assembly, prog)
   | Pcc_backend -> ((Pcc.compile_program ~peephole prog).Pcc.assembly, prog)
 
 let handle_errors f =
@@ -43,11 +66,27 @@ let handle_errors f =
   | Gg_matcher.Matcher.Reject e ->
     Fmt.epr "code generator: %a@." Gg_matcher.Matcher.pp_error e;
     exit 2
+  | Failure m ->
+    (* bad/stale -tables files, unwritable outputs, ... *)
+    Fmt.epr "error: %s@." m;
+    exit 1
 
-let compile_cmd path backend idioms peephole output run args =
+let with_profile profile f =
+  if profile then begin
+    Gg_profile.Profile.enabled := true;
+    Gg_profile.Profile.reset ()
+  end;
+  let r = f () in
+  if profile then Fmt.epr "%a" Gg_profile.Profile.report ();
+  r
+
+let compile_cmd path backend idioms peephole output run args tables_file
+    no_cache profile =
   handle_errors (fun () ->
+      with_profile profile @@ fun () ->
+      let tables = lazy (gg_tables ~tables_file ~no_cache ()) in
       let asm, prog =
-        compile_source backend ~idioms ~peephole (read_file path)
+        compile_source backend ~idioms ~peephole ~tables (read_file path)
       in
       (match output with
       | Some out ->
@@ -75,11 +114,12 @@ let interp_cmd path args =
       List.iter print_endline out.Interp.output;
       Fmt.pr "exit: %a@." Interp.pp_value out.Interp.return_value)
 
-let trace_cmd path =
+let trace_cmd path tables_file no_cache profile =
   handle_errors (fun () ->
+      with_profile profile @@ fun () ->
       let prog = Sema.compile (read_file path) in
-      let tables = Lazy.force Driver.default_tables in
-      let g = Gg_tablegen.Tables.grammar tables in
+      let tables = gg_tables ~tables_file ~no_cache () in
+      let g = Driver.grammar tables in
       List.iter
         (fun (f : Tree.func) ->
           Fmt.pr "=== %s ===@." f.Tree.fname;
@@ -95,7 +135,9 @@ let trace_cmd path =
               match s with
               | Tree.Stree t ->
                 Fmt.pr "@.tree: %a@." Tree.pp t;
-                let outcome = Gg_matcher.Matcher.run_tree ~trace:true tables cb t in
+                let outcome =
+                  Gg_matcher.Matcher.run_tree_engine ~trace:true tables cb t
+                in
                 Fmt.pr "%a@."
                   (Gg_matcher.Matcher.pp_trace g)
                   outcome.Gg_matcher.Matcher.trace
@@ -132,13 +174,40 @@ let run_arg =
 let args_arg =
   Arg.(value & opt (list int) [] & info [ "args" ] ~doc:"Integer arguments to main.")
 
+let tables_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "T"; "tables" ] ~docv:"FILE"
+        ~doc:
+          "Load the packed parse tables from $(docv) (created on first use). \
+           Default: the per-user cache keyed by grammar digest \
+           (\\$GGCG_CACHE_DIR, \\$XDG_CACHE_HOME/ggcg or ~/.cache/ggcg).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Rebuild the parse tables in-process; never touch the disk.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print per-phase wall times and matcher/cache counters to stderr \
+           (the paper's Fig. 2 instrumentation).")
+
 let () =
+  let compile_term =
+    Term.(
+      const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg
+      $ output_arg $ run_arg $ args_arg $ tables_arg $ no_cache_arg
+      $ profile_arg)
+  in
   let compile =
-    Cmd.v
-      (Cmd.info "compile" ~doc:"Compile mini-C to VAX assembly.")
-      Term.(
-        const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg
-        $ output_arg $ run_arg $ args_arg)
+    Cmd.v (Cmd.info "compile" ~doc:"Compile mini-C to VAX assembly.")
+      compile_term
   in
   let interp =
     Cmd.v
@@ -148,10 +217,11 @@ let () =
   let trace =
     Cmd.v
       (Cmd.info "trace" ~doc:"Show the pattern matcher's shift/reduce actions.")
-      Term.(const trace_cmd $ path_arg)
+      Term.(
+        const trace_cmd $ path_arg $ tables_arg $ no_cache_arg $ profile_arg)
   in
   let info =
     Cmd.info "ggcc"
       ~doc:"Mini-C compiler with a table-driven VAX code generator"
   in
-  exit (Cmd.eval (Cmd.group info ~default:Term.(const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg $ output_arg $ run_arg $ args_arg) [ compile; interp; trace ]))
+  exit (Cmd.eval (Cmd.group info ~default:compile_term [ compile; interp; trace ]))

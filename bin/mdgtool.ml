@@ -133,10 +133,42 @@ let vocabulary o =
   Fmt.pr "@."
 
 let pack_stats o =
-  let t = Tables.build (Grammar_def.grammar o) in
+  let g = Grammar_def.grammar o in
+  let t = Tables.build g in
   Fmt.pr "dense:  %a@." Tables.pp_stats (Tables.stats t);
   Fmt.pr "packed: %a@." Gg_tablegen.Packed.pp_stats
-    (Gg_tablegen.Packed.stats (Gg_tablegen.Packed.pack t))
+    (Gg_tablegen.Packed.stats (Gg_tablegen.Packed.pack t));
+  Fmt.pr "grammar digest: %s@." (Grammar.digest g)
+
+(* warm (or inspect) the on-disk table cache ggcc compiles from *)
+let cache o dir clear =
+  let g = Grammar_def.grammar o in
+  let file = Gg_tablegen.Cache.path ?dir g in
+  if clear then
+    if Sys.file_exists file then begin
+      Sys.remove file;
+      Fmt.pr "removed %s@." file
+    end
+    else Fmt.pr "no cached tables (%s)@." file
+  else begin
+    let time_once f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (Unix.gettimeofday () -. t0, r)
+    in
+    (match Gg_tablegen.Cache.load ?dir g with
+    | Some _ -> Fmt.pr "cache hit:  %s@." file
+    | None ->
+      let t_build, packed = time_once (fun () -> Gg_tablegen.Cache.build g) in
+      if Gg_tablegen.Cache.store ?dir g packed then
+        Fmt.pr "cache miss: built in %.3f s and stored %s@." t_build file
+      else Fmt.pr "cache miss: built in %.3f s (store failed: %s)@." t_build file);
+    let t_load, packed = time_once (fun () -> Gg_tablegen.Packed.load g file) in
+    Fmt.pr "load time:  %.1f ms@." (t_load *. 1e3);
+    Fmt.pr "tables:     %a@." Gg_tablegen.Packed.pp_stats
+      (Gg_tablegen.Packed.stats packed);
+    Fmt.pr "digest:     %s@." (Gg_tablegen.Packed.digest packed)
+  end
 
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show all results.")
@@ -160,6 +192,17 @@ let () =
         Term.(const export $ opts_term);
       cmd_of "pack" "Table compression statistics."
         Term.(const pack_stats $ opts_term);
+      cmd_of "cache"
+        "Warm the on-disk packed-table cache (what ggcc compiles from)."
+        Term.(
+          const cache $ opts_term
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "dir" ] ~docv:"DIR" ~doc:"Cache directory override.")
+          $ Arg.(
+              value & flag
+              & info [ "clear" ] ~doc:"Remove this grammar's cached tables."));
       cmd_of "vocabulary" "The terminal/non-terminal vocabulary (paper Fig. 1)."
         Term.(const vocabulary $ opts_term);
       cmd_of "file"

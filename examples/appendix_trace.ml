@@ -41,7 +41,7 @@ let () =
     tokens;
   let insns, trace = Gg_codegen.Driver.compile_tree_traced appendix_tree in
   let grammar =
-    Gg_tablegen.Tables.grammar (Lazy.force Gg_codegen.Driver.default_tables)
+    Gg_codegen.Driver.grammar (Lazy.force Gg_codegen.Driver.default_tables)
   in
   Fmt.pr "parser actions:@.%a@.@." (Gg_matcher.Matcher.pp_trace grammar) trace;
   Fmt.pr "emitted instructions:@.";

@@ -15,7 +15,20 @@ let default_options =
     peephole = false;
   }
 
-let build_tables gopts = Tables.build (Grammar_def.grammar gopts)
+type tables = Matcher.engine
+
+let grammar (t : tables) = t.Matcher.eng_grammar
+
+(* The production representation is the comb-packed one; the dense
+   tables exist as an intermediate (and for differential testing via
+   Matcher.engine). *)
+let build_tables gopts =
+  let g = Grammar_def.grammar gopts in
+  Matcher.packed_engine ~grammar:g (Gg_tablegen.Cache.build g)
+
+let cached_tables ?dir gopts =
+  let g = Grammar_def.grammar gopts in
+  Matcher.packed_engine ~grammar:g (Gg_tablegen.Cache.load_or_build ?dir g)
 
 let default_tables = lazy (build_tables Grammar_def.default)
 
@@ -31,13 +44,13 @@ type output = {
   program : Tree.program;
 }
 
-let compile_stmts tables sem (body : Tree.stmt list) =
-  let cb = Semantics.callbacks sem (Tables.grammar tables) in
+let compile_stmts (tables : tables) sem (body : Tree.stmt list) =
+  let cb = Semantics.callbacks sem (grammar tables) in
   List.iter
     (fun (s : Tree.stmt) ->
       match s with
       | Tree.Stree tree ->
-        let outcome = Matcher.run_tree tables cb tree in
+        let outcome = Matcher.run_tree_engine tables cb tree in
         (match outcome.Matcher.value with
         | Desc.Done -> ()
         | Desc.D d ->
@@ -73,16 +86,21 @@ let compile_func ?(options = default_options) tables (f : Tree.func) =
   let reserved = reserved_registers f in
   let pool = List.length Regconv.allocatable - List.length reserved in
   let tr =
-    Transform.run ~options:options.transform ~spill_limit:(max 2 (pool - 1)) f
+    Profile.time "phase1.transform" (fun () ->
+        Transform.run ~options:options.transform
+          ~spill_limit:(max 2 (pool - 1)) f)
   in
   let frame =
     Frame.create ~locals_size:f.Tree.locals_size ~temps:tr.Transform.temps
   in
   let sem = Semantics.create ~idioms:options.idioms ~reserved frame in
-  compile_stmts tables sem tr.Transform.func.Tree.body;
+  Profile.time "phase2.match" (fun () ->
+      compile_stmts tables sem tr.Transform.func.Tree.body);
   let insns = Semantics.output sem in
   let insns =
-    if options.peephole then fst (Peephole.optimize insns) else insns
+    if options.peephole then
+      Profile.time "peephole" (fun () -> fst (Peephole.optimize insns))
+    else insns
   in
   {
     cf_name = f.Tree.fname;
@@ -144,13 +162,13 @@ let compile_tree_traced ?(options = default_options) ?tables tree =
   let tr = Transform.run ~options:options.transform f in
   let frame = Frame.create ~locals_size:0 ~temps:tr.Transform.temps in
   let sem = Semantics.create ~idioms:options.idioms frame in
-  let cb = Semantics.callbacks sem (Tables.grammar tables) in
+  let cb = Semantics.callbacks sem (grammar tables) in
   let traces = ref [] in
   List.iter
     (fun (s : Tree.stmt) ->
       match s with
       | Tree.Stree t ->
-        let outcome = Matcher.run_tree ~trace:true tables cb t in
+        let outcome = Matcher.run_tree_engine ~trace:true tables cb t in
         traces := outcome.Matcher.trace :: !traces
       | _ -> ())
     tr.Transform.func.Tree.body;

@@ -18,11 +18,24 @@ type options = {
 
 val default_options : options
 
-(** Parse tables for the given options; building them is expensive, so
-    build once and reuse (callers share {!default_tables}). *)
-val build_tables : Grammar_def.options -> Tables.t
+(** The driver's table handle: a {!Matcher.engine}.  The production
+    representation is comb-packed ({!Gg_tablegen.Packed}); wrap dense
+    tables with {!Matcher.engine} for differential runs. *)
+type tables = Matcher.engine
 
-val default_tables : Tables.t Lazy.t
+val grammar : tables -> Grammar.t
+
+(** Build packed tables in-process for the given options; building is
+    expensive, so build once and reuse (callers share
+    {!default_tables}). *)
+val build_tables : Grammar_def.options -> tables
+
+(** Like {!build_tables} but through the on-disk cache
+    ({!Gg_tablegen.Cache}): a warm cache loads the replicated VAX
+    tables in milliseconds instead of reconstructing them. *)
+val cached_tables : ?dir:string -> Grammar_def.options -> tables
+
+val default_tables : tables Lazy.t
 
 type compiled_func = {
   cf_name : string;
@@ -37,20 +50,22 @@ type output = {
 }
 
 (** Compile one function (already transformed trees are not required:
-    the driver runs Phase 1 itself). *)
-val compile_func : ?options:options -> Tables.t -> Tree.func -> compiled_func
+    the driver runs Phase 1 itself).  Phase 1 and the match phase are
+    timed under ["phase1.transform"] / ["phase2.match"] when
+    {!Gg_profile.Profile.enabled}. *)
+val compile_func : ?options:options -> tables -> Tree.func -> compiled_func
 
-val compile_program : ?options:options -> ?tables:Tables.t -> Tree.program -> output
+val compile_program : ?options:options -> ?tables:tables -> Tree.program -> output
 
 (** Compile a single statement tree against the default tables and
     return the instructions — convenient for tests and examples. *)
-val compile_tree : ?options:options -> ?tables:Tables.t -> Tree.t -> Insn.t list
+val compile_tree : ?options:options -> ?tables:tables -> Tree.t -> Insn.t list
 
 (** Like {!compile_tree} but also returns the matcher trace (for the
     paper's Appendix example). *)
 val compile_tree_traced :
   ?options:options ->
-  ?tables:Tables.t ->
+  ?tables:tables ->
   Tree.t ->
   Insn.t list * Matcher.step list
 

@@ -10,6 +10,7 @@ module Symtab = Gg_grammar.Symtab
 module Action = Gg_grammar.Action
 module Tables = Gg_tablegen.Tables
 module Matcher = Gg_matcher.Matcher
+module Profile = Gg_profile.Profile
 module Mode = Gg_vax.Mode
 module Insn = Gg_vax.Insn
 module Insn_table = Gg_vax.Insn_table

@@ -160,3 +160,54 @@ let pp_stats ppf s =
 
 let pp ppf g =
   Array.iter (fun p -> Fmt.pf ppf "%a@\n" (pp_production g) p) g.prods
+
+let digest g =
+  let buf = Buffer.create 8192 in
+  (* the symbol tables, so renamings that keep the counts equal still
+     change the digest *)
+  Buffer.add_string buf "terms:";
+  for a = 0 to Symtab.n_terms g.symtab - 1 do
+    Buffer.add_string buf (Symtab.term_name g.symtab a);
+    Buffer.add_char buf '\x00'
+  done;
+  Buffer.add_string buf "nonterms:";
+  for n = 0 to Symtab.n_nonterms g.symtab - 1 do
+    Buffer.add_string buf (Symtab.nonterm_name g.symtab n);
+    Buffer.add_char buf '\x00'
+  done;
+  Buffer.add_string buf "start:";
+  Buffer.add_string buf (string_of_int g.start);
+  Buffer.add_char buf '\x00';
+  (* every production in full: lhs, rhs, semantic action, and the note
+     (the assembly template / cost annotation).  Raw fields, not the
+     pretty-printer: [load] recomputes this on every cache hit, so it
+     sits on the compiler's start-up path. *)
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int p.lhs);
+      Buffer.add_string buf "<-";
+      Array.iter
+        (fun sym ->
+          (match sym with
+          | Symtab.T a ->
+            Buffer.add_char buf 'T';
+            Buffer.add_string buf (string_of_int a)
+          | Symtab.N n ->
+            Buffer.add_char buf 'N';
+            Buffer.add_string buf (string_of_int n));
+          Buffer.add_char buf ' ')
+        p.rhs;
+      (match p.action with
+      | Action.Chain -> Buffer.add_string buf "chain"
+      | Action.Start -> Buffer.add_string buf "accept"
+      | Action.Mode m ->
+        Buffer.add_string buf "mode:";
+        Buffer.add_string buf m
+      | Action.Emit e ->
+        Buffer.add_string buf "emit:";
+        Buffer.add_string buf e);
+      Buffer.add_char buf ';';
+      Buffer.add_string buf p.note;
+      Buffer.add_char buf '\x00')
+    g.prods;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

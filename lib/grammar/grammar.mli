@@ -57,6 +57,13 @@ type stats = {
 
 val stats : t -> stats
 
+(** A stable hex digest of the complete grammar content: symbol tables,
+    start symbol, and every production with its action and note.  Two
+    grammars with the same symbol counts but different productions get
+    different digests — this keys the on-disk table cache and stale-file
+    rejection in {!Gg_tablegen.Packed}. *)
+val digest : t -> string
+
 val pp_production : t -> production Fmt.t
 val pp_stats : stats Fmt.t
 val pp : t Fmt.t

@@ -1,4 +1,5 @@
 open Import
+module Profile = Gg_profile.Profile
 
 type 'a callbacks = {
   on_shift : Termname.token -> 'a;
@@ -54,6 +55,7 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
       (expected s)
   in
   let reject i a =
+    Profile.counters.Profile.rejects <- Profile.counters.Profile.rejects + 1;
     raise
       (Reject
          {
@@ -81,11 +83,13 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
     let a = term_id i in
     match action !state a with
     | Tables.Shift s' ->
+      Profile.counters.Profile.shifts <- Profile.counters.Profile.shifts + 1;
       record (Sshift tokens.(i).Termname.term);
       stack := (!state, cb.on_shift tokens.(i)) :: !stack;
       state := s';
       loop (i + 1)
     | Tables.Reduce candidates ->
+      Profile.counters.Profile.reduces <- Profile.counters.Profile.reduces + 1;
       let pop_args len =
         (* returns (args, remaining stack, exposed state) *)
         let rec go k acc st =
@@ -101,11 +105,29 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
       let pid =
         if Array.length candidates = 1 then candidates.(0)
         else begin
-          (* a genuine tie: all candidates have equal rhs length *)
+          (* a genuine tie: all candidates have equal rhs length.  The
+             table constructor validates this invariant; re-check it
+             here because tables can also arrive from a file, and a
+             violation would silently corrupt the stack. *)
+          Profile.counters.Profile.semantic_choices <-
+            Profile.counters.Profile.semantic_choices + 1;
           let prods = Array.map (Grammar.production g) candidates in
           let len = Array.length prods.(0).rhs in
+          Array.iter
+            (fun (p : Grammar.production) ->
+              if Array.length p.rhs <> len then
+                Fmt.failwith
+                  "matcher: semantic tie in state %d mixes rhs lengths \
+                   (corrupt tables?): %a vs %a"
+                  !state (Grammar.pp_production g) prods.(0)
+                  (Grammar.pp_production g) p)
+            prods;
           let args, _, _ = pop_args len in
           let idx = cb.choose prods [ args ] in
+          if idx < 0 || idx >= Array.length candidates then
+            Fmt.failwith
+              "matcher: choose returned %d for %d candidates" idx
+              (Array.length candidates);
           candidates.(idx)
         end
       in
@@ -129,29 +151,50 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
       | _ -> assert false)
     | Tables.Error -> reject i a
   in
+  Profile.counters.Profile.matcher_runs <-
+    Profile.counters.Profile.matcher_runs + 1;
   let value = loop 0 in
   { value; trace = List.rev !steps }
 
+type engine = {
+  eng_grammar : Grammar.t;
+  eng_eof : int;
+  eng_action : int -> int -> Tables.action;
+  eng_goto : int -> int -> int;
+  eng_expected : int -> int list;
+}
+
+let engine (tables : Tables.t) =
+  {
+    eng_grammar = Tables.grammar tables;
+    eng_eof = Tables.eof tables;
+    eng_action = (fun s a -> tables.Tables.action.(s).(a));
+    eng_goto = (fun s n -> tables.Tables.goto_.(s).(n));
+    eng_expected = Tables.expected tables;
+  }
+
+let packed_engine ~grammar (packed : Gg_tablegen.Packed.t) =
+  let g : Grammar.t = grammar in
+  {
+    eng_grammar = g;
+    eng_eof = Symtab.n_terms g.Grammar.symtab;
+    eng_action = Gg_tablegen.Packed.action packed;
+    eng_goto = Gg_tablegen.Packed.goto packed;
+    eng_expected = Gg_tablegen.Packed.expected packed;
+  }
+
+let run_engine ?trace e cb tokens =
+  run_with ?trace ~g:e.eng_grammar ~eof:e.eng_eof ~action:e.eng_action
+    ~goto:e.eng_goto ~expected:e.eng_expected cb tokens
+
+let run_tree_engine ?trace ?special_constants e cb tree =
+  run_engine ?trace e cb (Termname.linearize ?special_constants tree)
+
 let run ?trace (tables : Tables.t) cb tokens =
-  run_with ?trace
-    ~g:(Tables.grammar tables)
-    ~eof:(Tables.eof tables)
-    ~action:(fun s a -> tables.Tables.action.(s).(a))
-    ~goto:(fun s n -> tables.Tables.goto_.(s).(n))
-    ~expected:(Tables.expected tables)
-    cb tokens
+  run_engine ?trace (engine tables) cb tokens
 
 let run_packed ?trace (packed : Gg_tablegen.Packed.t) ~grammar cb tokens =
-  let g : Grammar.t = grammar in
-  let eof = Symtab.n_terms g.Grammar.symtab in
-  run_with ?trace ~g ~eof
-    ~action:(Gg_tablegen.Packed.action packed)
-    ~goto:(Gg_tablegen.Packed.goto packed)
-    ~expected:(fun s ->
-      List.filter
-        (fun a -> Gg_tablegen.Packed.action packed s a <> Tables.Error)
-        (List.init (eof + 1) Fun.id))
-    cb tokens
+  run_engine ?trace (packed_engine ~grammar packed) cb tokens
 
 let run_tree ?trace ?special_constants tables cb tree =
   run ?trace tables cb (Termname.linearize ?special_constants tree)

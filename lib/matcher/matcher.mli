@@ -37,17 +37,49 @@ exception Reject of error
 
 type 'a outcome = { value : 'a; trace : step list }
 
-(** [run tables callbacks tokens] parses one linearised tree.  Returns
-    the semantic value of the start symbol.  Raises {!Reject} on a
-    syntactic block — which, per the paper, indicates a bug in the
+(** A table representation bound to its lookup functions.  The matcher
+    is driven through this record, so the dense and the comb-packed
+    representations are interchangeable end to end — the production
+    path runs packed ({!packed_engine}); the dense form is kept for
+    differential testing ({!engine}). *)
+type engine = {
+  eng_grammar : Grammar.t;
+  eng_eof : int;  (** terminal index of the end marker *)
+  eng_action : int -> int -> Tables.action;
+  eng_goto : int -> int -> int;
+  eng_expected : int -> int list;
+      (** terminals with a non-error action, for diagnostics *)
+}
+
+val engine : Tables.t -> engine
+
+(** The packed engine is behaviourally identical to the dense one,
+    including error positions and expected sets (see
+    {!Gg_tablegen.Packed}). *)
+val packed_engine : grammar:Grammar.t -> Gg_tablegen.Packed.t -> engine
+
+(** [run_engine engine callbacks tokens] parses one linearised tree.
+    Returns the semantic value of the start symbol.  Raises {!Reject}
+    on a syntactic block — which, per the paper, indicates a bug in the
     machine description, not in the program being compiled. *)
+val run_engine :
+  ?trace:bool -> engine -> 'a callbacks -> Termname.token list -> 'a outcome
+
+(** Linearise a tree and run the matcher over it. *)
+val run_tree_engine :
+  ?trace:bool ->
+  ?special_constants:bool ->
+  engine ->
+  'a callbacks ->
+  Tree.t ->
+  'a outcome
+
+(** [run tables] = [run_engine (engine tables)]. *)
 val run :
   ?trace:bool -> Tables.t -> 'a callbacks -> Termname.token list -> 'a outcome
 
-(** Run against comb-packed tables ({!Gg_tablegen.Packed}): identical
-    behaviour on grammatical input; ungrammatical input may perform some
-    default reductions before failing, as in any parser with default
-    actions. *)
+(** [run_packed packed ~grammar] =
+    [run_engine (packed_engine ~grammar packed)]. *)
 val run_packed :
   ?trace:bool ->
   Gg_tablegen.Packed.t ->
@@ -56,7 +88,7 @@ val run_packed :
   Termname.token list ->
   'a outcome
 
-(** Linearise a tree and run the matcher over it. *)
+(** [run_tree tables] = [run_tree_engine (engine tables)]. *)
 val run_tree :
   ?trace:bool ->
   ?special_constants:bool ->

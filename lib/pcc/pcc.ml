@@ -383,9 +383,10 @@ let compile_func ?(peephole = false) (f : Tree.func) =
   (* this backend cannot spill dynamically and doubles need register
      pairs, so its budget is tighter than the table-driven backend's *)
   let tr =
-    Transform.run ~options:transform_options
-      ~spill_limit:(max 2 (pool_size - 3))
-      f
+    Gg_profile.Profile.time "phase1.transform" (fun () ->
+        Transform.run ~options:transform_options
+          ~spill_limit:(max 2 (pool_size - 3))
+          f)
   in
   let frame =
     Frame.create ~locals_size:f.Tree.locals_size ~temps:tr.Transform.temps
@@ -394,12 +395,16 @@ let compile_func ?(peephole = false) (f : Tree.func) =
     List.filter (fun r -> not (List.mem r reserved)) Regconv.allocatable
   in
   let st = { out_rev = []; free = pool; frame } in
-  List.iter (gen_stmt st) tr.Transform.func.Tree.body;
+  Gg_profile.Profile.time "pcc.select" (fun () ->
+      List.iter (gen_stmt st) tr.Transform.func.Tree.body);
   if List.length st.free <> List.length pool then
     failwith "pcc: register leak";
   let insns = List.rev st.out_rev in
   let insns =
-    if peephole then fst (Gg_codegen.Peephole.optimize insns) else insns
+    if peephole then
+      Gg_profile.Profile.time "peephole" (fun () ->
+          fst (Gg_codegen.Peephole.optimize insns))
+    else insns
   in
   {
     cf_name = f.Tree.fname;

@@ -1,0 +1,77 @@
+type counters = {
+  mutable shifts : int;
+  mutable reduces : int;
+  mutable semantic_choices : int;
+  mutable matcher_runs : int;
+  mutable rejects : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let counters =
+  {
+    shifts = 0;
+    reduces = 0;
+    semantic_choices = 0;
+    matcher_runs = 0;
+    rejects = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let enabled = ref false
+
+(* phase name -> (accumulated seconds, number of calls).  Only leaf
+   phases are timed, so the shares of the total are meaningful. *)
+let timers : (string, float * int) Hashtbl.t = Hashtbl.create 16
+
+let reset () =
+  counters.shifts <- 0;
+  counters.reduces <- 0;
+  counters.semantic_choices <- 0;
+  counters.matcher_runs <- 0;
+  counters.rejects <- 0;
+  counters.cache_hits <- 0;
+  counters.cache_misses <- 0;
+  Hashtbl.reset timers
+
+let add_time name dt =
+  let total, calls = try Hashtbl.find timers name with Not_found -> (0., 0) in
+  Hashtbl.replace timers name (total +. dt, calls + 1)
+
+let time name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> add_time name (Unix.gettimeofday () -. t0)) f
+  end
+
+let seconds name =
+  try fst (Hashtbl.find timers name) with Not_found -> 0.
+
+let calls name = try snd (Hashtbl.find timers name) with Not_found -> 0
+
+let phases () =
+  Hashtbl.fold (fun name (total, calls) acc -> (name, total, calls) :: acc)
+    timers []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let report ppf () =
+  let ps = phases () in
+  let total = List.fold_left (fun acc (_, t, _) -> acc +. t) 0. ps in
+  if ps <> [] then begin
+    Fmt.pf ppf "phase timings:@.";
+    List.iter
+      (fun (name, t, calls) ->
+        Fmt.pf ppf "  %-20s %8.2f ms  %5.1f%%  (%d calls)@." name (t *. 1e3)
+          (if total > 0. then 100. *. t /. total else 0.)
+          calls)
+      ps;
+    Fmt.pf ppf "  %-20s %8.2f ms@." "total" (total *. 1e3)
+  end;
+  Fmt.pf ppf
+    "matcher: %d runs, %d shifts, %d reduces, %d semantic choices, %d rejects@."
+    counters.matcher_runs counters.shifts counters.reduces
+    counters.semantic_choices counters.rejects;
+  Fmt.pf ppf "table cache: %d hits, %d misses@." counters.cache_hits
+    counters.cache_misses

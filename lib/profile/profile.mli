@@ -1,0 +1,48 @@
+(** Always-available phase instrumentation.
+
+    The paper's Fig. 2 observation — "roughly one half of code
+    generation time is spent pattern matching" — motivated much of its
+    engineering; this module turns that one-off measurement into
+    standing instrumentation.  Hot-path event counters (shifts, reduces,
+    semantic tie choices, table-cache hits) are plain mutable ints and
+    always on; wall-clock phase timers are gated on {!enabled} so the
+    production path pays nothing when profiling is off (the [ggcc
+    -profile] flag turns it on).
+
+    Only {e leaf} phases are timed (front end, table load/build,
+    transform, match, peephole), so the per-phase shares printed by
+    {!report} sum to the whole. *)
+
+type counters = {
+  mutable shifts : int;
+  mutable reduces : int;
+  mutable semantic_choices : int;  (** ties resolved by [choose] *)
+  mutable matcher_runs : int;  (** trees matched *)
+  mutable rejects : int;  (** syntactic blocks raised *)
+  mutable cache_hits : int;  (** packed tables loaded from disk *)
+  mutable cache_misses : int;  (** packed tables rebuilt *)
+}
+
+(** The global event counters, always updated. *)
+val counters : counters
+
+(** Gates the wall-clock timers (not the counters); off by default. *)
+val enabled : bool ref
+
+(** [time name f] runs [f], accumulating its wall time under [name]
+    when {!enabled}; transparent otherwise. *)
+val time : string -> (unit -> 'a) -> 'a
+
+(** Accumulated seconds / call count for a phase (0 if never timed). *)
+val seconds : string -> float
+
+val calls : string -> int
+
+(** All timed phases as [(name, seconds, calls)], slowest first. *)
+val phases : unit -> (string * float * int) list
+
+(** Zero the counters and drop all timers. *)
+val reset : unit -> unit
+
+(** Render timers (with shares of the timed total) and counters. *)
+val report : Format.formatter -> unit -> unit

@@ -1,0 +1,61 @@
+open Import
+module Profile = Gg_profile.Profile
+
+let default_dir () =
+  match Sys.getenv_opt "GGCG_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "ggcg"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" ->
+        Filename.concat (Filename.concat h ".cache") "ggcg"
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "ggcg-cache"))
+
+let path ?dir (g : Grammar.t) =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  Filename.concat dir (Fmt.str "tables-%s.tbl" (Grammar.digest g))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let load ?dir (g : Grammar.t) =
+  let file = path ?dir g in
+  if not (Sys.file_exists file) then None
+  else
+    match Profile.time "tables.load" (fun () -> Packed.load g file) with
+    | t -> Some t
+    | exception (Failure _ | Sys_error _) -> None
+
+let store ?dir (g : Grammar.t) (t : Packed.t) =
+  let file = path ?dir g in
+  try
+    mkdir_p (Filename.dirname file);
+    (* write-then-rename so concurrent compiles never see a torn file *)
+    let tmp =
+      Filename.temp_file ~temp_dir:(Filename.dirname file) "tables-" ".tmp"
+    in
+    Packed.save t tmp;
+    Sys.rename tmp file;
+    true
+  with Sys_error _ -> false
+
+let build (g : Grammar.t) =
+  Profile.time "tables.build" (fun () -> Packed.pack (Tables.build g))
+
+let load_or_build ?dir (g : Grammar.t) =
+  match load ?dir g with
+  | Some t ->
+    Profile.counters.Profile.cache_hits <-
+      Profile.counters.Profile.cache_hits + 1;
+    t
+  | None ->
+    Profile.counters.Profile.cache_misses <-
+      Profile.counters.Profile.cache_misses + 1;
+    let t = build g in
+    ignore (store ?dir g t);
+    t

@@ -1,0 +1,39 @@
+open Import
+
+(** On-disk cache of packed parse tables, keyed by grammar digest.
+
+    The paper's table construction was the development bottleneck (the
+    2 h → 10 min story, sections 7 and 9); even our optimised
+    constructor is the dominant start-up cost of every [ggcc] run.  The
+    cache makes construction a once-per-grammar event: files are named
+    [tables-<digest>.tbl] under the cache directory, so an edited
+    grammar automatically misses and a stale file can never be picked
+    up.  {!Packed.load} additionally re-verifies the embedded digest.
+
+    The directory is [$GGCG_CACHE_DIR], else [$XDG_CACHE_HOME/ggcg],
+    else [~/.cache/ggcg] (a temp-dir fallback covers HOME-less
+    environments).  All writes are atomic (write + rename) and all
+    failures degrade to rebuilding in memory — the cache can never make
+    a compile fail. *)
+
+val default_dir : unit -> string
+
+(** The cache file for this grammar (the file need not exist). *)
+val path : ?dir:string -> Grammar.t -> string
+
+(** [load g] — the cached tables, or [None] if absent, stale or
+    unreadable.  Timed under ["tables.load"] when profiling. *)
+val load : ?dir:string -> Grammar.t -> Packed.t option
+
+(** Best-effort atomic store; returns [false] if the directory is not
+    writable. *)
+val store : ?dir:string -> Grammar.t -> Packed.t -> bool
+
+(** Build and pack tables without touching the disk (timed under
+    ["tables.build"]). *)
+val build : Grammar.t -> Packed.t
+
+(** The production path: cached tables if present, else build and
+    store.  Updates the {!Gg_profile.Profile.counters} hit/miss
+    counts. *)
+val load_or_build : ?dir:string -> Grammar.t -> Packed.t

@@ -15,7 +15,9 @@ type t = {
   n_terms : int;  (* action row width is n_terms + 1 (eof) *)
   n_nonterms : int;
   n_states : int;
+  grammar_digest : string;  (* Grammar.digest of the source grammar *)
   defaults : int array;  (* encoded default reduce per state; 0 = none *)
+  valid : Bytes.t;  (* bitset: 1 = the dense action cell is non-Error *)
   act_base : int array;
   act_check : int array;
   act_value : int array;
@@ -83,6 +85,23 @@ let pack (tables : Tables.t) =
   let nn = Symtab.n_nonterms g.Grammar.symtab in
   let n_states = Tables.n_states tables in
   let aux = ref [] in
+  (* one bit per dense action cell: set iff the cell is not Error.  The
+     bit distinguishes "no action" from "covered by the default
+     reduction", which the comb arrays alone cannot, and is what keeps
+    the packed action function identical to the dense one. *)
+  let width = nt + 1 in
+  let valid = Bytes.make (((n_states * width) + 7) / 8) '\000' in
+  let set_valid s a =
+    let i = (s * width) + a in
+    Bytes.set valid (i lsr 3)
+      (Char.chr (Char.code (Bytes.get valid (i lsr 3)) lor (1 lsl (i land 7))))
+  in
+  for s = 0 to n_states - 1 do
+    Array.iteri
+      (fun a action ->
+        match action with Tables.Error -> () | _ -> set_valid s a)
+      tables.Tables.action.(s)
+  done;
   (* default reductions: the most frequent reduce action of each row *)
   let defaults = Array.make n_states 0 in
   let act_rows =
@@ -137,7 +156,9 @@ let pack (tables : Tables.t) =
     n_terms = nt;
     n_nonterms = nn;
     n_states;
+    grammar_digest = Grammar.digest g;
     defaults;
+    valid;
     act_base;
     act_check;
     act_value;
@@ -157,11 +178,26 @@ let decode t code =
     | 3 -> Tables.Reduce t.aux.((code lsr 2) - 1)
     | _ -> Tables.Error
 
+let has_action t s a =
+  let i = (s * (t.n_terms + 1)) + a in
+  Char.code (Bytes.unsafe_get t.valid (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
 let action t s a =
-  let i = t.act_base.(s) + a in
-  if i < 0 || i >= Array.length t.act_check || t.act_check.(i) <> s then
-    decode t t.defaults.(s)
-  else decode t t.act_value.(i)
+  if not (has_action t s a) then Tables.Error
+  else
+    let i = t.act_base.(s) + a in
+    if i < 0 || i >= Array.length t.act_check || t.act_check.(i) <> s then
+      decode t t.defaults.(s)
+    else decode t t.act_value.(i)
+
+let expected t s =
+  let acc = ref [] in
+  for a = t.n_terms downto 0 do
+    if has_action t s a then acc := a :: !acc
+  done;
+  !acc
+
+let digest t = t.grammar_digest
 
 let default_of t s =
   match decode t t.defaults.(s) with
@@ -184,12 +220,13 @@ type stats = {
 
 let stats t =
   let dense_cells = t.n_states * (t.n_terms + 1 + t.n_nonterms) in
+  let word = 4 in
   let packed_cells =
     (2 * Array.length t.act_check)
     + (2 * Array.length t.goto_check)
     + (3 * t.n_states) (* the base and default arrays *)
+    + ((Bytes.length t.valid + word - 1) / word) (* the validity bitset *)
   in
-  let word = 4 in
   {
     states = t.n_states;
     dense_cells;
@@ -205,7 +242,7 @@ let pp_stats ppf s =
     s.states s.dense_cells (s.dense_bytes / 1024) s.packed_cells
     (s.packed_bytes / 1024) s.ratio
 
-let magic = "ggcg-tables-v1"
+let magic = "ggcg-tables-v2"
 
 let save t path =
   let oc = open_out_bin path in
@@ -215,15 +252,28 @@ let save t path =
 
 let load (g : Grammar.t) path =
   let ic = open_in_bin path in
-  let m = really_input_string ic (String.length magic) in
-  if m <> magic then begin
-    close_in ic;
-    Fmt.failwith "%s: not a ggcg table file" path
-  end;
-  let t : t = Marshal.from_channel ic in
-  close_in ic;
-  if
-    t.n_terms <> Symtab.n_terms g.Grammar.symtab
-    || t.n_nonterms <> Symtab.n_nonterms g.Grammar.symtab
-  then Fmt.failwith "%s: tables do not match this grammar" path;
-  t
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> Fmt.failwith "%s: not a ggcg table file" path
+      in
+      if m <> magic then
+        Fmt.failwith "%s: not a ggcg-tables-v2 file (found %S)" path m;
+      let t : t =
+        try Marshal.from_channel ic
+        with End_of_file | Failure _ ->
+          Fmt.failwith "%s: truncated or corrupt table file" path
+      in
+      if
+        t.n_terms <> Symtab.n_terms g.Grammar.symtab
+        || t.n_nonterms <> Symtab.n_nonterms g.Grammar.symtab
+      then Fmt.failwith "%s: tables do not match this grammar" path;
+      let want = Grammar.digest g in
+      if t.grammar_digest <> want then
+        Fmt.failwith
+          "%s: stale tables: built for grammar %s but this grammar is %s \
+           (rebuild with mdgtool cache or delete the file)"
+          path t.grammar_digest want;
+      t)

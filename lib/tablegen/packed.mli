@@ -1,43 +1,58 @@
-(** Comb-compressed parse tables.
+(** Comb-compressed parse tables — the production representation.
 
     The CGGWS the paper started from "produced tables that were too
     large" and its matcher "spent too much time … unpacking cumbersome
     tables" (section 2); table size is a recurring concern (sections 6.4
-    and 9).  This module measures the tradeoff: the sparse action/goto
-    matrices are packed by the classic row-displacement (comb)
-    technique — each state's row is slid over a single value array until
-    its non-error entries fall into free slots, with an owner check
-    array making lookups safe.
+    and 9).  The sparse action/goto matrices are packed by the classic
+    row-displacement (comb) technique — each state's row is slid over a
+    single value array until its non-error entries fall into free slots,
+    with an owner check array making lookups safe.
 
     LR rows are dominated by reduce entries, so before packing, each
     state's most frequent reduce becomes its {e default action} (the
     classic yacc-style transformation): only shifts, accepts and
-    minority reduces are stored as exceptions.  As in every parser that
-    does this, error entries in a defaulted row answer with the default
-    reduce — harmless here because reductions consume no input and the
-    error resurfaces at the next shift; the pattern matcher proper keeps
-    using the dense tables.
+    minority reduces are stored as exceptions.  Unlike yacc, a per-cell
+    validity bitset (one bit per dense cell, a 1/32 overhead) records
+    which cells hold a real action, so error cells answer [Error]
+    instead of the default reduction: the packed action function is
+    {e identical} to the dense one, including error positions and
+    expected sets — the parity Nederhof & Satta require of compact
+    tabular representations.
 
-    Lookup stays O(1); {!stats} reports the achieved compression. *)
+    Lookup stays O(1); {!stats} reports the achieved compression.  The
+    tables embed a {!Gg_grammar.Grammar.digest} of their source grammar
+    and {!load} rejects files built from any other grammar, even one
+    with identical symbol counts. *)
 
 type t
 
 val pack : Tables.t -> t
 
-(** O(1) decoded lookups; equal to the dense table's entries except
-    that error cells of a state with a default reduction return that
-    reduction (see above). *)
+(** O(1) decoded lookups, equal to the dense table's entries in every
+    cell (including [Error] cells — see above). *)
 val action : t -> int -> int -> Tables.action
+
+(** [has_action t s a] — does state [s] have a non-error action on
+    terminal [a]?  O(1) bitset probe. *)
+val has_action : t -> int -> int -> bool
+
+(** Terminals with a non-error action in a state, equal to
+    {!Tables.expected} on the source tables. *)
+val expected : t -> int -> int list
 
 (** The state's default reduction, if any. *)
 val default_of : t -> int -> Tables.action option
 
 val goto : t -> int -> int -> int
 
+(** The {!Gg_grammar.Grammar.digest} of the grammar the tables were
+    built from. *)
+val digest : t -> string
+
 type stats = {
   states : int;
   dense_cells : int;  (** action + goto cells in the dense tables *)
-  packed_cells : int;  (** slots used by the packed arrays *)
+  packed_cells : int;  (** slots used by the packed arrays + bitset *)
   dense_bytes : int;  (** at one word per cell *)
   packed_bytes : int;
   ratio : float;  (** packed / dense *)
@@ -46,8 +61,14 @@ type stats = {
 val stats : t -> stats
 val pp_stats : stats Fmt.t
 
-(** Serialise to / from a file (the tables are built once per target
-    machine, as in the paper, and shipped with the compiler). *)
+(** The [ggcg-tables-v2] on-disk format: magic, then the marshalled
+    tables with the embedded grammar digest.  The tables are built once
+    per target machine, as in the paper, and shipped with (or cached
+    beside) the compiler. *)
 val save : t -> string -> unit
 
+(** Loads and validates: wrong magic, truncation, symbol-count mismatch
+    and grammar-digest mismatch (an edited grammar with unchanged
+    symbol counts) all raise [Failure] rather than selecting wrong
+    instructions. *)
 val load : Gg_grammar.Grammar.t -> string -> t

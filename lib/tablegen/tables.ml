@@ -67,6 +67,33 @@ let of_automaton (auto : Automaton.t) =
             (First.follow firsts lhs))
       (Automaton.reductions auto s)
   done;
+  (* The matcher resolves a semantic tie by popping one set of
+     arguments and letting [choose] pick among the candidates, which is
+     only sound if every candidate has the same rhs length.  [resolve]
+     guarantees this, but verify it here so any future change to the
+     conflict resolution fails loudly at construction time instead of
+     corrupting the matcher's stack. *)
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun a cell ->
+          match cell with
+          | Reduce candidates when Array.length candidates > 1 ->
+            let len = rhs_len candidates.(0) in
+            if Array.exists (fun pid -> rhs_len pid <> len) candidates then
+              Fmt.failwith
+                "table construction: semantic tie in state %d on terminal %d \
+                 mixes rhs lengths: %s"
+                s a
+                (String.concat " | "
+                   (List.map
+                      (fun pid ->
+                        Fmt.str "%a" (Grammar.pp_production g)
+                          (Grammar.production g pid))
+                      (Array.to_list candidates)))
+          | _ -> ())
+        row)
+    action;
   { automaton = auto; firsts; action; goto_; conflicts =
       { shift_reduce = !sr; reduce_reduce = !rr; semantic_ties = !ties } }
 

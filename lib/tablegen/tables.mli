@@ -14,8 +14,9 @@ open Import
 type action =
   | Shift of int
   | Reduce of int array
-      (** candidate production ids, longest first; a singleton unless a
-          tie was left to semantics *)
+      (** candidate production ids; a singleton unless a tie was left
+          to semantics, in which case all candidates have the same rhs
+          length (validated by {!of_automaton}) *)
   | Accept
   | Error
 

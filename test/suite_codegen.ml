@@ -244,7 +244,7 @@ let test_statement_sequence_register_clean () =
 let test_appendix_trace_golden () =
   let _, trace = Driver.compile_tree_traced appendix_tree in
   let g =
-    Gg_tablegen.Tables.grammar (Lazy.force Driver.default_tables)
+    Driver.grammar (Lazy.force Driver.default_tables)
   in
   let printed =
     Fmt.str "%a" (Matcher.pp_trace g) trace

@@ -1,0 +1,291 @@
+(* Differential tests for the packed (production) table representation:
+   the full replicated VAX grammar corpus through dense and packed
+   tables must produce identical values, traces and Reject errors; plus
+   round-trip save/load, stale-grammar rejection, and the cache. *)
+
+open Gg_grammar
+open Gg_tablegen
+open Gg_matcher
+module Tree = Gg_ir.Tree
+module Termname = Gg_ir.Termname
+module Transform = Gg_transform.Transform
+module Grammar_def = Gg_vax.Grammar_def
+module Driver = Gg_codegen.Driver
+module Sema = Gg_frontc.Sema
+module Corpus = Gg_frontc.Corpus
+
+let vax_grammar = lazy (Grammar_def.grammar Grammar_def.default)
+let dense = lazy (Tables.build (Lazy.force vax_grammar))
+let packed = lazy (Packed.pack (Lazy.force dense))
+let dense_engine = lazy (Matcher.engine (Lazy.force dense))
+
+let packed_engine =
+  lazy
+    (Matcher.packed_engine ~grammar:(Lazy.force vax_grammar)
+       (Lazy.force packed))
+
+let null_cb : unit Matcher.callbacks =
+  {
+    Matcher.on_shift = (fun _ -> ());
+    on_reduce = (fun _ _ -> ());
+    choose = (fun _ _ -> 0);
+  }
+
+(* every matcher-ready statement tree of a compiled program *)
+let stmt_trees prog =
+  List.concat_map
+    (fun (f : Tree.func) ->
+      let tr = Transform.run f in
+      List.filter_map
+        (function Tree.Stree t -> Some t | _ -> None)
+        tr.Transform.func.Tree.body)
+    prog.Tree.funcs
+
+let corpus_trees =
+  lazy
+    (let fixed =
+       List.concat_map
+         (fun (_, src) -> stmt_trees (Sema.compile src))
+         Corpus.fixed_programs
+     in
+     let random =
+       List.concat_map
+         (fun seed ->
+           stmt_trees
+             (Sema.lower_program
+                (Corpus.program ~seed ~functions:2 ~stmts_per_function:8)))
+         [ 1; 2; 3; 4; 5 ]
+     in
+     (* the typed-tree corpus reaches byte/word/float and conversion
+        productions that C's promotion rules bypass *)
+     let typed =
+       List.concat_map
+         (fun seed -> stmt_trees (Gg_ir.Treegen.program ~seed ~stmts:12))
+         [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+     in
+     fixed @ random @ typed)
+
+let run_outcome engine tokens =
+  match Matcher.run_engine ~trace:true engine null_cb tokens with
+  | outcome -> Ok outcome.Matcher.trace
+  | exception Matcher.Reject e -> Error e
+
+let check_same_outcome what tokens =
+  let d = run_outcome (Lazy.force dense_engine) tokens in
+  let p = run_outcome (Lazy.force packed_engine) tokens in
+  match (d, p) with
+  | Ok dt, Ok pt ->
+    if dt <> pt then Alcotest.failf "%s: traces differ" what
+  | Error de, Error pe ->
+    if de.Matcher.at <> pe.Matcher.at then
+      Alcotest.failf "%s: error position differs (dense %d, packed %d)" what
+        de.Matcher.at pe.Matcher.at;
+    if de.Matcher.token <> pe.Matcher.token then
+      Alcotest.failf "%s: error token differs (dense %s, packed %s)" what
+        de.Matcher.token pe.Matcher.token;
+    if de.Matcher.state <> pe.Matcher.state then
+      Alcotest.failf "%s: error state differs (dense %d, packed %d)" what
+        de.Matcher.state pe.Matcher.state;
+    if de.Matcher.expected <> pe.Matcher.expected then
+      Alcotest.failf "%s: expected sets differ (dense %a, packed %a)" what
+        Fmt.(Dump.list string)
+        de.Matcher.expected
+        Fmt.(Dump.list string)
+        pe.Matcher.expected
+  | Ok _, Error pe ->
+    Alcotest.failf "%s: packed rejected (%a) where dense accepted" what
+      Matcher.pp_error pe
+  | Error de, Ok _ ->
+    Alcotest.failf "%s: dense rejected (%a) where packed accepted" what
+      Matcher.pp_error de
+
+(* -- action-function parity on the full VAX tables ------------------------- *)
+
+let test_vax_action_parity () =
+  let t = Lazy.force dense in
+  let p = Lazy.force packed in
+  let g = Lazy.force vax_grammar in
+  let nt = Symtab.n_terms g.Grammar.symtab in
+  let nn = Symtab.n_nonterms g.Grammar.symtab in
+  for s = 0 to Tables.n_states t - 1 do
+    for a = 0 to nt do
+      if t.Tables.action.(s).(a) <> Packed.action p s a then
+        Alcotest.failf "action (%d, %d) differs" s a
+    done;
+    if Tables.expected t s <> Packed.expected p s then
+      Alcotest.failf "expected set of state %d differs" s;
+    for n = 0 to nn - 1 do
+      if t.Tables.goto_.(s).(n) <> Packed.goto p s n then
+        Alcotest.failf "goto (%d, %d) differs" s n
+    done
+  done
+
+(* -- the corpus: identical traces on every statement tree ------------------ *)
+
+let test_corpus_traces () =
+  let trees = Lazy.force corpus_trees in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length trees > 100);
+  List.iteri
+    (fun i tree ->
+      check_same_outcome (Fmt.str "tree %d" i) (Termname.linearize tree))
+    trees
+
+(* -- identical generated code through the full driver ---------------------- *)
+
+let test_fixed_programs_same_assembly () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Sema.compile src in
+      let via_dense =
+        (Driver.compile_program ~tables:(Lazy.force dense_engine) prog)
+          .Driver.assembly
+      in
+      let via_packed =
+        (Driver.compile_program ~tables:(Lazy.force packed_engine) prog)
+          .Driver.assembly
+      in
+      Alcotest.(check string) (Fmt.str "%s assembly" name) via_dense via_packed)
+    Corpus.fixed_programs
+
+(* -- error parity on broken inputs ----------------------------------------- *)
+
+let broken_inputs () =
+  (* truncations and corruptions of real linearisations: dense and
+     packed must report the same syntactic block at the same token with
+     the same expected set *)
+  let trees = Lazy.force corpus_trees in
+  let some_trees = List.filteri (fun i _ -> i mod 7 = 0) trees in
+  List.concat_map
+    (fun tree ->
+      let tokens = Termname.linearize tree in
+      let n = List.length tokens in
+      let take k = List.filteri (fun i _ -> i < k) tokens in
+      let swap k =
+        (* duplicate the first token into position k: usually illegal *)
+        List.mapi (fun i t -> if i = k then List.hd tokens else t) tokens
+      in
+      [ take (n / 2); take (n - 1); swap (n / 2); swap (n - 1) ])
+    some_trees
+
+let test_error_parity () =
+  List.iteri
+    (fun i tokens -> check_same_outcome (Fmt.str "broken input %d" i) tokens)
+    (broken_inputs ())
+
+(* -- save / load round trip ------------------------------------------------- *)
+
+let test_vax_save_load_roundtrip () =
+  let g = Lazy.force vax_grammar in
+  let p = Lazy.force packed in
+  let path = Filename.temp_file "ggcg" ".tbl" in
+  Packed.save p path;
+  let loaded = Packed.load g path in
+  Sys.remove path;
+  let t = Lazy.force dense in
+  let nt = Symtab.n_terms g.Grammar.symtab in
+  for s = 0 to Tables.n_states t - 1 do
+    for a = 0 to nt do
+      if Packed.action p s a <> Packed.action loaded s a then
+        Alcotest.failf "loaded action (%d, %d) differs" s a
+    done
+  done;
+  Alcotest.(check string) "digest survives" (Packed.digest p)
+    (Packed.digest loaded)
+
+let test_stale_grammar_rejected () =
+  (* edit the grammar without changing any symbol counts: the old
+     save-format validated only n_terms/n_nonterms and loaded wrong
+     instructions silently; v2 must reject on the digest *)
+  let edited =
+    List.map
+      (fun (lhs, rhs, action, note) ->
+        if note = "addl3 a,b,d" then (lhs, rhs, action, "subl3 a,b,d")
+        else (lhs, rhs, action, note))
+      Toy.specs
+  in
+  let g = Toy.grammar in
+  let g' = Grammar.make_exn ~start:"stmt" edited in
+  Alcotest.(check bool)
+    "same symbol counts" true
+    (Symtab.n_terms g.Grammar.symtab = Symtab.n_terms g'.Grammar.symtab
+    && Symtab.n_nonterms g.Grammar.symtab = Symtab.n_nonterms g'.Grammar.symtab);
+  Alcotest.(check bool)
+    "digests differ" true
+    (Grammar.digest g <> Grammar.digest g');
+  let p = Packed.pack (Tables.build g) in
+  let path = Filename.temp_file "ggcg" ".tbl" in
+  Packed.save p path;
+  (match Packed.load g' path with
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Fmt.str "stale message names both digests: %s" msg)
+      true
+      (let has d =
+         let n = String.length msg and k = String.length d in
+         let rec go i = i + k <= n && (String.sub msg i k = d || go (i + 1)) in
+         go 0
+       in
+       has (Grammar.digest g) && has (Grammar.digest g'))
+  | _ -> Alcotest.fail "stale tables accepted");
+  (* the unedited grammar still loads *)
+  ignore (Packed.load g path);
+  Sys.remove path
+
+let test_corrupt_file_rejected () =
+  let path = Filename.temp_file "ggcg" ".tbl" in
+  let oc = open_out_bin path in
+  output_string oc "ggcg-tables-v1 old junk";
+  close_out oc;
+  (match Packed.load Toy.grammar path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "v1/garbage file accepted");
+  let oc = open_out_bin path in
+  output_string oc "ggcg-tables-v2truncated";
+  close_out oc;
+  (match Packed.load Toy.grammar path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "truncated file accepted");
+  Sys.remove path
+
+(* -- the cache -------------------------------------------------------------- *)
+
+let test_cache_miss_then_hit () =
+  let dir = Filename.temp_file "ggcg-cache" "" in
+  Sys.remove dir;
+  let g = Toy.grammar in
+  Alcotest.(check bool) "cold cache" true (Cache.load ~dir g = None);
+  let p1 = Cache.load_or_build ~dir g in
+  Alcotest.(check bool) "file created" true (Sys.file_exists (Cache.path ~dir g));
+  (match Cache.load ~dir g with
+  | None -> Alcotest.fail "warm cache missed"
+  | Some p2 ->
+    Alcotest.(check string) "same digest" (Packed.digest p1) (Packed.digest p2));
+  (* an edited grammar misses (different digest -> different file) *)
+  let edited =
+    ("stmt", [ "Assign.l"; "lval.l"; "Mul.l"; "rval.l"; "rval.l" ],
+     Gg_grammar.Action.Emit "mul.l", "mull3 a,b,d")
+    :: Toy.specs
+  in
+  let g' = Grammar.make_exn ~start:"stmt" edited in
+  Alcotest.(check bool) "edited grammar misses" true (Cache.load ~dir g' = None);
+  (* cleanup *)
+  Sys.remove (Cache.path ~dir g);
+  Sys.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "VAX action/goto/expected parity" `Quick
+      test_vax_action_parity;
+    Alcotest.test_case "corpus traces identical" `Slow test_corpus_traces;
+    Alcotest.test_case "fixed programs compile identically" `Slow
+      test_fixed_programs_same_assembly;
+    Alcotest.test_case "error parity on broken inputs" `Slow test_error_parity;
+    Alcotest.test_case "VAX save/load round trip" `Quick
+      test_vax_save_load_roundtrip;
+    Alcotest.test_case "stale grammar rejected on load" `Quick
+      test_stale_grammar_rejected;
+    Alcotest.test_case "corrupt and v1 files rejected" `Quick
+      test_corrupt_file_rejected;
+    Alcotest.test_case "cache: miss, store, hit, edited-grammar miss" `Quick
+      test_cache_miss_then_hit;
+  ]

@@ -14,4 +14,5 @@ let () =
       ("frontc", Suite_frontc.suite);
       ("pcc", Suite_pcc.suite);
       ("differential", Suite_diff.suite);
+      ("packed", Suite_packed.suite);
     ]
