@@ -1,0 +1,120 @@
+open Import
+
+type engine_sel = Dense | Packed | Both
+
+type config = {
+  seed_lo : int;
+  seed_hi : int;
+  gen : Treegen.config;
+  engine : engine_sel;
+  straight_line : bool;
+  corpus_dir : string;
+  max_shrink_checks : int;
+  log : string Fmt.t option;
+}
+
+let default_config =
+  {
+    seed_lo = 0;
+    seed_hi = 100;
+    gen = Treegen.default_config;
+    engine = Both;
+    straight_line = false;
+    corpus_dir = "fuzz-corpus";
+    max_shrink_checks = 2000;
+    log = None;
+  }
+
+type divergence = {
+  seed : int;
+  failure : Oracle.failure;
+  shrunk : Tree.program;
+  shrunk_stmts : int;
+  dump : string option;
+}
+
+type result = {
+  programs : int;
+  divergences : divergence list;
+  fired : int list;
+  seconds : float;
+}
+
+let engines_of = function
+  | Dense -> [ Oracle.dense_engine () ]
+  | Packed -> [ Oracle.packed_engine () ]
+  | Both -> [ Oracle.dense_engine (); Oracle.packed_engine () ]
+
+let program_of_seed cfg seed =
+  if cfg.straight_line then Treegen.program ~seed ~stmts:cfg.gen.Treegen.stmts
+  else Treegen.control_program ~seed cfg.gen
+
+let log cfg fmt = Fmt.kstr (fun s -> Option.iter (fun l -> l Fmt.stderr s) cfg.log) fmt
+
+let still_fails engines prog =
+  match Oracle.check ~engines prog with
+  | Ok _ -> false
+  | Error _ -> true
+  | exception Oracle.Invalid _ -> false
+
+let handle_divergence cfg engines seed prog (failure : Oracle.failure) =
+  log cfg "seed %d: %a; shrinking@." seed Oracle.pp_failure failure;
+  let shrunk, stats =
+    Shrink.run ~max_checks:cfg.max_shrink_checks
+      ~check:(Shrink.valid_and (still_fails engines))
+      prog
+  in
+  log cfg "seed %d: shrunk %d -> %d statements (%d oracle checks)@." seed
+    stats.Shrink.stmts_before stats.Shrink.stmts_after stats.Shrink.checks;
+  let dump =
+    match cfg.corpus_dir with
+    | "" -> None
+    | dir ->
+      let path = Dump.save ~dir ~name:(Fmt.str "seed-%d" seed) shrunk in
+      log cfg "seed %d: reproducer saved to %s@." seed path;
+      Some path
+  in
+  { seed; failure; shrunk; shrunk_stmts = stats.Shrink.stmts_after; dump }
+
+let run cfg : result =
+  let t0 = Unix.gettimeofday () in
+  let engines = engines_of cfg.engine in
+  let divergences = ref [] in
+  let programs = ref 0 in
+  let (), fired =
+    Coverage.with_fired (fun () ->
+        for seed = cfg.seed_lo to cfg.seed_hi do
+          let prog = program_of_seed cfg seed in
+          incr programs;
+          match Oracle.check ~engines prog with
+          | Ok _ -> ()
+          | Error failure ->
+            divergences :=
+              handle_divergence cfg engines seed prog failure :: !divergences
+          | exception Oracle.Invalid m ->
+            (* a generator bug: surface it like a divergence, unshrunk *)
+            divergences :=
+              {
+                seed;
+                failure =
+                  {
+                    Oracle.backend = "interp";
+                    reason = Oracle.Crash (Fmt.str "generator produced invalid program: %s" m);
+                  };
+                shrunk = prog;
+                shrunk_stmts = Shrink.program_stmts prog;
+                dump = None;
+              }
+              :: !divergences
+        done)
+  in
+  {
+    programs = !programs;
+    divergences = List.rev !divergences;
+    fired;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let replay ?(engine = Both) path =
+  let prog = Dump.load_ir path in
+  Oracle.check ~engines:(engines_of engine) prog

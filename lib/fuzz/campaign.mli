@@ -1,0 +1,51 @@
+open Import
+
+(** Seed-range differential fuzz campaigns.
+
+    For every seed in the range: generate a control-flow IR program,
+    run it through the three-way oracle on each selected table engine,
+    and on failure greedily shrink it (re-checking the oracle at every
+    step) and persist the reproducer to the divergence corpus. *)
+
+type engine_sel = Dense | Packed | Both
+
+type config = {
+  seed_lo : int;
+  seed_hi : int;  (** inclusive *)
+  gen : Treegen.config;
+  engine : engine_sel;
+  straight_line : bool;  (** use the straight-line generator instead *)
+  corpus_dir : string;  (** where divergence dumps go *)
+  max_shrink_checks : int;
+  log : string Fmt.t option;  (** per-event progress lines, if wanted *)
+}
+
+val default_config : config
+
+type divergence = {
+  seed : int;
+  failure : Oracle.failure;
+  shrunk : Tree.program;  (** minimised reproducer *)
+  shrunk_stmts : int;
+  dump : string option;  (** path of the [.ir] dump, if persisted *)
+}
+
+type result = {
+  programs : int;
+  divergences : divergence list;
+  fired : int list;  (** production ids fired across the campaign *)
+  seconds : float;
+}
+
+(** Generate the program a campaign would run for one seed. *)
+val program_of_seed : config -> int -> Tree.program
+
+(** The engines a selection denotes, built for the default grammar. *)
+val engines_of : engine_sel -> Oracle.engines
+
+val run : config -> result
+
+(** Re-run one persisted reproducer ([.ir] dump) through the oracle;
+    [Ok] means it no longer diverges. *)
+val replay :
+  ?engine:engine_sel -> string -> (Interp.outcome, Oracle.failure) Result.t

@@ -1,0 +1,36 @@
+open Import
+
+(** Grammar-production coverage accounting.
+
+    Which productions of the machine grammar actually fire during
+    matching — per run and cumulatively — after Samuelsson's
+    example-based measurement of which table entries a corpus
+    exercises.  Counting happens in the matcher via
+    {!Gg_profile.Profile.record_production}; this module turns the raw
+    id counts into reports against a grammar. *)
+
+(** [with_fired f] runs [f] with coverage recording enabled and returns
+    its result plus the ids of the productions that fired {e during}
+    [f] (cumulative counts are not reset). *)
+val with_fired : (unit -> 'a) -> 'a * int list
+
+(** Ids of every production fired since the last coverage reset. *)
+val fired_ids : unit -> int list
+
+type report = {
+  total : int;
+  fired : int list;  (** production ids, sorted *)
+  never_fired : int list;
+}
+
+val report : Grammar.t -> fired:int list -> report
+
+(** Production ids fired by the fixed mini-C corpus plus the
+    straight-line typed-tree corpus — the pre-fuzzer baseline the
+    campaign's coverage is compared against. *)
+val baseline : Driver.tables -> int list
+
+(** Render a report; [baseline] (if given) adds the fired-vs-baseline
+    comparison line.  [verbose] lists every never-fired production. *)
+val pp_report :
+  ?baseline:int list -> ?verbose:bool -> Grammar.t -> report Fmt.t

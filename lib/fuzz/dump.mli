@@ -1,0 +1,22 @@
+open Import
+
+(** Re-runnable persistence for divergence corpora.
+
+    Every diverging program is saved twice: as a marshalled IR file
+    ([.ir]) that [ggfuzz replay] executes directly, and as OCaml
+    constructor text ([.ml]) that can be pasted into a regression test
+    (or read by a human).  The marshalled form carries a format tag and
+    version so stale files fail loudly. *)
+
+(** OCaml source text that rebuilds the program with [Tree]
+    constructors: a self-contained [let program : Tree.program = ...]. *)
+val to_ocaml : Tree.program -> string
+
+val save_ir : Tree.program -> string -> unit
+
+(** Raises [Failure] on a file that is not a ggfuzz IR dump. *)
+val load_ir : string -> Tree.program
+
+(** [save ~dir ~name prog] writes [name.ir] and [name.ml] under [dir]
+    (created if missing) and returns the [.ir] path. *)
+val save : dir:string -> name:string -> Tree.program -> string

@@ -1,0 +1,17 @@
+(* Short aliases for modules used throughout this library. *)
+module Dtype = Gg_ir.Dtype
+module Op = Gg_ir.Op
+module Tree = Gg_ir.Tree
+module Label = Gg_ir.Label
+module Regconv = Gg_ir.Regconv
+module Treegen = Gg_ir.Treegen
+module Interp = Gg_ir.Interp
+module Grammar = Gg_grammar.Grammar
+module Symtab = Gg_grammar.Symtab
+module Tables = Gg_tablegen.Tables
+module Matcher = Gg_matcher.Matcher
+module Driver = Gg_codegen.Driver
+module Pcc = Gg_pcc.Pcc
+module Machine = Gg_vaxsim.Machine
+module Asmparse = Gg_vaxsim.Asmparse
+module Profile = Gg_profile.Profile

@@ -1,0 +1,93 @@
+open Import
+
+type reason = Diverged of string | Crash of string
+type failure = { backend : string; reason : reason }
+
+exception Invalid of string
+
+let pp_failure ppf f =
+  match f.reason with
+  | Diverged d -> Fmt.pf ppf "%s: observable state differs: %s" f.backend d
+  | Crash m -> Fmt.pf ppf "%s: crash: %s" f.backend m
+
+let pp_v = Interp.pp_value
+
+let compare_observations ~(reference : Interp.outcome) (s : Machine.outcome) =
+  if not (Interp.value_equal s.Machine.return_value reference.Interp.return_value)
+  then
+    Error
+      (Fmt.str "return value %a, expected %a" pp_v s.Machine.return_value pp_v
+         reference.Interp.return_value)
+  else if s.Machine.output <> reference.Interp.output then
+    Error
+      (Fmt.str "print output %a, expected %a"
+         Fmt.(Dump.list string)
+         s.Machine.output
+         Fmt.(Dump.list string)
+         reference.Interp.output)
+  else
+    (* match globals by name so that a missing or extra one is named
+       rather than surfacing as an opaque length mismatch *)
+    let rec walk gs is =
+      match (gs, is) with
+      | [], [] -> Ok ()
+      | (n, _) :: _, [] -> Error (Fmt.str "extra global %s" n)
+      | [], (n, _) :: _ -> Error (Fmt.str "global %s missing" n)
+      | (n1, v1) :: gs', (n2, v2) :: is' ->
+        if n1 <> n2 then Error (Fmt.str "global order differs: %s vs %s" n1 n2)
+        else if not (Interp.value_equal v1 v2) then
+          Error (Fmt.str "global %s = %a, expected %a" n1 pp_v v1 pp_v v2)
+        else walk gs' is'
+    in
+    walk s.Machine.globals reference.Interp.globals
+
+let default_grammar () = Lazy.force Gg_vax.Grammar_def.default_grammar
+
+let dense_engine () =
+  ("gg-dense", Matcher.engine (Tables.build (default_grammar ())))
+
+let packed_engine () = ("gg-packed", Lazy.force Driver.default_tables)
+let default_engines () = [ packed_engine () ]
+
+type engines = (string * Driver.tables) list
+
+let check ?(options = Driver.default_options) ?(pcc = true)
+    ?(max_steps = 10_000_000) ~(engines : engines) (prog : Tree.program) =
+  let reference =
+    try Interp.run ~max_steps prog ~entry:"main" []
+    with Interp.Runtime_error m -> raise (Invalid m)
+  in
+  let run_assembly backend assembly =
+    match
+      Machine.run_text ~max_steps:(4 * max_steps) assembly
+        ~global_types:prog.Tree.globals ~entry:"main" []
+    with
+    | out -> (
+      match compare_observations ~reference out with
+      | Ok () -> None
+      | Error detail -> Some { backend; reason = Diverged detail })
+    | exception Machine.Sim_error m ->
+      Some { backend; reason = Crash (Fmt.str "simulator: %s" m) }
+    | exception Asmparse.Parse_error (l, m) ->
+      Some { backend; reason = Crash (Fmt.str "asm parse error line %d: %s" l m) }
+  in
+  let check_gg (name, tables) =
+    match Driver.compile_program ~options ~tables prog with
+    | out -> run_assembly name out.Driver.assembly
+    | exception Matcher.Reject e ->
+      Some
+        { backend = name; reason = Crash (Fmt.str "%a" Matcher.pp_error e) }
+    | exception Failure m -> Some { backend = name; reason = Crash m }
+  in
+  let check_pcc () =
+    if not pcc then None
+    else
+      match Pcc.compile_program ~peephole:options.Driver.peephole prog with
+      | out -> run_assembly "pcc" out.Pcc.assembly
+      | exception Failure m -> Some { backend = "pcc"; reason = Crash m }
+  in
+  let rec first = function
+    | [] -> Ok reference
+    | f :: rest -> ( match f () with Some fl -> Error fl | None -> first rest)
+  in
+  first (List.map (fun e () -> check_gg e) engines @ [ check_pcc ])

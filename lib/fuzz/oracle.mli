@@ -1,0 +1,64 @@
+open Import
+
+(** The three-way differential oracle.
+
+    Every program is executed three ways — the reference interpreter on
+    the IR, the table-driven backend's output under the VAX simulator,
+    and the PCC-style backend's output under the simulator — and all
+    observables (return value, final scalar globals, print output) must
+    agree.  This is the paper's correctness claim (section 8) as a
+    standing instrument rather than a one-off validation run. *)
+
+(** Why a backend failed the oracle. *)
+type reason =
+  | Diverged of string
+      (** observable state differs; the payload names the first
+          differing observable (return value, a global by name, or the
+          print output) *)
+  | Crash of string
+      (** the backend, the assembler parser or the simulator raised *)
+
+type failure = { backend : string; reason : reason }
+
+(** The reference interpreter itself failed: the program (not a
+    backend) is at fault — a generator or shrinker bug. *)
+exception Invalid of string
+
+(** [compare_observations ~reference actual] — a single robust
+    comparison of all observables that reports {e which} one differs
+    (globals are matched by name, so a length mismatch names the first
+    missing global instead of failing opaquely). *)
+val compare_observations :
+  reference:Interp.outcome -> Machine.outcome -> (unit, string) result
+
+(** Named table engines for the gg backend, e.g.
+    [("gg-packed", packed_engine)].  Running both the dense and the
+    packed engines makes the oracle differential over the table
+    representation as well as over the backends. *)
+type engines = (string * Driver.tables) list
+
+(** The default VAX grammar the engines below are built for. *)
+val default_grammar : unit -> Grammar.t
+
+(** Default engine set: the packed production tables only. *)
+val default_engines : unit -> engines
+
+(** Build [("gg-dense", _)] / [("gg-packed", _)] engines in-process for
+    the default grammar. *)
+val dense_engine : unit -> string * Driver.tables
+
+val packed_engine : unit -> string * Driver.tables
+
+(** [check ~engines prog] runs the interpreter once, then each gg
+    engine and the PCC baseline, comparing observables.  Returns the
+    reference outcome, or the first failure.  Raises {!Invalid} if the
+    interpreter itself rejects the program. *)
+val check :
+  ?options:Driver.options ->
+  ?pcc:bool ->
+  ?max_steps:int ->
+  engines:engines ->
+  Tree.program ->
+  (Interp.outcome, failure) result
+
+val pp_failure : failure Fmt.t

@@ -1,0 +1,178 @@
+open Import
+
+type stats = {
+  checks : int;
+  accepted : int;
+  stmts_before : int;
+  stmts_after : int;
+}
+
+let program_stmts (p : Tree.program) =
+  List.fold_left (fun acc (f : Tree.func) -> acc + List.length f.Tree.body) 0
+    p.Tree.funcs
+
+let valid_and pred prog =
+  match Interp.run ~max_steps:10_000_000 prog ~entry:"main" [] with
+  | (_ : Interp.outcome) -> pred prog
+  | exception Interp.Runtime_error _ -> false
+
+(* -- tree rewrites ------------------------------------------------------ *)
+
+let leaf_of ty =
+  if Dtype.is_float ty then Tree.Fconst (ty, 1.0) else Tree.const ty 1L
+
+let is_leaf (t : Tree.t) =
+  match t with
+  | Tree.Const _ | Tree.Fconst _ | Tree.Name _ | Tree.Temp _ | Tree.Dreg _ ->
+    true
+  | _ -> false
+
+(* rebuild a node with new children, in {!Tree.children} order *)
+let with_children (t : Tree.t) (cs : Tree.t list) : Tree.t =
+  let open Tree in
+  match (t, cs) with
+  | (Const _ | Fconst _ | Name _ | Temp _ | Dreg _ | Autoinc _ | Autodec _), [] ->
+    t
+  | Indir (ty, _), [ e ] -> Indir (ty, e)
+  | Addr _, [ e ] -> Addr e
+  | Unop (op, ty, _), [ e ] -> Unop (op, ty, e)
+  | Conv (to_, from, _), [ e ] -> Conv (to_, from, e)
+  | Arg (ty, _), [ e ] -> Arg (ty, e)
+  | Lnot _, [ e ] -> Lnot e
+  | Binop (op, ty, _, _), [ a; b ] -> Binop (op, ty, a, b)
+  | Assign (ty, _, _), [ a; b ] -> Assign (ty, a, b)
+  | Rassign (ty, _, _), [ a; b ] -> Rassign (ty, a, b)
+  | Cbranch (r, s, ty, _, _, l), [ a; b ] -> Cbranch (r, s, ty, a, b, l)
+  | Land (_, _), [ a; b ] -> Land (a, b)
+  | Lor (_, _), [ a; b ] -> Lor (a, b)
+  | Relval (r, s, ty, _, _), [ a; b ] -> Relval (r, s, ty, a, b)
+  | Select (ty, _, _, _), [ c; a; b ] -> Select (ty, c, a, b)
+  | Call (ty, f, _), args -> Call (ty, f, args)
+  | _ -> invalid_arg "Shrink.with_children: arity mismatch"
+
+(* all trees reachable by one simplifying rewrite of one node: hoist a
+   same-typed child over its parent, or collapse a non-leaf node to a
+   constant.  Ordered most-aggressive first so greedy descent takes big
+   steps early. *)
+let rec value_rewrites (t : Tree.t) : Tree.t list =
+  if is_leaf t then []
+  else
+    let ty = Tree.dtype t in
+    let hoists =
+      List.filter (fun c -> Dtype.equal (Tree.dtype c) ty) (Tree.children t)
+    in
+    let deeper =
+      let cs = Tree.children t in
+      List.concat
+        (List.mapi
+           (fun i ci ->
+             List.map
+               (fun ci' ->
+                 with_children t (List.mapi (fun j cj -> if i = j then ci' else cj) cs))
+               (value_rewrites ci))
+           cs)
+    in
+    (leaf_of ty :: hoists) @ deeper
+
+(* rewrites of a whole statement tree; destinations of assignments are
+   kept intact (a constant destination is never valid) *)
+let stmt_tree_rewrites (t : Tree.t) : Tree.t list =
+  match t with
+  | Tree.Assign (ty, dst, src) ->
+    List.map (fun src' -> Tree.Assign (ty, dst, src')) (value_rewrites src)
+  | Tree.Rassign (ty, src, dst) ->
+    List.map (fun src' -> Tree.Rassign (ty, src', dst)) (value_rewrites src)
+  | Tree.Cbranch (r, s, ty, a, b, l) ->
+    List.map (fun a' -> Tree.Cbranch (r, s, ty, a', b, l)) (value_rewrites a)
+    @ List.map (fun b' -> Tree.Cbranch (r, s, ty, a, b', l)) (value_rewrites b)
+  | t -> value_rewrites t
+
+(* -- candidate enumeration ---------------------------------------------- *)
+
+let set_func (p : Tree.program) i (f : Tree.func) =
+  { p with Tree.funcs = List.mapi (fun j g -> if i = j then f else g) p.Tree.funcs }
+
+let set_body (p : Tree.program) i body =
+  let f = List.nth p.Tree.funcs i in
+  set_func p i { f with Tree.body }
+
+(* drop [len] statements at [start] *)
+let drop_range body start len =
+  List.filteri (fun i _ -> i < start || i >= start + len) body
+
+(* statement-range removals for one function, larger chunks first *)
+let removal_candidates (p : Tree.program) fi : Tree.program Seq.t =
+  let body = (List.nth p.Tree.funcs fi).Tree.body in
+  let n = List.length body in
+  let rec chunks len () =
+    if len < 1 then Seq.Nil
+    else
+      let starts = Seq.init (max 0 (n - len + 1)) (fun s -> s) in
+      Seq.Cons
+        ( Seq.map (fun s -> set_body p fi (drop_range body s len)) starts,
+          chunks (len / 2) )
+  in
+  Seq.concat (chunks (max 1 (n / 2)))
+
+let func_removal_candidates (p : Tree.program) : Tree.program Seq.t =
+  Seq.filter_map
+    (fun i ->
+      if (List.nth p.Tree.funcs i).Tree.fname = "main" then None
+      else
+        Some { p with Tree.funcs = List.filteri (fun j _ -> j <> i) p.Tree.funcs })
+    (Seq.init (List.length p.Tree.funcs) (fun i -> i))
+
+let tree_candidates (p : Tree.program) fi : Tree.program Seq.t =
+  let body = (List.nth p.Tree.funcs fi).Tree.body in
+  Seq.concat
+    (Seq.mapi
+       (fun si s ->
+         match s with
+         | Tree.Stree t ->
+           Seq.map
+             (fun t' ->
+               set_body p fi
+                 (List.mapi (fun j s' -> if j = si then Tree.Stree t' else s') body))
+             (List.to_seq (stmt_tree_rewrites t))
+         | _ -> Seq.empty)
+       (List.to_seq body))
+
+let all_candidates (p : Tree.program) : Tree.program Seq.t =
+  let nf = List.length p.Tree.funcs in
+  Seq.append (func_removal_candidates p)
+    (Seq.append
+       (Seq.concat (Seq.init nf (fun fi -> removal_candidates p fi)))
+       (Seq.concat (Seq.init nf (fun fi -> tree_candidates p fi))))
+
+(* -- the greedy loop ---------------------------------------------------- *)
+
+let run ?(max_checks = 2000) ~check (prog : Tree.program) =
+  let checks = ref 0 in
+  let accepted = ref 0 in
+  let stmts_before = program_stmts prog in
+  let try_one cand =
+    if !checks >= max_checks then None
+    else begin
+      incr checks;
+      if check cand then Some cand else None
+    end
+  in
+  (* one sweep: the first accepted candidate restarts the descent from
+     the smaller program *)
+  let rec descend cur =
+    if !checks >= max_checks then cur
+    else
+      match Seq.find_map try_one (all_candidates cur) with
+      | Some smaller ->
+        incr accepted;
+        descend smaller
+      | None -> cur
+  in
+  let final = descend prog in
+  ( final,
+    {
+      checks = !checks;
+      accepted = !accepted;
+      stmts_before;
+      stmts_after = program_stmts final;
+    } )

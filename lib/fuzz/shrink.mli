@@ -1,0 +1,39 @@
+open Import
+
+(** Greedy structural shrinking of diverging programs.
+
+    Given a program and a predicate (normally "the oracle still
+    fails"), the shrinker repeatedly tries structure-removing edits —
+    dropping statement ranges, dropping whole functions, hoisting a
+    subtree's same-typed child over the subtree, replacing subtrees by
+    constant leaves — keeping an edit only when the predicate still
+    holds, until no edit applies or the check budget is exhausted.
+
+    Edits that break the program (a deleted label still jumped to, a
+    call to a deleted function) make the reference interpreter reject
+    it; the predicate is expected to return [false] for such candidates
+    (wrap it in {!valid_and}), so validity needs no special casing. *)
+
+type stats = {
+  checks : int;  (** predicate evaluations *)
+  accepted : int;  (** edits kept *)
+  stmts_before : int;
+  stmts_after : int;
+}
+
+(** Total statement count over all functions (the reproducer-size
+    metric). *)
+val program_stmts : Tree.program -> int
+
+(** [valid_and p] — [p prog], but [false] when the reference
+    interpreter rejects [prog]. *)
+val valid_and : (Tree.program -> bool) -> Tree.program -> bool
+
+(** [run ~check prog] — [check] must hold for [prog] itself; returns
+    the smallest program found (by greedy descent) still satisfying
+    [check].  [max_checks] bounds oracle invocations (default 2000). *)
+val run :
+  ?max_checks:int ->
+  check:(Tree.program -> bool) ->
+  Tree.program ->
+  Tree.program * stats

@@ -149,6 +149,12 @@ let int_binop ty op a b =
     let c = Int64.to_int c land 63 in
     wrap (Int64.shift_right x c)
 
+(* VAX F-float operations round every result to single precision; a
+   typed-[Flt] node must not carry extra double-precision bits *)
+let fround ty f =
+  if Dtype.equal ty Dtype.Flt then Int32.float_of_bits (Int32.bits_of_float f)
+  else f
+
 let float_binop op a b =
   match (op : Op.binop) with
   | Plus -> a +. b
@@ -163,11 +169,11 @@ let float_binop op a b =
 let convert ~to_ ~from v =
   match (Dtype.is_float from, Dtype.is_float to_, v) with
   | false, false, VInt n -> VInt (Tree.wrap to_ n)
-  | false, true, VInt n -> VFloat (Int64.to_float n)
+  | false, true, VInt n -> VFloat (fround to_ (Int64.to_float n))
   | true, false, VFloat f ->
     (* VAX cvt: truncation toward zero *)
     VInt (Tree.wrap to_ (Int64.of_float f))
-  | true, true, VFloat f -> VFloat f
+  | true, true, VFloat f -> VFloat (fround to_ f)
   | _, _, _ -> error "conversion value kind mismatch"
 
 (* -- expression evaluation ---------------------------------------------- *)
@@ -204,7 +210,7 @@ let global_addr st name =
 let rec eval st (t : Tree.t) : value =
   match t with
   | Const (_, n) -> VInt n
-  | Fconst (_, f) -> VFloat f
+  | Fconst (ty, f) -> VFloat (fround ty f)
   | Name _ | Temp _ | Dreg _ | Indir _ | Autoinc _ | Autodec _ ->
     load_loc st (eval_loc st t)
   | Addr e -> (
@@ -216,13 +222,14 @@ let rec eval st (t : Tree.t) : value =
     let v = eval st e in
     match (op, Dtype.is_float ty) with
     | Op.Neg, false -> VInt (Tree.wrap ty (Int64.neg (as_int v)))
-    | Op.Neg, true -> VFloat (-.as_float v)
+    | Op.Neg, true -> VFloat (fround ty (-.as_float v))
     | Op.Com, false -> VInt (Tree.wrap ty (Int64.lognot (as_int v)))
     | Op.Com, true -> error "complement of a float")
   | Binop (op, ty, a, b) ->
     let va = eval st a in
     let vb = eval st b in
-    if Dtype.is_float ty then VFloat (float_binop op (as_float va) (as_float vb))
+    if Dtype.is_float ty then
+      VFloat (fround ty (float_binop op (as_float va) (as_float vb)))
     else VInt (int_binop ty op (as_int va) (as_int vb))
   | Conv (to_, from, e) -> convert ~to_ ~from (eval st e)
   | Assign (_, dst, src) ->

@@ -102,32 +102,32 @@ let statement r : Tree.stmt =
   Tree.Stree
     (Tree.Assign (ty, Tree.Name (ty, global_of ty), value r ty (range r 1 4)))
 
+(* checksum: fold the integer globals into the return value *)
+let checksum : Tree.stmt list =
+  [
+    Tree.Stree
+      (Tree.Assign
+         ( Dtype.Long,
+           Tree.Dreg (Dtype.Long, Regconv.r0),
+           Tree.Binop
+             ( Op.And,
+               Dtype.Long,
+               Tree.Binop
+                 ( Op.Plus,
+                   Dtype.Long,
+                   Tree.Conv (Dtype.Long, Dtype.Byte, Tree.Name (Dtype.Byte, "gb")),
+                   Tree.Binop
+                     ( Op.Xor,
+                       Dtype.Long,
+                       Tree.Conv (Dtype.Long, Dtype.Word, Tree.Name (Dtype.Word, "gw")),
+                       Tree.Name (Dtype.Long, "gl") ) ),
+               Tree.Const (Dtype.Long, 0xffffL) ) ));
+    Tree.Sret;
+  ]
+
 let program ~seed ~stmts : Tree.program =
   let r = rng seed in
-  let body =
-    List.init stmts (fun _ -> statement r)
-    @ [
-        (* checksum: fold the integer globals into the return value *)
-        Tree.Stree
-          (Tree.Assign
-             ( Dtype.Long,
-               Tree.Dreg (Dtype.Long, Regconv.r0),
-               Tree.Binop
-                 ( Op.And,
-                   Dtype.Long,
-                   Tree.Binop
-                     ( Op.Plus,
-                       Dtype.Long,
-                       Tree.Conv (Dtype.Long, Dtype.Byte, Tree.Name (Dtype.Byte, "gb")),
-                       Tree.Binop
-                         ( Op.Xor,
-                           Dtype.Long,
-                           Tree.Conv (Dtype.Long, Dtype.Word, Tree.Name (Dtype.Word, "gw")),
-                           Tree.Name (Dtype.Long, "gl") ) ),
-                   Tree.Const (Dtype.Long, 0xffffL) ) ));
-        Tree.Sret;
-      ]
-  in
+  let body = List.init stmts (fun _ -> statement r) @ checksum in
   {
     Tree.globals;
     funcs =
@@ -140,4 +140,278 @@ let program ~seed ~stmts : Tree.program =
           body;
         };
       ];
+  }
+
+(* -- control-flow programs ---------------------------------------------- *)
+
+(* Beyond straight-line assignments: if/while with bounded nesting,
+   short-circuit boolean expressions, comparisons feeding truth values,
+   and multi-function programs with calls and arguments — still
+   trap-free and terminating by construction.  Loops count down a
+   dedicated counter global per nesting level; nothing else writes
+   those counters except loop headers (which always store a small
+   positive constant that the loop then decrements to zero), so every
+   loop terminates even when its body calls functions that run loops of
+   their own. *)
+
+type config = {
+  stmts : int;  (** statements per function body *)
+  depth : int;  (** expression depth bound *)
+  max_nest : int;  (** if/while nesting bound *)
+  functions : int;  (** callee functions besides [main] *)
+}
+
+let default_config = { stmts = 12; depth = 3; max_nest = 2; functions = 2 }
+
+let counter_global d = Fmt.str "gc%d" d
+
+let control_globals cfg =
+  globals
+  @ List.init cfg.max_nest (fun d -> (counter_global d, Dtype.Long, 4))
+
+let callee_name i = Fmt.str "f%d" i
+
+(* [List.init] whose side effects provably run left to right, so the
+   rng stream (and thus every generated program) is reproducible *)
+let init_seq n f =
+  let rec go i = if i >= n then [] else  let x = f i in x :: go (i + 1) in
+  go 0
+
+(* argument slots start at 4(ap); doubles occupy two longwords *)
+let formal_tree formals i : Tree.t =
+  let rec off j acc =
+    if j >= i then acc
+    else off (j + 1) (acc + if Dtype.size (List.nth formals j) > 4 then 8 else 4)
+  in
+  let base = off 0 4 in
+  let ty = List.nth formals i in
+  Tree.Indir
+    ( ty,
+      Tree.Binop
+        ( Op.Plus,
+          Dtype.Long,
+          Tree.Const (Dtype.Long, Int64.of_int base),
+          Tree.Dreg (Dtype.Long, Regconv.ap) ) )
+
+(* a 0/1 boolean tree (Relval / Land / Lor / Lnot), depth-bounded *)
+let rec bool_expr r cfg depth : Tree.t =
+  if depth <= 0 then relval r cfg 1
+  else
+    match next r mod 8 with
+    | 0 | 1 -> Tree.Land (bool_expr r cfg (depth - 1), bool_expr r cfg (depth - 1))
+    | 2 | 3 -> Tree.Lor (bool_expr r cfg (depth - 1), bool_expr r cfg (depth - 1))
+    | 4 -> Tree.Lnot (bool_expr r cfg (depth - 1))
+    | 5 -> value r Dtype.Long 1
+    | _ -> relval r cfg depth
+
+and relval r cfg depth : Tree.t =
+  let ty = pick r all_types in
+  let sg =
+    if Dtype.is_float ty then Dtype.Signed
+    else pick r [ Dtype.Signed; Dtype.Signed; Dtype.Unsigned ]
+  in
+  let d = min (depth - 1) (cfg.depth - 1) |> max 0 in
+  Tree.Relval (pick r Op.all_relops, sg, ty, value r ty d, value r ty d)
+
+(* one statement; [nest] bounds remaining if/while nesting, [callees]
+   lists callable functions as (name, formal types) *)
+let rec control_stmts r cfg ~labels ~nest ~callees n : Tree.stmt list =
+  List.concat (init_seq n (fun _ -> control_stmt r cfg ~labels ~nest ~callees))
+
+and control_stmt r cfg ~labels ~nest ~callees : Tree.stmt list =
+  match next r mod 12 with
+  | (0 | 1) when nest > 0 -> if_stmt r cfg ~labels ~nest ~callees
+  | 2 when nest > 0 -> while_stmt r cfg ~labels ~nest ~callees
+  | 3 ->
+    (* a comparison (or short-circuit chain) materialised as 0/1 *)
+    let dst = pick r int_types in
+    let b = bool_expr r cfg 2 in
+    let src = if dst = Dtype.Long then b else Tree.Conv (dst, Dtype.Long, b) in
+    [ Tree.Stree (Tree.Assign (dst, Tree.Name (dst, global_of dst), src)) ]
+  | 4 ->
+    let ty = pick r all_types in
+    let d = max 0 (cfg.depth - 1) in
+    [
+      Tree.Stree
+        (Tree.Assign
+           ( ty,
+             Tree.Name (ty, global_of ty),
+             Tree.Select (ty, bool_expr r cfg 1, value r ty d, value r ty d) ));
+    ]
+  | (5 | 6) when callees <> [] -> call_stmt r cfg ~callees
+  | _ -> [ statement_depth r cfg ]
+
+and statement_depth r cfg : Tree.stmt =
+  let ty = pick r all_types in
+  Tree.Stree
+    (Tree.Assign
+       (ty, Tree.Name (ty, global_of ty), value r ty (range r 1 (max 1 cfg.depth))))
+
+and call_stmt r cfg ~callees : Tree.stmt list =
+  let fname, formals = pick r callees in
+  let arg ty =
+    if ty = Dtype.Dbl then value r Dtype.Dbl (min 2 cfg.depth)
+    else value r Dtype.Long (min 2 cfg.depth)
+  in
+  let call = Tree.Call (Dtype.Long, fname, List.map arg formals) in
+  match next r mod 3 with
+  | 0 ->
+    (* result discarded *)
+    [ Tree.Stree call ]
+  | 1 ->
+    [ Tree.Stree (Tree.Assign (Dtype.Long, Tree.Name (Dtype.Long, "gl"), call)) ]
+  | _ ->
+    (* the call embedded in a larger expression: Phase 1a must extract
+       it so "context switching does not occur within expression trees" *)
+    [
+      Tree.Stree
+        (Tree.Assign
+           ( Dtype.Long,
+             Tree.Name (Dtype.Long, "gl"),
+             Tree.Binop (Op.Plus, Dtype.Long, call, value r Dtype.Long 1) ));
+    ]
+
+and if_stmt r cfg ~labels ~nest ~callees : Tree.stmt list =
+  let l_else = Label.fresh labels in
+  let l_end = Label.fresh labels in
+  let guard =
+    (* two flavours: a direct comparison branch, and a boolean tree that
+       Phase 1a expands into short-circuit branch structure *)
+    if next r mod 2 = 0 then
+      let ty = pick r all_types in
+      let sg =
+        if Dtype.is_float ty then Dtype.Signed
+        else pick r [ Dtype.Signed; Dtype.Signed; Dtype.Unsigned ]
+      in
+      let d = max 0 (cfg.depth - 1) in
+      Tree.Stree
+        (Tree.Cbranch
+           ( Op.negate_relop (pick r Op.all_relops),
+             sg,
+             ty,
+             value r ty d,
+             value r ty d,
+             l_else ))
+    else
+      Tree.Stree
+        (Tree.Cbranch
+           ( Op.Eq,
+             Dtype.Signed,
+             Dtype.Long,
+             bool_expr r cfg 2,
+             Tree.Const (Dtype.Long, 0L),
+             l_else ))
+  in
+  let then_ =
+    control_stmts r cfg ~labels ~nest:(nest - 1) ~callees (range r 1 3)
+  in
+  if next r mod 2 = 0 then
+    (* no else part *)
+    (guard :: then_) @ [ Tree.Slabel l_else ]
+  else
+    let else_ =
+      control_stmts r cfg ~labels ~nest:(nest - 1) ~callees (range r 1 2)
+    in
+    (guard :: then_)
+    @ [ Tree.Sjump l_end; Tree.Slabel l_else ]
+    @ else_
+    @ [ Tree.Slabel l_end ]
+
+and while_stmt r cfg ~labels ~nest ~callees : Tree.stmt list =
+  (* counter globals are indexed by remaining nesting depth, so an inner
+     loop never clobbers the counter of the loop enclosing it *)
+  let c = Tree.Name (Dtype.Long, counter_global (nest - 1)) in
+  let l_top = Label.fresh labels in
+  let l_exit = Label.fresh labels in
+  let body =
+    control_stmts r cfg ~labels ~nest:(nest - 1) ~callees (range r 1 3)
+  in
+  [
+    Tree.Stree
+      (Tree.Assign (Dtype.Long, c, Tree.const Dtype.Long (Int64.of_int (range r 1 4))));
+    Tree.Slabel l_top;
+    Tree.Stree
+      (Tree.Cbranch
+         (Op.Le, Dtype.Signed, Dtype.Long, c, Tree.Const (Dtype.Long, 0L), l_exit));
+  ]
+  @ body
+  @ [
+      Tree.Stree
+        (Tree.Assign
+           ( Dtype.Long,
+             c,
+             Tree.Binop (Op.Minus, Dtype.Long, c, Tree.Const (Dtype.Long, 1L)) ));
+      Tree.Sjump l_top;
+      Tree.Slabel l_exit;
+    ]
+
+let callee r cfg i : Tree.func * (string * Dtype.t list) =
+  let formals =
+    init_seq (next r mod 3) (fun _ -> pick r [ Dtype.Long; Dtype.Long; Dtype.Dbl ])
+  in
+  let labels = Label.gen () in
+  (* leaf functions: no further calls, so call depth (and hence
+     termination) is bounded by construction *)
+  let stmts =
+    control_stmts r cfg ~labels ~nest:cfg.max_nest ~callees:[]
+      (max 1 (cfg.stmts / 2))
+  in
+  (* fold the formals into the result so argument passing is observable *)
+  let use_formal acc i ty =
+    let f = formal_tree formals i in
+    let f =
+      if ty = Dtype.Dbl then
+        Tree.Conv
+          ( Dtype.Long,
+            Dtype.Dbl,
+            Tree.Binop (Op.Mul, Dtype.Dbl, f, Tree.Fconst (Dtype.Dbl, 0.25)) )
+      else f
+    in
+    Tree.Binop (Op.Xor, Dtype.Long, acc, f)
+  in
+  let result =
+    List.fold_left
+      (fun (acc, i) ty -> (use_formal acc i ty, i + 1))
+      (Tree.Name (Dtype.Long, "gl"), 0)
+      formals
+    |> fst
+  in
+  let body =
+    stmts
+    @ [
+        Tree.Stree
+          (Tree.Assign (Dtype.Long, Tree.Dreg (Dtype.Long, Regconv.r0), result));
+        Tree.Sret;
+      ]
+  in
+  ( {
+      Tree.fname = callee_name i;
+      formals = List.mapi (fun j ty -> (Fmt.str "p%d" j, ty)) formals;
+      ret_type = Dtype.Long;
+      locals_size = 0;
+      body;
+    },
+    (callee_name i, formals) )
+
+let control_program ~seed cfg : Tree.program =
+  let r = rng seed in
+  let funcs_and_sigs = init_seq cfg.functions (callee r cfg) in
+  let callees = List.map snd funcs_and_sigs in
+  let labels = Label.gen () in
+  let body =
+    control_stmts r cfg ~labels ~nest:cfg.max_nest ~callees cfg.stmts @ checksum
+  in
+  {
+    Tree.globals = control_globals cfg;
+    funcs =
+      List.map fst funcs_and_sigs
+      @ [
+          {
+            Tree.fname = "main";
+            formals = [];
+            ret_type = Dtype.Long;
+            locals_size = 0;
+            body;
+          };
+        ];
   }

@@ -15,3 +15,29 @@ val globals : (string * Dtype.t * int) list
 (** [program ~seed ~stmts] — a [main] of [stmts] random assignments
     followed by a checksum return. *)
 val program : seed:int -> stmts:int -> Tree.program
+
+(** {1 Control-flow programs}
+
+    Full control flow on top of the straight-line generator: if/while
+    with bounded nesting, short-circuit boolean expressions ([Land],
+    [Lor], [Lnot]), comparisons materialised as truth values ([Relval],
+    [Select]), and multi-function programs with calls and arguments.
+    Every loop counts a dedicated counter global down from a small
+    constant, so all programs terminate; all arithmetic is trap-free by
+    the same constructions as the straight-line generator. *)
+
+type config = {
+  stmts : int;  (** statements per function body *)
+  depth : int;  (** expression depth bound *)
+  max_nest : int;  (** if/while nesting bound *)
+  functions : int;  (** callee functions besides [main] *)
+}
+
+val default_config : config
+
+(** The globals of a control-flow program: {!globals} plus one loop
+    counter per nesting level. *)
+val control_globals : config -> (string * Dtype.t * int) list
+
+(** [control_program ~seed cfg] — deterministic per seed. *)
+val control_program : seed:int -> config -> Tree.program

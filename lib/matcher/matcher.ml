@@ -131,6 +131,7 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
           candidates.(idx)
         end
       in
+      Profile.record_production pid;
       let p = Grammar.production g pid in
       let len = Array.length p.rhs in
       let args, popped, rest = pop_args len in

@@ -21,6 +21,22 @@ let counters =
 
 let enabled = ref false
 
+(* -- production coverage ------------------------------------------------ *)
+
+let coverage_enabled = ref false
+let fired : (int, int) Hashtbl.t = Hashtbl.create 512
+
+let record_production pid =
+  if !coverage_enabled then
+    Hashtbl.replace fired pid
+      (1 + (try Hashtbl.find fired pid with Not_found -> 0))
+
+let production_counts () =
+  Hashtbl.fold (fun pid n acc -> (pid, n) :: acc) fired []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset_coverage () = Hashtbl.reset fired
+
 (* phase name -> (accumulated seconds, number of calls).  Only leaf
    phases are timed, so the shares of the total are meaningful. *)
 let timers : (string, float * int) Hashtbl.t = Hashtbl.create 16
@@ -33,7 +49,8 @@ let reset () =
   counters.rejects <- 0;
   counters.cache_hits <- 0;
   counters.cache_misses <- 0;
-  Hashtbl.reset timers
+  Hashtbl.reset timers;
+  reset_coverage ()
 
 let add_time name dt =
   let total, calls = try Hashtbl.find timers name with Not_found -> (0., 0) in

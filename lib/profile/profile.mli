@@ -29,6 +29,27 @@ val counters : counters
 (** Gates the wall-clock timers (not the counters); off by default. *)
 val enabled : bool ref
 
+(** {1 Production coverage}
+
+    When {!coverage_enabled} is set, the matcher records every grammar
+    production it reduces by, keyed by production id.  This is the
+    instrument behind the fuzzer's grammar-coverage report (which table
+    entries actually fire, after Samuelsson's example-based table
+    measurement); it is off by default so the production compile path
+    pays one load and branch per reduction. *)
+
+val coverage_enabled : bool ref
+
+(** Called by the matcher on every reduction; no-op unless
+    {!coverage_enabled}. *)
+val record_production : int -> unit
+
+(** Accumulated [(production id, reduction count)] pairs, sorted by id.
+    Cumulative since the last {!reset_coverage}/{!reset}. *)
+val production_counts : unit -> (int * int) list
+
+val reset_coverage : unit -> unit
+
 (** [time name f] runs [f], accumulating its wall time under [name]
     when {!enabled}; transparent otherwise. *)
 val time : string -> (unit -> 'a) -> 'a
@@ -41,7 +62,7 @@ val calls : string -> int
 (** All timed phases as [(name, seconds, calls)], slowest first. *)
 val phases : unit -> (string * float * int) list
 
-(** Zero the counters and drop all timers. *)
+(** Zero the counters, drop all timers and the coverage map. *)
 val reset : unit -> unit
 
 (** Render timers (with shares of the timed total) and counters. *)

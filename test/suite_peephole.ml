@@ -86,6 +86,27 @@ let test_fixpoint_cascade () =
   in
   Alcotest.(check (list string)) "both removed" [ "ret" ] (asm out)
 
+let test_peephole_preserves_fuzzed_observables () =
+  (* control-flow fuzzer programs are much denser in branches and
+     labels than the fixed corpus, so they stress exactly the windows
+     the optimizer rewrites; with peephole on, both backends must stay
+     observationally equal to the interpreter *)
+  let options =
+    { Gg_codegen.Driver.default_options with Gg_codegen.Driver.peephole = true }
+  in
+  let engines = [ Gg_fuzz.Oracle.packed_engine () ] in
+  for seed = 1000 to 1019 do
+    let prog =
+      Gg_ir.Treegen.control_program ~seed Gg_ir.Treegen.default_config
+    in
+    match Gg_fuzz.Oracle.check ~options ~engines prog with
+    | Ok _ -> ()
+    | Error f ->
+      Alcotest.failf "seed %d: %a" seed Gg_fuzz.Oracle.pp_failure f
+    | exception Gg_fuzz.Oracle.Invalid m ->
+      Alcotest.failf "seed %d: generator produced invalid program: %s" seed m
+  done
+
 let suite =
   [
     Alcotest.test_case "jump to next label" `Quick test_jump_to_next;
@@ -100,4 +121,6 @@ let suite =
     Alcotest.test_case "unreferenced labels" `Quick test_unreferenced_labels;
     Alcotest.test_case "autoincrement kept" `Quick test_autoinc_never_removed;
     Alcotest.test_case "fixpoint cascade" `Quick test_fixpoint_cascade;
+    Alcotest.test_case "peephole preserves observables on fuzzed programs"
+      `Slow test_peephole_preserves_fuzzed_observables;
   ]

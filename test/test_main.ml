@@ -15,4 +15,5 @@ let () =
       ("pcc", Suite_pcc.suite);
       ("differential", Suite_diff.suite);
       ("packed", Suite_packed.suite);
+      ("fuzz", Suite_fuzz.suite);
     ]
