@@ -25,6 +25,14 @@ module Machine = Gg_vaxsim.Machine
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+(* non-flag arguments select sections by key (e.g. `main.exe throughput`);
+   no arguments runs everything *)
+let selected =
+  Array.to_list Sys.argv |> List.tl
+  |> List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+
+let want key = selected = [] || List.mem key selected
+
 let section title = Fmt.pr "@.=== %s ===@." title
 let row fmt = Fmt.pr fmt
 
@@ -57,6 +65,18 @@ let measure_ns tests =
       | Some [ ns ] -> (name, ns) :: acc
       | _ -> acc)
     results []
+
+(* best-of-[repeats] per test: on a shared box a single Bechamel pass
+   can absorb scheduler noise; the minimum estimate is the least
+   contaminated one *)
+let measure_ns_best ~repeats tests =
+  let all = List.concat (List.init repeats (fun _ -> measure_ns tests)) in
+  List.sort_uniq compare (List.map fst all)
+  |> List.map (fun name ->
+         ( name,
+           List.fold_left
+             (fun acc (n, v) -> if n = name then Float.min acc v else acc)
+             Float.infinity all ))
 
 let lookup results key =
   (* grouped test names carry a prefix; match by suffix *)
@@ -213,9 +233,11 @@ let bench_table_construction () =
   in
   let full = Grammar_def.grammar Grammar_def.default in
   let time_once f =
-    let t0 = Sys.time () in
+    (* monotonic wall time, not CPU time: CPU time double-counts worker
+       domains and would hide any -j speedup *)
+    let t0 = Unix.gettimeofday () in
     let r = f () in
-    (Sys.time () -. t0, r)
+    (Unix.gettimeofday () -. t0, r)
   in
   let t_naive, auto_naive = time_once (fun () -> Naive.build subset) in
   let t_fast_subset, auto_fast = time_once (fun () -> Lr0.build subset) in
@@ -331,10 +353,10 @@ let bench_phase_profile () =
      matching %.0f%% of the two phases@."
     (t_transform *. 1e3) (t_match *. 1e3)
     (100. *. t_match /. max 1e-9 (t_transform +. t_match));
+  let c = Profile.totals () in
   row "  matcher counters: %d runs, %d shifts, %d reduces, %d semantic ties@."
-    Profile.counters.Profile.matcher_runs Profile.counters.Profile.shifts
-    Profile.counters.Profile.reduces
-    Profile.counters.Profile.semantic_choices;
+    c.Profile.matcher_runs c.Profile.shifts c.Profile.reduces
+    c.Profile.semantic_choices;
   Profile.enabled := was;
   Profile.reset ()
 
@@ -604,19 +626,185 @@ let bench_appendix () =
   List.iter (fun i -> row "%s@." (Insn.assembly i)) insns
 
 (* ============================================================================ *)
+(* THRU: matcher hot-loop and multi-domain batch throughput                     *)
+(* ============================================================================ *)
+
+let bench_throughput () =
+  section
+    "THRU: second-pass throughput (paper section 8: the table-driven pass \
+     ran 1.45x slower than PCC; section 9 calls the gap engineering)";
+  let prog = Lazy.force corpus_program in
+  let transformed = List.map (fun f -> Transform.run f) prog.Tree.funcs in
+  let n_stmts =
+    List.fold_left
+      (fun acc tr -> acc + List.length tr.Transform.func.Tree.body)
+      0 transformed
+  in
+  (* linearise once up front: the single-thread measurement targets the
+     shift/reduce loop itself *)
+  let token_lists =
+    List.concat_map
+      (fun tr ->
+        List.filter_map
+          (function Tree.Stree t -> Some (Termname.linearize t) | _ -> None)
+          tr.Transform.func.Tree.body)
+      transformed
+  in
+  let n_trees = List.length token_lists in
+  let g = Grammar_def.grammar Grammar_def.default in
+  let dense = Matcher.engine (Tables.build g) in
+  let packed = Lazy.force Driver.default_tables in
+  let null_cb : unit Matcher.callbacks =
+    {
+      Matcher.on_shift = (fun _ -> ());
+      on_reduce = (fun _ _ -> ());
+      choose = (fun _ _ -> 0);
+    }
+  in
+  let run_all runner e () =
+    List.iter (fun toks -> ignore (runner e null_cb toks)) token_lists
+  in
+  let results =
+    measure_ns_best
+      ~repeats:(if quick then 1 else 3)
+      [
+        (* pre-PR loop (list stack, symtab lookup per action) on both
+           table representations, vs the production interned loop *)
+        ("m-dense", run_all Matcher.run_engine_reference dense);
+        ("m-packed", run_all Matcher.run_engine_reference packed);
+        ("m-interned", run_all (fun e cb t -> Matcher.run_engine e cb t) packed);
+      ]
+  in
+  let rate ns = float_of_int n_trees *. 1e9 /. ns in
+  let srate ns = float_of_int n_stmts *. 1e9 /. ns in
+  let single =
+    match
+      ( lookup results "m-dense",
+        lookup results "m-packed",
+        lookup results "m-interned" )
+    with
+    | Some d, Some p, Some i ->
+      row "corpus: %d functions, %d statements, %d matched trees@."
+        (List.length prog.Tree.funcs)
+        n_stmts n_trees;
+      row "  dense + per-step lookup:    %9.0f trees/s  %9.0f stmts/s@."
+        (rate d) (srate d);
+      row "  packed + per-step lookup:   %9.0f trees/s  %9.0f stmts/s@."
+        (rate p) (srate p);
+      row "  packed + interned (prod.):  %9.0f trees/s  %9.0f stmts/s@."
+        (rate i) (srate i);
+      row
+        "  interned-loop speedup over the pre-PR packed matcher: %.2fx \
+         (acceptance: >= 1.5x)@."
+        (p /. i);
+      Some (d, p, i)
+    | _ ->
+      row "measurement failed@.";
+      None
+  in
+  let jlist = [ 1; 2; 4; 8 ] in
+  let asm j =
+    (Driver.compile_program ~tables:packed ~jobs:j prog).Driver.assembly
+  in
+  let identical = asm 1 = asm 4 && asm 1 = asm 8 in
+  row "-j determinism: 4- and 8-domain assembly byte-identical to 1: %b@."
+    identical;
+  let jresults =
+    measure_ns
+      (List.map
+         (fun j ->
+           ( Fmt.str "batch-j%d" j,
+             fun () ->
+               ignore (Driver.compile_program ~tables:packed ~jobs:j prog) ))
+         jlist)
+  in
+  let scaling =
+    List.filter_map
+      (fun j ->
+        Option.map (fun ns -> (j, ns)) (lookup jresults (Fmt.str "batch-j%d" j)))
+      jlist
+  in
+  let ns1 = List.assoc_opt 1 scaling in
+  row "batch compile of the corpus (%d functions, recommended domains: %d):@."
+    (List.length prog.Tree.funcs)
+    (Gg_codegen.Parallel.available ());
+  List.iter
+    (fun (j, ns) ->
+      row "  -j %d:  %8.2f ms/compile   speedup %.2fx@." j (ns /. 1e6)
+        (match ns1 with Some n1 -> n1 /. ns | None -> nan))
+    scaling;
+  (* persist the trajectory *)
+  let oc = open_out "BENCH_throughput.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"corpus\": { \"functions\": %d, \"statements\": %d, \"trees\": %d },\n"
+    (List.length prog.Tree.funcs)
+    n_stmts n_trees;
+  (match single with
+  | Some (d, pk, i) ->
+    p "  \"single_thread\": {\n";
+    p "    \"dense\": { \"trees_per_sec\": %.0f, \"stmts_per_sec\": %.0f },\n"
+      (rate d) (srate d);
+    p "    \"packed\": { \"trees_per_sec\": %.0f, \"stmts_per_sec\": %.0f },\n"
+      (rate pk) (srate pk);
+    p
+      "    \"packed_interned\": { \"trees_per_sec\": %.0f, \
+       \"stmts_per_sec\": %.0f },\n"
+      (rate i) (srate i);
+    p "    \"speedup_interned_vs_packed\": %.3f\n" (pk /. i);
+    p "  },\n"
+  | None -> ());
+  p "  \"parallel\": {\n";
+  p "    \"recommended_domains\": %d,\n" (Gg_codegen.Parallel.available ());
+  p "    \"assembly_identical_j1_j4_j8\": %b,\n" identical;
+  p "    \"scaling\": [\n";
+  List.iteri
+    (fun k (j, ns) ->
+      p
+        "      { \"jobs\": %d, \"ms_per_compile\": %.3f, \"speedup_vs_j1\": \
+         %.3f }%s\n"
+        j (ns /. 1e6)
+        (match ns1 with Some n1 -> n1 /. ns | None -> nan)
+        (if k = List.length scaling - 1 then "" else ","))
+    scaling;
+  p "    ]\n";
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  row "written: BENCH_throughput.json@."
+
+(* ============================================================================ *)
 
 let () =
   Fmt.pr "Table-driven code generation: benchmark harness%s@."
     (if quick then " (quick mode)" else "");
-  bench_grammar_stats ();
-  bench_reverse_ops ();
-  bench_table_construction ();
-  bench_table_size ();
-  bench_phase_profile ();
-  bench_codegen_time ();
-  bench_code_size ();
-  bench_idioms ();
-  bench_peephole ();
-  bench_coverage ();
-  bench_appendix ();
+  let sections =
+    [
+      ("grammar", bench_grammar_stats);
+      ("reverse", bench_reverse_ops);
+      ("tblc", bench_table_construction);
+      ("mem", bench_table_size);
+      ("fig2", bench_phase_profile);
+      ("time", bench_codegen_time);
+      ("size", bench_code_size);
+      ("idioms", bench_idioms);
+      ("peephole", bench_peephole);
+      ("coverage", bench_coverage);
+      ("appendix", bench_appendix);
+      ("throughput", bench_throughput);
+    ]
+  in
+  (match
+     List.filter (fun k -> not (List.mem_assoc k sections)) selected
+   with
+  | [] -> ()
+  | unknown ->
+    Fmt.epr "unknown section(s): %a; known: %a@."
+      Fmt.(list ~sep:comma string)
+      unknown
+      Fmt.(list ~sep:comma string)
+      (List.map fst sections);
+    exit 2);
+  List.iter (fun (key, f) -> if want key then f ()) sections;
   Fmt.pr "@.done.@."

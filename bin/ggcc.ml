@@ -43,13 +43,13 @@ let gg_tables ~tables_file ~no_cache () =
     if no_cache then Lazy.force Driver.default_tables
     else Driver.cached_tables Driver.default_options.Driver.grammar
 
-let compile_source backend ~idioms ~peephole ~tables src =
+let compile_source backend ~idioms ~peephole ~jobs ~tables src =
   let prog = Gg_profile.Profile.time "frontend" (fun () -> Sema.compile src) in
   match backend with
   | Gg ->
     let options = { Driver.default_options with Driver.idioms; peephole } in
     let tables = Lazy.force tables in
-    ((Driver.compile_program ~options ~tables prog).Driver.assembly, prog)
+    ((Driver.compile_program ~options ~tables ~jobs prog).Driver.assembly, prog)
   | Pcc_backend -> ((Pcc.compile_program ~peephole prog).Pcc.assembly, prog)
 
 let handle_errors f =
@@ -80,13 +80,13 @@ let with_profile profile f =
   if profile then Fmt.epr "%a" Gg_profile.Profile.report ();
   r
 
-let compile_cmd path backend idioms peephole output run args tables_file
+let compile_cmd path backend idioms peephole jobs output run args tables_file
     no_cache profile =
   handle_errors (fun () ->
       with_profile profile @@ fun () ->
       let tables = lazy (gg_tables ~tables_file ~no_cache ()) in
       let asm, prog =
-        compile_source backend ~idioms ~peephole ~tables (read_file path)
+        compile_source backend ~idioms ~peephole ~jobs ~tables (read_file path)
       in
       (match output with
       | Some out ->
@@ -164,6 +164,15 @@ let peephole_arg =
     value & flag
     & info [ "peephole" ] ~doc:"Run the peephole optimizer on the output.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Compile the program's functions across $(docv) domains (gg \
+           backend).  The assembly is byte-identical to a single-domain \
+           compile; the tables are shared read-only.")
+
 let output_arg =
   Arg.(
     value & opt (some string) None & info [ "o" ] ~doc:"Write assembly to a file.")
@@ -202,7 +211,7 @@ let () =
   let compile_term =
     Term.(
       const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg
-      $ output_arg $ run_arg $ args_arg $ tables_arg $ no_cache_arg
+      $ jobs_arg $ output_arg $ run_arg $ args_arg $ tables_arg $ no_cache_arg
       $ profile_arg)
   in
   let compile =

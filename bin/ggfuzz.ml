@@ -122,8 +122,18 @@ let shrink_checks_arg =
     & opt int Campaign.default_config.Campaign.max_shrink_checks
     & info [ "shrink-checks" ] ~doc:"Oracle-check budget for the shrinker.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int Campaign.default_config.Campaign.jobs
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Compile each generated program's functions across $(docv) domains \
+           (shrinking stays single-threaded).  Divergence results are \
+           independent of $(docv): parallel assembly is byte-identical.")
+
 let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
-    straight_line corpus_dir coverage verbose_cov quiet shrink_checks =
+    straight_line corpus_dir coverage verbose_cov quiet shrink_checks jobs =
   let cfg =
     {
       Campaign.seed_lo;
@@ -133,6 +143,7 @@ let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
       straight_line;
       corpus_dir;
       max_shrink_checks = shrink_checks;
+      jobs;
       log = (if quiet then None else Some Fmt.string);
     }
   in
@@ -179,7 +190,7 @@ let () =
     Term.(
       const fuzz_cmd $ seeds_arg $ engine_arg $ stmts_arg $ depth_arg
       $ nest_arg $ functions_arg $ straight_arg $ corpus_arg $ coverage_arg
-      $ verbose_cov_arg $ quiet_arg $ shrink_checks_arg)
+      $ verbose_cov_arg $ quiet_arg $ shrink_checks_arg $ jobs_arg)
   in
   let fuzz =
     Cmd.v

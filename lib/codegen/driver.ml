@@ -128,7 +128,10 @@ let render_program (p : Tree.program) funcs =
   List.iter (fun cf -> render_func buf cf) funcs;
   Buffer.contents buf
 
-let compile_program ?(options = default_options) ?tables (p : Tree.program) =
+let compile_program ?(options = default_options) ?tables ?(jobs = 1)
+    (p : Tree.program) =
+  (* the tables (and their lazy cell) are resolved before any worker
+     domain exists; workers only ever read them *)
   let tables =
     match tables with
     | Some t -> t
@@ -136,7 +139,7 @@ let compile_program ?(options = default_options) ?tables (p : Tree.program) =
       if options.grammar = Grammar_def.default then Lazy.force default_tables
       else build_tables options.grammar
   in
-  let funcs = List.map (compile_func ~options tables) p.Tree.funcs in
+  let funcs = Parallel.map ~jobs (compile_func ~options tables) p.Tree.funcs in
   { assembly = render_program p funcs; funcs; program = p }
 
 let singleton_func tree =

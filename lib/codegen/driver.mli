@@ -55,7 +55,12 @@ type output = {
     {!Gg_profile.Profile.enabled}. *)
 val compile_func : ?options:options -> tables -> Tree.func -> compiled_func
 
-val compile_program : ?options:options -> ?tables:tables -> Tree.program -> output
+(** Compile a whole program.  [jobs] > 1 distributes the functions over
+    a {!Parallel} pool of that many domains; output order is the
+    program's function order regardless of scheduling, so the assembly
+    is byte-identical to a [jobs:1] run. *)
+val compile_program :
+  ?options:options -> ?tables:tables -> ?jobs:int -> Tree.program -> output
 
 (** Compile a single statement tree against the default tables and
     return the instructions — convenient for tests and examples. *)

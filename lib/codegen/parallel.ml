@@ -1,0 +1,48 @@
+(* A Domain-based worker pool for batch compilation.
+
+   The packed tables are immutable int arrays shared read-only across
+   domains; Semantics/Regmgr/Frame state is created per function inside
+   the worker; Gg_profile shards its counters per domain — so functions
+   compile embarrassingly parallel.  Results are stored by input index,
+   which makes the output order (and hence the emitted assembly)
+   independent of scheduling: [-j 8] is byte-identical to [-j 1]. *)
+
+let available () = Domain.recommended_domain_count ()
+
+type 'b cell = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let map ~jobs f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    (* workers pull indices off a shared counter (dynamic load
+       balancing: function sizes are very uneven) and never raise —
+       exceptions travel in the result cell so that the first failure
+       in *input* order is re-raised, deterministically *)
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          (try Done (f items.(i))
+           with e -> Failed (e, Printexc.get_raw_backtrace ()));
+        worker ()
+      end
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* the calling domain is the pool's first worker *)
+    worker ();
+    List.iter Domain.join domains;
+    Array.iter
+      (function
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending | Done _ -> ())
+      results;
+    List.init n (fun i ->
+        match results.(i) with
+        | Done r -> r
+        | Pending | Failed _ -> assert false)
+  end

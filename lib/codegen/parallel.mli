@@ -1,0 +1,22 @@
+(** Domain-based worker pool for batch compilation.
+
+    The paper's headline defect is second-pass throughput (section 8:
+    the table-driven pass ran ~1.45x slower than PCC's); beyond the
+    matcher's own hot loop, the remaining lever is compiling the
+    functions of a program across cores.  The packed tables are
+    immutable and shared read-only; all per-function state
+    ({!Semantics}, {!Regmgr}, {!Frame}) lives inside the worker; and
+    {!Gg_profile.Profile} shards its counters per domain, so [--profile]
+    and fuzz coverage stay exact under parallelism. *)
+
+(** [Domain.recommended_domain_count ()] — the useful upper bound for
+    [jobs]. *)
+val available : unit -> int
+
+(** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
+    [jobs] domains (the calling domain is one of them; [jobs <= 1]
+    degenerates to [List.map]).  Results preserve input order
+    regardless of scheduling, so batch output is deterministic.  If any
+    application raises, the exception of the {e earliest} failing
+    element is re-raised after all workers have been joined. *)
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -10,6 +10,7 @@ type config = {
   straight_line : bool;
   corpus_dir : string;
   max_shrink_checks : int;
+  jobs : int;
   log : string Fmt.t option;
 }
 
@@ -22,6 +23,7 @@ let default_config =
     straight_line = false;
     corpus_dir = "fuzz-corpus";
     max_shrink_checks = 2000;
+    jobs = 1;
     log = None;
   }
 
@@ -86,7 +88,9 @@ let run cfg : result =
         for seed = cfg.seed_lo to cfg.seed_hi do
           let prog = program_of_seed cfg seed in
           incr programs;
-          match Oracle.check ~engines prog with
+          (* shrinking re-checks tiny programs where domain-spawn
+             overhead dominates, so only the main check runs parallel *)
+          match Oracle.check ~jobs:cfg.jobs ~engines prog with
           | Ok _ -> ()
           | Error failure ->
             divergences :=

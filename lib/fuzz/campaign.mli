@@ -17,6 +17,9 @@ type config = {
   straight_line : bool;  (** use the straight-line generator instead *)
   corpus_dir : string;  (** where divergence dumps go *)
   max_shrink_checks : int;
+  jobs : int;
+      (** domains for each generated program's compiles
+          ({!Oracle.check}'s [jobs]); shrinking stays single-threaded *)
   log : string Fmt.t option;  (** per-event progress lines, if wanted *)
 }
 

@@ -51,7 +51,7 @@ let default_engines () = [ packed_engine () ]
 
 type engines = (string * Driver.tables) list
 
-let check ?(options = Driver.default_options) ?(pcc = true)
+let check ?(options = Driver.default_options) ?(pcc = true) ?(jobs = 1)
     ?(max_steps = 10_000_000) ~(engines : engines) (prog : Tree.program) =
   let reference =
     try Interp.run ~max_steps prog ~entry:"main" []
@@ -72,7 +72,7 @@ let check ?(options = Driver.default_options) ?(pcc = true)
       Some { backend; reason = Crash (Fmt.str "asm parse error line %d: %s" l m) }
   in
   let check_gg (name, tables) =
-    match Driver.compile_program ~options ~tables prog with
+    match Driver.compile_program ~options ~tables ~jobs prog with
     | out -> run_assembly name out.Driver.assembly
     | exception Matcher.Reject e ->
       Some

@@ -52,10 +52,13 @@ val packed_engine : unit -> string * Driver.tables
 (** [check ~engines prog] runs the interpreter once, then each gg
     engine and the PCC baseline, comparing observables.  Returns the
     reference outcome, or the first failure.  Raises {!Invalid} if the
-    interpreter itself rejects the program. *)
+    interpreter itself rejects the program.  [jobs] is forwarded to
+    {!Driver.compile_program} — a fuzz campaign under [--jobs N] also
+    exercises the parallel batch path. *)
 val check :
   ?options:Driver.options ->
   ?pcc:bool ->
+  ?jobs:int ->
   ?max_steps:int ->
   engines:engines ->
   Tree.program ->

@@ -60,6 +60,12 @@ let intern t s =
 
 let find t s = Hashtbl.find_opt t.by_name s
 
+let term_id t s =
+  match Hashtbl.find t.by_name s with
+  | T i -> i
+  | N _ -> -1
+  | exception Not_found -> -1
+
 let term_name t i =
   assert (i >= 0 && i < t.n_terms);
   t.term_names.(i)

@@ -24,6 +24,12 @@ val intern : t -> string -> sym
 (** Look up without interning. *)
 val find : t -> string -> sym option
 
+(** [term_id t s] is the terminal index of [s], or [-1] when [s] is
+    unknown or a non-terminal.  Equivalent to {!find} but allocation
+    free — the matcher interns every token of every tree through
+    this. *)
+val term_id : t -> string -> int
+
 val name : t -> sym -> string
 val term_name : t -> int -> string
 val nonterm_name : t -> int -> string

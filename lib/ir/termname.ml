@@ -1,34 +1,88 @@
-let typed base ty = base ^ "." ^ Dtype.suffix ty
+(* The name set is small and fixed, so every name is built exactly once
+   at module initialisation and each emission returns the same shared
+   string.  Linearisation then allocates nothing per node for the name,
+   and the matcher's interning cache can recognise a name by pointer
+   (see {!Gg_matcher.Matcher}). *)
 
-let binop op ty = typed (Op.binop_name op) ty
-let unop op ty = typed (Op.unop_name op) ty
-let assign ty = typed "Assign" ty
-let rassign ty = typed "Rassign" ty
-let indir ty = typed "Indir" ty
-let name_ ty = typed "Name" ty
-let temp ty = typed "Temp" ty
-let dreg ty = typed "Dreg" ty
-let autoinc ty = typed "Autoinc" ty
-let autodec ty = typed "Autodec" ty
-let const ty = typed "Const" ty
-let fconst ty = typed "Fconst" ty
-let addr ty = typed "Addr" ty
-let cvt ~from ~to_ = "Cvt." ^ Dtype.suffix from ^ Dtype.suffix to_
+let dtype_index = function
+  | Dtype.Byte -> 0
+  | Dtype.Word -> 1
+  | Dtype.Long -> 2
+  | Dtype.Quad -> 3
+  | Dtype.Flt -> 4
+  | Dtype.Dbl -> 5
+
+let dtypes = Array.of_list Dtype.all
+
+let family base =
+  Array.map (fun ty -> base ^ "." ^ Dtype.suffix ty) dtypes
+
+let typed_tbl base =
+  let a = family base in
+  fun ty -> Array.unsafe_get a (dtype_index ty)
+
+let binop =
+  let families =
+    List.map (fun op -> (op, family (Op.binop_name op))) Op.all_binops
+  in
+  fun op ty -> Array.unsafe_get (List.assq op families) (dtype_index ty)
+
+let unop =
+  let families =
+    List.map (fun op -> (op, family (Op.unop_name op))) Op.all_unops
+  in
+  fun op ty -> Array.unsafe_get (List.assq op families) (dtype_index ty)
+
+let assign = typed_tbl "Assign"
+let rassign = typed_tbl "Rassign"
+let indir = typed_tbl "Indir"
+let name_ = typed_tbl "Name"
+let temp = typed_tbl "Temp"
+let dreg = typed_tbl "Dreg"
+let autoinc = typed_tbl "Autoinc"
+let autodec = typed_tbl "Autodec"
+let const = typed_tbl "Const"
+let fconst = typed_tbl "Fconst"
+let addr = typed_tbl "Addr"
+
+let cvt =
+  let tbl =
+    Array.map
+      (fun from ->
+        Array.map
+          (fun to_ -> "Cvt." ^ Dtype.suffix from ^ Dtype.suffix to_)
+          dtypes)
+      dtypes
+  in
+  fun ~from ~to_ ->
+    Array.unsafe_get (Array.unsafe_get tbl (dtype_index from))
+      (dtype_index to_)
+
 let cbranch = "Cbranch"
-let cmp ty = typed "Cmp" ty
+let cmp = typed_tbl "Cmp"
 let label = "Label"
-let arg ty = typed "Arg" ty
+let arg = typed_tbl "Arg"
 
-let special_const ty n =
-  if Dtype.is_float ty then None
-  else
-    match Int64.to_int n with
-    | 0 -> Some (typed "Zero" ty)
-    | 1 -> Some (typed "One" ty)
-    | 2 -> Some (typed "Two" ty)
-    | 4 -> Some (typed "Four" ty)
-    | 8 -> Some (typed "Eight" ty)
-    | _ -> None
+let special_const =
+  (* prebuilt [Some] families so the lineariser's hit path is
+     allocation free *)
+  let opt_family base = Array.map Option.some (family base) in
+  let zero = opt_family "Zero"
+  and one = opt_family "One"
+  and two = opt_family "Two"
+  and four = opt_family "Four"
+  and eight = opt_family "Eight" in
+  fun ty n ->
+    if Dtype.is_float ty then None
+    else
+      let pick a = Array.unsafe_get a (dtype_index ty) in
+      match Int64.to_int n with
+      | 0 -> pick zero
+      | 1 -> pick one
+      | 2 -> pick two
+      | 4 -> pick four
+      | 8 -> pick eight
+      | _ -> None
 
 type token = { term : string; node : Tree.t }
 

@@ -46,9 +46,21 @@ type engine = {
   eng_grammar : Grammar.t;
   eng_eof : int;  (** terminal index of the end marker *)
   eng_action : int -> int -> Tables.action;
+      (** decoded view; drives {!run_engine_reference} *)
+  eng_code : int -> int -> int;
+      (** the same cell as an integer code
+          ({!Gg_tablegen.Packed.action_code}'s encoding); drives the
+          production hot loop without allocating a [Tables.action] per
+          probe *)
+  eng_tie : int -> int array;
+      (** candidate productions of semantic tie [i] in the codes *)
   eng_goto : int -> int -> int;
   eng_expected : int -> int list;
       (** terminals with a non-error action, for diagnostics *)
+  eng_intern : string -> int;
+      (** terminal id of a token name, [-1] if unknown; a
+          pointer-equality cache over {!Gg_grammar.Symtab.term_id},
+          safe to share between domains *)
 }
 
 val engine : Tables.t -> engine
@@ -61,8 +73,24 @@ val packed_engine : grammar:Grammar.t -> Gg_tablegen.Packed.t -> engine
 (** [run_engine engine callbacks tokens] parses one linearised tree.
     Returns the semantic value of the start symbol.  Raises {!Reject}
     on a syntactic block — which, per the paper, indicates a bug in the
-    machine description, not in the program being compiled. *)
+    machine description, not in the program being compiled.
+
+    The loop is allocation-free per action: the parse stack is a pair
+    of preallocated arrays, the token stream is interned to terminal
+    ids once before the loop, and the lookahead is carried across
+    consecutive reductions. *)
 val run_engine :
+  ?trace:bool -> engine -> 'a callbacks -> Termname.token list -> 'a outcome
+
+(** The pre-optimisation shift/reduce loop — a [(state, value)] list
+    stack with a symtab lookup per action.  Behaviourally identical to
+    {!run_engine} (same values, traces and rejects), with one caveat:
+    the loop backstop here budgets every action where {!run_engine}
+    budgets reductions only, so on a runaway chain-rule loop both
+    reject with token ["<looping>"] but may report a different [state].
+    Kept only as the baseline for differential tests and the throughput
+    benchmark. *)
+val run_engine_reference :
   ?trace:bool -> engine -> 'a callbacks -> Termname.token list -> 'a outcome
 
 (** Linearise a tree and run the matcher over it. *)

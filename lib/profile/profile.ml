@@ -8,7 +8,7 @@ type counters = {
   mutable cache_misses : int;
 }
 
-let counters =
+let fresh_counters () =
   {
     shifts = 0;
     reduces = 0;
@@ -19,40 +19,98 @@ let counters =
     cache_misses = 0;
   }
 
+(* Every domain that touches the profiler gets its own shard: a counter
+   record, a production-coverage table and a phase-timer table, all
+   written without synchronisation from that domain only.  The shards
+   are merged on read, so reports are exact once the writing domains
+   have been joined (the {!Gg_codegen.Parallel} pool joins its workers
+   before returning). *)
+type shard = {
+  c : counters;
+  fired : (int, int) Hashtbl.t;
+  (* phase name -> (accumulated seconds, number of calls).  Only leaf
+     phases are timed, so the shares of the total are meaningful. *)
+  timers : (string, float * int) Hashtbl.t;
+}
+
+let registry : shard list ref = ref []
+let registry_lock = Mutex.create ()
+
+let new_shard () =
+  let s =
+    { c = fresh_counters (); fired = Hashtbl.create 64; timers = Hashtbl.create 16 }
+  in
+  Mutex.protect registry_lock (fun () -> registry := s :: !registry);
+  s
+
+let shard_key = Domain.DLS.new_key new_shard
+let shard () = Domain.DLS.get shard_key
+let counters () = (shard ()).c
+
+(* a snapshot of the registered shards; reading a shard that another
+   domain is still writing yields momentarily stale integers, nothing
+   worse, and all reporting paths read after the workers are joined *)
+let shards () = Mutex.protect registry_lock (fun () -> !registry)
+
+let totals () =
+  let t = fresh_counters () in
+  List.iter
+    (fun s ->
+      t.shifts <- t.shifts + s.c.shifts;
+      t.reduces <- t.reduces + s.c.reduces;
+      t.semantic_choices <- t.semantic_choices + s.c.semantic_choices;
+      t.matcher_runs <- t.matcher_runs + s.c.matcher_runs;
+      t.rejects <- t.rejects + s.c.rejects;
+      t.cache_hits <- t.cache_hits + s.c.cache_hits;
+      t.cache_misses <- t.cache_misses + s.c.cache_misses)
+    (shards ());
+  t
+
 let enabled = ref false
 
 (* -- production coverage ------------------------------------------------ *)
 
 let coverage_enabled = ref false
-let fired : (int, int) Hashtbl.t = Hashtbl.create 512
 
 let record_production pid =
-  if !coverage_enabled then
+  if !coverage_enabled then begin
+    let fired = (shard ()).fired in
     Hashtbl.replace fired pid
       (1 + (try Hashtbl.find fired pid with Not_found -> 0))
+  end
 
 let production_counts () =
-  Hashtbl.fold (fun pid n acc -> (pid, n) :: acc) fired []
+  let merged : (int, int) Hashtbl.t = Hashtbl.create 512 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun pid n ->
+          Hashtbl.replace merged pid
+            (n + (try Hashtbl.find merged pid with Not_found -> 0)))
+        s.fired)
+    (shards ());
+  Hashtbl.fold (fun pid n acc -> (pid, n) :: acc) merged []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let reset_coverage () = Hashtbl.reset fired
-
-(* phase name -> (accumulated seconds, number of calls).  Only leaf
-   phases are timed, so the shares of the total are meaningful. *)
-let timers : (string, float * int) Hashtbl.t = Hashtbl.create 16
+let reset_coverage () =
+  List.iter (fun s -> Hashtbl.reset s.fired) (shards ())
 
 let reset () =
-  counters.shifts <- 0;
-  counters.reduces <- 0;
-  counters.semantic_choices <- 0;
-  counters.matcher_runs <- 0;
-  counters.rejects <- 0;
-  counters.cache_hits <- 0;
-  counters.cache_misses <- 0;
-  Hashtbl.reset timers;
-  reset_coverage ()
+  List.iter
+    (fun s ->
+      s.c.shifts <- 0;
+      s.c.reduces <- 0;
+      s.c.semantic_choices <- 0;
+      s.c.matcher_runs <- 0;
+      s.c.rejects <- 0;
+      s.c.cache_hits <- 0;
+      s.c.cache_misses <- 0;
+      Hashtbl.reset s.timers;
+      Hashtbl.reset s.fired)
+    (shards ())
 
 let add_time name dt =
+  let timers = (shard ()).timers in
   let total, calls = try Hashtbl.find timers name with Not_found -> (0., 0) in
   Hashtbl.replace timers name (total +. dt, calls + 1)
 
@@ -63,14 +121,29 @@ let time name f =
     Fun.protect ~finally:(fun () -> add_time name (Unix.gettimeofday () -. t0)) f
   end
 
-let seconds name =
-  try fst (Hashtbl.find timers name) with Not_found -> 0.
+let merged_timers () =
+  let merged : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name (t, calls) ->
+          let t0, c0 =
+            try Hashtbl.find merged name with Not_found -> (0., 0)
+          in
+          Hashtbl.replace merged name (t0 +. t, c0 + calls))
+        s.timers)
+    (shards ());
+  merged
 
-let calls name = try snd (Hashtbl.find timers name) with Not_found -> 0
+let seconds name =
+  try fst (Hashtbl.find (merged_timers ()) name) with Not_found -> 0.
+
+let calls name =
+  try snd (Hashtbl.find (merged_timers ()) name) with Not_found -> 0
 
 let phases () =
   Hashtbl.fold (fun name (total, calls) acc -> (name, total, calls) :: acc)
-    timers []
+    (merged_timers ()) []
   |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
 
 let report ppf () =
@@ -86,9 +159,8 @@ let report ppf () =
       ps;
     Fmt.pf ppf "  %-20s %8.2f ms@." "total" (total *. 1e3)
   end;
+  let c = totals () in
   Fmt.pf ppf
     "matcher: %d runs, %d shifts, %d reduces, %d semantic choices, %d rejects@."
-    counters.matcher_runs counters.shifts counters.reduces
-    counters.semantic_choices counters.rejects;
-  Fmt.pf ppf "table cache: %d hits, %d misses@." counters.cache_hits
-    counters.cache_misses
+    c.matcher_runs c.shifts c.reduces c.semantic_choices c.rejects;
+  Fmt.pf ppf "table cache: %d hits, %d misses@." c.cache_hits c.cache_misses

@@ -1,4 +1,4 @@
-(** Always-available phase instrumentation.
+(** Always-available, domain-safe phase instrumentation.
 
     The paper's Fig. 2 observation — "roughly one half of code
     generation time is spent pattern matching" — motivated much of its
@@ -8,6 +8,14 @@
     always on; wall-clock phase timers are gated on {!enabled} so the
     production path pays nothing when profiling is off (the [ggcc
     -profile] flag turns it on).
+
+    Every domain writes to its own shard — counters, coverage and
+    timers alike — without synchronisation, so the matcher hot loop is
+    as cheap under [ggcc -j N] as single-threaded.  All reads
+    ({!totals}, {!production_counts}, {!seconds}, {!phases}, {!report})
+    merge the shards, which is exact once the worker domains have been
+    joined (the {!Gg_codegen.Parallel} pool joins its workers before
+    returning).
 
     Only {e leaf} phases are timed (front end, table load/build,
     transform, match, peephole), so the per-phase shares printed by
@@ -23,8 +31,13 @@ type counters = {
   mutable cache_misses : int;  (** packed tables rebuilt *)
 }
 
-(** The global event counters, always updated. *)
-val counters : counters
+(** The calling domain's own event counters.  Hot paths fetch this once
+    and increment the record's fields directly; the fields hold this
+    domain's share, not the global totals — read those via {!totals}. *)
+val counters : unit -> counters
+
+(** The event counters summed over every domain that has recorded any. *)
+val totals : unit -> counters
 
 (** Gates the wall-clock timers (not the counters); off by default. *)
 val enabled : bool ref
@@ -41,11 +54,12 @@ val enabled : bool ref
 val coverage_enabled : bool ref
 
 (** Called by the matcher on every reduction; no-op unless
-    {!coverage_enabled}. *)
+    {!coverage_enabled}.  Records into the calling domain's shard. *)
 val record_production : int -> unit
 
-(** Accumulated [(production id, reduction count)] pairs, sorted by id.
-    Cumulative since the last {!reset_coverage}/{!reset}. *)
+(** Accumulated [(production id, reduction count)] pairs over all
+    domains, sorted by id.  Cumulative since the last
+    {!reset_coverage}/{!reset}. *)
 val production_counts : unit -> (int * int) list
 
 val reset_coverage : unit -> unit
@@ -54,7 +68,8 @@ val reset_coverage : unit -> unit
     when {!enabled}; transparent otherwise. *)
 val time : string -> (unit -> 'a) -> 'a
 
-(** Accumulated seconds / call count for a phase (0 if never timed). *)
+(** Accumulated seconds / call count for a phase over all domains (0 if
+    never timed). *)
 val seconds : string -> float
 
 val calls : string -> int
@@ -62,7 +77,8 @@ val calls : string -> int
 (** All timed phases as [(name, seconds, calls)], slowest first. *)
 val phases : unit -> (string * float * int) list
 
-(** Zero the counters, drop all timers and the coverage map. *)
+(** Zero the counters, drop all timers and the coverage map, in every
+    domain's shard.  Call only while no other domain is recording. *)
 val reset : unit -> unit
 
 (** Render timers (with shares of the timed total) and counters. *)

@@ -48,14 +48,13 @@ let build (g : Grammar.t) =
   Profile.time "tables.build" (fun () -> Packed.pack (Tables.build g))
 
 let load_or_build ?dir (g : Grammar.t) =
+  let ctrs = Profile.counters () in
   match load ?dir g with
   | Some t ->
-    Profile.counters.Profile.cache_hits <-
-      Profile.counters.Profile.cache_hits + 1;
+    ctrs.Profile.cache_hits <- ctrs.Profile.cache_hits + 1;
     t
   | None ->
-    Profile.counters.Profile.cache_misses <-
-      Profile.counters.Profile.cache_misses + 1;
+    ctrs.Profile.cache_misses <- ctrs.Profile.cache_misses + 1;
     let t = build g in
     ignore (store ?dir g t);
     t

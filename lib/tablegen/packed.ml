@@ -182,13 +182,29 @@ let has_action t s a =
   let i = (s * (t.n_terms + 1)) + a in
   Char.code (Bytes.unsafe_get t.valid (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-let action t s a =
-  if not (has_action t s a) then Tables.Error
+(* act_check and act_value (and the goto pair) are trimmed to the same
+   length, so one range check on [i] covers the unsafe reads of both.
+   The validity probe is [has_action] inlined by hand: this runs once
+   per matcher action and the compiler will not inline it across the
+   call. *)
+let action_code t s a =
+  let b = (s * (t.n_terms + 1)) + a in
+  if Char.code (Bytes.unsafe_get t.valid (b lsr 3)) land (1 lsl (b land 7)) = 0
+  then 0
   else
     let i = t.act_base.(s) + a in
-    if i < 0 || i >= Array.length t.act_check || t.act_check.(i) <> s then
-      decode t t.defaults.(s)
-    else decode t t.act_value.(i)
+    if i < 0 || i >= Array.length t.act_check then t.defaults.(s)
+    else if Array.unsafe_get t.act_check i <> s then t.defaults.(s)
+    else Array.unsafe_get t.act_value i
+
+let action t s a = decode t (action_code t s a)
+
+let tie_candidates t i = t.aux.(i)
+
+let encode_table (tables : Tables.t) =
+  let aux = ref [] in
+  let codes = Array.map (Array.map (encode aux)) tables.Tables.action in
+  (codes, Array.of_list (List.rev !aux))
 
 let expected t s =
   let acc = ref [] in
@@ -206,8 +222,9 @@ let default_of t s =
 
 let goto t s n =
   let i = t.goto_base.(s) + n in
-  if i < 0 || i >= Array.length t.goto_check || t.goto_check.(i) <> s then -1
-  else t.goto_value.(i) - 1
+  if i < 0 || i >= Array.length t.goto_check then -1
+  else if Array.unsafe_get t.goto_check i <> s then -1
+  else Array.unsafe_get t.goto_value i - 1
 
 type stats = {
   states : int;

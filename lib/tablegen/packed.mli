@@ -32,6 +32,23 @@ val pack : Tables.t -> t
     cell (including [Error] cells — see above). *)
 val action : t -> int -> int -> Tables.action
 
+(** The same lookup as an integer code — the matcher's allocation-free
+    view of the table.  [0] is error, [3] accept, [(s lsl 2) lor 1]
+    shift to state [s], [(p lsl 2) lor 2] reduce by production [p], and
+    [((i+1) lsl 2) lor 3] a semantic tie whose candidate productions
+    are [tie_candidates t i].  [action t s a = decode (action_code t s a)]
+    in every cell. *)
+val action_code : t -> int -> int -> int
+
+(** The candidate array of tie [i], in the same order the dense table's
+    [Reduce] carries them. *)
+val tie_candidates : t -> int -> int array
+
+(** Encode a dense table's action matrix into the same integer codes,
+    plus the tie-candidate arrays indexed by the codes' [i] — lets the
+    dense engine share the matcher's allocation-free hot loop. *)
+val encode_table : Tables.t -> int array array * int array array
+
 (** [has_action t s a] — does state [s] have a non-error action on
     terminal [a]?  O(1) bitset probe. *)
 val has_action : t -> int -> int -> bool

@@ -1,0 +1,195 @@
+(* The multi-domain batch compiler and the optimised matcher loop:
+   Parallel.map ordering and exception semantics, byte-identical
+   assembly at every -j on the fixed corpus and on fuzzed programs,
+   optimised-vs-reference matcher parity (property-based, including
+   rejects), and profile-counter/coverage exactness under domains. *)
+
+module Tree = Gg_ir.Tree
+module Dtype = Gg_ir.Dtype
+module Termname = Gg_ir.Termname
+module Treegen = Gg_ir.Treegen
+module Tables = Gg_tablegen.Tables
+module Matcher = Gg_matcher.Matcher
+module Parallel = Gg_codegen.Parallel
+module Driver = Gg_codegen.Driver
+module Sema = Gg_frontc.Sema
+module Corpus = Gg_frontc.Corpus
+module Profile = Gg_profile.Profile
+
+let tables = Driver.default_tables
+
+(* -- Parallel.map ----------------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let want = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Fmt.str "jobs=%d" jobs)
+        want
+        (Parallel.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 4; 8; 100 ]
+
+let test_map_edge_cases () =
+  Alcotest.(check (list int)) "empty input" [] (Parallel.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Parallel.map ~jobs:4 succ [ 1 ]);
+  Alcotest.(check (list int))
+    "more jobs than items" [ 2; 3 ]
+    (Parallel.map ~jobs:16 succ [ 1; 2 ])
+
+exception Boom of int
+
+let test_map_reraises_earliest_failure () =
+  (* several inputs fail; the exception surfaced must be the one of the
+     earliest failing input, independent of scheduling *)
+  let f x = if x mod 3 = 0 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Parallel.map ~jobs f (List.init 20 (fun i -> i + 1)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+        Alcotest.(check int) (Fmt.str "jobs=%d" jobs) 3 x)
+    [ 1; 2; 4 ]
+
+(* -- assembly determinism ---------------------------------------------------- *)
+
+let compile ~jobs prog =
+  (Driver.compile_program ~tables:(Lazy.force tables) ~jobs prog)
+    .Driver.assembly
+
+let test_fixed_corpus_identical () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Sema.compile src in
+      let a1 = compile ~jobs:1 prog in
+      List.iter
+        (fun j ->
+          Alcotest.(check string) (Fmt.str "%s -j%d" name j) a1
+            (compile ~jobs:j prog))
+        [ 2; 4 ])
+    Corpus.fixed_programs
+
+let test_fuzzed_programs_identical () =
+  for seed = 0 to 49 do
+    let prog = Treegen.control_program ~seed Treegen.default_config in
+    if compile ~jobs:1 prog <> compile ~jobs:4 prog then
+      Alcotest.failf "seed %d: -j4 assembly differs from -j1" seed
+  done
+
+(* -- optimised loop vs the pre-optimisation reference ------------------------ *)
+
+let toy_engine = lazy (Matcher.engine (Tables.build Toy.grammar))
+
+(* everything observable: the final value, the full trace, the emitted
+   instructions, and on a reject every field of the error.  The one
+   sanctioned difference is the loop backstop: the optimised loop
+   budgets reductions while the reference budgets every action, so on a
+   runaway chain-rule loop both reject with "<looping>" but may stop at
+   different points of the cycle — normalise those to a canonical
+   error. *)
+let outcome_of runner tokens =
+  let emitted = ref [] in
+  let cb = Toy.string_callbacks emitted in
+  match runner (Lazy.force toy_engine) cb tokens with
+  | (o : string Matcher.outcome) ->
+    Ok (o.Matcher.value, o.Matcher.trace, List.rev !emitted)
+  | exception Matcher.Reject { token = "<looping>"; _ } ->
+    Error (-1, "<looping>", -1, [])
+  | exception Matcher.Reject e ->
+    Error (e.Matcher.at, e.Matcher.token, e.Matcher.state, e.Matcher.expected)
+
+let optimised e cb t = Matcher.run_engine ~trace:true e cb t
+let reference e cb t = Matcher.run_engine_reference ~trace:true e cb t
+
+let prop_parity_on_random_trees =
+  QCheck.Test.make ~name:"optimised = reference loop on random trees"
+    ~count:200
+    (QCheck.make Suite_matcher.random_long_tree)
+    (fun tree ->
+      let tokens = Termname.linearize ~special_constants:false tree in
+      outcome_of optimised tokens = outcome_of reference tokens)
+
+let random_token_stream =
+  (* arbitrary streams, most of them syntactically blocked and some
+     containing names outside the grammar: the loops must agree on the
+     reject position, state and expected set too *)
+  let open QCheck.Gen in
+  let name =
+    oneofl
+      [
+        "Assign.l"; "Plus.l"; "Mul.l"; "Name.l"; "Const.l"; "Dreg.l";
+        "lval.l" (* a non-terminal name: never a valid lookahead *);
+        "Bogus.q" (* unknown terminal *);
+      ]
+  in
+  list_size (int_range 0 12)
+    (map
+       (fun term -> { Termname.term; node = Tree.Const (Dtype.Long, 0L) })
+       name)
+
+let prop_parity_on_random_token_streams =
+  QCheck.Test.make ~name:"optimised = reference loop on random token streams"
+    ~count:500
+    (QCheck.make
+       ~print:(fun ts ->
+         String.concat " " (List.map (fun t -> t.Termname.term) ts))
+       random_token_stream)
+    (fun tokens -> outcome_of optimised tokens = outcome_of reference tokens)
+
+(* -- profiling exactness under parallelism ----------------------------------- *)
+
+let snap (c : Profile.counters) =
+  (c.Profile.shifts, c.Profile.reduces, c.Profile.semantic_choices,
+   c.Profile.matcher_runs)
+
+let test_counters_exact_under_parallelism () =
+  let prog = Treegen.control_program ~seed:11 Treegen.default_config in
+  let totals jobs =
+    Profile.reset ();
+    ignore (compile ~jobs prog);
+    snap (Profile.totals ())
+  in
+  let show (a, b, c, d) = Fmt.str "(%d,%d,%d,%d)" a b c d in
+  let s1 = totals 1 in
+  let s4 = totals 4 in
+  let s8 = totals 8 in
+  Profile.reset ();
+  let (a, b, c, _) = s1 in
+  Alcotest.(check bool) "counters were recorded" true (a > 0 && b > 0 && c >= 0);
+  if s4 <> s1 || s8 <> s1 then
+    Alcotest.failf "merged counters drift: j1 %s, j4 %s, j8 %s" (show s1)
+      (show s4) (show s8)
+
+let test_coverage_exact_under_parallelism () =
+  let prog = Treegen.control_program ~seed:17 Treegen.default_config in
+  let counts jobs =
+    Profile.coverage_enabled := true;
+    Profile.reset_coverage ();
+    ignore (compile ~jobs prog);
+    let c = Profile.production_counts () in
+    Profile.coverage_enabled := false;
+    c
+  in
+  let c1 = counts 1 in
+  Alcotest.(check bool) "coverage is non-empty" true (c1 <> []);
+  Alcotest.(check bool) "j4 coverage = j1" true (counts 4 = c1)
+
+let suite =
+  [
+    Alcotest.test_case "Parallel.map preserves input order" `Quick
+      test_map_preserves_order;
+    Alcotest.test_case "Parallel.map edge cases" `Quick test_map_edge_cases;
+    Alcotest.test_case "Parallel.map re-raises the earliest failure" `Quick
+      test_map_reraises_earliest_failure;
+    Alcotest.test_case "fixed corpus: -j2/-j4 assembly = -j1" `Slow
+      test_fixed_corpus_identical;
+    Alcotest.test_case "50 fuzzed programs: -j4 assembly = -j1" `Slow
+      test_fuzzed_programs_identical;
+    QCheck_alcotest.to_alcotest prop_parity_on_random_trees;
+    QCheck_alcotest.to_alcotest prop_parity_on_random_token_streams;
+    Alcotest.test_case "profile counters exact under -j" `Quick
+      test_counters_exact_under_parallelism;
+    Alcotest.test_case "production coverage exact under -j" `Quick
+      test_coverage_exact_under_parallelism;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("differential", Suite_diff.suite);
       ("packed", Suite_packed.suite);
       ("fuzz", Suite_fuzz.suite);
+      ("parallel", Suite_parallel.suite);
     ]
