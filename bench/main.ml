@@ -33,6 +33,21 @@ let selected =
 
 let want key = selected = [] || List.mem key selected
 
+(* --trace-out=FILE / --metrics-out=FILE: arm the telemetry subsystem
+   for the whole run and write the exports before exiting, so a bench
+   session is inspectable in chrome://tracing like any ggcc compile *)
+let flag_value name =
+  let prefix = "--" ^ name ^ "=" in
+  let n = String.length prefix in
+  Array.to_list Sys.argv
+  |> List.find_map (fun a ->
+         if String.length a > n && String.sub a 0 n = prefix then
+           Some (String.sub a n (String.length a - n))
+         else None)
+
+let trace_out = flag_value "trace-out"
+let metrics_out = flag_value "metrics-out"
+
 let section title = Fmt.pr "@.=== %s ===@." title
 let row fmt = Fmt.pr fmt
 
@@ -343,8 +358,11 @@ let bench_phase_profile () =
   (* the same claim from the standing gg_profile instrumentation (what
      ggcc -profile prints), one instrumented corpus compile *)
   let was = !Profile.enabled in
+  let was_m = !Gg_profile.Metrics.enabled in
   Profile.enabled := true;
   Profile.reset ();
+  Gg_profile.Metrics.enabled := true;
+  Gg_profile.Metrics.reset ();
   ignore (Driver.compile_program ~tables prog);
   let t_transform = Profile.seconds "phase1.transform" in
   let t_match = Profile.seconds "phase2.match" in
@@ -357,6 +375,13 @@ let bench_phase_profile () =
   row "  matcher counters: %d runs, %d shifts, %d reduces, %d semantic ties@."
     c.Profile.matcher_runs c.Profile.shifts c.Profile.reduces
     c.Profile.semantic_choices;
+  (* where that matching time goes: the distribution over trees *)
+  row "%a" Gg_profile.Metrics.report ();
+  (* keep accumulating when a global --metrics-out sidecar was asked for *)
+  if metrics_out = None then begin
+    Gg_profile.Metrics.enabled := was_m;
+    Gg_profile.Metrics.reset ()
+  end;
   Profile.enabled := was;
   Profile.reset ()
 
@@ -779,6 +804,16 @@ let bench_throughput () =
 let () =
   Fmt.pr "Table-driven code generation: benchmark harness%s@."
     (if quick then " (quick mode)" else "");
+  if trace_out <> None then begin
+    Profile.enabled := true;
+    Gg_profile.Trace.enabled := true;
+    Gg_profile.Trace.reset ()
+  end;
+  if metrics_out <> None then begin
+    Profile.enabled := true;
+    Gg_profile.Metrics.enabled := true;
+    Gg_profile.Metrics.reset ()
+  end;
   let sections =
     [
       ("grammar", bench_grammar_stats);
@@ -807,4 +842,14 @@ let () =
       (List.map fst sections);
     exit 2);
   List.iter (fun (key, f) -> if want key then f ()) sections;
+  Option.iter
+    (fun path ->
+      Gg_profile.Trace.write path;
+      Fmt.pr "trace written: %s@." path)
+    trace_out;
+  Option.iter
+    (fun path ->
+      Gg_profile.Metrics.write_json path;
+      Fmt.pr "metrics written: %s@." path)
+    metrics_out;
   Fmt.pr "@.done.@."

@@ -30,7 +30,7 @@ let gg_tables ~tables_file ~no_cache () =
   | Some path ->
     let packed =
       if Sys.file_exists path then
-        Gg_profile.Profile.time "tables.load" (fun () ->
+        Gg_profile.Trace.phase "tables.load" (fun () ->
             Gg_tablegen.Packed.load g path)
       else begin
         let p = Gg_tablegen.Cache.build g in
@@ -43,13 +43,18 @@ let gg_tables ~tables_file ~no_cache () =
     if no_cache then Lazy.force Driver.default_tables
     else Driver.cached_tables Driver.default_options.Driver.grammar
 
-let compile_source backend ~idioms ~peephole ~jobs ~tables src =
-  let prog = Gg_profile.Profile.time "frontend" (fun () -> Sema.compile src) in
+let compile_source backend ~idioms ~peephole ~jobs ~tables ~explain src =
+  let prog = Gg_profile.Trace.phase "frontend" (fun () -> Sema.compile src) in
   match backend with
   | Gg ->
     let options = { Driver.default_options with Driver.idioms; peephole } in
     let tables = Lazy.force tables in
-    ((Driver.compile_program ~options ~tables ~jobs prog).Driver.assembly, prog)
+    let out = Driver.compile_program ~options ~tables ~jobs prog in
+    let asm =
+      if explain then Driver.render_explained tables out
+      else out.Driver.assembly
+    in
+    (asm, prog)
   | Pcc_backend -> ((Pcc.compile_program ~peephole prog).Pcc.assembly, prog)
 
 let handle_errors f =
@@ -71,22 +76,48 @@ let handle_errors f =
     Fmt.epr "error: %s@." m;
     exit 1
 
-let with_profile profile f =
-  if profile then begin
+(* Arm the requested instruments before compiling and flush their
+   expositions afterwards.  The wall-clock timers come on for any of
+   them: the trace needs them for nothing, but the metrics sidecar
+   embeds the phase table, and --trace-out alongside --profile is the
+   common case anyway. *)
+let with_telemetry ?(trace_out = None) ?(metrics = false) ?(metrics_out = None)
+    ?(explain = false) profile f =
+  let any =
+    profile || metrics || trace_out <> None || metrics_out <> None
+  in
+  if any then begin
     Gg_profile.Profile.enabled := true;
     Gg_profile.Profile.reset ()
   end;
+  if trace_out <> None then begin
+    Gg_profile.Trace.enabled := true;
+    Gg_profile.Trace.reset ()
+  end;
+  if metrics || metrics_out <> None then begin
+    Gg_profile.Metrics.enabled := true;
+    Gg_profile.Metrics.reset ()
+  end;
+  if explain then Gg_profile.Profile.provenance_enabled := true;
   let r = f () in
   if profile then Fmt.epr "%a" Gg_profile.Profile.report ();
+  if metrics then Fmt.epr "%a" Gg_profile.Metrics.report ();
+  Option.iter Gg_profile.Metrics.write_json metrics_out;
+  Option.iter Gg_profile.Trace.write trace_out;
   r
 
+let with_profile profile f = with_telemetry profile f
+
 let compile_cmd path backend idioms peephole jobs output run args tables_file
-    no_cache profile =
+    no_cache profile trace_out metrics metrics_out explain =
   handle_errors (fun () ->
-      with_profile profile @@ fun () ->
+      with_telemetry ~trace_out ~metrics ~metrics_out ~explain profile
+      @@ fun () ->
       let tables = lazy (gg_tables ~tables_file ~no_cache ()) in
       let asm, prog =
-        compile_source backend ~idioms ~peephole ~jobs ~tables (read_file path)
+        Gg_profile.Trace.span ~cat:"file" (Filename.basename path) (fun () ->
+            compile_source backend ~idioms ~peephole ~jobs ~tables ~explain
+              (read_file path))
       in
       (match output with
       | Some out ->
@@ -207,12 +238,53 @@ let profile_arg =
           "Print per-phase wall times and matcher/cache counters to stderr \
            (the paper's Fig. 2 instrumentation).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the compile to \
+           $(docv) — one begin/end span per file, function, phase and \
+           tree match, one track per domain under $(b,-j) N.  Load it in \
+           chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the metric registry to stderr after compiling: named \
+           counters, the shift/reduce ratio, and histograms of per-tree \
+           match time, reductions per tree, matcher stack high-water and \
+           instructions per function.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metric registry (plus per-phase wall times) as JSON \
+           to $(docv).")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Annotate every emitted instruction with the source line and \
+           the grammar production ids whose reductions produced it (gg \
+           backend).  $(b,--peephole) rewrites the output and drops the \
+           annotations.")
+
 let () =
   let compile_term =
     Term.(
       const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg
       $ jobs_arg $ output_arg $ run_arg $ args_arg $ tables_arg $ no_cache_arg
-      $ profile_arg)
+      $ profile_arg $ trace_out_arg $ metrics_arg $ metrics_out_arg
+      $ explain_arg)
   in
   let compile =
     Cmd.v (Cmd.info "compile" ~doc:"Compile mini-C to VAX assembly.")

@@ -132,8 +132,62 @@ let jobs_arg =
            (shrinking stays single-threaded).  Divergence results are \
            independent of $(docv): parallel assembly is byte-identical.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Print per-phase wall times and matcher counters for the whole \
+              campaign to stderr.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON timeline of the campaign's \
+              compiles to $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metric registry (counters and histograms) to stderr \
+              after the campaign.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metric registry as JSON to $(docv).")
+
+let with_telemetry ~profile ~trace_out ~metrics ~metrics_out f =
+  if profile || metrics || trace_out <> None || metrics_out <> None then begin
+    Gg_profile.Profile.enabled := true;
+    Gg_profile.Profile.reset ()
+  end;
+  if trace_out <> None then begin
+    Gg_profile.Trace.enabled := true;
+    Gg_profile.Trace.reset ()
+  end;
+  if metrics || metrics_out <> None then begin
+    Gg_profile.Metrics.enabled := true;
+    Gg_profile.Metrics.reset ()
+  end;
+  let r = f () in
+  if profile then Fmt.epr "%a" Gg_profile.Profile.report ();
+  if metrics then Fmt.epr "%a" Gg_profile.Metrics.report ();
+  Option.iter Gg_profile.Metrics.write_json metrics_out;
+  Option.iter Gg_profile.Trace.write trace_out;
+  r
+
 let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
-    straight_line corpus_dir coverage verbose_cov quiet shrink_checks jobs =
+    straight_line corpus_dir coverage verbose_cov quiet shrink_checks jobs
+    profile trace_out metrics metrics_out =
+  (* run the campaign under the telemetry wrapper but exit after it, so
+     a divergence still flushes the trace/metrics files *)
+  let n_div =
+    with_telemetry ~profile ~trace_out ~metrics ~metrics_out @@ fun () ->
   let cfg =
     {
       Campaign.seed_lo;
@@ -168,6 +222,8 @@ let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
     let report = Coverage.report g ~fired:result.Campaign.fired in
     Fmt.pr "%a" (Coverage.pp_report ~baseline ~verbose:verbose_cov g) report
   end;
+  n_div
+  in
   if n_div > 0 then exit 1
 
 let replay_cmd path engine =
@@ -190,7 +246,8 @@ let () =
     Term.(
       const fuzz_cmd $ seeds_arg $ engine_arg $ stmts_arg $ depth_arg
       $ nest_arg $ functions_arg $ straight_arg $ corpus_arg $ coverage_arg
-      $ verbose_cov_arg $ quiet_arg $ shrink_checks_arg $ jobs_arg)
+      $ verbose_cov_arg $ quiet_arg $ shrink_checks_arg $ jobs_arg
+      $ profile_arg $ trace_out_arg $ metrics_arg $ metrics_out_arg)
   in
   let fuzz =
     Cmd.v

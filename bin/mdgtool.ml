@@ -170,6 +170,78 @@ let cache o dir clear =
     Fmt.pr "digest:     %s@." (Gg_tablegen.Packed.digest packed)
   end
 
+(* which productions actually fire, and how hard: compile the fixed
+   mini-C corpus (plus optional generated programs) with production
+   coverage on and render the firing counts as a heat report.  This is
+   the usage data Samuelsson-style table optimisation wants before
+   reordering table rows. *)
+let heat o top seeds verbose =
+  Gg_profile.Profile.coverage_enabled := true;
+  Gg_profile.Profile.reset_coverage ();
+  let tables = Gg_codegen.Driver.build_tables o in
+  let g = Gg_codegen.Driver.grammar tables in
+  let programs =
+    List.map (fun (name, src) -> (name, Gg_frontc.Sema.compile src))
+      Gg_frontc.Corpus.fixed_programs
+    @ List.init seeds (fun seed ->
+          ( Fmt.str "seed-%d" seed,
+            Gg_frontc.Sema.lower_program
+              (Gg_frontc.Corpus.program ~seed ~functions:3
+                 ~stmts_per_function:12) ))
+  in
+  List.iter
+    (fun (_, prog) ->
+      ignore (Gg_codegen.Driver.compile_program ~tables prog))
+    programs;
+  let counts = Gg_profile.Profile.production_counts () in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) counts in
+  let n = Grammar.n_productions g in
+  let fired = List.length sorted in
+  Fmt.pr "corpus: %d programs, %d reductions, %d distinct productions@."
+    (List.length programs) total fired;
+  Fmt.pr "productions fired: %d of %d (%.1f%%); %d never fired@." fired n
+    (100. *. float_of_int fired /. float_of_int (max 1 n))
+    (n - fired);
+  (* the smallest production set covering 50% / 90% of all reductions *)
+  let covering share =
+    let target = int_of_float (share *. float_of_int total) in
+    let rec go k acc = function
+      | (_, c) :: rest when acc < target -> go (k + 1) (acc + c) rest
+      | _ -> k
+    in
+    go 0 0 sorted
+  in
+  if total > 0 then
+    Fmt.pr "coverage: top %d productions fire 50%% of reductions, top %d \
+            fire 90%%@."
+      (covering 0.5) (covering 0.9);
+  let max_count = match sorted with (_, c) :: _ -> c | [] -> 1 in
+  let cum = ref 0 in
+  Fmt.pr "@. count  share   cum  production@.";
+  List.iteri
+    (fun i (id, c) ->
+      cum := !cum + c;
+      if i < top then begin
+        let width = max 1 (c * 30 / max 1 max_count) in
+        Fmt.pr "%6d  %5.1f%% %5.1f%%  %a@.%15s%s@." c
+          (100. *. float_of_int c /. float_of_int (max 1 total))
+          (100. *. float_of_int !cum /. float_of_int (max 1 total))
+          (Grammar.pp_production g) (Grammar.production g id) ""
+          (String.make width '#')
+      end)
+    sorted;
+  if List.length sorted > top then
+    Fmt.pr "... (%d more; raise --top)@." (List.length sorted - top);
+  if verbose then begin
+    let fired_ids = List.map fst counts in
+    Fmt.pr "@.never fired:@.";
+    for id = 0 to n - 1 do
+      if not (List.mem id fired_ids) then
+        Fmt.pr "  %a@." (Grammar.pp_production g) (Grammar.production g id)
+    done
+  end
+
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show all results.")
 
@@ -205,6 +277,21 @@ let () =
               & info [ "clear" ] ~doc:"Remove this grammar's cached tables."));
       cmd_of "vocabulary" "The terminal/non-terminal vocabulary (paper Fig. 1)."
         Term.(const vocabulary $ opts_term);
+      cmd_of "heat"
+        "Production firing-count heat report over the mini-C corpus."
+        Term.(
+          const heat $ opts_term
+          $ Arg.(
+              value & opt int 25
+              & info [ "top" ] ~docv:"N"
+                  ~doc:"Show the $(docv) hottest productions.")
+          $ Arg.(
+              value & opt int 0
+              & info [ "seeds" ] ~docv:"N"
+                  ~doc:
+                    "Also compile $(docv) generated corpus programs \
+                     besides the fixed suite.")
+          $ verbose_term);
       cmd_of "file"
         "Statistics for an external .mdg machine description file."
         Term.(

@@ -1,0 +1,15 @@
+int a[16];
+int n;
+
+int main() {
+  int i; int j; int t; int sum;
+  n = 16;
+  for (i = 0; i < n; i++) a[i] = (n - i) * 7 % 23;
+  for (i = 0; i < n - 1; i++)
+    for (j = 0; j < n - 1 - i; j++)
+      if (a[j] > a[j+1]) { t = a[j]; a[j] = a[j+1]; a[j+1] = t; }
+  sum = 0;
+  for (i = 0; i < n; i++) sum = sum * 2 + a[i];
+  print(sum);
+  return sum & 255;
+}

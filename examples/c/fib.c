@@ -1,0 +1,12 @@
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 15; i++) s += fib(i);
+  print(s);
+  return s & 255;
+}

@@ -1,0 +1,16 @@
+int a[16]; int b[16]; int c[16];
+
+int main() {
+  int i; int j; int k; int s;
+  for (i = 0; i < 16; i++) { a[i] = i + 1; b[i] = 16 - i; }
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 4; j++) {
+      s = 0;
+      for (k = 0; k < 4; k++) s += a[i*4+k] * b[k*4+j];
+      c[i*4+j] = s;
+    }
+  s = 0;
+  for (i = 0; i < 16; i++) s ^= c[i] * (i + 1);
+  print(s);
+  return s & 1023;
+}

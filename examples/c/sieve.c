@@ -1,0 +1,18 @@
+int flags[100];
+
+int main() {
+  int i; int j; int count;
+  for (i = 0; i < 100; i++) flags[i] = 1;
+  flags[0] = 0;
+  flags[1] = 0;
+  for (i = 2; i < 100; i++) {
+    if (flags[i]) {
+      j = i + i;
+      while (j < 100) { flags[j] = 0; j += i; }
+    }
+  }
+  count = 0;
+  for (i = 0; i < 100; i++) count += flags[i];
+  print(count);
+  return count;
+}

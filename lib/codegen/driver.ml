@@ -36,6 +36,10 @@ type compiled_func = {
   cf_name : string;
   cf_insns : Insn.t list;
   cf_frame_size : int;
+  cf_prov : (int * int list) list;
+      (* per-instruction (source line, production ids); empty unless
+         provenance was enabled, or when the peephole pass rewrote the
+         instruction list out from under it *)
 }
 
 type output = {
@@ -50,19 +54,25 @@ let compile_stmts (tables : tables) sem (body : Tree.stmt list) =
     (fun (s : Tree.stmt) ->
       match s with
       | Tree.Stree tree ->
-        let outcome = Matcher.run_tree_engine tables cb tree in
-        (match outcome.Matcher.value with
-        | Desc.Done -> ()
-        | Desc.D d ->
-          (* an expression evaluated for its side effects only *)
-          Regmgr.release (Semantics.regmgr sem) d
-        | Desc.Node _ -> failwith "matcher returned a raw node");
-        Regmgr.assert_clean (Semantics.regmgr sem)
+        let match_tree () =
+          let outcome = Matcher.run_tree_engine tables cb tree in
+          (match outcome.Matcher.value with
+          | Desc.Done -> ()
+          | Desc.D d ->
+            (* an expression evaluated for its side effects only *)
+            Regmgr.release (Semantics.regmgr sem) d
+          | Desc.Node _ -> failwith "matcher returned a raw node");
+          Regmgr.assert_clean (Semantics.regmgr sem)
+        in
+        if !Trace.enabled then Trace.span ~cat:"tree" "match.tree" match_tree
+        else match_tree ();
+        Semantics.end_tree sem
       | Tree.Slabel l -> Semantics.emit sem (Insn.Lab l)
       | Tree.Sjump l -> Semantics.emit sem (Insn.Branch ("jbr", l))
       | Tree.Sret -> Semantics.emit sem Insn.Ret
       | Tree.Scall (f, n, _) -> Semantics.emit sem (Insn.Call (f, n))
-      | Tree.Scomment c -> Semantics.emit sem (Insn.Comment c))
+      | Tree.Scomment c -> Semantics.emit sem (Insn.Comment c)
+      | Tree.Sline n -> Semantics.set_line sem n)
     body
 
 (* allocatable registers appearing as Dreg leaves are register
@@ -83,10 +93,11 @@ let reserved_registers (f : Tree.func) =
     [] f.Tree.body
 
 let compile_func ?(options = default_options) tables (f : Tree.func) =
+  Trace.span ~cat:"function" f.Tree.fname @@ fun () ->
   let reserved = reserved_registers f in
   let pool = List.length Regconv.allocatable - List.length reserved in
   let tr =
-    Profile.time "phase1.transform" (fun () ->
+    Trace.phase "phase1.transform" (fun () ->
         Transform.run ~options:options.transform
           ~spill_limit:(max 2 (pool - 1)) f)
   in
@@ -94,18 +105,24 @@ let compile_func ?(options = default_options) tables (f : Tree.func) =
     Frame.create ~locals_size:f.Tree.locals_size ~temps:tr.Transform.temps
   in
   let sem = Semantics.create ~idioms:options.idioms ~reserved frame in
-  Profile.time "phase2.match" (fun () ->
+  Trace.phase "phase2.match" (fun () ->
       compile_stmts tables sem tr.Transform.func.Tree.body);
   let insns = Semantics.output sem in
-  let insns =
+  let prov = Semantics.provenance sem in
+  let insns, prov =
     if options.peephole then
-      Profile.time "peephole" (fun () -> fst (Peephole.optimize insns))
-    else insns
+      (* the peephole pass deletes and rewrites instructions, so the
+         provenance list is no longer parallel to the output: drop it *)
+      (Trace.phase "peephole" (fun () -> fst (Peephole.optimize insns)), [])
+    else (insns, prov)
   in
+  if !Metrics.enabled then
+    Metrics.observe Metrics.insns_per_func (List.length insns);
   {
     cf_name = f.Tree.fname;
     cf_insns = insns;
     cf_frame_size = Frame.size frame;
+    cf_prov = prov;
   }
 
 let render_func buf (cf : compiled_func) =
@@ -118,6 +135,49 @@ let render_func buf (cf : compiled_func) =
     cf.cf_insns;
   (* a fall-off-the-end return for functions without a trailing Sret *)
   Buffer.add_string buf "\tret\n"
+
+(* --explain rendering: every instruction line carries a comment with
+   the source line and the chain of production ids whose reductions
+   produced it, plus the note (assembly template) of the production
+   that finally emitted it. *)
+let render_func_explained buf g (cf : compiled_func) =
+  Buffer.add_string buf (Fmt.str "\t.globl\t%s\n" cf.cf_name);
+  Buffer.add_string buf (cf.cf_name ^ ":\n");
+  if cf.cf_frame_size > 0 then
+    Buffer.add_string buf (Fmt.str "\tsubl2\t$%d,sp\n" cf.cf_frame_size);
+  let prov = Array.of_list cf.cf_prov in
+  List.iteri
+    (fun i insn ->
+      Buffer.add_string buf (Insn.assembly insn);
+      (if i < Array.length prov then
+         let line, pids = prov.(i) in
+         match pids with
+         | [] -> ()
+         | _ ->
+           let ids =
+             String.concat ","
+               (List.map (fun id -> "p" ^ string_of_int id) pids)
+           in
+           let emitter = List.nth pids (List.length pids - 1) in
+           let note =
+             match (Grammar.production g emitter).Grammar.note with
+             | "" -> ""
+             | n -> " ; " ^ n
+           in
+           Buffer.add_string buf (Fmt.str "\t# L%d %s%s" line ids note));
+      Buffer.add_char buf '\n')
+    cf.cf_insns;
+  Buffer.add_string buf "\tret\n"
+
+let render_explained (tables : tables) out =
+  let g = grammar tables in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, _, size) ->
+      Buffer.add_string buf (Fmt.str "\t.comm\t%s,%d\n" name size))
+    out.program.Tree.globals;
+  List.iter (render_func_explained buf g) out.funcs;
+  Buffer.contents buf
 
 let render_program (p : Tree.program) funcs =
   let buf = Buffer.create 4096 in

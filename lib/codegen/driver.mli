@@ -41,6 +41,13 @@ type compiled_func = {
   cf_name : string;
   cf_insns : Insn.t list;  (** body, without prologue/epilogue *)
   cf_frame_size : int;
+  cf_prov : (int * int list) list;
+      (** per-instruction provenance, parallel to [cf_insns]: the
+          source line current at emission and the grammar production
+          ids reduced since the previous emission.  Empty unless
+          {!Gg_profile.Profile.provenance_enabled} was set when the
+          function was compiled, or when the peephole pass rewrote the
+          instruction list. *)
 }
 
 type output = {
@@ -61,6 +68,12 @@ val compile_func : ?options:options -> tables -> Tree.func -> compiled_func
     is byte-identical to a [jobs:1] run. *)
 val compile_program :
   ?options:options -> ?tables:tables -> ?jobs:int -> Tree.program -> output
+
+(** Render an output with per-instruction provenance comments
+    ([# L<line> p<id>,... ; <production note>]) — the [--explain]
+    assembly listing.  Functions compiled without provenance render as
+    plain assembly. *)
+val render_explained : tables -> output -> string
 
 (** Compile a single statement tree against the default tables and
     return the instructions — convenient for tests and examples. *)

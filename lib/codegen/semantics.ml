@@ -5,11 +5,29 @@ type t = {
   frame : Frame.t;
   mutable out_rev : Insn.t list;
   idioms : bool;
+  explain : bool;
+  mutable line : int;
+  mutable prov_last : int;
+  mutable prov_pending : int list;
+  mutable prov_rev : (int * int list) list;
 }
 
-let emit t i = t.out_rev <- i :: t.out_rev
+let emit t i =
+  t.out_rev <- i :: t.out_rev;
+  if t.explain then begin
+    (* instructions emitted between reductions (register-manager
+       spills, cluster tails) inherit the production that triggered
+       the most recent reduction *)
+    let pids =
+      match t.prov_pending with
+      | [] -> if t.prov_last >= 0 then [ t.prov_last ] else []
+      | ps -> List.rev ps
+    in
+    t.prov_rev <- (t.line, pids) :: t.prov_rev
+  end
 
 let create ?(idioms = true) ?reserved frame =
+  let explain = !Profile.provenance_enabled in
   let rec t =
     lazy
       {
@@ -18,12 +36,24 @@ let create ?(idioms = true) ?reserved frame =
         frame;
         out_rev = [];
         idioms;
+        explain;
+        line = 0;
+        prov_last = -1;
+        prov_pending = [];
+        prov_rev = [];
       }
   in
   Lazy.force t
 
 let output t = List.rev t.out_rev
 let regmgr t = t.regs
+let set_line t n = t.line <- n
+
+let end_tree t =
+  t.prov_pending <- [];
+  t.prov_last <- -1
+
+let provenance t = List.rev t.prov_rev
 
 let sfx ty = Dtype.suffix ty
 
@@ -621,10 +651,21 @@ let callbacks t g : Desc.sval Matcher.callbacks =
     Matcher.on_shift = (fun tok -> Desc.Node tok.Termname.node);
     on_reduce =
       (fun p args ->
-        match p.Grammar.action with
-        | Action.Chain | Action.Start -> args.(0)
-        | Action.Mode name -> build_mode t g name p args
-        | Action.Emit key -> emit_insn t g key p args);
+        if t.explain then begin
+          t.prov_pending <- p.Grammar.id :: t.prov_pending;
+          t.prov_last <- p.Grammar.id
+        end;
+        let v =
+          match p.Grammar.action with
+          | Action.Chain | Action.Start -> args.(0)
+          | Action.Mode name -> build_mode t g name p args
+          | Action.Emit key -> emit_insn t g key p args
+        in
+        (if t.explain then
+           match p.Grammar.action with
+           | Action.Emit _ -> t.prov_pending <- []
+           | Action.Mode _ | Action.Chain | Action.Start -> ());
+        v);
     choose =
       (fun candidates _argss ->
         (* semantic choice among equal-length reductions: prefer

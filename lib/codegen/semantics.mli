@@ -28,3 +28,22 @@ val output : t -> Insn.t list
 val emit : t -> Insn.t -> unit
 
 val regmgr : t -> Regmgr.t
+
+(** {2 Instruction provenance}
+
+    When [Profile.provenance_enabled] was true at [create] time, every
+    emitted instruction is paired with the source line current at the
+    time of emission and the grammar production ids reduced since the
+    previous emission.  Outside of explain mode these are no-ops and
+    the emit path allocates nothing extra. *)
+
+(** Set the current source line (from a [Tree.Sline] marker). *)
+val set_line : t -> int -> unit
+
+(** Mark the end of a statement tree: instructions emitted after this
+    point and before the next reduction carry no production ids. *)
+val end_tree : t -> unit
+
+(** [(line, production ids)] for each instruction of [output], in
+    order.  Empty unless provenance was enabled at [create]. *)
+val provenance : t -> (int * int list) list

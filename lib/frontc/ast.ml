@@ -43,6 +43,7 @@ type stmt =
   | Sbreak
   | Scontinue
   | Sblock of stmt list
+  | Sline of int
 
 type storage = Auto | Register
 

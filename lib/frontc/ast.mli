@@ -52,6 +52,10 @@ type stmt =
   | Sbreak
   | Scontinue
   | Sblock of stmt list
+  | Sline of int
+      (** source-line marker inserted by the parser before each parsed
+          statement; lowered to {!Gg_ir.Tree.Sline} for instruction
+          provenance.  Generated code (the random corpus) omits them. *)
 
 (** Storage class of a local declaration; [Register] asks for a
     dedicated register (a hint, as in C: ignored when no register is

@@ -320,7 +320,16 @@ and parse_primary lx =
 
 (* -- statements -------------------------------------------------------------- *)
 
+(* Every parsed statement is preceded by an [Sline] marker so the code
+   generators can attribute emitted instructions to source lines
+   ([ggcc --explain]).  Empty statements produce no marker. *)
 let rec parse_stmt lx locals : stmt list =
+  let line = Lexer.line lx in
+  match parse_stmt_unmarked lx locals with
+  | [] -> []
+  | stmts -> Sline line :: stmts
+
+and parse_stmt_unmarked lx locals : stmt list =
   match Lexer.peek lx with
   | Lexer.PUNCT "{" -> [ Sblock (parse_block lx locals) ]
   | Lexer.PUNCT ";" ->
@@ -402,6 +411,7 @@ and parse_block lx locals : stmt list =
     match Lexer.peek lx with
     | Lexer.PUNCT "}" -> ignore (Lexer.next lx)
     | _ when starts_type lx ->
+      let line = Lexer.line lx in
       let base, storage = parse_base_type_storage lx in
       let rec decls () =
         let name, ty = parse_declarator lx base in
@@ -409,7 +419,7 @@ and parse_block lx locals : stmt list =
         (* an optional initialiser desugars to an assignment *)
         if accept_punct lx "=" then begin
           let v = parse_assignment lx in
-          stmts := Sexpr (Eassign (Evar name, v)) :: !stmts
+          stmts := Sexpr (Eassign (Evar name, v)) :: Sline line :: !stmts
         end;
         if accept_punct lx "," then decls ()
       in

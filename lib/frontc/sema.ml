@@ -531,6 +531,7 @@ let rec lower_stmt fc (s : Ast.stmt) : Tree.stmt list =
     match fc.loops with
     | { l_continue; _ } :: _ -> [ Tree.Sjump l_continue ]
     | [] -> error "continue outside a loop")
+  | Sline n -> [ Tree.Sline n ]
 
 and lower_stmts fc body = List.concat_map (lower_stmt fc) body
 

@@ -390,7 +390,7 @@ and exec_body st (f : Tree.func) =
     if i < Array.length body then begin
       tick st;
       match body.(i) with
-      | Tree.Slabel _ | Tree.Scomment _ -> run (i + 1)
+      | Tree.Slabel _ | Tree.Scomment _ | Tree.Sline _ -> run (i + 1)
       | Tree.Sjump l -> run (goto l)
       | Tree.Sret -> ()
       | Tree.Scall (fname, slots, ret_ty) ->

@@ -29,6 +29,7 @@ type stmt =
   | Sret
   | Scall of string * int * Dtype.t
   | Scomment of string
+  | Sline of int
 
 type func = {
   fname : string;
@@ -227,6 +228,7 @@ let pp_stmt ppf = function
   | Sret -> Fmt.pf ppf "  ret"
   | Scall (f, n, ty) -> Fmt.pf ppf "  calls $%d,%s ; result %s" n f (Dtype.name ty)
   | Scomment s -> Fmt.pf ppf "  # %s" s
+  | Sline n -> Fmt.pf ppf "  # line %d" n
 
 let pp_func ppf f =
   Fmt.pf ppf "func %s(%a) locals=%d@\n%a" f.fname

@@ -60,6 +60,11 @@ type stmt =
       (** [calls $n, f] after the arguments have been pushed (Phase 1a
           output); the result is left in r0 *)
   | Scomment of string
+  | Sline of int
+      (** source-line marker: statements that follow (until the next
+          marker) came from this line of the compiled source.  Carries
+          no code; the code generators use it for instruction
+          provenance ([ggcc --explain]) *)
 
 type func = {
   fname : string;

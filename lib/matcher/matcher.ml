@@ -1,5 +1,7 @@
 open Import
 module Profile = Gg_profile.Profile
+module Trace = Gg_profile.Trace
+module Metrics = Gg_profile.Metrics
 
 type 'a callbacks = {
   on_shift : Termname.token -> 'a;
@@ -40,6 +42,8 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
     ~(tie : int -> int array) ~(goto : int -> int -> int)
     ~(expected : int -> int list) cb tokens =
   let ctrs = Profile.counters () in
+  let reds0 = ctrs.Profile.reduces in
+  let t0 = if !Metrics.enabled then Trace.now_us () else 0. in
   let n = List.length tokens in
   (* the parse stack; stack depth is bounded by the number of shifts,
      so the initial capacity already fits any well-formed run *)
@@ -47,6 +51,7 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
   let st_states = ref (Array.make !cap 0) in
   let st_values = ref [||] (* allocated on the first push *) in
   let sp = ref 0 in
+  let hw = ref 0 in
   let state = ref 0 in
   let steps = ref [] in
   let record s = if trace then steps := s :: !steps in
@@ -65,7 +70,8 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
     (* [!sp < !cap] by the growth check just above *)
     Array.unsafe_set !st_states !sp s;
     Array.unsafe_set !st_values !sp v;
-    incr sp
+    incr sp;
+    if !sp > !hw then hw := !sp
   in
   let expected_names s =
     List.map
@@ -196,6 +202,15 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
   in
   ctrs.Profile.matcher_runs <- ctrs.Profile.matcher_runs + 1;
   let value = next tokens 0 in
+  (* end-of-run histogram observations, gated so the hot loop stays
+     allocation-free with telemetry off; rejects raise past this point
+     and are deliberately not observed *)
+  if !Metrics.enabled then begin
+    Metrics.observe Metrics.tree_match_us
+      (int_of_float (Trace.now_us () -. t0));
+    Metrics.observe Metrics.tree_reductions (ctrs.Profile.reduces - reds0);
+    Metrics.observe Metrics.stack_high_water !hw
+  end;
   { value; trace = List.rev !steps }
 
 (* The pre-optimisation loop: a (state, value) list stack and a symtab

@@ -327,6 +327,7 @@ let gen_stmt st (s : Tree.stmt) =
   | Tree.Sret -> emit st Insn.Ret
   | Tree.Scall (f, n, _) -> emit st (Insn.Call (f, n))
   | Tree.Scomment c -> emit st (Insn.Comment c)
+  | Tree.Sline _ -> ()
   | Tree.Stree (Tree.Assign (ty, dst, src)) -> gen_assign st ty dst src
   | Tree.Stree (Tree.Rassign (ty, src, dst)) -> gen_assign st ty dst src
   | Tree.Stree (Tree.Cbranch (rel, sg, ty, a, b, l)) ->
@@ -383,7 +384,7 @@ let compile_func ?(peephole = false) (f : Tree.func) =
   (* this backend cannot spill dynamically and doubles need register
      pairs, so its budget is tighter than the table-driven backend's *)
   let tr =
-    Gg_profile.Profile.time "phase1.transform" (fun () ->
+    Gg_profile.Trace.phase "phase1.transform" (fun () ->
         Transform.run ~options:transform_options
           ~spill_limit:(max 2 (pool_size - 3))
           f)
@@ -395,14 +396,14 @@ let compile_func ?(peephole = false) (f : Tree.func) =
     List.filter (fun r -> not (List.mem r reserved)) Regconv.allocatable
   in
   let st = { out_rev = []; free = pool; frame } in
-  Gg_profile.Profile.time "pcc.select" (fun () ->
+  Gg_profile.Trace.phase "pcc.select" (fun () ->
       List.iter (gen_stmt st) tr.Transform.func.Tree.body);
   if List.length st.free <> List.length pool then
     failwith "pcc: register leak";
   let insns = List.rev st.out_rev in
   let insns =
     if peephole then
-      Gg_profile.Profile.time "peephole" (fun () ->
+      Gg_profile.Trace.phase "peephole" (fun () ->
           fst (Gg_codegen.Peephole.optimize insns))
     else insns
   in

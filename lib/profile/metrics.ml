@@ -1,0 +1,252 @@
+(* A registry of named counters and fixed-bucket histograms over the
+   compilation pipeline, sharded per domain like the {!Profile}
+   counters and merged on read.
+
+   Histograms have fixed integer bucket bounds chosen once at
+   registration, so recording an observation is a short linear scan and
+   an increment in the calling domain's shard — no allocation, no
+   synchronisation.  This is the instrument Samuelsson-style table
+   optimisation needs: the distribution of matcher work per tree, not
+   just its total. *)
+
+type histogram = {
+  id : int;
+  h_name : string;
+  h_unit : string;
+  bounds : int array;  (** strictly increasing inclusive upper bounds *)
+}
+
+let histograms : histogram list ref = ref []
+
+let register ~unit:h_unit name bounds =
+  let h = { id = List.length !histograms; h_name = name; h_unit; bounds } in
+  histograms := !histograms @ [ h ];
+  h
+
+(* -- the standard instruments ------------------------------------------- *)
+
+let tree_match_us =
+  register ~unit:"us" "matcher.tree_match_us"
+    [| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 5000 |]
+
+let tree_reductions =
+  register ~unit:"reductions" "matcher.reductions_per_tree"
+    [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 |]
+
+let stack_high_water =
+  register ~unit:"slots" "matcher.stack_high_water"
+    [| 2; 4; 8; 16; 32; 64; 128; 256 |]
+
+let insns_per_func =
+  register ~unit:"insns" "codegen.insns_per_func"
+    [| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000 |]
+
+(* -- per-domain shards --------------------------------------------------- *)
+
+type shard = {
+  buckets : int array array;  (** per histogram: |bounds|+1 (overflow last) *)
+  totals : int array;
+  sums : int array;
+  maxs : int array;
+  named : (string, int) Hashtbl.t;
+}
+
+let enabled = ref false
+let registry : shard list ref = ref []
+let registry_lock = Mutex.create ()
+
+let new_shard () =
+  (* the histogram set is fixed at module initialisation, before any
+     shard exists, so sizing the arrays here is safe *)
+  let n = List.length !histograms in
+  let s =
+    {
+      buckets =
+        Array.of_list
+          (List.map (fun h -> Array.make (Array.length h.bounds + 1) 0) !histograms);
+      totals = Array.make n 0;
+      sums = Array.make n 0;
+      maxs = Array.make n 0;
+      named = Hashtbl.create 16;
+    }
+  in
+  Mutex.protect registry_lock (fun () -> registry := s :: !registry);
+  s
+
+let shard_key = Domain.DLS.new_key new_shard
+let shard () = Domain.DLS.get shard_key
+let shards () = Mutex.protect registry_lock (fun () -> !registry)
+
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec go i = if i >= n || v <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  let s = shard () in
+  let counts = s.buckets.(h.id) in
+  let i = bucket_index h v in
+  counts.(i) <- counts.(i) + 1;
+  s.totals.(h.id) <- s.totals.(h.id) + 1;
+  s.sums.(h.id) <- s.sums.(h.id) + v;
+  if v > s.maxs.(h.id) then s.maxs.(h.id) <- v
+
+let incr ?(by = 1) name =
+  let named = (shard ()).named in
+  Hashtbl.replace named name
+    (by + (try Hashtbl.find named name with Not_found -> 0))
+
+(* -- merged reads -------------------------------------------------------- *)
+
+let count h = List.fold_left (fun acc s -> acc + s.totals.(h.id)) 0 (shards ())
+let sum h = List.fold_left (fun acc s -> acc + s.sums.(h.id)) 0 (shards ())
+let max_value h = List.fold_left (fun acc s -> max acc s.maxs.(h.id)) 0 (shards ())
+
+let buckets h =
+  let n = Array.length h.bounds + 1 in
+  let merged = Array.make n 0 in
+  List.iter
+    (fun s -> Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) s.buckets.(h.id))
+    (shards ());
+  List.init n (fun i ->
+      ((if i < Array.length h.bounds then Some h.bounds.(i) else None), merged.(i)))
+
+let name h = h.h_name
+let unit_of h = h.h_unit
+let all () = !histograms
+
+let named_counters () =
+  let merged : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace merged k
+            (v + (try Hashtbl.find merged k with Not_found -> 0)))
+        s.named)
+    (shards ());
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset () =
+  List.iter
+    (fun s ->
+      Array.iter (fun b -> Array.fill b 0 (Array.length b) 0) s.buckets;
+      Array.fill s.totals 0 (Array.length s.totals) 0;
+      Array.fill s.sums 0 (Array.length s.sums) 0;
+      Array.fill s.maxs 0 (Array.length s.maxs) 0;
+      Hashtbl.reset s.named)
+    (shards ())
+
+(* -- exposition ---------------------------------------------------------- *)
+
+let mean h =
+  let c = count h in
+  if c = 0 then 0. else float_of_int (sum h) /. float_of_int c
+
+let shift_reduce_ratio () =
+  let c = Profile.totals () in
+  if c.Profile.reduces = 0 then 0.
+  else float_of_int c.Profile.shifts /. float_of_int c.Profile.reduces
+
+let report ppf () =
+  let c = Profile.totals () in
+  Fmt.pf ppf "counters:@.";
+  Fmt.pf ppf "  %-28s %10d@." "matcher.runs" c.Profile.matcher_runs;
+  Fmt.pf ppf "  %-28s %10d@." "matcher.shifts" c.Profile.shifts;
+  Fmt.pf ppf "  %-28s %10d@." "matcher.reduces" c.Profile.reduces;
+  Fmt.pf ppf "  %-28s %10d@." "matcher.semantic_choices" c.Profile.semantic_choices;
+  Fmt.pf ppf "  %-28s %10d@." "matcher.rejects" c.Profile.rejects;
+  Fmt.pf ppf "  %-28s %10d@." "tables.cache_hits" c.Profile.cache_hits;
+  Fmt.pf ppf "  %-28s %10d@." "tables.cache_misses" c.Profile.cache_misses;
+  List.iter (fun (k, v) -> Fmt.pf ppf "  %-28s %10d@." k v) (named_counters ());
+  Fmt.pf ppf "  %-28s %10.3f@." "matcher.shift_reduce_ratio"
+    (shift_reduce_ratio ());
+  List.iter
+    (fun h ->
+      let total = count h in
+      Fmt.pf ppf "histogram %s (count %d, mean %.1f %s, max %d):@." h.h_name
+        total (mean h) h.h_unit (max_value h);
+      if total > 0 then
+        List.iter
+          (fun (le, n) ->
+            let label =
+              match le with
+              | Some b -> Fmt.str "<= %d" b
+              | None -> "overflow"
+            in
+            Fmt.pf ppf "  %-10s %10d  %5.1f%%  %s@." label n
+              (100. *. float_of_int n /. float_of_int total)
+              (String.make (min 60 (60 * n / total)) '#'))
+          (buckets h))
+    (all ())
+
+let json_escape = Trace.json_escape
+
+let to_json () =
+  let b = Buffer.create 2048 in
+  let c = Profile.totals () in
+  Buffer.add_string b "{\n  \"counters\": {\n";
+  let base =
+    [
+      ("matcher.runs", c.Profile.matcher_runs);
+      ("matcher.shifts", c.Profile.shifts);
+      ("matcher.reduces", c.Profile.reduces);
+      ("matcher.semantic_choices", c.Profile.semantic_choices);
+      ("matcher.rejects", c.Profile.rejects);
+      ("tables.cache_hits", c.Profile.cache_hits);
+      ("tables.cache_misses", c.Profile.cache_misses);
+    ]
+    @ named_counters ()
+  in
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %d%s\n" (json_escape k) v
+           (if i = List.length base - 1 then "" else ",")))
+    base;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"ratios\": { \"shift_reduce\": %.4f },\n"
+       (shift_reduce_ratio ()));
+  Buffer.add_string b "  \"phases\": [\n";
+  let ps = Profile.phases () in
+  List.iteri
+    (fun i (pname, secs, calls) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"seconds\": %.6f, \"calls\": %d }%s\n"
+           (json_escape pname) secs calls
+           (if i = List.length ps - 1 then "" else ",")))
+    ps;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"histograms\": [\n";
+  let hs = all () in
+  List.iteri
+    (fun i h ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"unit\": \"%s\", \"count\": %d, \"sum\": \
+            %d, \"max\": %d, \"buckets\": ["
+           (json_escape h.h_name) (json_escape h.h_unit) (count h) (sum h)
+           (max_value h));
+      let bs = buckets h in
+      List.iteri
+        (fun j (le, n) ->
+          Buffer.add_string b
+            (Printf.sprintf "{ \"le\": %s, \"count\": %d }%s"
+               (match le with Some v -> string_of_int v | None -> "null")
+               n
+               (if j = List.length bs - 1 then "" else ", ")))
+        bs;
+      Buffer.add_string b
+        (Printf.sprintf "] }%s\n" (if i = List.length hs - 1 then "" else ","));
+      ())
+    hs;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc (to_json ());
+  close_out oc

@@ -1,0 +1,86 @@
+(** A registry of named counters and fixed-bucket histograms.
+
+    The {!Profile} counters answer "how much work, in total"; the
+    histograms here answer "how is it distributed" — per-tree match
+    time, reductions per tree, matcher stack high-water, instructions
+    per function.  That distribution is the instrument Samuelsson-style
+    table optimisation (PAPERS.md) needs before table usage data can
+    drive table layout.
+
+    Observations are recorded into per-domain shards (a bounded linear
+    scan plus three increments; no allocation, no synchronisation) and
+    merged on read, so totals are exact under [ggcc -j N] once the
+    worker domains have joined.  The standard histograms are registered
+    at module initialisation; hot paths gate their observations on
+    {!enabled}.
+
+    Invariants the test suite locks in: the bucket counts of a
+    histogram sum to its {!count}, [count tree_reductions] equals the
+    {!Profile} [matcher_runs] counter and [sum tree_reductions] equals
+    its [reduces] counter over the same instrumented run. *)
+
+type histogram
+
+(** Gates the hot-path observation sites (not {!observe} itself); off
+    by default, set by [--metrics]/[--metrics-out]. *)
+val enabled : bool ref
+
+(** {1 The standard instruments} *)
+
+(** Wall microseconds spent matching one tree. *)
+val tree_match_us : histogram
+
+(** Reductions performed while matching one tree. *)
+val tree_reductions : histogram
+
+(** Deepest parse-stack occupancy while matching one tree. *)
+val stack_high_water : histogram
+
+(** Instructions emitted per compiled function (before rendering). *)
+val insns_per_func : histogram
+
+(** {1 Recording} *)
+
+(** [observe h v] adds observation [v] to [h] in the calling domain's
+    shard.  Values beyond the last bound land in the overflow bucket. *)
+val observe : histogram -> int -> unit
+
+(** [incr ?by name] bumps the named counter in the calling domain's
+    shard. *)
+val incr : ?by:int -> string -> unit
+
+(** {1 Merged reads} *)
+
+val count : histogram -> int
+val sum : histogram -> int
+val max_value : histogram -> int
+
+(** [(upper bound, count)] per bucket, in bound order; [None] is the
+    overflow bucket.  Counts sum to {!count}. *)
+val buckets : histogram -> (int option * int) list
+
+val name : histogram -> string
+val unit_of : histogram -> string
+val all : unit -> histogram list
+val named_counters : unit -> (string * int) list
+
+(** Shifts per reduce over the merged {!Profile} counters; [0.] when
+    nothing has been matched (never a division by zero). *)
+val shift_reduce_ratio : unit -> float
+
+(** Zero every histogram and named counter in every shard.  Call only
+    while no other domain is recording. *)
+val reset : unit -> unit
+
+(** {1 Exposition} *)
+
+(** Text dump: counters, the shift/reduce ratio, and one bar-rendered
+    table per histogram ([ggcc --metrics]). *)
+val report : Format.formatter -> unit -> unit
+
+(** The machine-readable sidecar ([ggcc --metrics-out]): counters,
+    phase timings and histograms as one JSON document, consumed by the
+    bench harness. *)
+val to_json : unit -> string
+
+val write_json : string -> unit

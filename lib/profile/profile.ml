@@ -68,6 +68,12 @@ let totals () =
 
 let enabled = ref false
 
+(* Gates instruction provenance collection (Semantics records, per
+   emitted instruction, the productions reduced since the previous
+   one).  Lives here so the matcher/semantics layers need no extra
+   dependency; read once per Semantics.create. *)
+let provenance_enabled = ref false
+
 (* -- production coverage ------------------------------------------------ *)
 
 let coverage_enabled = ref false

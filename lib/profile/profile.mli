@@ -42,6 +42,13 @@ val totals : unit -> counters
 (** Gates the wall-clock timers (not the counters); off by default. *)
 val enabled : bool ref
 
+(** Gates instruction-provenance collection ([ggcc --explain]): when
+    set, {!Gg_codegen.Semantics} attaches to every emitted instruction
+    the production ids reduced since the previous one plus the current
+    source line.  Read once per [Semantics.create], so toggle it before
+    compiling.  Off by default. *)
+val provenance_enabled : bool ref
+
 (** {1 Production coverage}
 
     When {!coverage_enabled} is set, the matcher records every grammar

@@ -1,0 +1,143 @@
+(* Structured trace spans, exported as Chrome trace_event JSON.
+
+   Like {!Profile}, every domain records into its own shard without
+   synchronisation: a span begin/end is a timestamp read plus one list
+   cons in the calling domain's buffer.  The export merges the shards;
+   each shard keeps its domain's id as the Chrome thread id, so a
+   [-j N] batch compile renders as N parallel tracks in
+   chrome://tracing / Perfetto. *)
+
+type phase = B | E
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts : float;  (** microseconds since the trace epoch *)
+  ev_track : int;  (** domain id *)
+}
+
+type shard = { track : int; mutable events : event list }
+
+let enabled = ref false
+
+(* wall-clock relative to a process-start epoch: the same clock the
+   phase timers use, so span durations and Profile.seconds agree *)
+let epoch = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let registry : shard list ref = ref []
+let registry_lock = Mutex.create ()
+
+let new_shard () =
+  let s = { track = (Domain.self () :> int); events = [] } in
+  Mutex.protect registry_lock (fun () -> registry := s :: !registry);
+  s
+
+let shard_key = Domain.DLS.new_key new_shard
+let shard () = Domain.DLS.get shard_key
+
+let record ph ~cat name =
+  let s = shard () in
+  s.events <-
+    { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts = now_us (); ev_track = s.track }
+    :: s.events
+
+let span ?(cat = "") name f =
+  if not !enabled then f ()
+  else begin
+    record B ~cat name;
+    Fun.protect ~finally:(fun () -> record E ~cat name) f
+  end
+
+(* one wrapper for the leaf phases so the span and the {!Profile} timer
+   measure the same interval: the span nests just inside the timer, so
+   their durations agree to within the two extra clock reads *)
+let phase name f = Profile.time name (fun () -> span ~cat:"phase" name f)
+
+let events () =
+  (* registry is most-recent-first; shards never share a track (domain
+     ids are unique for the process lifetime), so concatenating them
+     keeps every track's events in record order once each is reversed *)
+  let shards = Mutex.protect registry_lock (fun () -> !registry) in
+  List.concat_map (fun s -> List.rev s.events) (List.rev shards)
+
+let reset () =
+  let shards = Mutex.protect registry_lock (fun () -> !registry) in
+  List.iter (fun s -> s.events <- []) shards
+
+(* -- Chrome trace_event JSON -------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let export () =
+  let evs = events () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let tracks = Hashtbl.create 8 in
+  List.iter (fun e -> Hashtbl.replace tracks e.ev_track ()) evs;
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b s
+  in
+  (* metadata rows naming each domain's track *)
+  Hashtbl.iter
+    (fun track () ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"domain %d\"}}"
+           track track))
+    tracks;
+  List.iter
+    (fun e ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\
+            \"pid\":1,\"tid\":%d}"
+           (json_escape e.ev_name)
+           (json_escape (if e.ev_cat = "" then "span" else e.ev_cat))
+           (match e.ev_ph with B -> "B" | E -> "E")
+           e.ev_ts e.ev_track))
+    evs;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write path =
+  let oc = open_out path in
+  output_string oc (export ());
+  close_out oc
+
+(* total seconds spent in spans named [name]; self-nested spans would
+   double-count, but the instrumented phases never self-nest *)
+let span_seconds name =
+  let evs = events () in
+  let by_track = Hashtbl.create 8 in
+  let total = ref 0. in
+  List.iter
+    (fun e ->
+      if e.ev_name = name then
+        match e.ev_ph with
+        | B -> Hashtbl.replace by_track e.ev_track e.ev_ts
+        | E -> (
+          match Hashtbl.find_opt by_track e.ev_track with
+          | Some t0 ->
+            Hashtbl.remove by_track e.ev_track;
+            total := !total +. ((e.ev_ts -. t0) /. 1e6)
+          | None -> ()))
+    evs;
+  !total

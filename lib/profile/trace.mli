@@ -1,0 +1,61 @@
+(** Structured trace spans with Chrome [trace_event] JSON export.
+
+    A span is a begin/end pair around a unit of compilation work — a
+    file, a function, a leaf phase, one tree match.  Spans are recorded
+    into per-domain shards (one timestamp read and one cons per edge,
+    no synchronisation), and {!export} merges the shards into Chrome
+    trace JSON with the recording domain's id as the thread id — so a
+    [ggcc -j N] compile is visually inspectable as N parallel tracks in
+    chrome://tracing or Perfetto ([ggcc --trace-out trace.json]).
+
+    Everything is gated on {!enabled}: with tracing off, {!span} is the
+    plain application [f ()] and the hot paths pay one load and branch. *)
+
+type phase = B | E
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts : float;  (** microseconds since the trace epoch *)
+  ev_track : int;  (** id of the recording domain *)
+}
+
+(** Off by default; set by [--trace-out]. *)
+val enabled : bool ref
+
+(** [span ?cat name f] runs [f] inside a [name] span when {!enabled};
+    transparent otherwise.  The end edge is recorded even if [f]
+    raises. *)
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** [phase name f] = {!Profile.time}[ name] around {!span}[ name f]:
+    the standing leaf-phase instrumentation records both the aggregate
+    timer and the per-call span over the same interval, so the trace
+    durations and [Profile.seconds] agree. *)
+val phase : string -> (unit -> 'a) -> 'a
+
+(** All recorded events, every track in record order (hence balanced
+    and properly nested per track). *)
+val events : unit -> event list
+
+(** Microseconds since the trace epoch (the clock spans are stamped
+    with). *)
+val now_us : unit -> float
+
+(** Drop all recorded events in every shard.  Call only while no other
+    domain is recording. *)
+val reset : unit -> unit
+
+(** The Chrome [trace_event] JSON document for the recorded events. *)
+val export : unit -> string
+
+(** Escape a string for inclusion in a JSON string literal (shared by
+    the trace and metrics expositions). *)
+val json_escape : string -> string
+
+val write : string -> unit
+
+(** Total seconds covered by spans named [name] (summed across tracks);
+    used to cross-check span durations against {!Profile.seconds}. *)
+val span_seconds : string -> float

@@ -27,7 +27,7 @@ let load ?dir (g : Grammar.t) =
   let file = path ?dir g in
   if not (Sys.file_exists file) then None
   else
-    match Profile.time "tables.load" (fun () -> Packed.load g file) with
+    match Gg_profile.Trace.phase "tables.load" (fun () -> Packed.load g file) with
     | t -> Some t
     | exception (Failure _ | Sys_error _) -> None
 
@@ -45,7 +45,7 @@ let store ?dir (g : Grammar.t) (t : Packed.t) =
   with Sys_error _ -> false
 
 let build (g : Grammar.t) =
-  Profile.time "tables.build" (fun () -> Packed.pack (Tables.build g))
+  Gg_profile.Trace.phase "tables.build" (fun () -> Packed.pack (Tables.build g))
 
 let load_or_build ?dir (g : Grammar.t) =
   let ctrs = Profile.counters () in

@@ -27,7 +27,7 @@ let scan_func (f : Tree.func) =
       match s with
       | Tree.Stree t -> scan_tree t
       | Tree.Slabel l | Tree.Sjump l -> if l > !max_label then max_label := l
-      | Tree.Sret | Tree.Scall _ | Tree.Scomment _ -> ())
+      | Tree.Sret | Tree.Scall _ | Tree.Scomment _ | Tree.Sline _ -> ())
     f.Tree.body;
   (!max_label, !max_temp, !temps)
 

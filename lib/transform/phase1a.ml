@@ -153,7 +153,8 @@ and branch_false ctx (t : Tree.t) target : Tree.stmt list =
 
 let lower_stmt ctx (s : Tree.stmt) : Tree.stmt list =
   match s with
-  | Tree.Slabel _ | Tree.Sjump _ | Tree.Sret | Tree.Scall _ | Tree.Scomment _ ->
+  | Tree.Slabel _ | Tree.Sjump _ | Tree.Sret | Tree.Scall _ | Tree.Scomment _
+  | Tree.Sline _ ->
     [ s ]
   | Tree.Stree (Tree.Cbranch (rel, sg, ty, a, Tree.Const (cty, 0L), l))
     when rel = Op.Ne && sg = Dtype.Signed ->

@@ -44,6 +44,6 @@ let run body =
       match s with
       | Tree.Stree t -> Tree.Stree (rewrite_tree t)
       | Tree.Slabel _ | Tree.Sjump _ | Tree.Sret | Tree.Scall _
-      | Tree.Scomment _ ->
+      | Tree.Scomment _ | Tree.Sline _ ->
         s)
     body

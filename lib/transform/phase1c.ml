@@ -183,6 +183,6 @@ let run ?(reverse_ops = true) ?(spill_guard = true)
         end
         else [ Tree.Stree t ]
       | Tree.Slabel _ | Tree.Sjump _ | Tree.Sret | Tree.Scall _
-      | Tree.Scomment _ ->
+      | Tree.Scomment _ | Tree.Sline _ ->
         [ s ])
     body

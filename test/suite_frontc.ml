@@ -88,7 +88,15 @@ let test_parser_program_shapes () =
       Ast.Dfunc f ] ->
     check_int "params" 2 (List.length f.Ast.params);
     check_int "locals" 1 (List.length f.Ast.locals);
-    check_int "stmts" 2 (List.length f.Ast.body)
+    (* the parser interleaves Sline provenance markers with the
+       statements proper: both statements sit on source line 2 *)
+    let marks, stmts =
+      List.partition (function Ast.Sline _ -> true | _ -> false) f.Ast.body
+    in
+    check_int "stmts" 2 (List.length stmts);
+    List.iter
+      (function Ast.Sline n -> check_int "line mark" 2 n | _ -> ())
+      marks
   | _ -> Alcotest.fail "program shape wrong"
 
 let test_parser_error_reports_line () =

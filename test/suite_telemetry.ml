@@ -1,0 +1,455 @@
+(* The telemetry subsystem: trace spans (balance, JSON well-formedness,
+   agreement with the Profile timers), metric histograms (identities
+   against the Profile counters, exactness and reset under a Parallel
+   pool), instruction provenance (--explain), and the report guards. *)
+
+module Tree = Gg_ir.Tree
+module Insn = Gg_vax.Insn
+module Driver = Gg_codegen.Driver
+module Semantics = Gg_codegen.Semantics
+module Sema = Gg_frontc.Sema
+module Corpus = Gg_frontc.Corpus
+module Profile = Gg_profile.Profile
+module Trace = Gg_profile.Trace
+module Metrics = Gg_profile.Metrics
+
+let tables = Driver.default_tables
+
+(* each fixed program declares its own globals/main, so lower them
+   separately and compile them in sequence *)
+let corpus_programs =
+  lazy (List.map (fun (_, src) -> Sema.compile src) Corpus.fixed_programs)
+
+let all_off () =
+  Profile.enabled := false;
+  Profile.provenance_enabled := false;
+  Trace.enabled := false;
+  Metrics.enabled := false;
+  Profile.reset ();
+  Trace.reset ();
+  Metrics.reset ()
+
+let compile ?(jobs = 1) prog =
+  Driver.compile_program ~tables:(Lazy.force tables) ~jobs prog
+
+let compile_corpus ?(jobs = 1) () =
+  List.map (fun p -> compile ~jobs p) (Lazy.force corpus_programs)
+
+(* -- a minimal JSON validator ------------------------------------------------ *)
+
+exception Bad_json of string
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail m = raise (Bad_json (Fmt.str "%s at offset %d" m !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Fmt.str "expected %c" c)
+  in
+  let literal w =
+    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+    then pos := !pos + String.length w
+    else fail ("expected " ^ w)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    let digits () =
+      let d = ref 0 in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          incr d;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if !d = 0 then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected , or }"
+        in
+        members ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected , or ]"
+        in
+        elements ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value");
+    skip_ws ()
+  in
+  value ();
+  if !pos <> n then fail "trailing garbage"
+
+let check_json name s =
+  match validate_json s with
+  | () -> ()
+  | exception Bad_json m -> Alcotest.failf "%s: invalid JSON: %s" name m
+
+(* -- satellite (a): report never divides by a zero timed total --------------- *)
+
+let test_report_no_nan_on_empty () =
+  all_off ();
+  Profile.enabled := true;
+  (* counters but no timers: the share column must print 0%, not nan *)
+  let c = Profile.counters () in
+  c.Profile.matcher_runs <- c.Profile.matcher_runs + 1;
+  let text = Fmt.str "%a" Profile.report () in
+  all_off ();
+  Alcotest.(check bool) "report is non-empty" true (String.length text > 0);
+  let lower = String.lowercase_ascii text in
+  let contains sub =
+    let ls = String.length sub and ln = String.length lower in
+    let rec go i = i + ls <= ln && (String.sub lower i ls = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no nan in report" false (contains "nan");
+  Alcotest.(check bool) "no inf in report" false (contains "inf")
+
+(* -- trace spans ------------------------------------------------------------- *)
+
+let with_trace ?(jobs = 4) () =
+  all_off ();
+  Profile.enabled := true;
+  Trace.enabled := true;
+  ignore (compile_corpus ~jobs ())
+
+let test_trace_json_well_formed () =
+  with_trace ();
+  let doc = Trace.export () in
+  all_off ();
+  check_json "trace export" doc
+
+let test_trace_spans_balanced () =
+  with_trace ();
+  let events = Trace.events () in
+  all_off ();
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  (* per track, B/E edges nest like parentheses and end balanced *)
+  let tracks = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let stack =
+        match Hashtbl.find_opt tracks e.Trace.ev_track with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.add tracks e.Trace.ev_track s;
+          s
+      in
+      match e.Trace.ev_ph with
+      | Trace.B -> stack := e.Trace.ev_name :: !stack
+      | Trace.E -> (
+        match !stack with
+        | top :: rest when top = e.Trace.ev_name -> stack := rest
+        | top :: _ ->
+          Alcotest.failf "track %d: end of %S inside %S" e.Trace.ev_track
+            e.Trace.ev_name top
+        | [] ->
+          Alcotest.failf "track %d: end of %S with no open span"
+            e.Trace.ev_track e.Trace.ev_name))
+    events;
+  Hashtbl.iter
+    (fun track stack ->
+      if !stack <> [] then
+        Alcotest.failf "track %d: %d unclosed span(s)" track
+          (List.length !stack))
+    tracks;
+  (* timestamps are monotone within each track *)
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      (match Hashtbl.find_opt last e.Trace.ev_track with
+      | Some t when e.Trace.ev_ts < t -. 1e-6 ->
+        Alcotest.failf "track %d: time goes backwards" e.Trace.ev_track
+      | _ -> ());
+      Hashtbl.replace last e.Trace.ev_track e.Trace.ev_ts)
+    events
+
+let test_trace_agrees_with_profile () =
+  with_trace ();
+  let agree name =
+    let timer = Profile.seconds name in
+    let spans = Trace.span_seconds name in
+    Alcotest.(check bool) (name ^ " was timed") true (timer > 0.);
+    (* Trace.phase nests the span directly inside the timer over the
+       same clock, so the two totals track within 5% (the span also
+       pays the trace-record edges; allow an absolute floor for
+       micro-second phases) *)
+    let diff = Float.abs (timer -. spans) in
+    if diff > 0.05 *. timer +. 50e-6 then
+      Alcotest.failf "%s: timer %.6fs vs spans %.6fs" name timer spans
+  in
+  agree "phase2.match";
+  agree "phase1.transform";
+  all_off ()
+
+(* -- metric histograms ------------------------------------------------------- *)
+
+let with_metrics ?(jobs = 1) () =
+  all_off ();
+  Metrics.enabled := true;
+  ignore (compile_corpus ~jobs ())
+
+let test_histograms_match_counters () =
+  with_metrics ();
+  let totals = Profile.totals () in
+  let funcs =
+    List.fold_left
+      (fun a p -> a + List.length p.Tree.funcs)
+      0
+      (Lazy.force corpus_programs)
+  in
+  let reds_count = Metrics.count Metrics.tree_reductions in
+  let reds_sum = Metrics.sum Metrics.tree_reductions in
+  let match_count = Metrics.count Metrics.tree_match_us in
+  let hw_count = Metrics.count Metrics.stack_high_water in
+  let ipf_count = Metrics.count Metrics.insns_per_func in
+  all_off ();
+  Alcotest.(check int)
+    "tree_reductions count = matcher runs" totals.Profile.matcher_runs
+    reds_count;
+  Alcotest.(check int)
+    "tree_reductions sum = total reduces" totals.Profile.reduces reds_sum;
+  Alcotest.(check int)
+    "tree_match_us count = matcher runs" totals.Profile.matcher_runs
+    match_count;
+  Alcotest.(check int)
+    "stack_high_water count = matcher runs" totals.Profile.matcher_runs
+    hw_count;
+  Alcotest.(check int) "insns_per_func count = functions" funcs ipf_count
+
+let test_buckets_sum_to_count () =
+  with_metrics ();
+  let hs = Metrics.all () in
+  let rows =
+    List.map
+      (fun h ->
+        ( Metrics.name h,
+          Metrics.count h,
+          List.fold_left (fun a (_, c) -> a + c) 0 (Metrics.buckets h) ))
+      hs
+  in
+  all_off ();
+  Alcotest.(check bool) "histograms registered" true (List.length rows >= 4);
+  List.iter
+    (fun (name, count, bucket_sum) ->
+      Alcotest.(check int) (name ^ ": buckets sum to count") count bucket_sum)
+    rows
+
+let test_metrics_exact_under_parallelism () =
+  let snapshot jobs =
+    all_off ();
+    Metrics.enabled := true;
+    ignore (compile_corpus ~jobs ());
+    let r =
+      List.map
+        (fun h -> (Metrics.name h, Metrics.count h, Metrics.buckets h))
+        [ Metrics.tree_reductions; Metrics.stack_high_water;
+          Metrics.insns_per_func ]
+    in
+    all_off ();
+    r
+  in
+  (* tree_match_us is wall time, hence not deterministic across -j: the
+     deterministic histograms must merge to identical shards *)
+  let s1 = snapshot 1 in
+  let s4 = snapshot 4 in
+  let s8 = snapshot 8 in
+  Alcotest.(check bool) "j4 histograms = j1" true (s4 = s1);
+  Alcotest.(check bool) "j8 histograms = j1" true (s8 = s1)
+
+let test_metrics_reset () =
+  with_metrics ();
+  Metrics.reset ();
+  let counts = List.map Metrics.count (Metrics.all ()) in
+  let named = Metrics.named_counters () in
+  all_off ();
+  List.iter (fun c -> Alcotest.(check int) "count after reset" 0 c) counts;
+  Alcotest.(check bool)
+    "no live named counters after reset" true
+    (List.for_all (fun (_, v) -> v = 0) named)
+
+let test_metrics_json_well_formed () =
+  with_metrics ();
+  Profile.enabled := true;
+  let doc = Metrics.to_json () in
+  all_off ();
+  check_json "metrics sidecar" doc
+
+(* -- instruction provenance (--explain) -------------------------------------- *)
+
+let test_explain_provenance () =
+  all_off ();
+  Profile.provenance_enabled := true;
+  let outs = compile_corpus () in
+  Profile.provenance_enabled := false;
+  List.iter
+    (fun (cf : Driver.compiled_func) ->
+      Alcotest.(check int)
+        (cf.Driver.cf_name ^ ": provenance parallel to instructions")
+        (List.length cf.Driver.cf_insns)
+        (List.length cf.Driver.cf_prov);
+      List.iter2
+        (fun insn (_line, pids) ->
+          match insn with
+          | Insn.Insn _ ->
+            if pids = [] then
+              Alcotest.failf "%s: instruction %s carries no production ids"
+                cf.Driver.cf_name (Insn.assembly insn)
+          | _ -> ())
+        cf.Driver.cf_insns cf.Driver.cf_prov)
+    (List.concat_map (fun o -> o.Driver.funcs) outs);
+  (* and the rendering carries the annotations *)
+  let listing =
+    String.concat "" (List.map (Driver.render_explained (Lazy.force tables)) outs)
+  in
+  let contains sub =
+    let ls = String.length sub and ln = String.length listing in
+    let rec go i =
+      i + ls <= ln && (String.sub listing i ls = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "listing has provenance comments" true
+    (contains "\t# L")
+
+let test_provenance_off_is_empty () =
+  all_off ();
+  let outs = compile_corpus () in
+  List.iter
+    (fun (cf : Driver.compiled_func) ->
+      Alcotest.(check int)
+        (cf.Driver.cf_name ^ ": no provenance when disabled")
+        0
+        (List.length cf.Driver.cf_prov))
+    (List.concat_map (fun o -> o.Driver.funcs) outs)
+
+(* -- assembly parity --------------------------------------------------------- *)
+
+let test_assembly_unchanged_by_telemetry () =
+  all_off ();
+  let asm outs = String.concat "" (List.map (fun o -> o.Driver.assembly) outs) in
+  let plain = asm (compile_corpus ()) in
+  Profile.enabled := true;
+  Trace.enabled := true;
+  Metrics.enabled := true;
+  Profile.provenance_enabled := true;
+  let instrumented = asm (compile_corpus ~jobs:4 ()) in
+  all_off ();
+  Profile.provenance_enabled := false;
+  Alcotest.(check string)
+    "telemetry does not change the code" plain instrumented
+
+let suite =
+  [
+    Alcotest.test_case "profile report: 0%%, not nan, on empty timers" `Quick
+      test_report_no_nan_on_empty;
+    Alcotest.test_case "trace export is well-formed JSON" `Quick
+      test_trace_json_well_formed;
+    Alcotest.test_case "trace spans balance and nest per track" `Quick
+      test_trace_spans_balanced;
+    Alcotest.test_case "trace span durations agree with Profile.seconds"
+      `Quick test_trace_agrees_with_profile;
+    Alcotest.test_case "histogram counts/sums match Profile counters" `Quick
+      test_histograms_match_counters;
+    Alcotest.test_case "histogram buckets sum to count" `Quick
+      test_buckets_sum_to_count;
+    Alcotest.test_case "histograms exact under -j" `Quick
+      test_metrics_exact_under_parallelism;
+    Alcotest.test_case "Metrics.reset clears every shard" `Quick
+      test_metrics_reset;
+    Alcotest.test_case "metrics sidecar is well-formed JSON" `Quick
+      test_metrics_json_well_formed;
+    Alcotest.test_case "--explain: every instruction carries production ids"
+      `Quick test_explain_provenance;
+    Alcotest.test_case "provenance is empty when disabled" `Quick
+      test_provenance_off_is_empty;
+    Alcotest.test_case "assembly identical with telemetry on" `Quick
+      test_assembly_unchanged_by_telemetry;
+  ]

@@ -17,4 +17,5 @@ let () =
       ("packed", Suite_packed.suite);
       ("fuzz", Suite_fuzz.suite);
       ("parallel", Suite_parallel.suite);
+      ("telemetry", Suite_telemetry.suite);
     ]
