@@ -22,6 +22,10 @@ module Pcc = Gg_pcc.Pcc
 module Sema = Gg_frontc.Sema
 module Corpus = Gg_frontc.Corpus
 module Machine = Gg_vaxsim.Machine
+module Server = Gg_server.Server
+module Protocol = Gg_server.Protocol
+module Client = Gg_server.Client
+module Parallel = Gg_codegen.Parallel
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
@@ -800,6 +804,176 @@ let bench_throughput () =
   row "written: BENCH_throughput.json@."
 
 (* ============================================================================ *)
+(* SERVE: warm compile server vs per-process compilation                        *)
+(* ============================================================================ *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+let bench_serve () =
+  section
+    "SERVE: warm compile server vs per-process compilation (the paper's \
+     table-reuse argument, amortised across processes)";
+  (* the request corpus: examples/c when run from the repo root, else
+     the built-in fixed programs *)
+  let sources =
+    let dir = "examples/c" in
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".c")
+      |> List.sort compare
+      |> List.map (fun f ->
+             let file = Filename.concat dir f in
+             let ic = open_in_bin file in
+             let s = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             (file, s))
+    else List.map (fun (n, s) -> (n ^ ".c", s)) Corpus.fixed_programs
+  in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ggccd-bench-%d.sock" (Unix.getpid ()))
+  in
+  let tables = Driver.cached_tables Driver.default_options.Driver.grammar in
+  let workers = min 4 (max 1 (Parallel.available () - 1)) in
+  let config =
+    { (Server.default_config ~socket_path:socket) with Server.workers }
+  in
+  let server = Server.start ~config ~tables () in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  (* correctness before speed: every served answer must be the bytes a
+     direct compile produces *)
+  let parity =
+    List.for_all
+      (fun (_, src) ->
+        match Client.compile ~socket (Protocol.request src) with
+        | Protocol.Asm asm ->
+          asm
+          = (Driver.compile_program ~tables (Sema.compile src)).Driver.assembly
+        | _ -> false)
+      sources
+  in
+  row "served output byte-identical to direct compilation: %b@." parity;
+  let clients = 4 in
+  let per_client = if quick then 25 else 150 in
+  let srcs = Array.of_list (List.map snd sources) in
+  let lats = Array.init clients (fun _ -> Array.make per_client 0.) in
+  let t0 = Unix.gettimeofday () in
+  let pool =
+    Parallel.spawn_pool ~domains:clients (fun c ->
+        for k = 0 to per_client - 1 do
+          let src = srcs.((c + (k * clients)) mod Array.length srcs) in
+          let t = Unix.gettimeofday () in
+          (match Client.compile ~socket (Protocol.request src) with
+          | Protocol.Asm _ -> ()
+          | r ->
+            ignore r;
+            failwith "serve bench: unexpected response");
+          lats.(c).(k) <- Unix.gettimeofday () -. t
+        done)
+  in
+  Parallel.join_pool pool;
+  let wall_server = Unix.gettimeofday () -. t0 in
+  let all = Array.concat (Array.to_list lats) in
+  Array.sort compare all;
+  let n_server = Array.length all in
+  let rps_server = float_of_int n_server /. wall_server in
+  let p50_server = percentile all 0.50 *. 1e3 in
+  let p99_server = percentile all 0.99 *. 1e3 in
+  row
+    "warm server (%d workers, %d client domains): %d requests in %.2f s = \
+     %.0f requests/s,  p50 %.2f ms  p99 %.2f ms@."
+    workers clients n_server wall_server rps_server p50_server p99_server;
+  (* baseline: what a build system does without the daemon — one ggcc
+     process per compile, each paying process start + table load from
+     the (warm) cache *)
+  let ggcc =
+    let near =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat "bin" "ggcc.exe"))
+    in
+    if Sys.file_exists near then near else "ggcc"
+  in
+  let files =
+    List.map
+      (fun (name, src) ->
+        if Sys.file_exists name then name
+        else begin
+          let f =
+            Filename.temp_file "ggcg-serve"
+              ("-" ^ Filename.basename name)
+          in
+          let oc = open_out f in
+          output_string oc src;
+          close_out oc;
+          f
+        end)
+      sources
+    |> Array.of_list
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let run_one file =
+    let pid =
+      Unix.create_process ggcc
+        [| ggcc; "compile"; file |]
+        Unix.stdin null Unix.stderr
+    in
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> failwith ("serve bench: " ^ ggcc ^ " failed on " ^ file)
+  in
+  let n_proc = if quick then 12 else 60 in
+  let proc_lats = Array.make n_proc 0. in
+  let t0 = Unix.gettimeofday () in
+  for k = 0 to n_proc - 1 do
+    let t = Unix.gettimeofday () in
+    run_one files.(k mod Array.length files);
+    proc_lats.(k) <- Unix.gettimeofday () -. t
+  done;
+  let wall_proc = Unix.gettimeofday () -. t0 in
+  Unix.close null;
+  Array.sort compare proc_lats;
+  let rps_proc = float_of_int n_proc /. wall_proc in
+  let p50_proc = percentile proc_lats 0.50 *. 1e3 in
+  let p99_proc = percentile proc_lats 0.99 *. 1e3 in
+  row
+    "per-process ggcc (warm table cache):          %d compiles in %.2f s = \
+     %.0f requests/s,  p50 %.2f ms  p99 %.2f ms@."
+    n_proc wall_proc rps_proc p50_proc p99_proc;
+  row "warm-server throughput vs per-process: %.1fx   (acceptance: > 1x)@."
+    (rps_server /. rps_proc);
+  let oc = open_out "BENCH_serve.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"sources\": %d,\n" (List.length sources);
+  p "  \"parity_with_direct_compile\": %b,\n" parity;
+  p "  \"server\": {\n";
+  p "    \"workers\": %d,\n" workers;
+  p "    \"client_domains\": %d,\n" clients;
+  p "    \"requests\": %d,\n" n_server;
+  p "    \"wall_s\": %.3f,\n" wall_server;
+  p "    \"requests_per_sec\": %.1f,\n" rps_server;
+  p "    \"p50_ms\": %.3f,\n" p50_server;
+  p "    \"p99_ms\": %.3f\n" p99_server;
+  p "  },\n";
+  p "  \"per_process\": {\n";
+  p "    \"requests\": %d,\n" n_proc;
+  p "    \"wall_s\": %.3f,\n" wall_proc;
+  p "    \"requests_per_sec\": %.1f,\n" rps_proc;
+  p "    \"p50_ms\": %.3f,\n" p50_proc;
+  p "    \"p99_ms\": %.3f\n" p99_proc;
+  p "  },\n";
+  p "  \"throughput_ratio\": %.2f\n" (rps_server /. rps_proc);
+  p "}\n";
+  close_out oc;
+  row "written: BENCH_serve.json@."
+
+(* ============================================================================ *)
 
 let () =
   Fmt.pr "Table-driven code generation: benchmark harness%s@."
@@ -828,6 +1002,7 @@ let () =
       ("coverage", bench_coverage);
       ("appendix", bench_appendix);
       ("throughput", bench_throughput);
+      ("serve", bench_serve);
     ]
   in
   (match

@@ -11,6 +11,8 @@ module Sema = Gg_frontc.Sema
 module Machine = Gg_vaxsim.Machine
 module Interp = Gg_ir.Interp
 module Tree = Gg_ir.Tree
+module Protocol = Gg_server.Protocol
+module Client = Gg_server.Client
 
 type backend = Gg | Pcc_backend
 
@@ -75,6 +77,13 @@ let handle_errors f =
     (* bad/stale -tables files, unwritable outputs, ... *)
     Fmt.epr "error: %s@." m;
     exit 1
+  | Sys_error m ->
+    (* nonexistent/unwritable -o, --trace-out, --metrics-out, ... *)
+    Fmt.epr "error: %s@." m;
+    exit 1
+  | Client.Server_error m ->
+    Fmt.epr "error: %s@." m;
+    exit 3
 
 (* Arm the requested instruments before compiling and flush their
    expositions afterwards.  The wall-clock timers come on for any of
@@ -108,16 +117,67 @@ let with_telemetry ?(trace_out = None) ?(metrics = false) ?(metrics_out = None)
 
 let with_profile profile f = with_telemetry profile f
 
+(* Route one compile through a ggccd daemon.  The server runs the same
+   compile path with the same options, so the assembly (or the error
+   text and exit code) is identical to compiling directly. *)
+let server_compile ~socket ~spawn ~ggccd ~backend ~idioms ~peephole ~jobs
+    ~explain ~deadline_ms ~fail_inject ~sleep_ms src =
+  Client.ensure ?ggccd ~socket ~spawn ();
+  let backend =
+    match backend with Gg -> Protocol.Gg | Pcc_backend -> Protocol.Pcc
+  in
+  let req =
+    Protocol.request ~backend ~idioms ~peephole ~explain ~jobs ~deadline_ms
+      ~fail_inject ~sleep_ms src
+  in
+  match Client.compile ~socket req with
+  | Protocol.Asm asm -> asm
+  | Protocol.Error ((Protocol.Lex | Protocol.Parse), m) ->
+    Fmt.epr "%s@." m;
+    exit 1
+  | Protocol.Error (Protocol.Semantic, m) ->
+    Fmt.epr "error: %s@." m;
+    exit 1
+  | Protocol.Error (Protocol.Reject, m) ->
+    Fmt.epr "code generator: %s@." m;
+    exit 2
+  | Protocol.Error ((Protocol.Internal | Protocol.Bad_request), m) ->
+    Fmt.epr "server error: %s@." m;
+    exit 3
+  | Protocol.Timeout ->
+    Fmt.epr "server error: deadline exceeded@.";
+    exit 3
+  | Protocol.Retry_after _ ->
+    Fmt.epr "server error: queue full, retries exhausted@.";
+    exit 3
+
 let compile_cmd path backend idioms peephole jobs output run args tables_file
-    no_cache profile trace_out metrics metrics_out explain =
+    no_cache profile trace_out metrics metrics_out explain server spawn ggccd
+    deadline_ms inject_fail inject_sleep_ms =
   handle_errors (fun () ->
       with_telemetry ~trace_out ~metrics ~metrics_out ~explain profile
       @@ fun () ->
-      let tables = lazy (gg_tables ~tables_file ~no_cache ()) in
-      let asm, prog =
-        Gg_profile.Trace.span ~cat:"file" (Filename.basename path) (fun () ->
-            compile_source backend ~idioms ~peephole ~jobs ~tables ~explain
-              (read_file path))
+      let src = read_file path in
+      let asm, globals =
+        match server with
+        | Some socket ->
+          let asm =
+            server_compile ~socket ~spawn ~ggccd ~backend ~idioms ~peephole
+              ~jobs ~explain ~deadline_ms ~fail_inject:inject_fail
+              ~sleep_ms:inject_sleep_ms src
+          in
+          (* the simulator needs the global layout; the daemon answered
+             Asm, so the local frontend cannot fail on the same source *)
+          (asm, lazy (Sema.compile src).Tree.globals)
+        | None ->
+          let tables = lazy (gg_tables ~tables_file ~no_cache ()) in
+          let asm, prog =
+            Gg_profile.Trace.span ~cat:"file" (Filename.basename path)
+              (fun () ->
+                compile_source backend ~idioms ~peephole ~jobs ~tables ~explain
+                  src)
+          in
+          (asm, lazy prog.Tree.globals)
       in
       (match output with
       | Some out ->
@@ -128,7 +188,7 @@ let compile_cmd path backend idioms peephole jobs output run args tables_file
       if run then begin
         let args = List.map (fun n -> Interp.VInt (Int64.of_int n)) args in
         let out =
-          Machine.run_text ~global_types:prog.Tree.globals asm ~entry:"main"
+          Machine.run_text ~global_types:(Lazy.force globals) asm ~entry:"main"
             args
         in
         List.iter print_endline out.Machine.output;
@@ -278,13 +338,68 @@ let explain_arg =
            backend).  $(b,--peephole) rewrites the output and drops the \
            annotations.")
 
+let server_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some (Protocol.default_socket ())) (some string) None
+    & info [ "server" ] ~docv:"SOCK"
+        ~doc:
+          "Compile through the persistent ggccd daemon listening on the \
+           Unix-domain socket $(docv) (without a value: \\$GGCG_SOCKET, \
+           else a per-user socket in the temp directory).  The daemon \
+           holds the packed tables warm, so repeated compiles skip the \
+           table load; the output is byte-identical to a direct compile.")
+
+let spawn_arg =
+  Arg.(
+    value & flag
+    & info [ "spawn" ]
+        ~doc:
+          "With $(b,--server): if no daemon answers on the socket, start \
+           ggccd detached and wait for it to come up.")
+
+let ggccd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ggccd" ] ~docv:"BIN"
+        ~doc:
+          "Daemon binary for $(b,--spawn) (default: a ggccd next to this \
+           executable, else \\$PATH).")
+
+let deadline_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "With $(b,--server): give up if the daemon has not answered \
+           $(docv) milliseconds after accepting the request (0: no \
+           deadline).  A missed deadline exits 3.")
+
+let inject_fail_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-fail" ]
+        ~doc:
+          "Test hook, with $(b,--server): ask the daemon to crash inside \
+           its compile barrier, exercising the error-response path.")
+
+let inject_sleep_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "inject-sleep-ms" ] ~docv:"MS"
+        ~doc:
+          "Test hook, with $(b,--server): ask the worker to stall $(docv) \
+           milliseconds before compiling (deterministic deadline tests).")
+
 let () =
   let compile_term =
     Term.(
       const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg
       $ jobs_arg $ output_arg $ run_arg $ args_arg $ tables_arg $ no_cache_arg
       $ profile_arg $ trace_out_arg $ metrics_arg $ metrics_out_arg
-      $ explain_arg)
+      $ explain_arg $ server_arg $ spawn_arg $ ggccd_arg $ deadline_arg
+      $ inject_fail_arg $ inject_sleep_arg)
   in
   let compile =
     Cmd.v (Cmd.info "compile" ~doc:"Compile mini-C to VAX assembly.")

@@ -1,0 +1,176 @@
+(* ggccd — the persistent compile server.
+
+   Loads the packed tables once (through the on-disk cache) and serves
+   compile requests over a Unix-domain socket until SIGTERM/SIGINT,
+   then drains gracefully.  `ggcc --server SOCK` is the matching
+   client; `ggcc --server SOCK --spawn` starts this daemon on demand. *)
+
+open Cmdliner
+module Driver = Gg_codegen.Driver
+module Server = Gg_server.Server
+module Protocol = Gg_server.Protocol
+module Profile = Gg_profile.Profile
+module Metrics = Gg_profile.Metrics
+module Trace = Gg_profile.Trace
+
+let shutdown = Atomic.make false
+
+let install_signals () =
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set shutdown true) in
+  List.iter
+    (fun s -> try Sys.set_signal s handle with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+let timestamp () =
+  let t = Unix.localtime (Unix.gettimeofday ()) in
+  Fmt.str "%02d:%02d:%02d" t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let run socket workers queue_capacity read_timeout log_path no_cache metrics_out
+    trace_out =
+  (* the daemon's output sinks must fail as one-line errors up front,
+     not as Sys_error backtraces mid-serve *)
+  let open_sink what = function
+    | None -> None
+    | Some path -> (
+      match open_out path with
+      | oc -> Some (path, oc)
+      | exception Sys_error m ->
+        Fmt.epr "error: cannot open %s %s: %s@." what path m;
+        exit 1)
+  in
+  let log_sink = open_sink "log file" log_path in
+  let check_sink what = function
+    | None -> ()
+    | Some path -> (
+      (* probe writability now; the real write happens at shutdown *)
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | oc -> close_out oc
+      | exception Sys_error m ->
+        Fmt.epr "error: cannot write %s %s: %s@." what path m;
+        exit 1)
+  in
+  check_sink "metrics file" metrics_out;
+  check_sink "trace file" trace_out;
+  let log_mutex = Mutex.create () in
+  let log line =
+    Mutex.protect log_mutex (fun () ->
+        match log_sink with
+        | Some (_, oc) ->
+          output_string oc (Fmt.str "[%s] %s\n" (timestamp ()) line);
+          flush oc
+        | None -> Fmt.epr "[%s] ggccd: %s@." (timestamp ()) line)
+  in
+  install_signals ();
+  (* the serving instruments are always armed: a daemon exists to be
+     observed, and the hot-loop cost is the gated one-load-and-branch *)
+  Profile.enabled := true;
+  Metrics.enabled := true;
+  if trace_out <> None then Trace.enabled := true;
+  let t0 = Unix.gettimeofday () in
+  let tables =
+    if no_cache then Lazy.force Driver.default_tables
+    else Driver.cached_tables Driver.default_options.Driver.grammar
+  in
+  log (Fmt.str "tables ready in %.3f s" (Unix.gettimeofday () -. t0));
+  let config =
+    let d = Server.default_config ~socket_path:socket in
+    {
+      d with
+      Server.workers = (match workers with Some w -> w | None -> d.Server.workers);
+      queue_capacity;
+      read_timeout_s = float_of_int read_timeout /. 1e3;
+      log;
+    }
+  in
+  let server =
+    try Server.start ~config ~tables ()
+    with Failure m | Sys_error m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
+  in
+  while not (Atomic.get shutdown) do
+    (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done;
+  log "shutdown requested; draining";
+  Server.stop server;
+  Option.iter Metrics.write_json metrics_out;
+  Option.iter Trace.write trace_out;
+  Option.iter (fun (_, oc) -> close_out oc) log_sink;
+  exit 0
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Gg_server.Protocol.default_socket ())
+    & info [ "socket" ] ~docv:"SOCK"
+        ~doc:
+          "Unix-domain socket to serve on.  Default: \\$GGCG_SOCKET, else \
+           a per-user socket in the temp directory.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains draining the request queue (default: the \
+           recommended domain count minus the accept thread).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:
+          "Accepted-but-unserved connection bound; beyond it new requests \
+           are rejected with a retry-after response.")
+
+let read_timeout_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "read-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Give up on a client that connects but never sends a full request \
+           after $(docv) milliseconds.")
+
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:"Append one line per request to $(docv) (default: stderr).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Build the parse tables in-process; never touch the disk cache.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metric registry (request counters, queue-wait and \
+           latency histograms) as JSON to $(docv) on shutdown.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event timeline of the serve session to \
+           $(docv) on shutdown — one track per worker domain.")
+
+let () =
+  let term =
+    Term.(
+      const run $ socket_arg $ workers_arg $ queue_arg $ read_timeout_arg
+      $ log_arg $ no_cache_arg $ metrics_out_arg $ trace_out_arg)
+  in
+  let info =
+    Cmd.info "ggccd"
+      ~doc:"Persistent mini-C compile server (the ggcc --server daemon)"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -144,12 +144,23 @@ let pack_stats o =
 let cache o dir clear =
   let g = Grammar_def.grammar o in
   let file = Gg_tablegen.Cache.path ?dir g in
-  if clear then
+  if clear then begin
     if Sys.file_exists file then begin
       Sys.remove file;
       Fmt.pr "removed %s@." file
     end
-    else Fmt.pr "no cached tables (%s)@." file
+    else Fmt.pr "no cached tables (%s)@." file;
+    (* also sweep entries whose grammar digest no longer matches —
+       unreachable files an edited grammar leaves behind *)
+    match Gg_tablegen.Cache.clear_stale ?dir g with
+    | [] -> Fmt.pr "no stale entries@."
+    | evicted ->
+      List.iter
+        (fun (f, bytes) -> Fmt.pr "evicted stale %s (%d bytes)@." f bytes)
+        evicted;
+      Fmt.pr "%d stale %s evicted@." (List.length evicted)
+        (if List.length evicted = 1 then "entry" else "entries")
+  end
   else begin
     let time_once f =
       let t0 = Unix.gettimeofday () in
@@ -274,7 +285,11 @@ let () =
               & info [ "dir" ] ~docv:"DIR" ~doc:"Cache directory override.")
           $ Arg.(
               value & flag
-              & info [ "clear" ] ~doc:"Remove this grammar's cached tables."));
+              & info [ "clear" ]
+                  ~doc:
+                    "Remove this grammar's cached tables and evict stale \
+                     entries (tables whose grammar digest no longer matches, \
+                     orphaned temp files), reporting each eviction."));
       cmd_of "vocabulary" "The terminal/non-terminal vocabulary (paper Fig. 1)."
         Term.(const vocabulary $ opts_term);
       cmd_of "heat"

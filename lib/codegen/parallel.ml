@@ -9,6 +9,17 @@
 
 let available () = Domain.recommended_domain_count ()
 
+(* Spawned worker domains (map's and pool's alike) are counted in and
+   out, so tests — and the compile server's drain path — can assert
+   that shutdown left nothing running. *)
+let live = Atomic.make 0
+
+let counted f () =
+  Atomic.incr live;
+  Fun.protect ~finally:(fun () -> Atomic.decr live) f
+
+let live_domains () = Atomic.get live
+
 type 'b cell = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
 
 let map ~jobs f xs =
@@ -32,7 +43,7 @@ let map ~jobs f xs =
         worker ()
       end
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn (counted worker)) in
     (* the calling domain is the pool's first worker *)
     worker ();
     List.iter Domain.join domains;
@@ -46,3 +57,35 @@ let map ~jobs f xs =
         | Done r -> r
         | Pending | Failed _ -> assert false)
   end
+
+(* -- persistent pools ----------------------------------------------------- *)
+
+(* [map] tears its domains down per call; a serving process wants the
+   opposite: domains that outlive any one request and block on a shared
+   queue.  The pool is deliberately dumb — each domain just runs the
+   given body to completion; the body owns its work-source (typically a
+   Squeue) and its exception handling.  A body that raises terminates
+   only its own domain; [join_pool] re-raises the first such exception
+   (in worker order) after every domain has been joined, mirroring
+   [map]'s earliest-failure contract. *)
+
+type pool = { members : unit Domain.t list }
+
+let spawn_pool ~domains body =
+  let domains = max 1 domains in
+  { members = List.init domains (fun i -> Domain.spawn (counted (fun () -> body i))) }
+
+let join_pool { members } =
+  let failure =
+    List.fold_left
+      (fun acc d ->
+        match Domain.join d with
+        | () -> acc
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if acc = None then Some (e, bt) else acc)
+      None members
+  in
+  match failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()

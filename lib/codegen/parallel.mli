@@ -20,3 +20,26 @@ val available : unit -> int
     application raises, the exception of the {e earliest} failing
     element is re-raised after all workers have been joined. *)
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Persistent pools}
+
+    Long-lived worker domains for serving workloads
+    ({!Gg_server.Server}): where {!map} spawns and joins a pool per
+    batch, [spawn_pool] keeps the domains alive until their body
+    returns — the body loops over a shared work source (a queue) and
+    decides for itself when to stop. *)
+
+type pool
+
+(** [spawn_pool ~domains body] starts [max 1 domains] domains, each
+    running [body i] (with [i] the worker index) to completion. *)
+val spawn_pool : domains:int -> (int -> unit) -> pool
+
+(** Joins every member; if any body raised, re-raises the first such
+    exception (in worker order) after all have been joined. *)
+val join_pool : pool -> unit
+
+(** Worker domains currently running (spawned by {!map} or
+    {!spawn_pool} and not yet finished).  Zero once every pool is
+    joined — the invariant the shutdown tests assert. *)
+val live_domains : unit -> int

@@ -255,6 +255,159 @@ let program ~seed ~functions ~stmts_per_function =
         };
     ]
 
+(* -- rendering back to source --------------------------------------------- *)
+
+(* The server compiles source text, not ASTs, so the differential
+   tests need generated programs *as text*.  Rendering fully
+   parenthesizes every expression: parity between two compiles of the
+   same printed text is what matters, not prettiness. *)
+
+let binop_str = function
+  | Badd -> "+" | Bsub -> "-" | Bmul -> "*" | Bdiv -> "/" | Bmod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Bshl -> "<<" | Bshr -> ">>"
+  | Beq -> "==" | Bne -> "!=" | Blt -> "<" | Ble -> "<=" | Bgt -> ">"
+  | Bge -> ">=" | Bland -> "&&" | Blor -> "||"
+
+let unop_str = function Uneg -> "-" | Ucom -> "~" | Unot -> "!"
+
+(* the lexer only reads [digits.digits] — no exponent form *)
+let float_lit f =
+  if f <> f || f = infinity || f = neg_infinity then "0.0"
+  else
+    let a = Float.abs f in
+    let s = Fmt.str "%.17g" a in
+    let s =
+      if String.contains s 'e' || not (String.contains s '.') then
+        Fmt.str "%.6f" a
+      else s
+    in
+    if f < 0. then "(-" ^ s ^ ")" else s
+
+let int_lit n =
+  if n = Int64.min_int then "0x8000000000000000"
+  else if Int64.compare n 0L < 0 then Fmt.str "(-%Ld)" (Int64.neg n)
+  else Fmt.str "%Ld" n
+
+let base_name = function
+  | Tchar -> "char" | Tshort -> "short" | Tint -> "int"
+  | Tuint -> "unsigned" | Tfloat -> "float" | Tdouble -> "double"
+  | Tptr _ | Tarray _ -> invalid_arg "Corpus.render: not a base type"
+
+(* declarators limited to base + stars + name + one [n] — all the
+   generator produces *)
+let decl_str ty name =
+  let rec stars ty acc =
+    match ty with Tptr t -> stars t (acc ^ "*") | t -> (t, acc)
+  in
+  match stars ty "" with
+  | Tarray (elt, n), "" ->
+    let b, inner = stars elt "" in
+    (match b with
+    | Tarray _ -> invalid_arg "Corpus.render: nested arrays"
+    | b -> Fmt.str "%s %s%s[%d]" (base_name b) inner name n)
+  | Tarray _, _ -> invalid_arg "Corpus.render: pointer to array"
+  | b, ptrs -> Fmt.str "%s %s%s" (base_name b) ptrs name
+
+let cast_str ty =
+  let rec stars ty acc =
+    match ty with Tptr t -> stars t (acc ^ "*") | t -> (t, acc)
+  in
+  match stars ty "" with
+  | Tarray _, _ -> invalid_arg "Corpus.render: cast to array"
+  | b, "" -> base_name b
+  | b, ptrs -> base_name b ^ " " ^ ptrs
+
+let rec expr_str e =
+  match e with
+  | Eint n -> int_lit n
+  | Efloat f -> float_lit f
+  | Evar v -> v
+  | Ebin (op, a, b) ->
+    Fmt.str "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Eun (op, a) -> Fmt.str "(%s%s)" (unop_str op) (expr_str a)
+  | Eassign (l, v) -> Fmt.str "(%s = %s)" (expr_str l) (expr_str v)
+  | Eopassign (op, l, v) ->
+    Fmt.str "(%s %s= %s)" (expr_str l) (binop_str op) (expr_str v)
+  | Epreincr (up, l) -> Fmt.str "(%s%s)" (if up then "++" else "--") (expr_str l)
+  | Epostincr (up, l) ->
+    Fmt.str "(%s%s)" (expr_str l) (if up then "++" else "--")
+  | Econd (c, a, b) ->
+    Fmt.str "(%s ? %s : %s)" (expr_str c) (expr_str a) (expr_str b)
+  | Ecall (f, args) ->
+    Fmt.str "%s(%s)" f (String.concat ", " (List.map expr_str args))
+  | Eindex (a, i) -> Fmt.str "(%s[%s])" (atom_str a) (expr_str i)
+  | Ederef a -> Fmt.str "(*%s)" (expr_str a)
+  | Eaddr a -> Fmt.str "(&%s)" (expr_str a)
+  | Ecast (ty, a) -> Fmt.str "((%s)%s)" (cast_str ty) (expr_str a)
+
+(* postfix [ ] needs a primary on its left; anything beyond a name gets
+   its own parentheses *)
+and atom_str e = match e with Evar v -> v | e -> "(" ^ expr_str e ^ ")"
+
+let rec stmt_lines ind s =
+  let pad = String.make ind ' ' in
+  match s with
+  | Sexpr e -> [ pad ^ expr_str e ^ ";" ]
+  | Sreturn (Some e) -> [ pad ^ "return " ^ expr_str e ^ ";" ]
+  | Sreturn None -> [ pad ^ "return;" ]
+  | Sbreak -> [ pad ^ "break;" ]
+  | Scontinue -> [ pad ^ "continue;" ]
+  | Sline _ -> []
+  | Sblock body -> (pad ^ "{") :: block_lines ind body @ [ pad ^ "}" ]
+  | Sif (c, t, []) ->
+    (pad ^ Fmt.str "if (%s) {" (expr_str c))
+    :: block_lines ind t
+    @ [ pad ^ "}" ]
+  | Sif (c, t, e) ->
+    (pad ^ Fmt.str "if (%s) {" (expr_str c))
+    :: block_lines ind t
+    @ [ pad ^ "} else {" ]
+    @ block_lines ind e
+    @ [ pad ^ "}" ]
+  | Swhile (c, body) ->
+    (pad ^ Fmt.str "while (%s) {" (expr_str c))
+    :: block_lines ind body
+    @ [ pad ^ "}" ]
+  | Sdo (body, c) ->
+    (pad ^ "do {")
+    :: block_lines ind body
+    @ [ pad ^ Fmt.str "} while (%s);" (expr_str c) ]
+  | Sfor (init, cond, step, body) ->
+    let part = function Some e -> expr_str e | None -> "" in
+    (pad ^ Fmt.str "for (%s; %s; %s) {" (part init) (part cond) (part step))
+    :: block_lines ind body
+    @ [ pad ^ "}" ]
+
+and block_lines ind body = List.concat_map (stmt_lines (ind + 2)) body
+
+let render (prog : program) =
+  let buf = Buffer.create 4096 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  List.iter
+    (fun decl ->
+      (match decl with
+      | Dglobal (name, ty) -> line (decl_str ty name ^ ";")
+      | Dfunc f ->
+        let params =
+          match f.params with
+          | [] -> ""
+          | ps -> String.concat ", " (List.map (fun (n, t) -> decl_str t n) ps)
+        in
+        line (Fmt.str "%s(%s) {" (decl_str f.ret f.fname) params);
+        List.iter
+          (fun (n, t, storage) ->
+            let reg = match storage with Register -> "register " | Auto -> "" in
+            line ("  " ^ reg ^ decl_str t n ^ ";"))
+          f.locals;
+        List.iter (fun s -> List.iter line (stmt_lines 2 s)) f.body;
+        line "}");
+      line "")
+    prog;
+  Buffer.contents buf
+
+let random_source ~seed ~functions ~stmts_per_function =
+  render (program ~seed ~functions ~stmts_per_function)
+
 let large_program ~seed ~target_stmts =
   let per = 12 in
   let functions = max 2 (target_stmts / (2 * per)) in

@@ -21,3 +21,15 @@ val fixed_programs : (string * string) list
 (** Concatenated random programs totalling roughly [target_stmts]
     statements — the "particular large C program" stand-in. *)
 val large_program : seed:int -> target_stmts:int -> Ast.program
+
+(** Print a program back to parseable mini-C source.  Every expression
+    is fully parenthesized and declarators are limited to what the
+    generator produces (base type, stars, one array dimension) —
+    anything fancier is [Invalid_argument].  The compile server takes
+    source text, so the differential tests feed it rendered programs:
+    what matters is that the two compile paths see the same bytes. *)
+val render : Ast.program -> string
+
+(** [render (program ~seed ...)] — a random program as source text. *)
+val random_source :
+  seed:int -> functions:int -> stmts_per_function:int -> string

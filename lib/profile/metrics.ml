@@ -41,6 +41,17 @@ let insns_per_func =
   register ~unit:"insns" "codegen.insns_per_func"
     [| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000 |]
 
+(* the compile server's serving instruments: how long a request sat in
+   the accept queue, and how long it took end to end (accept -> reply
+   written).  Observed by Gg_server.Server from the worker domains. *)
+let queue_wait_us =
+  register ~unit:"us" "server.queue_wait_us"
+    [| 10; 20; 50; 100; 200; 500; 1000; 2000; 5000; 10_000; 50_000 |]
+
+let request_latency_us =
+  register ~unit:"us" "server.request_latency_us"
+    [| 100; 200; 500; 1000; 2000; 5000; 10_000; 20_000; 50_000; 100_000; 500_000 |]
+
 (* -- per-domain shards --------------------------------------------------- *)
 
 type shard = {

@@ -39,6 +39,14 @@ val stack_high_water : histogram
 (** Instructions emitted per compiled function (before rendering). *)
 val insns_per_func : histogram
 
+(** Microseconds a compile-server request spent queued between accept
+    and a worker picking it up ({!Gg_server.Server}). *)
+val queue_wait_us : histogram
+
+(** End-to-end microseconds from accepting a compile-server connection
+    to its response being written. *)
+val request_latency_us : histogram
+
 (** {1 Recording} *)
 
 (** [observe h v] adds observation [v] to [h] in the calling domain's

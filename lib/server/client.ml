@@ -1,0 +1,114 @@
+exception Server_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Server_error s)) fmt
+
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ())
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let roundtrip ~socket req =
+  Lazy.force ignore_sigpipe;
+  let fd =
+    try connect ~socket
+    with Unix.Unix_error (e, _, _) ->
+      fail "cannot connect to compile server %s: %s" socket
+        (Unix.error_message e)
+  in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* a rejected connection may already hold the Retry_after response
+     with the write side closed — EPIPE here is fine, the answer is
+     still readable *)
+  (try Framing.write_frame fd (Protocol.encode_request req)
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  match Framing.read_frame fd with
+  | Some payload -> (
+    try Protocol.decode_response payload
+    with Protocol.Protocol_error m -> fail "unreadable server response: %s" m)
+  | None -> fail "server closed the connection without a response"
+  | exception Unix.Unix_error (e, _, _) ->
+    fail "reading server response: %s" (Unix.error_message e)
+  | exception Protocol.Protocol_error m ->
+    fail "unreadable server response: %s" m
+
+let compile ?(retries = 10) ~socket req =
+  let rec go n =
+    match roundtrip ~socket req with
+    | Protocol.Retry_after ms when n < retries ->
+      Unix.sleepf (float_of_int (max 1 ms) /. 1e3);
+      go (n + 1)
+    | resp -> resp
+  in
+  go 0
+
+(* -- spawn on demand ------------------------------------------------------ *)
+
+let alive ~socket =
+  match connect ~socket with
+  | fd ->
+    Unix.close fd;
+    true
+  | exception Unix.Unix_error _ -> false
+
+let find_ggccd () =
+  let dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [ Filename.concat dir "ggccd.exe"; Filename.concat dir "ggccd" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "ggccd" (* execvp searches $PATH *)
+
+let spawn_daemon ~ggccd ~socket =
+  let prog = match ggccd with Some p -> p | None -> find_ggccd () in
+  let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    try
+      Unix.create_process prog
+        [| prog; "--socket"; socket |]
+        null_in null_out null_out
+    with Unix.Unix_error (e, _, _) ->
+      Unix.close null_in;
+      Unix.close null_out;
+      fail "cannot spawn %s: %s" prog (Unix.error_message e)
+  in
+  Unix.close null_in;
+  Unix.close null_out;
+  (prog, pid)
+
+let ensure ?ggccd ?(wait_s = 60.) ~socket ~spawn () =
+  if not (alive ~socket) then begin
+    if not spawn then
+      fail "no compile server on %s (use --spawn to start one)" socket;
+    let prog, pid = spawn_daemon ~ggccd ~socket in
+    let deadline = Unix.gettimeofday () +. wait_s in
+    let rec wait () =
+      if alive ~socket then ()
+      else begin
+        (* fail fast if the daemon died (bad flags, unwritable socket) *)
+        (match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> ()
+        | _, Unix.WEXITED 0 -> ()
+        | _, (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+          fail "%s exited before serving %s" prog socket
+        | exception Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () > deadline then
+          fail "%s did not start serving %s within %.0f s" prog socket wait_s;
+        Unix.sleepf 0.1;
+        wait ()
+      end
+    in
+    wait ()
+  end

@@ -1,0 +1,29 @@
+(** The [ggcc --server] side of the wire: connect, send one request,
+    read one response.
+
+    {!compile} transparently retries {!Protocol.Retry_after} rejections
+    with the server-suggested backoff; every other response is returned
+    to the caller, and transport-level surprises raise {!Server_error}
+    with a one-line message (never a raw [Unix_error] backtrace).
+
+    {!ensure} is the spawn-on-demand path: probe the socket, and when
+    nothing answers, start [ggccd] detached and wait for it to come up
+    — first start pays the table build/cache load, after which every
+    [ggcc --server] in the build shares the warm daemon. *)
+
+exception Server_error of string
+
+(** One request/response round trip, with [Retry_after] handled by
+    sleeping and reconnecting (at most [retries] times, default 10,
+    before surfacing the rejection).  Raises {!Server_error} if the
+    socket is dead or the reply is unreadable. *)
+val compile : ?retries:int -> socket:string -> Protocol.request -> Protocol.response
+
+(** [ensure ~socket ~spawn ()] — return once a server answers on
+    [socket].  When nothing does: if [spawn] is false raise
+    {!Server_error}; otherwise start [ggccd] (the [ggccd] argument,
+    else a [ggccd] binary next to the running executable, else [$PATH])
+    detached from this process and poll until the daemon accepts or
+    [wait_s] (default 60, covering a cold table build) elapses. *)
+val ensure :
+  ?ggccd:string -> ?wait_s:float -> socket:string -> spawn:bool -> unit -> unit

@@ -1,0 +1,50 @@
+(* u32-BE length prefix + payload over a stream socket.  The loops
+   below are the only place the server touches raw descriptors, so the
+   partial-transfer and EINTR handling lives here once. *)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+(* [read_all] returns how many bytes it could read before EOF *)
+let rec read_all fd buf pos len =
+  if len = 0 then pos
+  else
+    match Unix.read fd buf pos len with
+    | 0 -> pos
+    | n -> read_all fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all fd buf pos len
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > Protocol.max_frame then
+    raise (Protocol.Protocol_error (Fmt.str "frame too large (%d bytes)" n));
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_all fd hdr 0 4 with
+  | 0 -> None (* clean EOF: no frame started *)
+  | 4 ->
+    let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if n < 0 || n > Protocol.max_frame then
+      raise (Protocol.Protocol_error (Fmt.str "bad frame length %d" n));
+    let buf = Bytes.create n in
+    let got = read_all fd buf 0 n in
+    if got < n then
+      raise
+        (Protocol.Protocol_error
+           (Fmt.str "EOF inside a frame (%d of %d bytes)" got n));
+    Some (Bytes.unsafe_to_string buf)
+  | got ->
+    raise
+      (Protocol.Protocol_error
+         (Fmt.str "EOF inside a frame header (%d of 4 bytes)" got))

@@ -1,0 +1,15 @@
+(** Length-prefixed frames over a file descriptor.
+
+    Every protocol message travels as a 4-byte big-endian payload
+    length followed by the payload.  Reads and writes loop over partial
+    transfers and retry [EINTR]; a frame longer than
+    {!Protocol.max_frame} or an EOF in the middle of a frame raises
+    {!Protocol.Protocol_error}.  A clean EOF at a frame boundary is not
+    an error — {!read_frame} returns [None] (the peer hung up). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame fd] — the next payload, or [None] on clean EOF.
+    Honours the descriptor's receive timeout ([SO_RCVTIMEO]): a timed
+    out read surfaces as the usual [Unix.Unix_error (EAGAIN, _, _)]. *)
+val read_frame : Unix.file_descr -> string option

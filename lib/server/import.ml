@@ -1,0 +1,13 @@
+(* Short aliases for modules used throughout this library. *)
+module Tree = Gg_ir.Tree
+module Grammar = Gg_grammar.Grammar
+module Driver = Gg_codegen.Driver
+module Parallel = Gg_codegen.Parallel
+module Sema = Gg_frontc.Sema
+module Lexer = Gg_frontc.Lexer
+module Parser = Gg_frontc.Parser
+module Pcc = Gg_pcc.Pcc
+module Matcher = Gg_matcher.Matcher
+module Profile = Gg_profile.Profile
+module Trace = Gg_profile.Trace
+module Metrics = Gg_profile.Metrics

@@ -1,0 +1,225 @@
+(* Explicit big-endian binary encoding of compile requests/responses.
+   Every decode is bounds-checked: the daemon faces arbitrary bytes from
+   any local process, and a bad frame must become a Bad_request
+   response, never an exception escaping the worker. *)
+
+let version = 1
+let max_frame = 64 * 1024 * 1024
+
+type backend = Gg | Pcc
+
+type request = {
+  backend : backend;
+  idioms : bool;
+  peephole : bool;
+  explain : bool;
+  jobs : int;
+  deadline_ms : int;
+  fail_inject : bool;
+  sleep_ms : int;
+  source : string;
+}
+
+let request ?(backend = Gg) ?(idioms = true) ?(peephole = false)
+    ?(explain = false) ?(jobs = 1) ?(deadline_ms = 0) ?(fail_inject = false)
+    ?(sleep_ms = 0) source =
+  {
+    backend;
+    idioms;
+    peephole;
+    explain;
+    jobs;
+    deadline_ms;
+    fail_inject;
+    sleep_ms;
+    source;
+  }
+
+type error_kind = Lex | Parse | Semantic | Reject | Internal | Bad_request
+
+type response =
+  | Asm of string
+  | Error of error_kind * string
+  | Retry_after of int
+  | Timeout
+
+exception Protocol_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Protocol_error s)) fmt
+
+(* -- readers ------------------------------------------------------------- *)
+
+(* a cursor over the payload string; every primitive checks bounds *)
+type cursor = { s : string; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > String.length c.s then
+    fail "truncated payload: %s at offset %d" what c.pos
+
+let u8 c what =
+  need c 1 what;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c what =
+  need c 2 what;
+  let v = String.get_uint16_be c.s c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let i32 c what =
+  need c 4 what;
+  let v = Int32.to_int (String.get_int32_be c.s c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let str c what =
+  let n = i32 c what in
+  if n < 0 || n > max_frame then fail "bad %s length %d" what n;
+  need c n what;
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let finish c =
+  if c.pos <> String.length c.s then
+    fail "%d trailing bytes after payload" (String.length c.s - c.pos)
+
+(* -- requests ------------------------------------------------------------- *)
+
+let flag_idioms = 0x01
+let flag_peephole = 0x02
+let flag_explain = 0x04
+let flag_fail_inject = 0x08
+
+let encode_request r =
+  let b = Buffer.create (64 + String.length r.source) in
+  Buffer.add_char b 'Q';
+  Buffer.add_uint8 b version;
+  Buffer.add_uint8 b (match r.backend with Gg -> 0 | Pcc -> 1);
+  let flags =
+    (if r.idioms then flag_idioms else 0)
+    lor (if r.peephole then flag_peephole else 0)
+    lor (if r.explain then flag_explain else 0)
+    lor if r.fail_inject then flag_fail_inject else 0
+  in
+  Buffer.add_uint8 b flags;
+  Buffer.add_uint16_be b (max 1 (min 0xffff r.jobs));
+  Buffer.add_int32_be b (Int32.of_int (max 0 r.deadline_ms));
+  Buffer.add_int32_be b (Int32.of_int (max 0 r.sleep_ms));
+  Buffer.add_int32_be b (Int32.of_int (String.length r.source));
+  Buffer.add_string b r.source;
+  Buffer.contents b
+
+let decode_request s =
+  let c = { s; pos = 0 } in
+  (match u8 c "tag" with
+  | 0x51 (* 'Q' *) -> ()
+  | t -> fail "not a request frame (tag 0x%02x)" t);
+  (match u8 c "version" with
+  | v when v = version -> ()
+  | v -> fail "protocol version %d, expected %d" v version);
+  let backend =
+    match u8 c "backend" with
+    | 0 -> Gg
+    | 1 -> Pcc
+    | b -> fail "unknown backend %d" b
+  in
+  let flags = u8 c "flags" in
+  let jobs = u16 c "jobs" in
+  let deadline_ms = i32 c "deadline" in
+  let sleep_ms = i32 c "sleep" in
+  if deadline_ms < 0 then fail "negative deadline";
+  if sleep_ms < 0 then fail "negative sleep";
+  let source = str c "source" in
+  finish c;
+  {
+    backend;
+    idioms = flags land flag_idioms <> 0;
+    peephole = flags land flag_peephole <> 0;
+    explain = flags land flag_explain <> 0;
+    fail_inject = flags land flag_fail_inject <> 0;
+    jobs = max 1 jobs;
+    deadline_ms;
+    sleep_ms;
+    source;
+  }
+
+(* -- responses ------------------------------------------------------------ *)
+
+let kind_code = function
+  | Lex -> 0
+  | Parse -> 1
+  | Semantic -> 2
+  | Reject -> 3
+  | Internal -> 4
+  | Bad_request -> 5
+
+let kind_of_code = function
+  | 0 -> Lex
+  | 1 -> Parse
+  | 2 -> Semantic
+  | 3 -> Reject
+  | 4 -> Internal
+  | 5 -> Bad_request
+  | k -> fail "unknown error kind %d" k
+
+let pp_error_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Lex -> "lex"
+    | Parse -> "parse"
+    | Semantic -> "semantic"
+    | Reject -> "reject"
+    | Internal -> "internal"
+    | Bad_request -> "bad-request")
+
+let encode_response r =
+  let b = Buffer.create 64 in
+  Buffer.add_char b 'R';
+  Buffer.add_uint8 b version;
+  (match r with
+  | Asm asm ->
+    Buffer.add_uint8 b 0;
+    Buffer.add_int32_be b (Int32.of_int (String.length asm));
+    Buffer.add_string b asm
+  | Error (kind, msg) ->
+    Buffer.add_uint8 b 1;
+    Buffer.add_uint8 b (kind_code kind);
+    Buffer.add_int32_be b (Int32.of_int (String.length msg));
+    Buffer.add_string b msg
+  | Retry_after ms ->
+    Buffer.add_uint8 b 2;
+    Buffer.add_int32_be b (Int32.of_int (max 0 ms))
+  | Timeout -> Buffer.add_uint8 b 3);
+  Buffer.contents b
+
+let decode_response s =
+  let c = { s; pos = 0 } in
+  (match u8 c "tag" with
+  | 0x52 (* 'R' *) -> ()
+  | t -> fail "not a response frame (tag 0x%02x)" t);
+  (match u8 c "version" with
+  | v when v = version -> ()
+  | v -> fail "protocol version %d, expected %d" v version);
+  let r =
+    match u8 c "status" with
+    | 0 -> Asm (str c "assembly")
+    | 1 ->
+      let kind = kind_of_code (u8 c "error kind") in
+      Error (kind, str c "message")
+    | 2 -> Retry_after (i32 c "retry delay")
+    | 3 -> Timeout
+    | st -> fail "unknown status %d" st
+  in
+  finish c;
+  r
+
+let default_socket () =
+  match Sys.getenv_opt "GGCG_SOCKET" with
+  | Some s when s <> "" -> s
+  | _ ->
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ggccd-%d.sock" (Unix.getuid ()))

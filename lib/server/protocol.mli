@@ -1,0 +1,81 @@
+(** The [ggccd] wire protocol: compile requests and responses.
+
+    A conversation is one request frame followed by one response frame
+    over a Unix-domain stream socket (frames are length-prefixed, see
+    {!Framing}).  The payload encoding is an explicit big-endian binary
+    format — not [Marshal] — so a malformed or hostile peer can never
+    crash the daemon: every decoder is bounds-checked and raises
+    {!Protocol_error}, which the server answers with a {!Bad_request}
+    response.
+
+    The request carries everything [ggcc] would have decided locally
+    (backend, idiom/peephole switches, [-j], [--explain]) plus a
+    deadline, so [ggcc --server] output is byte-identical to a direct
+    compile.  [fail_inject]/[sleep_ms] are test hooks: they let the
+    test suite and CI exercise the daemon's exception barrier and
+    deadline handling deterministically. *)
+
+val version : int
+
+(** Hard upper bound on any frame payload this protocol will produce or
+    accept (sources and assembly are far smaller in practice). *)
+val max_frame : int
+
+type backend = Gg | Pcc
+
+type request = {
+  backend : backend;
+  idioms : bool;  (** run the idiom recogniser (gg backend) *)
+  peephole : bool;
+  explain : bool;  (** provenance-annotated listing *)
+  jobs : int;  (** domains for this one compile, as [ggcc -j] *)
+  deadline_ms : int;
+      (** give up and answer {!Timeout} once this many milliseconds
+          have passed since the server accepted the connection;
+          [0] means no deadline *)
+  fail_inject : bool;
+      (** test hook: raise inside the worker's compile barrier *)
+  sleep_ms : int;  (** test hook: stall the worker before compiling *)
+  source : string;  (** mini-C source text *)
+}
+
+(** Request with [ggcc]'s defaults: gg backend, idioms on, peephole and
+    explain off, one job, no deadline, no test hooks. *)
+val request :
+  ?backend:backend ->
+  ?idioms:bool ->
+  ?peephole:bool ->
+  ?explain:bool ->
+  ?jobs:int ->
+  ?deadline_ms:int ->
+  ?fail_inject:bool ->
+  ?sleep_ms:int ->
+  string ->
+  request
+
+type error_kind =
+  | Lex
+  | Parse
+  | Semantic
+  | Reject  (** the matcher raised a syntactic block *)
+  | Internal  (** anything else the exception barrier caught *)
+  | Bad_request  (** undecodable or oversized request frame *)
+
+type response =
+  | Asm of string  (** the complete assembler file *)
+  | Error of error_kind * string
+  | Retry_after of int  (** queue full; retry after this many ms *)
+  | Timeout  (** the request's deadline passed *)
+
+(** Raised by the decoders on any malformed payload. *)
+exception Protocol_error of string
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(** [$GGCG_SOCKET], else [<tmpdir>/ggccd-<uid>.sock]. *)
+val default_socket : unit -> string
+
+val pp_error_kind : error_kind Fmt.t

@@ -1,0 +1,251 @@
+open Import
+
+(* The serving loop: accept thread -> bounded queue -> worker domains.
+   See server.mli for the architecture; the invariant maintained
+   throughout is that no request can kill the process — decode errors,
+   compile crashes and deadline misses all become responses, and only
+   the operator (signal / stop) ends the loop. *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  read_timeout_s : float;
+  retry_after_ms : int;
+  log : string -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = max 1 (Parallel.available () - 1);
+    queue_capacity = 64;
+    read_timeout_s = 10.;
+    retry_after_ms = 50;
+    log = ignore;
+  }
+
+type t = {
+  cfg : config;
+  tables : Driver.tables;
+  sock : Unix.file_descr;
+  queue : (Unix.file_descr * float) Squeue.t;
+  shutdown : bool Atomic.t;
+  n_served : int Atomic.t;
+  mutable pool : Parallel.pool option;
+  mutable acceptor : Thread.t option;
+  mutable stopped : bool;
+}
+
+(* -- the compile barrier -------------------------------------------------- *)
+
+(* Mirrors ggcc's direct compile path exactly (same options record,
+   same render calls), so --server output is byte-identical; the error
+   strings mirror ggcc's handle_errors formatting for the same reason. *)
+let compile_request tables (req : Protocol.request) : Protocol.response =
+  try
+    if req.Protocol.fail_inject then
+      failwith "fail_inject: injected failure inside codegen";
+    let prog =
+      Trace.phase "frontend" (fun () -> Sema.compile req.Protocol.source)
+    in
+    match req.Protocol.backend with
+    | Protocol.Gg ->
+      if req.Protocol.explain then Profile.provenance_enabled := true;
+      let options =
+        {
+          Driver.default_options with
+          Driver.idioms = req.Protocol.idioms;
+          peephole = req.Protocol.peephole;
+        }
+      in
+      let out =
+        Driver.compile_program ~options ~tables ~jobs:req.Protocol.jobs prog
+      in
+      Protocol.Asm
+        (if req.Protocol.explain then Driver.render_explained tables out
+         else out.Driver.assembly)
+    | Protocol.Pcc ->
+      Protocol.Asm
+        (Pcc.compile_program ~peephole:req.Protocol.peephole prog).Pcc.assembly
+  with
+  | Lexer.Lex_error (line, m) ->
+    Protocol.Error (Protocol.Lex, Fmt.str "lexical error, line %d: %s" line m)
+  | Parser.Parse_error (line, m) ->
+    Protocol.Error (Protocol.Parse, Fmt.str "syntax error, line %d: %s" line m)
+  | Sema.Semantic_error m -> Protocol.Error (Protocol.Semantic, m)
+  | Matcher.Reject e ->
+    Protocol.Error (Protocol.Reject, Fmt.str "%a" Matcher.pp_error e)
+  | Stack_overflow -> Protocol.Error (Protocol.Internal, "stack overflow")
+  | e -> Protocol.Error (Protocol.Internal, Printexc.to_string e)
+
+(* -- workers -------------------------------------------------------------- *)
+
+let ms_since t0 = (Unix.gettimeofday () -. t0) *. 1e3
+
+let reply fd resp =
+  (* the peer may be gone (it timed out client-side, or was rejected
+     and closed); a failed reply must not take the worker down *)
+  try Framing.write_frame fd (Protocol.encode_response resp)
+  with Unix.Unix_error _ | Protocol.Protocol_error _ -> ()
+
+let respond t fd resp =
+  (match resp with
+  | Protocol.Asm _ -> Metrics.incr "server.responses_ok"
+  | Protocol.Error _ -> Metrics.incr "server.responses_error"
+  | Protocol.Timeout -> Metrics.incr "server.timeouts_total"
+  | Protocol.Retry_after _ -> ());
+  Atomic.incr t.n_served;
+  reply fd resp
+
+let serve_connection t fd t_accept =
+  if !Metrics.enabled then
+    Metrics.observe Metrics.queue_wait_us
+      (int_of_float (ms_since t_accept *. 1e3));
+  match Framing.read_frame fd with
+  | None -> () (* connected and hung up without a request *)
+  | exception Protocol.Protocol_error m ->
+    respond t fd (Protocol.Error (Protocol.Bad_request, m))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    respond t fd
+      (Protocol.Error (Protocol.Bad_request, "timed out reading the request"))
+  | exception Unix.Unix_error _ -> ()
+  | Some payload -> (
+    Metrics.incr "server.requests_total";
+    match Protocol.decode_request payload with
+    | exception Protocol.Protocol_error m ->
+      t.cfg.log (Fmt.str "bad request: %s" m);
+      respond t fd (Protocol.Error (Protocol.Bad_request, m))
+    | req ->
+      Trace.span ~cat:"server" "request" @@ fun () ->
+      if req.Protocol.sleep_ms > 0 then
+        Unix.sleepf (float_of_int req.Protocol.sleep_ms /. 1e3);
+      let past_deadline () =
+        req.Protocol.deadline_ms > 0
+        && ms_since t_accept > float_of_int req.Protocol.deadline_ms
+      in
+      let resp =
+        if past_deadline () then Protocol.Timeout
+        else
+          let r = compile_request t.tables req in
+          if past_deadline () then Protocol.Timeout else r
+      in
+      if !Metrics.enabled then
+        Metrics.observe Metrics.request_latency_us
+          (int_of_float (ms_since t_accept *. 1e3));
+      respond t fd resp;
+      t.cfg.log
+        (Fmt.str "%s %dB in %.1f ms"
+           (match resp with
+           | Protocol.Asm _ -> "ok"
+           | Protocol.Error (k, _) -> Fmt.str "error(%a)" Protocol.pp_error_kind k
+           | Protocol.Timeout -> "timeout"
+           | Protocol.Retry_after _ -> "retry")
+           (String.length req.Protocol.source)
+           (ms_since t_accept)))
+
+let worker t _idx =
+  let rec loop () =
+    match Squeue.pop t.queue with
+    | None -> ()
+    | Some (fd, t_accept) ->
+      Metrics.incr ~by:(-1) "server.queue_depth";
+      (try serve_connection t fd t_accept
+       with e -> t.cfg.log (Fmt.str "worker: %s" (Printexc.to_string e)));
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      loop ()
+  in
+  loop ()
+
+(* -- accepting ------------------------------------------------------------ *)
+
+let accept_loop t =
+  while not (Atomic.get t.shutdown) do
+    (* a short select timeout doubles as the shutdown poll: SIGTERM
+       lands in the main thread, which only flips the atomic *)
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept ~cloexec:true t.sock with
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+        ->
+        ()
+      | fd, _ ->
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout_s
+         with Unix.Unix_error _ -> ());
+        if Squeue.try_push t.queue (fd, Unix.gettimeofday ()) then
+          Metrics.incr "server.queue_depth"
+        else begin
+          (* backpressure: answer now, from the accept thread, so the
+             client learns immediately instead of queueing blind *)
+          Metrics.incr "server.rejected_total";
+          reply fd (Protocol.Retry_after t.cfg.retry_after_ms);
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end)
+  done
+
+(* -- lifecycle ------------------------------------------------------------ *)
+
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let start ~config:cfg ~tables () =
+  Lazy.force ignore_sigpipe;
+  if Sys.file_exists cfg.socket_path then begin
+    (* stale socket from a dead daemon, or a live one?  probe it *)
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect probe (Unix.ADDR_UNIX cfg.socket_path) with
+    | () ->
+      Unix.close probe;
+      failwith (Fmt.str "a compile server is already serving %s" cfg.socket_path)
+    | exception Unix.Unix_error _ ->
+      Unix.close probe;
+      (try Sys.remove cfg.socket_path with Sys_error _ -> ()))
+  end;
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind sock (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen sock 128
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      sock;
+      queue = Squeue.create ~capacity:cfg.queue_capacity;
+      shutdown = Atomic.make false;
+      n_served = Atomic.make 0;
+      pool = None;
+      acceptor = None;
+      stopped = false;
+      tables;
+    }
+  in
+  t.pool <- Some (Parallel.spawn_pool ~domains:cfg.workers (worker t));
+  t.acceptor <- Some (Thread.create accept_loop t);
+  cfg.log
+    (Fmt.str "serving %s: %d workers, queue capacity %d" cfg.socket_path
+       cfg.workers cfg.queue_capacity);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.shutdown true;
+    Option.iter Thread.join t.acceptor;
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    (* close after the acceptor is gone: everything already queued is
+       still popped and served before the workers see the end *)
+    Squeue.close t.queue;
+    Option.iter Parallel.join_pool t.pool;
+    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+    t.cfg.log (Fmt.str "drained; %d requests served" (Atomic.get t.n_served))
+  end
+
+let served t = Atomic.get t.n_served

@@ -1,0 +1,61 @@
+open Import
+
+(** The [ggccd] serving loop.
+
+    One long-lived process loads the packed tables once (through the
+    {!Gg_tablegen.Cache}) and amortises that fixed cost over every
+    subsequent compile — the serving analogue of the paper's table-reuse
+    argument.  Architecture:
+
+    - an accept thread owns the Unix-domain listening socket and pushes
+      each accepted connection (stamped with its accept time) onto a
+      bounded {!Squeue}; a full queue is answered immediately with
+      {!Protocol.Retry_after} — backpressure instead of unbounded
+      buffering;
+    - a {!Parallel.spawn_pool} of worker domains drains the queue; each
+      worker reads the request frame, compiles behind an exception
+      barrier (a crashing compile becomes an [Error] response, the
+      daemon keeps serving), honours the request's deadline with a
+      [Timeout] response, writes the reply and closes the connection;
+    - {!stop} drains gracefully: accepting stops, everything already
+      queued is still served, the workers are joined, the socket file
+      removed.
+
+    Telemetry rides the existing instruments: [server.requests_total],
+    [server.responses_*], [server.queue_depth] and friends in
+    {!Metrics} named counters, the {!Metrics.queue_wait_us} /
+    {!Metrics.request_latency_us} histograms, and one {!Trace} span per
+    request on the recording worker's own track. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains draining the queue *)
+  queue_capacity : int;  (** accepted-but-unserved connections *)
+  read_timeout_s : float;
+      (** [SO_RCVTIMEO] on accepted connections, so a client that
+          connects and never sends cannot hold a worker forever *)
+  retry_after_ms : int;  (** suggested backoff in rejections *)
+  log : string -> unit;  (** one line per noteworthy event *)
+}
+
+val default_config : socket_path:string -> config
+
+type t
+
+(** Binds the socket, spawns the accept thread and worker pool, and
+    returns immediately.  A live daemon already owning the socket is a
+    [Failure]; a stale socket file is replaced.  The tables must
+    already be resolved — the caller decides cache vs build. *)
+val start : config:config -> tables:Driver.tables -> unit -> t
+
+(** Graceful drain: stop accepting, serve the backlog, join the
+    workers, remove the socket file.  Idempotent. *)
+val stop : t -> unit
+
+(** Requests answered so far (any response kind). *)
+val served : t -> int
+
+(** The compile path behind the barrier, exposed for the differential
+    tests: exactly what a worker runs for a decoded request, including
+    the error mapping — never raises. *)
+val compile_request : Driver.tables -> Protocol.request -> Protocol.response

@@ -47,6 +47,39 @@ let store ?dir (g : Grammar.t) (t : Packed.t) =
 let build (g : Grammar.t) =
   Gg_profile.Trace.phase "tables.build" (fun () -> Packed.pack (Tables.build g))
 
+let file_size file =
+  match open_in_bin file with
+  | ic ->
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  | exception Sys_error _ -> 0
+
+let clear_stale ?dir (g : Grammar.t) =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let live = Filename.basename (path ~dir g) in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         let stale_tbl =
+           String.starts_with ~prefix:"tables-" name
+           && Filename.check_suffix name ".tbl"
+           && name <> live
+         in
+         (* interrupted atomic stores leave tables-*.tmp behind *)
+         let orphan_tmp =
+           String.starts_with ~prefix:"tables-" name
+           && Filename.check_suffix name ".tmp"
+         in
+         if not (stale_tbl || orphan_tmp) then None
+         else
+           let file = Filename.concat dir name in
+           let size = file_size file in
+           match Sys.remove file with
+           | () -> Some (file, size)
+           | exception Sys_error _ -> None)
+  |> List.sort compare
+
 let load_or_build ?dir (g : Grammar.t) =
   let ctrs = Profile.counters () in
   match load ?dir g with

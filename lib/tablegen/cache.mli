@@ -33,6 +33,14 @@ val store : ?dir:string -> Grammar.t -> Packed.t -> bool
     ["tables.build"]). *)
 val build : Grammar.t -> Packed.t
 
+(** Evict cache entries that can never be loaded again: every
+    [tables-*.tbl] whose digest is not [g]'s (the grammar changed
+    underneath them) and every [tables-*.tmp] orphaned by an
+    interrupted store.  Returns the removed files with their sizes in
+    bytes, sorted; the current grammar's entry is never touched and
+    unremovable files are skipped silently. *)
+val clear_stale : ?dir:string -> Grammar.t -> (string * int) list
+
 (** The production path: cached tables if present, else build and
     store.  Updates the {!Gg_profile.Profile.counters} hit/miss
     counts. *)

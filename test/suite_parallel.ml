@@ -52,6 +52,59 @@ let test_map_reraises_earliest_failure () =
         Alcotest.(check int) (Fmt.str "jobs=%d" jobs) 3 x)
     [ 1; 2; 4 ]
 
+let test_map_exception_by_last_item () =
+  (* the failure arriving last in every schedule: all other items have
+     already succeeded when it raises, so the join path (not the fast
+     path) must surface it *)
+  let n = 20 in
+  let f x = if x = n - 1 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Parallel.map ~jobs f (List.init n Fun.id) with
+      | _ -> Alcotest.fail "expected Boom from the last item"
+      | exception Boom x ->
+        Alcotest.(check int) (Fmt.str "jobs=%d" jobs) (n - 1) x)
+    [ 1; 2; 4; 32 ]
+
+let test_map_leaves_no_live_domains () =
+  (* pool shutdown must be complete on every exit path: normal return,
+     empty input, and exceptional return *)
+  let check_zero what =
+    Alcotest.(check int) (what ^ ": live domains after") 0
+      (Parallel.live_domains ())
+  in
+  ignore (Parallel.map ~jobs:8 succ (List.init 50 Fun.id));
+  check_zero "normal map";
+  ignore (Parallel.map ~jobs:8 succ []);
+  check_zero "zero items";
+  ignore (Parallel.map ~jobs:16 succ [ 1; 2; 3 ]);
+  check_zero "jobs > items";
+  (match Parallel.map ~jobs:4 (fun _ -> raise (Boom 0)) [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom _ -> ());
+  check_zero "failing map"
+
+let test_spawn_pool_runs_and_joins () =
+  let hits = Array.make 4 0 in
+  let pool =
+    Parallel.spawn_pool ~domains:4 (fun i -> hits.(i) <- hits.(i) + 1)
+  in
+  Parallel.join_pool pool;
+  Alcotest.(check (list int)) "every member ran once" [ 1; 1; 1; 1 ]
+    (Array.to_list hits);
+  Alcotest.(check int) "no live domains after join" 0
+    (Parallel.live_domains ());
+  (* a member crash surfaces at join, after every member has been
+     joined (no abandoned domains) *)
+  let pool =
+    Parallel.spawn_pool ~domains:3 (fun i -> if i = 1 then raise (Boom i))
+  in
+  (match Parallel.join_pool pool with
+  | () -> Alcotest.fail "expected Boom from member 1"
+  | exception Boom i -> Alcotest.(check int) "failing member" 1 i);
+  Alcotest.(check int) "no live domains after failed join" 0
+    (Parallel.live_domains ())
+
 (* -- assembly determinism ---------------------------------------------------- *)
 
 let compile ~jobs prog =
@@ -182,6 +235,12 @@ let suite =
     Alcotest.test_case "Parallel.map edge cases" `Quick test_map_edge_cases;
     Alcotest.test_case "Parallel.map re-raises the earliest failure" `Quick
       test_map_reraises_earliest_failure;
+    Alcotest.test_case "Parallel.map exception raised by the last item" `Quick
+      test_map_exception_by_last_item;
+    Alcotest.test_case "Parallel.map leaves no live domains" `Quick
+      test_map_leaves_no_live_domains;
+    Alcotest.test_case "spawn_pool/join_pool lifecycle" `Quick
+      test_spawn_pool_runs_and_joins;
     Alcotest.test_case "fixed corpus: -j2/-j4 assembly = -j1" `Slow
       test_fixed_corpus_identical;
     Alcotest.test_case "50 fuzzed programs: -j4 assembly = -j1" `Slow

@@ -1,0 +1,378 @@
+(* The compile server: wire-protocol round-trips, framing over real
+   socketpairs, the bounded queue's blocking/backpressure/drain
+   semantics, and end-to-end daemon behaviour — byte parity with
+   direct compilation on the fixed corpus and 50 rendered fuzzed
+   programs, the exception barrier, deadlines, backpressure, and
+   graceful shutdown leaving no live domains. *)
+
+module Protocol = Gg_server.Protocol
+module Framing = Gg_server.Framing
+module Squeue = Gg_server.Squeue
+module Server = Gg_server.Server
+module Client = Gg_server.Client
+module Parallel = Gg_codegen.Parallel
+module Driver = Gg_codegen.Driver
+module Sema = Gg_frontc.Sema
+module Corpus = Gg_frontc.Corpus
+
+let tables = lazy (Lazy.force Driver.default_tables)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ggcg-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(workers = 2) ?(queue_capacity = 16) f =
+  let socket = fresh_socket () in
+  let config =
+    {
+      (Server.default_config ~socket_path:socket) with
+      Server.workers;
+      queue_capacity;
+      read_timeout_s = 2.;
+    }
+  in
+  let t = Server.start ~config ~tables:(Lazy.force tables) () in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f socket t)
+
+(* -- protocol ---------------------------------------------------------------- *)
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.request "int main() { return 0; }";
+      Protocol.request ~backend:Protocol.Pcc ~idioms:false ~peephole:true
+        ~explain:true ~jobs:7 ~deadline_ms:1234 ~fail_inject:true ~sleep_ms:9
+        "";
+      Protocol.request (String.make 100_000 'x');
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "decode inverts encode" true
+        (Protocol.decode_request (Protocol.encode_request r) = r))
+    reqs
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "decode inverts encode" true
+        (Protocol.decode_response (Protocol.encode_response r) = r))
+    [
+      Protocol.Asm "  movl r0, r1\n";
+      Protocol.Asm "";
+      Protocol.Error (Protocol.Lex, "lexical error, line 3: bad char");
+      Protocol.Error (Protocol.Parse, "syntax error, line 1: x");
+      Protocol.Error (Protocol.Semantic, "undefined variable x");
+      Protocol.Error (Protocol.Reject, "blocked");
+      Protocol.Error (Protocol.Internal, "Stack_overflow");
+      Protocol.Error (Protocol.Bad_request, "truncated");
+      Protocol.Retry_after 50;
+      Protocol.Timeout;
+    ]
+
+let test_decode_rejects_garbage () =
+  let bad s =
+    match Protocol.decode_request s with
+    | _ -> Alcotest.failf "accepted %S" s
+    | exception Protocol.Protocol_error _ -> ()
+  in
+  bad "";
+  bad "x";
+  bad "QQQQQQQQ";
+  (* a valid request truncated at every prefix length must never
+     decode (and never raise anything but Protocol_error) *)
+  let whole = Protocol.encode_request (Protocol.request "int x;") in
+  for n = 0 to String.length whole - 1 do
+    bad (String.sub whole 0 n)
+  done;
+  match Protocol.decode_response "R" with
+  | _ -> Alcotest.fail "accepted a truncated response"
+  | exception Protocol.Protocol_error _ -> ()
+
+(* -- framing ----------------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+let test_framing_roundtrip () =
+  with_socketpair @@ fun a b ->
+  let payloads = [ ""; "x"; String.make 70_000 'p' ] in
+  List.iter (Framing.write_frame a) payloads;
+  List.iter
+    (fun want ->
+      match Framing.read_frame b with
+      | Some got -> Alcotest.(check int) "frame length" (String.length want)
+          (String.length got)
+      | None -> Alcotest.fail "unexpected EOF")
+    payloads;
+  Unix.close a;
+  Alcotest.(check bool) "clean EOF is None" true (Framing.read_frame b = None)
+
+let test_framing_mid_frame_eof () =
+  with_socketpair @@ fun a b ->
+  (* a length prefix promising 100 bytes, then only 3 and EOF *)
+  let buf = Bytes.create 7 in
+  Bytes.set_int32_be buf 0 100l;
+  Bytes.blit_string "abc" 0 buf 4 3;
+  ignore (Unix.write a buf 0 7);
+  Unix.close a;
+  match Framing.read_frame b with
+  | _ -> Alcotest.fail "mid-frame EOF must not decode"
+  | exception Protocol.Protocol_error _ -> ()
+
+let test_framing_oversized () =
+  with_socketpair @@ fun a b ->
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_be buf 0 (Int32.of_int (Protocol.max_frame + 1));
+  ignore (Unix.write a buf 0 4);
+  match Framing.read_frame b with
+  | _ -> Alcotest.fail "oversized frame must not decode"
+  | exception Protocol.Protocol_error _ -> ()
+
+(* -- the bounded queue ------------------------------------------------------- *)
+
+let test_squeue_bounds_and_drain () =
+  let q = Squeue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Squeue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Squeue.try_push q 2);
+  Alcotest.(check bool) "push to a full queue fails" false (Squeue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Squeue.length q);
+  Squeue.close q;
+  Alcotest.(check bool) "push after close fails" false (Squeue.try_push q 4);
+  (* drain-after-close: the backlog is still served, in order *)
+  Alcotest.(check (option int)) "drains 1" (Some 1) (Squeue.pop q);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Squeue.pop q);
+  Alcotest.(check (option int)) "then None" None (Squeue.pop q);
+  Alcotest.(check (option int)) "None forever" None (Squeue.pop q)
+
+let test_squeue_blocking_pop_across_domains () =
+  let q = Squeue.create ~capacity:4 in
+  let got = Atomic.make 0 in
+  let consumers =
+    Parallel.spawn_pool ~domains:3 (fun _ ->
+        let rec loop () =
+          match Squeue.pop q with
+          | Some n ->
+            ignore (Atomic.fetch_and_add got n);
+            loop ()
+          | None -> ()
+        in
+        loop ())
+  in
+  let pushed = ref 0 in
+  for i = 1 to 100 do
+    (* producers must tolerate transient fullness *)
+    while not (Squeue.try_push q i) do
+      Domain.cpu_relax ()
+    done;
+    pushed := !pushed + i
+  done;
+  Squeue.close q;
+  Parallel.join_pool consumers;
+  Alcotest.(check int) "every pushed item was popped exactly once" !pushed
+    (Atomic.get got)
+
+(* -- end-to-end -------------------------------------------------------------- *)
+
+let direct_compile src =
+  (Driver.compile_program ~tables:(Lazy.force tables) (Sema.compile src))
+    .Driver.assembly
+
+let expect_asm = function
+  | Protocol.Asm a -> a
+  | Protocol.Error (k, m) ->
+    Alcotest.failf "error response %a: %s" Protocol.pp_error_kind k m
+  | Protocol.Retry_after _ -> Alcotest.fail "unexpected Retry_after"
+  | Protocol.Timeout -> Alcotest.fail "unexpected Timeout"
+
+let test_e2e_parity_fixed_corpus () =
+  with_server @@ fun socket _t ->
+  List.iter
+    (fun (name, src) ->
+      let served = expect_asm (Client.compile ~socket (Protocol.request src)) in
+      if served <> direct_compile src then
+        Alcotest.failf "%s: served assembly differs from direct" name)
+    Corpus.fixed_programs
+
+let test_e2e_parity_fuzzed () =
+  with_server @@ fun socket _t ->
+  for seed = 1 to 50 do
+    let src = Corpus.random_source ~seed ~functions:2 ~stmts_per_function:6 in
+    let served = expect_asm (Client.compile ~socket (Protocol.request src)) in
+    if served <> direct_compile src then
+      Alcotest.failf "seed %d: served assembly differs from direct" seed
+  done
+
+let test_e2e_error_parity () =
+  with_server @@ fun socket _t ->
+  let expect src kind =
+    match Client.compile ~socket (Protocol.request src) with
+    | Protocol.Error (k, _) when k = kind -> ()
+    | r ->
+      Alcotest.failf "expected %a, got %s" Protocol.pp_error_kind kind
+        (match r with
+        | Protocol.Asm _ -> "Asm"
+        | Protocol.Error (k, m) -> Fmt.str "Error(%a,%s)" Protocol.pp_error_kind k m
+        | Protocol.Retry_after _ -> "Retry_after"
+        | Protocol.Timeout -> "Timeout")
+  in
+  expect "int main() { return $; }" Protocol.Lex;
+  expect "int main() { return; } }" Protocol.Parse;
+  expect "int main() { return nope; }" Protocol.Semantic
+
+let test_e2e_crash_barrier_keeps_serving () =
+  with_server @@ fun socket t ->
+  let src = "int main() { return 7; }" in
+  (* a compile that crashes inside codegen becomes an Internal error
+     response... *)
+  (match Client.compile ~socket (Protocol.request ~fail_inject:true src) with
+  | Protocol.Error (Protocol.Internal, m) ->
+    Alcotest.(check bool) "the injected message survives" true
+      (contains ~sub:"fail_inject" m)
+  | _ -> Alcotest.fail "expected an Internal error response");
+  (* ...and the daemon keeps serving on the same socket *)
+  let served = expect_asm (Client.compile ~socket (Protocol.request src)) in
+  Alcotest.(check string) "still byte-identical after the crash"
+    (direct_compile src) served;
+  Alcotest.(check bool) "both requests were counted" true (Server.served t >= 2)
+
+let test_e2e_deadline_timeout () =
+  with_server @@ fun socket _t ->
+  match
+    Client.compile ~socket
+      (Protocol.request ~sleep_ms:300 ~deadline_ms:50 "int main() { return 0; }")
+  with
+  | Protocol.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout"
+
+let test_e2e_malformed_frame () =
+  with_server @@ fun socket _t ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Framing.write_frame fd "this is not a request";
+  match Framing.read_frame fd with
+  | Some payload -> (
+    match Protocol.decode_response payload with
+    | Protocol.Error (Protocol.Bad_request, _) -> ()
+    | _ -> Alcotest.fail "expected Bad_request")
+  | None -> Alcotest.fail "no response to a malformed frame"
+
+let test_e2e_backpressure () =
+  (* one worker and a capacity-1 queue: a slow request (the sleep_ms
+     hook) pins the worker, a silent connection fills the queue, and a
+     burst of further connects must all see Retry_after from the accept
+     thread while the worker is still busy *)
+  with_server ~workers:1 ~queue_capacity:1 @@ fun socket _t ->
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  let holder = connect () in
+  Framing.write_frame holder
+    (Protocol.encode_request
+       (Protocol.request ~sleep_ms:2_000 "int main() { return 0; }"));
+  Unix.sleepf 0.2 (* the worker pops the holder and starts sleeping *);
+  let filler = connect () in
+  Unix.sleepf 0.2 (* the filler is enqueued: the queue is now full *);
+  let rejected = ref 0 in
+  let extras =
+    List.init 8 (fun _ ->
+        let fd = connect () in
+        (match Framing.read_frame fd with
+        | Some payload -> (
+          match Protocol.decode_response payload with
+          | Protocol.Retry_after ms when ms > 0 -> incr rejected
+          | _ -> ())
+        | None | (exception Unix.Unix_error _) -> ());
+        fd)
+  in
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (holder :: filler :: extras);
+  Alcotest.(check int)
+    (Fmt.str "every burst connect was rejected (%d of 8)" !rejected)
+    8 !rejected
+
+let test_e2e_graceful_stop () =
+  let socket = fresh_socket () in
+  let config =
+    { (Server.default_config ~socket_path:socket) with Server.workers = 2 }
+  in
+  let t = Server.start ~config ~tables:(Lazy.force tables) () in
+  let src = "int main() { return 3; }" in
+  ignore (expect_asm (Client.compile ~socket (Protocol.request src)));
+  Server.stop t;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket);
+  Alcotest.(check int) "no live worker domains" 0 (Parallel.live_domains ());
+  Server.stop t (* idempotent *);
+  match Client.compile ~socket (Protocol.request src) with
+  | _ -> Alcotest.fail "a stopped server must not answer"
+  | exception Client.Server_error _ -> ()
+
+let test_start_refuses_live_socket () =
+  with_server @@ fun socket _t ->
+  let config = Server.default_config ~socket_path:socket in
+  match Server.start ~config ~tables:(Lazy.force tables) () with
+  | t2 ->
+    Server.stop t2;
+    Alcotest.fail "second server bound a live socket"
+  | exception Failure m ->
+    Alcotest.(check bool) "message names the socket" true
+      (contains ~sub:socket m)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: request round-trip" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "protocol: response round-trip" `Quick
+      test_response_roundtrip;
+    Alcotest.test_case "protocol: garbage and truncations rejected" `Quick
+      test_decode_rejects_garbage;
+    Alcotest.test_case "framing: round-trip and clean EOF" `Quick
+      test_framing_roundtrip;
+    Alcotest.test_case "framing: mid-frame EOF is an error" `Quick
+      test_framing_mid_frame_eof;
+    Alcotest.test_case "framing: oversized frame is an error" `Quick
+      test_framing_oversized;
+    Alcotest.test_case "squeue: bounds, close, drain-after-close" `Quick
+      test_squeue_bounds_and_drain;
+    Alcotest.test_case "squeue: MPMC across domains" `Quick
+      test_squeue_blocking_pop_across_domains;
+    Alcotest.test_case "e2e: byte parity on the fixed corpus" `Slow
+      test_e2e_parity_fixed_corpus;
+    Alcotest.test_case "e2e: byte parity on 50 fuzzed programs" `Slow
+      test_e2e_parity_fuzzed;
+    Alcotest.test_case "e2e: frontend errors come back typed" `Quick
+      test_e2e_error_parity;
+    Alcotest.test_case "e2e: crash inside codegen, daemon keeps serving" `Quick
+      test_e2e_crash_barrier_keeps_serving;
+    Alcotest.test_case "e2e: deadline produces Timeout" `Quick
+      test_e2e_deadline_timeout;
+    Alcotest.test_case "e2e: malformed frame answered Bad_request" `Quick
+      test_e2e_malformed_frame;
+    Alcotest.test_case "e2e: full queue answers Retry_after" `Quick
+      test_e2e_backpressure;
+    Alcotest.test_case "e2e: graceful stop, idempotent, no live domains" `Quick
+      test_e2e_graceful_stop;
+    Alcotest.test_case "start refuses a socket with a live server" `Quick
+      test_start_refuses_live_socket;
+  ]

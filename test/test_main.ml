@@ -18,4 +18,5 @@ let () =
       ("fuzz", Suite_fuzz.suite);
       ("parallel", Suite_parallel.suite);
       ("telemetry", Suite_telemetry.suite);
+      ("server", Suite_server.suite);
     ]
