@@ -731,37 +731,81 @@ let bench_throughput () =
       row "measurement failed@.";
       None
   in
+  (* the root cause of the old negative scaling, kept as a standing
+     measurement: one Domain.spawn+join round trip, which the first
+     Parallel.map paid per worker per batch *)
+  let spawn_us =
+    let reps = if quick then 5 else 20 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      Domain.join (Domain.spawn (fun () -> ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
+  in
+  row "Domain.spawn+join round trip: %.0f us@." spawn_us;
   let jlist = [ 1; 2; 4; 8 ] in
+  (* byte-identity is asserted through real multi-domain batches
+     (oversubscribed past the clamp), so it holds on any host *)
   let asm j =
-    (Driver.compile_program ~tables:packed ~jobs:j prog).Driver.assembly
+    (Driver.compile_program ~tables:packed ~jobs:j ~oversubscribe:true prog)
+      .Driver.assembly
   in
   let identical = asm 1 = asm 4 && asm 1 = asm 8 in
   row "-j determinism: 4- and 8-domain assembly byte-identical to 1: %b@."
     identical;
-  let jresults =
-    measure_ns
-      (List.map
-         (fun j ->
-           ( Fmt.str "batch-j%d" j,
-             fun () ->
-               ignore (Driver.compile_program ~tables:packed ~jobs:j prog) ))
-         jlist)
-  in
-  let scaling =
+  let measure_jobs ~oversubscribe =
+    let jresults =
+      (* best-of-N: the first test of a single pass absorbs heap growth
+         and page-fault warmup, which would charge -j1 (measured first)
+         several times its steady-state cost *)
+      measure_ns_best
+        ~repeats:(if quick then 2 else 3)
+        (List.map
+           (fun j ->
+             ( Fmt.str "batch-j%d" j,
+               fun () ->
+                 ignore
+                   (Driver.compile_program ~tables:packed ~jobs:j ~oversubscribe
+                      prog) ))
+           jlist)
+    in
     List.filter_map
       (fun j ->
         Option.map (fun ns -> (j, ns)) (lookup jresults (Fmt.str "batch-j%d" j)))
       jlist
   in
+  (* the production path: the persistent pool, clamped to the host's
+     cores — what `ggcc -j N` actually runs.  Shut the pool down first:
+     the determinism check above parked oversubscribed workers, and on
+     a small host their stop-the-world participation would tax the
+     clamped (possibly sequential) runs being measured *)
+  Parallel.shutdown ();
+  let scaling = measure_jobs ~oversubscribe:false in
   let ns1 = List.assoc_opt 1 scaling in
-  row "batch compile of the corpus (%d functions, recommended domains: %d):@."
+  let speedup ns1 ns = match ns1 with Some n1 -> n1 /. ns | None -> nan in
+  row
+    "batch compile of the corpus (%d functions, recommended domains: %d, \
+     effective -j clamped to the core count):@."
     (List.length prog.Tree.funcs)
     (Gg_codegen.Parallel.available ());
   List.iter
     (fun (j, ns) ->
       row "  -j %d:  %8.2f ms/compile   speedup %.2fx@." j (ns /. 1e6)
-        (match ns1 with Some n1 -> n1 /. ns | None -> nan))
+        (speedup ns1 ns))
     scaling;
+  (* the same batches forced through real domains past the clamp: on a
+     multi-core host this matches the clamped curve; on a small host it
+     prices the pure pool overhead (condvar handoff + stop-the-world
+     GC across domains) that the clamp avoids paying *)
+  Parallel.shutdown ();
+  let pool_scaling = measure_jobs ~oversubscribe:true in
+  let pool_ns1 = List.assoc_opt 1 pool_scaling in
+  row "same batches, forced multi-domain (pool overhead measurement):@.";
+  List.iter
+    (fun (j, ns) ->
+      row "  -j %d:  %8.2f ms/compile   speedup %.2fx@." j (ns /. 1e6)
+        (speedup pool_ns1 ns))
+    pool_scaling;
   (* persist the trajectory *)
   let oc = open_out "BENCH_throughput.json" in
   let p fmt = Printf.fprintf oc fmt in
@@ -786,18 +830,24 @@ let bench_throughput () =
   | None -> ());
   p "  \"parallel\": {\n";
   p "    \"recommended_domains\": %d,\n" (Gg_codegen.Parallel.available ());
+  p "    \"domain_spawn_us\": %.1f,\n" spawn_us;
   p "    \"assembly_identical_j1_j4_j8\": %b,\n" identical;
-  p "    \"scaling\": [\n";
-  List.iteri
-    (fun k (j, ns) ->
-      p
-        "      { \"jobs\": %d, \"ms_per_compile\": %.3f, \"speedup_vs_j1\": \
-         %.3f }%s\n"
-        j (ns /. 1e6)
-        (match ns1 with Some n1 -> n1 /. ns | None -> nan)
-        (if k = List.length scaling - 1 then "" else ","))
-    scaling;
-  p "    ]\n";
+  let scaling_rows key rows n1 last =
+    p "    \"%s\": [\n" key;
+    List.iteri
+      (fun k (j, ns) ->
+        p
+          "      { \"jobs\": %d, \"ms_per_compile\": %.3f, \"speedup_vs_j1\": \
+           %.3f }%s\n"
+          j (ns /. 1e6) (speedup n1 ns)
+          (if k = List.length rows - 1 then "" else ","))
+      rows;
+    p "    ]%s\n" (if last then "" else ",")
+  in
+  (* "scaling" is the production path (persistent pool, clamped to the
+     core count); "pool_scaling" forces real domains past the clamp *)
+  scaling_rows "scaling" scaling ns1 false;
+  scaling_rows "pool_scaling" pool_scaling pool_ns1 true;
   p "  }\n";
   p "}\n";
   close_out oc;
@@ -811,6 +861,74 @@ let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then nan
   else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+(* -- open-loop load generation ------------------------------------------------ *)
+
+(* per-request outcome codes for the open-loop run *)
+let oc_ok = 0 (* assembly received *)
+let oc_injected = 1 (* fail-injected request answered Error Internal *)
+let oc_gave_up = 2 (* Retry_after retries exhausted *)
+let oc_other = 3 (* anything else: a correctness problem *)
+
+(* Arrivals follow a fixed schedule regardless of completions — the
+   defining property of an open-loop generator: when the server falls
+   behind, latency (not the offered rate) absorbs the lag, which is
+   what N independent build jobs pointed at one daemon look like.  Each
+   arrival is its own client thread (hundreds of concurrent clients at
+   the tail), [burst] arrivals land at t=0 — more than the admission
+   queue holds, so the Retry_after path is exercised deterministically
+   — and every [fail_every]-th request carries fail-injection. *)
+let open_loop ~socket ~requests ~burst ~rate_rps ~fail_every srcs =
+  let retry_events = Atomic.make 0 in
+  let in_flight = Atomic.make 0 in
+  let max_in_flight = Atomic.make 0 in
+  let lat_ms = Array.make requests nan in
+  let outcome = Array.make requests oc_other in
+  let one k =
+    let injected = fail_every > 0 && k mod fail_every = fail_every - 1 in
+    let src = srcs.(k mod Array.length srcs) in
+    let req = Protocol.request ~fail_inject:injected src in
+    let v = 1 + Atomic.fetch_and_add in_flight 1 in
+    let rec bump () =
+      let m = Atomic.get max_in_flight in
+      if v > m && not (Atomic.compare_and_set max_in_flight m v) then bump ()
+    in
+    bump ();
+    let t = Unix.gettimeofday () in
+    let code =
+      match
+        Client.compile ~retries:8
+          ~on_retry:(fun ~attempt:_ ~wait_ms:_ -> Atomic.incr retry_events)
+          ~socket req
+      with
+      | Protocol.Asm _ -> if injected then oc_other else oc_ok
+      | Protocol.Error (Protocol.Internal, _) ->
+        if injected then oc_injected else oc_other
+      | _ -> oc_other
+      | exception Client.Server_error _ -> oc_gave_up
+    in
+    lat_ms.(k) <- (Unix.gettimeofday () -. t) *. 1e3;
+    outcome.(k) <- code;
+    ignore (Atomic.fetch_and_add in_flight (-1))
+  in
+  let threads = Array.make requests None in
+  let t0 = Unix.gettimeofday () in
+  for k = 0 to requests - 1 do
+    if k >= burst then begin
+      (* pace the post-burst arrivals; never wait for completions *)
+      let due = t0 +. (float_of_int (k - burst) /. rate_rps) in
+      let now = Unix.gettimeofday () in
+      if due > now then Unix.sleepf (due -. now)
+    end;
+    threads.(k) <- Some (Thread.create one k)
+  done;
+  Array.iter (Option.iter Thread.join) threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  ( lat_ms,
+    outcome,
+    wall,
+    Atomic.get retry_events,
+    Atomic.get max_in_flight )
 
 let bench_serve () =
   section
@@ -838,7 +956,7 @@ let bench_serve () =
       (Fmt.str "ggccd-bench-%d.sock" (Unix.getpid ()))
   in
   let tables = Driver.cached_tables Driver.default_options.Driver.grammar in
-  let workers = min 4 (max 1 (Parallel.available () - 1)) in
+  let workers = (Server.default_config ~socket_path:socket).Server.workers in
   let config =
     { (Server.default_config ~socket_path:socket) with Server.workers }
   in
@@ -946,13 +1064,93 @@ let bench_serve () =
     n_proc wall_proc rps_proc p50_proc p99_proc;
   row "warm-server throughput vs per-process: %.1fx   (acceptance: > 1x)@."
     (rps_server /. rps_proc);
+  (* -- open-loop worker sweep: the daemon under real load ------------------ *)
+  let sweep_workers = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let requests = if quick then 150 else 400 in
+  let burst = 64 in
+  let rate = if quick then 150. else 300. in
+  let fail_every = 37 in
+  let queue_capacity = 16 in
+  let p99_slo_ms = 250. in
+  (* mixed request sizes: one-function snippets up to multi-KB programs *)
+  let mixed_srcs =
+    Array.of_list
+      (List.concat_map
+         (fun seed ->
+           [
+             Corpus.random_source ~seed ~functions:1 ~stmts_per_function:3;
+             Corpus.random_source ~seed:(seed + 100) ~functions:3
+               ~stmts_per_function:10;
+             Corpus.random_source ~seed:(seed + 200) ~functions:6
+               ~stmts_per_function:25;
+           ])
+         [ 1; 2; 3; 4 ])
+  in
+  let src_bytes = Array.map String.length mixed_srcs in
+  let min_b = Array.fold_left min max_int src_bytes in
+  let max_b = Array.fold_left max 0 src_bytes in
+  row
+    "open-loop sweep: %d requests per point (burst %d then %.0f req/s), \
+     request sizes %d..%d B, fail-injection every %d, queue capacity %d:@."
+    requests burst rate min_b max_b fail_every queue_capacity;
+  let sweep =
+    List.map
+      (fun w ->
+        let socket =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Fmt.str "ggccd-sweep-%d-w%d.sock" (Unix.getpid ()) w)
+        in
+        let config =
+          {
+            (Server.default_config ~socket_path:socket) with
+            Server.workers = w;
+            queue_capacity;
+          }
+        in
+        let server = Server.start ~config ~tables () in
+        Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+        let lat, out, wall, retry_events, max_in_flight =
+          open_loop ~socket ~requests ~burst ~rate_rps:rate ~fail_every
+            mixed_srcs
+        in
+        let count c =
+          Array.fold_left
+            (fun acc o -> if o = c then acc + 1 else acc)
+            0 out
+        in
+        let n_ok = count oc_ok in
+        let n_injected = count oc_injected in
+        let n_gave_up = count oc_gave_up in
+        let n_other = count oc_other in
+        let completed =
+          Array.of_list
+            (List.filteri
+               (fun k _ -> out.(k) = oc_ok || out.(k) = oc_injected)
+               (Array.to_list lat))
+        in
+        Array.sort compare completed;
+        let p50 = percentile completed 0.50 in
+        let p99 = percentile completed 0.99 in
+        let achieved = float_of_int (n_ok + n_injected) /. wall in
+        row
+          "  workers %d: %d ok + %d injected errors, %d gave up, %d \
+           unexpected; %d retry-after events, max %d in flight; %.0f req/s \
+           achieved, p50 %.2f ms p99 %.2f ms%s@."
+          w n_ok n_injected n_gave_up n_other retry_events max_in_flight
+          achieved p50 p99
+          (if p99 <= p99_slo_ms then "" else "  (p99 SLO MISSED)");
+        (w, n_ok, n_injected, n_gave_up, n_other, retry_events, max_in_flight,
+         wall, achieved, p50, p99))
+      sweep_workers
+  in
   let oc = open_out "BENCH_serve.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"sources\": %d,\n" (List.length sources);
   p "  \"parity_with_direct_compile\": %b,\n" parity;
-  p "  \"server\": {\n";
+  p "  \"closed_loop\": {\n";
   p "    \"workers\": %d,\n" workers;
   p "    \"client_domains\": %d,\n" clients;
   p "    \"requests\": %d,\n" n_server;
@@ -968,7 +1166,33 @@ let bench_serve () =
   p "    \"p50_ms\": %.3f,\n" p50_proc;
   p "    \"p99_ms\": %.3f\n" p99_proc;
   p "  },\n";
-  p "  \"throughput_ratio\": %.2f\n" (rps_server /. rps_proc);
+  p "  \"throughput_ratio\": %.2f,\n" (rps_server /. rps_proc);
+  p "  \"open_loop\": {\n";
+  p "    \"requests_per_point\": %d,\n" requests;
+  p "    \"burst\": %d,\n" burst;
+  p "    \"offered_rps_after_burst\": %.0f,\n" rate;
+  p "    \"queue_capacity\": %d,\n" queue_capacity;
+  p "    \"fail_injected_every\": %d,\n" fail_every;
+  p "    \"request_bytes\": { \"min\": %d, \"max\": %d },\n" min_b max_b;
+  p "    \"p99_slo_ms\": %.0f,\n" p99_slo_ms;
+  p "    \"sweep\": [\n";
+  List.iteri
+    (fun k
+         (w, n_ok, n_injected, n_gave_up, n_other, retry_events, max_in_flight,
+          wall, achieved, p50, p99) ->
+      p
+        "      { \"workers\": %d, \"completed_ok\": %d, \
+         \"fail_injected_errors\": %d, \"gave_up\": %d, \"unexpected\": %d, \
+         \"retry_after_events\": %d, \"max_in_flight\": %d, \"wall_s\": \
+         %.3f, \"achieved_rps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+         \"p99_slo_met\": %b }%s\n"
+        w n_ok n_injected n_gave_up n_other retry_events max_in_flight wall
+        achieved p50 p99
+        (p99 <= p99_slo_ms)
+        (if k = List.length sweep - 1 then "" else ","))
+    sweep;
+  p "    ]\n";
+  p "  }\n";
   p "}\n";
   close_out oc;
   row "written: BENCH_serve.json@."

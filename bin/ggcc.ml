@@ -122,7 +122,7 @@ let with_profile profile f = with_telemetry profile f
    text and exit code) is identical to compiling directly. *)
 let server_compile ~socket ~spawn ~ggccd ~backend ~idioms ~peephole ~jobs
     ~explain ~deadline_ms ~fail_inject ~sleep_ms src =
-  Client.ensure ?ggccd ~socket ~spawn ();
+  ignore (Client.ensure ?ggccd ~socket ~spawn () : int option);
   let backend =
     match backend with Gg -> Protocol.Gg | Pcc_backend -> Protocol.Pcc
   in
@@ -148,6 +148,8 @@ let server_compile ~socket ~spawn ~ggccd ~backend ~idioms ~peephole ~jobs
     Fmt.epr "server error: deadline exceeded@.";
     exit 3
   | Protocol.Retry_after _ ->
+    (* unreachable: Client.compile turns retry exhaustion into
+       Server_error; kept for match exhaustiveness *)
     Fmt.epr "server error: queue full, retries exhausted@.";
     exit 3
 

@@ -114,7 +114,8 @@ let workers_arg =
     & info [ "workers" ] ~docv:"N"
         ~doc:
           "Worker domains draining the request queue (default: the \
-           recommended domain count minus the accept thread).")
+           recommended domain count minus the accept thread, and at \
+           least 2 so blocked requests never serialise the queue).")
 
 let queue_arg =
   Arg.(

@@ -189,7 +189,7 @@ let render_program (p : Tree.program) funcs =
   Buffer.contents buf
 
 let compile_program ?(options = default_options) ?tables ?(jobs = 1)
-    (p : Tree.program) =
+    ?(oversubscribe = false) (p : Tree.program) =
   (* the tables (and their lazy cell) are resolved before any worker
      domain exists; workers only ever read them *)
   let tables =
@@ -199,7 +199,10 @@ let compile_program ?(options = default_options) ?tables ?(jobs = 1)
       if options.grammar = Grammar_def.default then Lazy.force default_tables
       else build_tables options.grammar
   in
-  let funcs = Parallel.map ~jobs (compile_func ~options tables) p.Tree.funcs in
+  let funcs =
+    Parallel.map ~oversubscribe ~jobs (compile_func ~options tables)
+      p.Tree.funcs
+  in
   { assembly = render_program p funcs; funcs; program = p }
 
 let singleton_func tree =

@@ -63,11 +63,19 @@ type output = {
 val compile_func : ?options:options -> tables -> Tree.func -> compiled_func
 
 (** Compile a whole program.  [jobs] > 1 distributes the functions over
-    a {!Parallel} pool of that many domains; output order is the
-    program's function order regardless of scheduling, so the assembly
-    is byte-identical to a [jobs:1] run. *)
+    the persistent {!Parallel} pool (clamped to the core count; see
+    {!Parallel.map}); output order is the program's function order
+    regardless of scheduling, so the assembly is byte-identical to a
+    [jobs:1] run.  [oversubscribe] forwards to {!Parallel.map} — a
+    test/benchmark knob forcing real multi-domain batches even on a
+    single-core host. *)
 val compile_program :
-  ?options:options -> ?tables:tables -> ?jobs:int -> Tree.program -> output
+  ?options:options ->
+  ?tables:tables ->
+  ?jobs:int ->
+  ?oversubscribe:bool ->
+  Tree.program ->
+  output
 
 (** Render an output with per-instruction provenance comments
     ([# L<line> p<id>,... ; <production note>]) — the [--explain]

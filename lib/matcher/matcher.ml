@@ -37,6 +37,16 @@ type 'a outcome = { value : 'a; trace : step list }
    rebuild on every probe.  The only per-reduction allocation left is
    the argument array handed to [on_reduce], which is part of the
    callback contract. *)
+(* The state half of the parse stack is a monomorphic int array, so
+   each domain keeps one across runs instead of allocating per tree
+   (the ['a] value half cannot be reused without erasure tricks).
+   [busy] guards re-entrancy: a callback that runs the matcher again
+   gets a fresh allocation rather than the in-use scratch. *)
+type state_scratch = { mutable st : int array; mutable busy : bool }
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { st = [||]; busy = false })
+
 let run_with ?(trace = false) ~(g : Grammar.t) ~eof
     ~(intern : string -> int) ~(code : int -> int -> int)
     ~(tie : int -> int array) ~(goto : int -> int -> int)
@@ -48,7 +58,17 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
   (* the parse stack; stack depth is bounded by the number of shifts,
      so the initial capacity already fits any well-formed run *)
   let cap = ref (max 16 (n + 1)) in
-  let st_states = ref (Array.make !cap 0) in
+  let scratch = Domain.DLS.get scratch_key in
+  let reusing = not scratch.busy in
+  if reusing then scratch.busy <- true;
+  let st_states =
+    ref
+      (if reusing && Array.length scratch.st >= !cap then begin
+         cap := Array.length scratch.st;
+         scratch.st
+       end
+       else Array.make !cap 0)
+  in
   let st_values = ref [||] (* allocated on the first push *) in
   let sp = ref 0 in
   let hw = ref 0 in
@@ -201,7 +221,17 @@ let run_with ?(trace = false) ~(g : Grammar.t) ~eof
       loop rest i a
   in
   ctrs.Profile.matcher_runs <- ctrs.Profile.matcher_runs + 1;
-  let value = next tokens 0 in
+  let value =
+    (* hand the (possibly grown) state array back to the scratch even
+       when the run rejects *)
+    Fun.protect
+      ~finally:(fun () ->
+        if reusing then begin
+          scratch.st <- !st_states;
+          scratch.busy <- false
+        end)
+      (fun () -> next tokens 0)
+  in
   (* end-of-run histogram observations, gated so the hot loop stays
      allocation-free with telemetry off; rejects raise past this point
      and are deliberately not observed *)

@@ -66,6 +66,13 @@ let enabled = ref false
 let registry : shard list ref = ref []
 let registry_lock = Mutex.create ()
 
+(* Slack appended to every shard array: the live prefix of the small
+   hot arrays (totals/sums/maxs are ~7 ints) would otherwise pack two
+   domains' counters into one cache line, and [observe] bumps them on
+   every matched tree.  Only indices below the histogram count are
+   ever read. *)
+let shard_pad = 8
+
 let new_shard () =
   (* the histogram set is fixed at module initialisation, before any
      shard exists, so sizing the arrays here is safe *)
@@ -74,10 +81,12 @@ let new_shard () =
     {
       buckets =
         Array.of_list
-          (List.map (fun h -> Array.make (Array.length h.bounds + 1) 0) !histograms);
-      totals = Array.make n 0;
-      sums = Array.make n 0;
-      maxs = Array.make n 0;
+          (List.map
+             (fun h -> Array.make (Array.length h.bounds + 1 + shard_pad) 0)
+             !histograms);
+      totals = Array.make (n + shard_pad) 0;
+      sums = Array.make (n + shard_pad) 0;
+      maxs = Array.make (n + shard_pad) 0;
       named = Hashtbl.create 16;
     }
   in
@@ -117,7 +126,11 @@ let buckets h =
   let n = Array.length h.bounds + 1 in
   let merged = Array.make n 0 in
   List.iter
-    (fun s -> Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) s.buckets.(h.id))
+    (fun s ->
+      let b = s.buckets.(h.id) in
+      for i = 0 to n - 1 do
+        merged.(i) <- merged.(i) + b.(i)
+      done)
     (shards ());
   List.init n (fun i ->
       ((if i < Array.length h.bounds then Some h.bounds.(i) else None), merged.(i)))

@@ -1,3 +1,9 @@
+(* The trailing [_pad] fields stretch each record past a cache line
+   (16 words with the header vs the 64-byte lines of every machine we
+   serve on), so two domains' counter records allocated back to back
+   never share a line — the hot loop increments these fields millions
+   of times per compile, and false sharing between shards would charge
+   every increment a coherence miss. *)
 type counters = {
   mutable shifts : int;
   mutable reduces : int;
@@ -6,6 +12,14 @@ type counters = {
   mutable rejects : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable _pad0 : int;
+  mutable _pad1 : int;
+  mutable _pad2 : int;
+  mutable _pad3 : int;
+  mutable _pad4 : int;
+  mutable _pad5 : int;
+  mutable _pad6 : int;
+  mutable _pad7 : int;
 }
 
 let fresh_counters () =
@@ -17,6 +31,14 @@ let fresh_counters () =
     rejects = 0;
     cache_hits = 0;
     cache_misses = 0;
+    _pad0 = 0;
+    _pad1 = 0;
+    _pad2 = 0;
+    _pad3 = 0;
+    _pad4 = 0;
+    _pad5 = 0;
+    _pad6 = 0;
+    _pad7 = 0;
   }
 
 (* Every domain that touches the profiler gets its own shard: a counter

@@ -29,6 +29,16 @@ type counters = {
   mutable rejects : int;  (** syntactic blocks raised *)
   mutable cache_hits : int;  (** packed tables loaded from disk *)
   mutable cache_misses : int;  (** packed tables rebuilt *)
+  mutable _pad0 : int;
+      (** the [_pad*] fields only stretch the record past a cache line,
+          so per-domain shards never false-share; ignore them *)
+  mutable _pad1 : int;
+  mutable _pad2 : int;
+  mutable _pad3 : int;
+  mutable _pad4 : int;
+  mutable _pad5 : int;
+  mutable _pad6 : int;
+  mutable _pad7 : int;
 }
 
 (** The calling domain's own event counters.  Hot paths fetch this once

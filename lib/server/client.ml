@@ -42,15 +42,40 @@ let roundtrip ~socket req =
   | exception Protocol.Protocol_error m ->
     fail "unreadable server response: %s" m
 
-let compile ?(retries = 10) ~socket req =
-  let rec go n =
+(* Backoff for a full server queue: exponential with equal jitter,
+   capped.  The server's suggested delay seeds the schedule; the
+   doubling spreads a thundering herd of rejected clients, the jitter
+   keeps them from re-synchronising, and the cap bounds the wait once
+   the queue is persistently full. *)
+let backoff_cap_ms = 2000
+
+let jitter_rng = lazy (Random.State.make_self_init ())
+
+let backoff_ms ~suggested_ms attempt =
+  let base = max 1 suggested_ms in
+  let d = min backoff_cap_ms (base * (1 lsl min attempt 10)) in
+  (d / 2) + Random.State.int (Lazy.force jitter_rng) (max 1 ((d + 1) / 2))
+
+let compile ?(retries = 10) ?on_retry ~socket req =
+  let rec go n waited_ms =
     match roundtrip ~socket req with
     | Protocol.Retry_after ms when n < retries ->
-      Unix.sleepf (float_of_int (max 1 ms) /. 1e3);
-      go (n + 1)
+      let wait = backoff_ms ~suggested_ms:ms n in
+      Option.iter (fun f -> f ~attempt:(n + 1) ~wait_ms:wait) on_retry;
+      Unix.sleepf (float_of_int wait /. 1e3);
+      go (n + 1) (waited_ms + wait)
+    | Protocol.Retry_after _ ->
+      (* exhaustion is an error, never a terminal answer: the caller
+         asked for assembly, not for a rejection to interpret *)
+      fail
+        "compile server %s: queue full; gave up after %d attempt%s and %d ms \
+         of backoff"
+        socket (n + 1)
+        (if n = 0 then "" else "s")
+        waited_ms
     | resp -> resp
   in
-  go 0
+  go 0 0
 
 (* -- spawn on demand ------------------------------------------------------ *)
 
@@ -89,23 +114,47 @@ let spawn_daemon ~ggccd ~socket =
   (prog, pid)
 
 let ensure ?ggccd ?(wait_s = 60.) ~socket ~spawn () =
-  if not (alive ~socket) then begin
+  if alive ~socket then None
+  else begin
     if not spawn then
       fail "no compile server on %s (use --spawn to start one)" socket;
     let prog, pid = spawn_daemon ~ggccd ~socket in
     let deadline = Unix.gettimeofday () +. wait_s in
+    (* true iff our child is done and reaped (no zombie left behind) *)
+    let reaped () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> false
+      | _, _ -> true
+      | exception Unix.Unix_error _ -> true
+    in
     let rec wait () =
-      if alive ~socket then ()
+      if alive ~socket then
+        (* a server answers; our child is either that server or a
+           spawn-race loser — reap it now if it already exited, so no
+           zombie outlives this call *)
+        if reaped () then None else Some pid
+      else if reaped () then begin
+        (* Our child exited without serving.  That is fatal only when
+           no server exists: two --spawn clients can race, and the
+           loser of the stale-socket fight exits while (or just
+           before) the winner starts accepting — so give the winner a
+           moment and re-check the socket before failing. *)
+        let grace = Float.min (deadline -. Unix.gettimeofday ()) 2. in
+        let grace_deadline = Unix.gettimeofday () +. grace in
+        let rec recheck () =
+          if alive ~socket then None
+          else if Unix.gettimeofday () > grace_deadline then
+            fail "%s exited before serving %s" prog socket
+          else begin
+            Unix.sleepf 0.05;
+            recheck ()
+          end
+        in
+        recheck ()
+      end
+      else if Unix.gettimeofday () > deadline then
+        fail "%s did not start serving %s within %.0f s" prog socket wait_s
       else begin
-        (* fail fast if the daemon died (bad flags, unwritable socket) *)
-        (match Unix.waitpid [ Unix.WNOHANG ] pid with
-        | 0, _ -> ()
-        | _, Unix.WEXITED 0 -> ()
-        | _, (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
-          fail "%s exited before serving %s" prog socket
-        | exception Unix.Unix_error _ -> ());
-        if Unix.gettimeofday () > deadline then
-          fail "%s did not start serving %s within %.0f s" prog socket wait_s;
         Unix.sleepf 0.1;
         wait ()
       end

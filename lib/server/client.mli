@@ -2,9 +2,12 @@
     read one response.
 
     {!compile} transparently retries {!Protocol.Retry_after} rejections
-    with the server-suggested backoff; every other response is returned
-    to the caller, and transport-level surprises raise {!Server_error}
-    with a one-line message (never a raw [Unix_error] backtrace).
+    with capped exponential backoff (jittered, seeded by the
+    server-suggested delay); a caller never receives [Retry_after] —
+    exhaustion raises {!Server_error} naming the attempts made and the
+    total time backed off.  Transport-level surprises also raise
+    {!Server_error} with a one-line message (never a raw [Unix_error]
+    backtrace).
 
     {!ensure} is the spawn-on-demand path: probe the socket, and when
     nothing answers, start [ggccd] detached and wait for it to come up
@@ -14,16 +17,39 @@
 exception Server_error of string
 
 (** One request/response round trip, with [Retry_after] handled by
-    sleeping and reconnecting (at most [retries] times, default 10,
-    before surfacing the rejection).  Raises {!Server_error} if the
+    backing off and reconnecting: the [n]-th retry sleeps an equally
+    jittered [suggested * 2^n] milliseconds, capped at 2 s.  After
+    [retries] retries (default 10) the exhaustion raises
+    {!Server_error} — the response returned is never [Retry_after].
+    [on_retry] is invoked before each sleep with the attempt number
+    (from 1) and the chosen wait, for callers that count or log
+    admission-control pushback.  Also raises {!Server_error} if the
     socket is dead or the reply is unreadable. *)
-val compile : ?retries:int -> socket:string -> Protocol.request -> Protocol.response
+val compile :
+  ?retries:int ->
+  ?on_retry:(attempt:int -> wait_ms:int -> unit) ->
+  socket:string ->
+  Protocol.request ->
+  Protocol.response
 
 (** [ensure ~socket ~spawn ()] — return once a server answers on
     [socket].  When nothing does: if [spawn] is false raise
     {!Server_error}; otherwise start [ggccd] (the [ggccd] argument,
     else a [ggccd] binary next to the running executable, else [$PATH])
-    detached from this process and poll until the daemon accepts or
-    [wait_s] (default 60, covering a cold table build) elapses. *)
+    detached from this process and poll until a daemon accepts or
+    [wait_s] (default 60, covering a cold table build) elapses.
+
+    Returns [Some pid] when this call spawned a daemon that is still
+    running (callers managing the daemon's lifetime can signal it), and
+    [None] when a server was already answering or the spawned child
+    has already exited and been reaped.  Two concurrent [~spawn:true]
+    callers may both fork a daemon; the loser of the socket race exits,
+    and [ensure] treats that exit as success as long as {e a} server is
+    answering — reaping the dead child so no zombie is left behind. *)
 val ensure :
-  ?ggccd:string -> ?wait_s:float -> socket:string -> spawn:bool -> unit -> unit
+  ?ggccd:string ->
+  ?wait_s:float ->
+  socket:string ->
+  spawn:bool ->
+  unit ->
+  int option

@@ -18,7 +18,10 @@ type config = {
 let default_config ~socket_path =
   {
     socket_path;
-    workers = max 1 (Parallel.available () - 1);
+    (* at least two workers even on a single-core host: requests block
+       on socket reads, deliberate sleeps and deadlines, so a second
+       worker overlaps that dead time instead of queueing behind it *)
+    workers = max 2 (Parallel.available () - 1);
     queue_capacity = 64;
     read_timeout_s = 10.;
     retry_after_ms = 50;

@@ -105,6 +105,56 @@ let test_spawn_pool_runs_and_joins () =
   Alcotest.(check int) "no live domains after failed join" 0
     (Parallel.live_domains ())
 
+(* -- the persistent pool under forced oversubscription ----------------------- *)
+
+(* On a small box the production clamp makes every [~jobs] sequential
+   (that is the -j fix); [~oversubscribe:true] lifts the clamp so these
+   tests push real multi-domain batches through the shared pool no
+   matter where they run. *)
+
+let test_oversubscribed_map () =
+  let xs = List.init 200 Fun.id in
+  let want = List.map (fun x -> (x * 3) + 1) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Fmt.str "oversubscribed jobs=%d" jobs)
+        want
+        (Parallel.map ~oversubscribe:true ~jobs (fun x -> (x * 3) + 1) xs))
+    [ 2; 4; 8 ];
+  Alcotest.(check int) "workers parked, none live" 0 (Parallel.live_domains ())
+
+let test_pool_reuse_and_shutdown () =
+  (* the pool persists across batches (that is the point of it), parks
+     between them, and respawns lazily after an explicit shutdown *)
+  for _ = 1 to 5 do
+    ignore (Parallel.map ~oversubscribe:true ~jobs:4 succ (List.init 40 Fun.id))
+  done;
+  Alcotest.(check int) "parked workers are not live" 0
+    (Parallel.live_domains ());
+  Parallel.shutdown ();
+  Parallel.shutdown () (* idempotent *);
+  Alcotest.(check (list int)) "map after shutdown respawns the pool"
+    [ 2; 3; 4 ]
+    (Parallel.map ~oversubscribe:true ~jobs:3 succ [ 1; 2; 3 ]);
+  Parallel.shutdown ()
+
+let test_nested_map_runs_inline () =
+  (* a map issued while the pool is busy with the enclosing batch must
+     fall back to the sequential path with identical results *)
+  let want =
+    List.init 8 (fun i -> List.init 10 (fun j -> (i * 10) + j + 1))
+  in
+  let got =
+    Parallel.map ~oversubscribe:true ~jobs:4
+      (fun i ->
+        Parallel.map ~oversubscribe:true ~jobs:4 succ
+          (List.init 10 (fun j -> (i * 10) + j)))
+      (List.init 8 Fun.id)
+  in
+  Alcotest.(check (list (list int))) "nested map results" want got;
+  Alcotest.(check int) "no live domains after" 0 (Parallel.live_domains ())
+
 (* -- assembly determinism ---------------------------------------------------- *)
 
 let compile ~jobs prog =
@@ -214,6 +264,34 @@ let test_counters_exact_under_parallelism () =
     Alcotest.failf "merged counters drift: j1 %s, j4 %s, j8 %s" (show s1)
       (show s4) (show s8)
 
+let test_parity_and_telemetry_through_pool () =
+  (* byte parity and counter exactness through the real pool: the
+     production clamp would serialise every -j on a 1-core box, so
+     force genuine multi-domain batches with ~oversubscribe *)
+  let compile_over ~jobs prog =
+    (Driver.compile_program ~tables:(Lazy.force tables) ~oversubscribe:true
+       ~jobs prog)
+      .Driver.assembly
+  in
+  let prog = Treegen.control_program ~seed:23 Treegen.default_config in
+  let run jobs =
+    Profile.reset ();
+    let asm = compile_over ~jobs prog in
+    (asm, snap (Profile.totals ()))
+  in
+  let asm1, s1 = run 1 in
+  let (a, b, _, _) = s1 in
+  Alcotest.(check bool) "counters were recorded" true (a > 0 && b > 0);
+  List.iter
+    (fun jobs ->
+      let asm, s = run jobs in
+      Alcotest.(check string) (Fmt.str "-j%d assembly = -j1" jobs) asm1 asm;
+      if s <> s1 then
+        Alcotest.failf "-j%d merged counters differ from -j1" jobs)
+    [ 2; 4; 8 ];
+  Profile.reset ();
+  Parallel.shutdown ()
+
 let test_coverage_exact_under_parallelism () =
   let prog = Treegen.control_program ~seed:17 Treegen.default_config in
   let counts jobs =
@@ -241,6 +319,14 @@ let suite =
       test_map_leaves_no_live_domains;
     Alcotest.test_case "spawn_pool/join_pool lifecycle" `Quick
       test_spawn_pool_runs_and_joins;
+    Alcotest.test_case "oversubscribed map forces real domains" `Quick
+      test_oversubscribed_map;
+    Alcotest.test_case "pool persists, shuts down, respawns" `Quick
+      test_pool_reuse_and_shutdown;
+    Alcotest.test_case "nested map falls back to inline" `Quick
+      test_nested_map_runs_inline;
+    Alcotest.test_case "byte parity + exact counters through the pool" `Quick
+      test_parity_and_telemetry_through_pool;
     Alcotest.test_case "fixed corpus: -j2/-j4 assembly = -j1" `Slow
       test_fixed_corpus_identical;
     Alcotest.test_case "50 fuzzed programs: -j4 assembly = -j1" `Slow

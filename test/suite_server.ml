@@ -312,6 +312,119 @@ let test_e2e_backpressure () =
     (Fmt.str "every burst connect was rejected (%d of 8)" !rejected)
     8 !rejected
 
+let test_retry_exhaustion () =
+  (* a persistently full queue: Client.compile must back off, retry the
+     configured number of times reporting each wait through on_retry,
+     and then raise — the caller never sees Retry_after as an answer *)
+  with_server ~workers:1 ~queue_capacity:1 @@ fun socket _t ->
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  let holder = connect () in
+  Framing.write_frame holder
+    (Protocol.encode_request
+       (Protocol.request ~sleep_ms:2_000 "int main() { return 0; }"));
+  Unix.sleepf 0.2 (* the worker pops the holder and starts sleeping *);
+  let filler = connect () in
+  Unix.sleepf 0.2 (* the filler is enqueued: the queue is now full *);
+  let events = ref [] in
+  (match
+     Client.compile ~retries:2
+       ~on_retry:(fun ~attempt ~wait_ms ->
+         events := (attempt, wait_ms) :: !events)
+       ~socket
+       (Protocol.request "int main() { return 1; }")
+   with
+  | _ -> Alcotest.fail "expected Server_error on retry exhaustion"
+  | exception Client.Server_error m ->
+    Alcotest.(check bool) "message counts the attempts" true
+      (contains ~sub:"gave up after 3 attempts" m);
+    Alcotest.(check bool) "message totals the backoff" true
+      (contains ~sub:"ms of backoff" m));
+  Alcotest.(check int) "on_retry fired once per sleep" 2 (List.length !events);
+  List.iter
+    (fun (attempt, wait_ms) ->
+      Alcotest.(check bool)
+        (Fmt.str "attempt %d wait within the cap" attempt)
+        true
+        (wait_ms >= 1 && wait_ms <= 2_000))
+    !events;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ holder; filler ]
+
+(* -- spawn on demand --------------------------------------------------------- *)
+
+let ggccd_path () =
+  (* tests run from _build/default/test; the daemon sits next door *)
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "ggccd.exe"))
+
+let test_concurrent_double_ensure () =
+  (* two --spawn clients race to start a daemon on the same fresh
+     socket: both must succeed — one child wins the socket, the
+     loser's exit is treated as the race it is, not a failure — and
+     every child this process forked must be reapable (no zombies) *)
+  let ggccd = ggccd_path () in
+  Alcotest.(check bool) (Fmt.str "daemon binary %s exists" ggccd) true
+    (Sys.file_exists ggccd);
+  (* prewarm the on-disk table cache in a private directory the
+     children inherit, so daemon startup is cache-load fast *)
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ggcg-test-cache-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir cache_dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Unix.putenv "GGCG_CACHE_DIR" cache_dir;
+  ignore
+    (Driver.cached_tables ~dir:cache_dir Driver.default_options.Driver.grammar);
+  let socket = fresh_socket () in
+  let results = Array.make 2 (Error "unset") in
+  let callers =
+    List.init 2 (fun i ->
+        Domain.spawn (fun () ->
+            results.(i) <-
+              (match Client.ensure ~ggccd ~wait_s:30. ~socket ~spawn:true () with
+              | pid -> Ok pid
+              | exception Client.Server_error m -> Error m)))
+  in
+  List.iter Domain.join callers;
+  let pids =
+    Array.to_list results
+    |> List.filter_map (function Ok (Some pid) -> Some pid | _ -> None)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun pid ->
+          try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+        pids;
+      List.iter
+        (fun pid ->
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        pids)
+  @@ fun () ->
+  Array.iter
+    (function
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "a racing ensure failed: %s" m)
+    results;
+  Alcotest.(check bool) "at least one caller owns the serving daemon" true
+    (pids <> []);
+  (* the survivor really serves, byte-identical to direct compilation *)
+  let src = "int main() { return 42; }" in
+  Alcotest.(check string) "the race winner compiles correctly"
+    (direct_compile src)
+    (expect_asm (Client.compile ~socket (Protocol.request src)));
+  (* a third ensure against the live socket spawns nothing *)
+  Alcotest.(check bool) "ensure on a live socket spawns nothing" true
+    (Client.ensure ~ggccd ~socket ~spawn:true () = None)
+
 let test_e2e_graceful_stop () =
   let socket = fresh_socket () in
   let config =
@@ -371,6 +484,10 @@ let suite =
       test_e2e_malformed_frame;
     Alcotest.test_case "e2e: full queue answers Retry_after" `Quick
       test_e2e_backpressure;
+    Alcotest.test_case "client: retry exhaustion raises, backoff capped" `Quick
+      test_retry_exhaustion;
+    Alcotest.test_case "client: concurrent double-ensure both succeed" `Slow
+      test_concurrent_double_ensure;
     Alcotest.test_case "e2e: graceful stop, idempotent, no live domains" `Quick
       test_e2e_graceful_stop;
     Alcotest.test_case "start refuses a socket with a live server" `Quick
