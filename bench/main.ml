@@ -16,8 +16,11 @@ module Matcher = Gg_matcher.Matcher
 module Transform = Gg_transform.Transform
 module Phase1c = Gg_transform.Phase1c
 module Grammar_def = Gg_vax.Grammar_def
-module Insn = Gg_vax.Insn
+module Insn = Gg_ir.Insn
 module Driver = Gg_codegen.Driver
+module Backend = Gg_codegen.Backend
+module Targets = Gg_targets.Targets
+module Simout = Gg_ir.Simout
 module Pcc = Gg_pcc.Pcc
 module Sema = Gg_frontc.Sema
 module Corpus = Gg_frontc.Corpus
@@ -51,6 +54,18 @@ let flag_value name =
 
 let trace_out = flag_value "trace-out"
 let metrics_out = flag_value "metrics-out"
+
+(* --target=vax|risc retargets the gg-backend measurements (the
+   throughput section); the retarget section always measures both *)
+let bench_target =
+  match flag_value "target" with
+  | None -> Gg_codegen.Backend.Vax
+  | Some s -> (
+    match Gg_targets.Targets.of_string s with
+    | Some t -> t
+    | None ->
+      Fmt.epr "unknown --target=%s (vax or risc)@." s;
+      exit 2)
 
 let section title = Fmt.pr "@.=== %s ===@." title
 let row fmt = Fmt.pr fmt
@@ -334,7 +349,7 @@ let bench_phase_profile () =
         List.iter
           (fun s ->
             match s with
-            | Tree.Stree t -> ignore (Matcher.run_tree_engine tables null_cb t)
+            | Tree.Stree t -> ignore (Matcher.run_tree_engine (Driver.engine tables) null_cb t)
             | _ -> ())
           tr.Transform.func.Tree.body)
       transformed
@@ -596,7 +611,7 @@ let bench_coverage () =
         List.iter
           (fun s ->
             match s with
-            | Tree.Stree t -> ignore (Matcher.run_tree_engine tables null_cb t)
+            | Tree.Stree t -> ignore (Matcher.run_tree_engine (Driver.engine tables) null_cb t)
             | _ -> ())
           tr.Transform.func.Tree.body)
       prog.Tree.funcs
@@ -660,8 +675,11 @@ let bench_appendix () =
 
 let bench_throughput () =
   section
-    "THRU: second-pass throughput (paper section 8: the table-driven pass \
-     ran 1.45x slower than PCC; section 9 calls the gap engineering)";
+    (Fmt.str
+       "THRU: second-pass throughput, %s target (paper section 8: the \
+        table-driven pass ran 1.45x slower than PCC; section 9 calls the gap \
+        engineering)"
+       (Targets.name bench_target));
   let prog = Lazy.force corpus_program in
   let transformed = List.map (fun f -> Transform.run f) prog.Tree.funcs in
   let n_stmts =
@@ -680,9 +698,11 @@ let bench_throughput () =
       transformed
   in
   let n_trees = List.length token_lists in
-  let g = Grammar_def.grammar Grammar_def.default in
+  let b = Targets.backend_of bench_target in
+  let g = Lazy.force b.Backend.default_grammar in
   let dense = Matcher.engine (Tables.build g) in
-  let packed = Lazy.force Driver.default_tables in
+  let packed_tables = Targets.default_tables bench_target in
+  let packed = Driver.engine packed_tables in
   let null_cb : unit Matcher.callbacks =
     {
       Matcher.on_shift = (fun _ -> ());
@@ -747,7 +767,7 @@ let bench_throughput () =
   (* byte-identity is asserted through real multi-domain batches
      (oversubscribed past the clamp), so it holds on any host *)
   let asm j =
-    (Driver.compile_program ~tables:packed ~jobs:j ~oversubscribe:true prog)
+    (Driver.compile_program ~tables:packed_tables ~jobs:j ~oversubscribe:true prog)
       .Driver.assembly
   in
   let identical = asm 1 = asm 4 && asm 1 = asm 8 in
@@ -765,7 +785,7 @@ let bench_throughput () =
              ( Fmt.str "batch-j%d" j,
                fun () ->
                  ignore
-                   (Driver.compile_program ~tables:packed ~jobs:j ~oversubscribe
+                   (Driver.compile_program ~tables:packed_tables ~jobs:j ~oversubscribe
                       prog) ))
            jlist)
     in
@@ -960,7 +980,7 @@ let bench_serve () =
   let config =
     { (Server.default_config ~socket_path:socket) with Server.workers }
   in
-  let server = Server.start ~config ~tables () in
+  let server = Server.start ~config ~tables:(fun _ -> tables) () in
   Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
   (* correctness before speed: every served answer must be the bytes a
      direct compile produces *)
@@ -1108,7 +1128,7 @@ let bench_serve () =
             queue_capacity;
           }
         in
-        let server = Server.start ~config ~tables () in
+        let server = Server.start ~config ~tables:(fun _ -> tables) () in
         Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
         let lat, out, wall, retry_events, max_in_flight =
           open_loop ~socket ~requests ~burst ~rate_rps:rate ~fail_every
@@ -1198,6 +1218,67 @@ let bench_serve () =
   row "written: BENCH_serve.json@."
 
 (* ============================================================================ *)
+(* RETARGET: the second machine description, measured against the first        *)
+(* ============================================================================ *)
+
+let bench_retarget () =
+  section
+    "RETARGET: second backend (the paper's thesis is that the machine \
+     description is the only target-specific artifact)";
+  (* the description's own footprint: grammar and table statistics per
+     target, built by the same constructor *)
+  List.iter
+    (fun target ->
+      let b = Targets.backend_of target in
+      let g = Lazy.force b.Backend.default_grammar in
+      let gs = Grammar.stats g in
+      let ts = Tables.stats (Tables.build g) in
+      row
+        "%-5s %4d productions  %3d terminals  %3d non-terminals  %4d states@."
+        (Targets.name target) gs.Grammar.productions gs.Grammar.terminals
+        gs.Grammar.nonterminals ts.Tables.states)
+    Targets.all;
+  (* full-pipeline compile time over the same corpus, per target: the
+     driver is shared, so the gap is the description's own doing *)
+  let prog = Lazy.force corpus_program in
+  let results =
+    measure_ns_best
+      ~repeats:(if quick then 1 else 3)
+      (List.map
+         (fun target ->
+           let tables = Targets.default_tables target in
+           ( "c-" ^ Targets.name target,
+             fun () -> ignore (Driver.compile_program ~tables prog) ))
+         Targets.all)
+  in
+  (match (lookup results "c-vax", lookup results "c-risc") with
+  | Some v, Some r ->
+    row "corpus compile: vax %.1f ms, risc %.1f ms (risc/vax %.2fx)@."
+      (v /. 1e6) (r /. 1e6) (r /. v)
+  | _ -> row "measurement failed@.");
+  (* static and dynamic cost of the generated code on the fixed corpus,
+     with every program executed under its target's simulator *)
+  List.iter
+    (fun target ->
+      let tables = Targets.default_tables target in
+      let bytes, insns, cycles =
+        List.fold_left
+          (fun (b, i, c) (_, p) ->
+            let out = Driver.compile_program ~tables p in
+            let sim =
+              Targets.run_text ~target out.Driver.assembly
+                ~global_types:p.Tree.globals ~entry:"main" []
+            in
+            ( b + String.length out.Driver.assembly,
+              i + sim.Simout.insns_executed,
+              c + sim.Simout.cycles ))
+          (0, 0, 0) (Lazy.force fixed_progs)
+      in
+      row "%-5s fixed corpus: %6d asm bytes  %6d insns executed  %7d cycles@."
+        (Targets.name target) bytes insns cycles)
+    Targets.all
+
+(* ============================================================================ *)
 
 let () =
   Fmt.pr "Table-driven code generation: benchmark harness%s@."
@@ -1226,6 +1307,7 @@ let () =
       ("coverage", bench_coverage);
       ("appendix", bench_appendix);
       ("throughput", bench_throughput);
+      ("retarget", bench_retarget);
       ("serve", bench_serve);
     ]
   in

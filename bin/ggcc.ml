@@ -1,15 +1,18 @@
 (* ggcc — the mini-C compiler driver.
 
-   Compiles mini-C source to VAX assembly with either the table-driven
-   Graham-Glanville backend (the paper's contribution) or the PCC-style
-   baseline, and can run the result under the VAX simulator. *)
+   Compiles mini-C source to assembly for a selected target machine
+   (--target vax|risc) with either the table-driven Graham-Glanville
+   backend (the paper's contribution) or the PCC-style baseline (VAX
+   only), and can run the result under the target's simulator. *)
 
 open Cmdliner
 module Driver = Gg_codegen.Driver
+module Backend = Gg_codegen.Backend
+module Targets = Gg_targets.Targets
 module Pcc = Gg_pcc.Pcc
 module Sema = Gg_frontc.Sema
-module Machine = Gg_vaxsim.Machine
 module Interp = Gg_ir.Interp
+module Simout = Gg_ir.Simout
 module Tree = Gg_ir.Tree
 module Protocol = Gg_server.Protocol
 module Client = Gg_server.Client
@@ -25,11 +28,13 @@ let read_file path =
 
 (* Table acquisition for the gg backend, in order of preference: an
    explicit -tables file (created on first use), the per-user cache
-   keyed by grammar digest, or an in-process build (--no-cache). *)
-let gg_tables ~tables_file ~no_cache () =
-  let g = Lazy.force Gg_vax.Grammar_def.default_grammar in
+   keyed by target and grammar digest, or an in-process build
+   (--no-cache). *)
+let gg_tables ~target ~tables_file ~no_cache () =
+  let b = Targets.backend_of target in
   match tables_file with
   | Some path ->
+    let g = Lazy.force b.Backend.default_grammar in
     let packed =
       if Sys.file_exists path then
         Gg_profile.Trace.phase "tables.load" (fun () ->
@@ -40,10 +45,10 @@ let gg_tables ~tables_file ~no_cache () =
         p
       end
     in
-    Gg_matcher.Matcher.packed_engine ~grammar:g packed
+    Driver.of_engine ~backend:b (Gg_matcher.Matcher.packed_engine ~grammar:g packed)
   | None ->
-    if no_cache then Lazy.force Driver.default_tables
-    else Driver.cached_tables Driver.default_options.Driver.grammar
+    if no_cache then Targets.default_tables target
+    else Targets.cached_tables target Driver.default_options.Driver.grammar
 
 let compile_source backend ~idioms ~peephole ~jobs ~tables ~explain src =
   let prog = Gg_profile.Trace.phase "frontend" (fun () -> Sema.compile src) in
@@ -84,6 +89,12 @@ let handle_errors f =
   | Client.Server_error m ->
     Fmt.epr "error: %s@." m;
     exit 3
+  | Targets.Sim_error m ->
+    Fmt.epr "simulator error: %s@." m;
+    exit 4
+  | Targets.Parse_error (line, m) ->
+    Fmt.epr "assembler parse error, line %d: %s@." line m;
+    exit 4
 
 (* Arm the requested instruments before compiling and flush their
    expositions afterwards.  The wall-clock timers come on for any of
@@ -120,15 +131,15 @@ let with_profile profile f = with_telemetry profile f
 (* Route one compile through a ggccd daemon.  The server runs the same
    compile path with the same options, so the assembly (or the error
    text and exit code) is identical to compiling directly. *)
-let server_compile ~socket ~spawn ~ggccd ~backend ~idioms ~peephole ~jobs
-    ~explain ~deadline_ms ~fail_inject ~sleep_ms src =
+let server_compile ~socket ~spawn ~ggccd ~backend ~target ~idioms ~peephole
+    ~jobs ~explain ~deadline_ms ~fail_inject ~sleep_ms src =
   ignore (Client.ensure ?ggccd ~socket ~spawn () : int option);
   let backend =
     match backend with Gg -> Protocol.Gg | Pcc_backend -> Protocol.Pcc
   in
   let req =
-    Protocol.request ~backend ~idioms ~peephole ~explain ~jobs ~deadline_ms
-      ~fail_inject ~sleep_ms src
+    Protocol.request ~backend ~target ~idioms ~peephole ~explain ~jobs
+      ~deadline_ms ~fail_inject ~sleep_ms src
   in
   match Client.compile ~socket req with
   | Protocol.Asm asm -> asm
@@ -153,10 +164,16 @@ let server_compile ~socket ~spawn ~ggccd ~backend ~idioms ~peephole ~jobs
     Fmt.epr "server error: queue full, retries exhausted@.";
     exit 3
 
-let compile_cmd path backend idioms peephole jobs output run args tables_file
-    no_cache profile trace_out metrics metrics_out explain server spawn ggccd
-    deadline_ms inject_fail inject_sleep_ms =
+let compile_cmd path backend target idioms peephole jobs output run args
+    tables_file no_cache profile trace_out metrics metrics_out explain server
+    spawn ggccd deadline_ms inject_fail inject_sleep_ms =
   handle_errors (fun () ->
+      (* the baseline emits VAX assembly; refuse the cross pairing here
+         rather than shipping it to a daemon that will refuse it too *)
+      if backend = Pcc_backend && target <> Backend.Vax then begin
+        Fmt.epr "error: the pcc backend targets the VAX only@.";
+        exit 1
+      end;
       with_telemetry ~trace_out ~metrics ~metrics_out ~explain profile
       @@ fun () ->
       let src = read_file path in
@@ -164,15 +181,15 @@ let compile_cmd path backend idioms peephole jobs output run args tables_file
         match server with
         | Some socket ->
           let asm =
-            server_compile ~socket ~spawn ~ggccd ~backend ~idioms ~peephole
-              ~jobs ~explain ~deadline_ms ~fail_inject:inject_fail
+            server_compile ~socket ~spawn ~ggccd ~backend ~target ~idioms
+              ~peephole ~jobs ~explain ~deadline_ms ~fail_inject:inject_fail
               ~sleep_ms:inject_sleep_ms src
           in
           (* the simulator needs the global layout; the daemon answered
              Asm, so the local frontend cannot fail on the same source *)
           (asm, lazy (Sema.compile src).Tree.globals)
         | None ->
-          let tables = lazy (gg_tables ~tables_file ~no_cache ()) in
+          let tables = lazy (gg_tables ~target ~tables_file ~no_cache ()) in
           let asm, prog =
             Gg_profile.Trace.span ~cat:"file" (Filename.basename path)
               (fun () ->
@@ -190,13 +207,12 @@ let compile_cmd path backend idioms peephole jobs output run args tables_file
       if run then begin
         let args = List.map (fun n -> Interp.VInt (Int64.of_int n)) args in
         let out =
-          Machine.run_text ~global_types:(Lazy.force globals) asm ~entry:"main"
-            args
+          Targets.run_text ~target ~global_types:(Lazy.force globals) asm
+            ~entry:"main" args
         in
-        List.iter print_endline out.Machine.output;
+        List.iter print_endline out.Simout.output;
         Fmt.pr "exit: %a   (%d instructions, %d cycles)@." Interp.pp_value
-          out.Machine.return_value out.Machine.insns_executed
-          out.Machine.cycles
+          out.Simout.return_value out.Simout.insns_executed out.Simout.cycles
       end)
 
 let interp_cmd path args =
@@ -207,29 +223,33 @@ let interp_cmd path args =
       List.iter print_endline out.Interp.output;
       Fmt.pr "exit: %a@." Interp.pp_value out.Interp.return_value)
 
-let trace_cmd path tables_file no_cache profile =
+let trace_cmd path target tables_file no_cache profile =
   handle_errors (fun () ->
       with_profile profile @@ fun () ->
       let prog = Sema.compile (read_file path) in
-      let tables = gg_tables ~tables_file ~no_cache () in
+      let tables = gg_tables ~target ~tables_file ~no_cache () in
+      let b = Driver.backend tables in
       let g = Driver.grammar tables in
       List.iter
         (fun (f : Tree.func) ->
           Fmt.pr "=== %s ===@." f.Tree.fname;
-          let tr = Gg_transform.Transform.run f in
+          let tr =
+            Gg_transform.Transform.run ~leaf_need:b.Backend.leaf_need f
+          in
           let sem =
-            Gg_codegen.Semantics.create
+            Gg_codegen.Semantics.create ~allocatable:b.Backend.alloc_regs
+              ?move:b.Backend.move
               (Gg_codegen.Frame.create ~locals_size:f.Tree.locals_size
                  ~temps:tr.Gg_transform.Transform.temps)
           in
-          let cb = Gg_codegen.Semantics.callbacks sem g in
+          let cb = b.Backend.callbacks sem g in
           List.iter
             (fun s ->
               match s with
               | Tree.Stree t ->
                 Fmt.pr "@.tree: %a@." Tree.pp t;
                 let outcome =
-                  Gg_matcher.Matcher.run_tree_engine ~trace:true tables cb t
+                  Gg_matcher.Matcher.run_tree_engine ~trace:true (Driver.engine tables) cb t
                 in
                 Fmt.pr "%a@."
                   (Gg_matcher.Matcher.pp_trace g)
@@ -246,6 +266,16 @@ let backend_arg =
     value
     & opt (enum [ ("gg", Gg); ("pcc", Pcc_backend) ]) Gg
     & info [ "b"; "backend" ] ~doc:"Backend: table-driven (gg) or PCC-style (pcc).")
+
+let target_arg =
+  Arg.(
+    value
+    & opt (enum [ ("vax", Backend.Vax); ("risc", Backend.Risc) ]) Backend.Vax
+    & info [ "t"; "target" ]
+        ~doc:
+          "Target machine description: $(b,vax) or $(b,risc).  Selects the \
+           grammar, instruction table and simulator; the pcc backend is \
+           VAX-only.")
 
 let idioms_arg =
   Arg.(
@@ -397,14 +427,15 @@ let inject_sleep_arg =
 let () =
   let compile_term =
     Term.(
-      const compile_cmd $ path_arg $ backend_arg $ idioms_arg $ peephole_arg
-      $ jobs_arg $ output_arg $ run_arg $ args_arg $ tables_arg $ no_cache_arg
-      $ profile_arg $ trace_out_arg $ metrics_arg $ metrics_out_arg
-      $ explain_arg $ server_arg $ spawn_arg $ ggccd_arg $ deadline_arg
-      $ inject_fail_arg $ inject_sleep_arg)
+      const compile_cmd $ path_arg $ backend_arg $ target_arg $ idioms_arg
+      $ peephole_arg $ jobs_arg $ output_arg $ run_arg $ args_arg $ tables_arg
+      $ no_cache_arg $ profile_arg $ trace_out_arg $ metrics_arg
+      $ metrics_out_arg $ explain_arg $ server_arg $ spawn_arg $ ggccd_arg
+      $ deadline_arg $ inject_fail_arg $ inject_sleep_arg)
   in
   let compile =
-    Cmd.v (Cmd.info "compile" ~doc:"Compile mini-C to VAX assembly.")
+    Cmd.v
+      (Cmd.info "compile" ~doc:"Compile mini-C to the target's assembly.")
       compile_term
   in
   let interp =
@@ -416,10 +447,11 @@ let () =
     Cmd.v
       (Cmd.info "trace" ~doc:"Show the pattern matcher's shift/reduce actions.")
       Term.(
-        const trace_cmd $ path_arg $ tables_arg $ no_cache_arg $ profile_arg)
+        const trace_cmd $ path_arg $ target_arg $ tables_arg $ no_cache_arg
+        $ profile_arg)
   in
   let info =
     Cmd.info "ggcc"
-      ~doc:"Mini-C compiler with a table-driven VAX code generator"
+      ~doc:"Mini-C compiler with a table-driven, retargetable code generator"
   in
   exit (Cmd.eval (Cmd.group info ~default:compile_term [ compile; interp; trace ]))

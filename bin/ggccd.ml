@@ -7,6 +7,8 @@
 
 open Cmdliner
 module Driver = Gg_codegen.Driver
+module Backend = Gg_codegen.Backend
+module Targets = Gg_targets.Targets
 module Server = Gg_server.Server
 module Protocol = Gg_server.Protocol
 module Profile = Gg_profile.Profile
@@ -66,12 +68,35 @@ let run socket workers queue_capacity read_timeout log_path no_cache metrics_out
   Profile.enabled := true;
   Metrics.enabled := true;
   if trace_out <> None then Trace.enabled := true;
-  let t0 = Unix.gettimeofday () in
-  let tables =
-    if no_cache then Lazy.force Driver.default_tables
-    else Driver.cached_tables Driver.default_options.Driver.grammar
+  (* Per-target tables, resolved on first request for that target and
+     kept warm for the daemon's lifetime.  The mutex makes resolution
+     safe from any worker domain (and keeps a shared lazy from being
+     forced concurrently); the common case after the first request per
+     target is one lock/lookup/unlock. *)
+  let table_mutex = Mutex.create () in
+  let table_memo : (Backend.target, Driver.tables) Hashtbl.t =
+    Hashtbl.create 4
   in
-  log (Fmt.str "tables ready in %.3f s" (Unix.gettimeofday () -. t0));
+  let tables target =
+    Mutex.protect table_mutex (fun () ->
+        match Hashtbl.find_opt table_memo target with
+        | Some t -> t
+        | None ->
+          let t0 = Unix.gettimeofday () in
+          let t =
+            if no_cache then Targets.default_tables target
+            else
+              Targets.cached_tables target Driver.default_options.Driver.grammar
+          in
+          log
+            (Fmt.str "%s tables ready in %.3f s" (Targets.name target)
+               (Unix.gettimeofday () -. t0));
+          Hashtbl.add table_memo target t;
+          t)
+  in
+  (* warm the default target before accepting, like the old
+     single-table daemon did *)
+  ignore (tables Backend.Vax : Driver.tables);
   let config =
     let d = Server.default_config ~socket_path:socket in
     {

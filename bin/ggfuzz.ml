@@ -13,6 +13,7 @@ module Coverage = Gg_fuzz.Coverage
 module Oracle = Gg_fuzz.Oracle
 module Treegen = Gg_ir.Treegen
 module Driver = Gg_codegen.Driver
+module Backend = Gg_codegen.Backend
 
 let parse_seeds s =
   match String.index_opt s '.' with
@@ -60,6 +61,24 @@ let engine_arg =
     & info [ "e"; "engine" ]
         ~doc:"Table engine(s) for the gg backend: $(b,dense), $(b,packed) or \
               $(b,both).")
+
+let target_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("vax", [ Backend.Vax ]);
+             ("risc", [ Backend.Risc ]);
+             ("both", [ Backend.Vax; Backend.Risc ]);
+           ])
+        [ Backend.Vax ]
+    & info [ "t"; "target" ]
+        ~doc:
+          "Backend(s) under test: $(b,vax), $(b,risc) or $(b,both).  With \
+           $(b,both) the oracle is differential across machine descriptions \
+           as well as across table representations; the PCC baseline joins \
+           only when the VAX is selected.")
 
 let stmts_arg =
   Arg.(
@@ -181,7 +200,7 @@ let with_telemetry ~profile ~trace_out ~metrics ~metrics_out f =
   Option.iter Gg_profile.Trace.write trace_out;
   r
 
-let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
+let fuzz_cmd (seed_lo, seed_hi) engine targets stmts depth max_nest functions
     straight_line corpus_dir coverage verbose_cov quiet shrink_checks jobs
     profile trace_out metrics metrics_out =
   (* run the campaign under the telemetry wrapper but exit after it, so
@@ -194,6 +213,7 @@ let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
       seed_hi;
       gen = { Treegen.stmts; depth; max_nest; functions };
       engine;
+      targets;
       straight_line;
       corpus_dir;
       max_shrink_checks = shrink_checks;
@@ -217,8 +237,11 @@ let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
         d.Campaign.dump)
     result.Campaign.divergences;
   if coverage then begin
-    let g = Lazy.force Gg_vax.Grammar_def.default_grammar in
-    let baseline = Coverage.baseline (Lazy.force Driver.default_tables) in
+    (* production ids are per-grammar, so the coverage report is pinned
+       to the first selected target's grammar *)
+    let tables = Gg_targets.Targets.default_tables (List.hd targets) in
+    let g = Driver.grammar tables in
+    let baseline = Coverage.baseline tables in
     let report = Coverage.report g ~fired:result.Campaign.fired in
     Fmt.pr "%a" (Coverage.pp_report ~baseline ~verbose:verbose_cov g) report
   end;
@@ -226,8 +249,8 @@ let fuzz_cmd (seed_lo, seed_hi) engine stmts depth max_nest functions
   in
   if n_div > 0 then exit 1
 
-let replay_cmd path engine =
-  match Campaign.replay ~engine path with
+let replay_cmd path engine targets =
+  match Campaign.replay ~engine ~targets path with
   | Ok outcome ->
     Fmt.pr "%s: all backends agree (return value %a)@." path
       Gg_ir.Interp.pp_value outcome.Gg_ir.Interp.return_value;
@@ -244,10 +267,10 @@ let replay_path_arg =
 let () =
   let fuzz_term =
     Term.(
-      const fuzz_cmd $ seeds_arg $ engine_arg $ stmts_arg $ depth_arg
-      $ nest_arg $ functions_arg $ straight_arg $ corpus_arg $ coverage_arg
-      $ verbose_cov_arg $ quiet_arg $ shrink_checks_arg $ jobs_arg
-      $ profile_arg $ trace_out_arg $ metrics_arg $ metrics_out_arg)
+      const fuzz_cmd $ seeds_arg $ engine_arg $ target_arg $ stmts_arg
+      $ depth_arg $ nest_arg $ functions_arg $ straight_arg $ corpus_arg
+      $ coverage_arg $ verbose_cov_arg $ quiet_arg $ shrink_checks_arg
+      $ jobs_arg $ profile_arg $ trace_out_arg $ metrics_arg $ metrics_out_arg)
   in
   let fuzz =
     Cmd.v
@@ -258,7 +281,7 @@ let () =
     Cmd.v
       (Cmd.info "replay"
          ~doc:"Re-run a persisted reproducer ($(b,.ir) dump) through the oracle.")
-      Term.(const replay_cmd $ replay_path_arg $ engine_arg)
+      Term.(const replay_cmd $ replay_path_arg $ engine_arg $ target_arg)
   in
   let info =
     Cmd.info "ggfuzz"

@@ -10,7 +10,7 @@ module Checks = Gg_tablegen.Checks
 module Lr0 = Gg_tablegen.Lr0
 module Naive = Gg_tablegen.Naive
 module Grammar_def = Gg_vax.Grammar_def
-module Treelang = Gg_vax.Treelang
+module Treelang = Gg_ir.Treelang
 module Mdg = Gg_grammar.Mdg
 module Schema = Gg_grammar.Schema
 
@@ -140,19 +140,25 @@ let pack_stats o =
     (Gg_tablegen.Packed.stats (Gg_tablegen.Packed.pack t));
   Fmt.pr "grammar digest: %s@." (Grammar.digest g)
 
-(* warm (or inspect) the on-disk table cache ggcc compiles from *)
+(* warm (or inspect) the on-disk table cache ggcc compiles from.  The
+   cache directory is shared by every target, so both warming and
+   clearing walk the full live list: clearing the VAX entry must not
+   leave a stale RISC one behind, and vice versa. *)
 let cache o dir clear =
-  let g = Grammar_def.grammar o in
-  let file = Gg_tablegen.Cache.path ?dir g in
+  let live = Gg_targets.Targets.live_cache_entries o in
   if clear then begin
-    if Sys.file_exists file then begin
-      Sys.remove file;
-      Fmt.pr "removed %s@." file
-    end
-    else Fmt.pr "no cached tables (%s)@." file;
-    (* also sweep entries whose grammar digest no longer matches —
+    List.iter
+      (fun (target, g) ->
+        let file = Gg_tablegen.Cache.path ?dir ~target g in
+        if Sys.file_exists file then begin
+          Sys.remove file;
+          Fmt.pr "removed %s@." file
+        end
+        else Fmt.pr "no cached %s tables (%s)@." target file)
+      live;
+    (* also sweep entries matching no live (target, digest) pair —
        unreachable files an edited grammar leaves behind *)
-    match Gg_tablegen.Cache.clear_stale ?dir g with
+    match Gg_tablegen.Cache.clear_stale ?dir live with
     | [] -> Fmt.pr "no stale entries@."
     | evicted ->
       List.iter
@@ -161,25 +167,35 @@ let cache o dir clear =
       Fmt.pr "%d stale %s evicted@." (List.length evicted)
         (if List.length evicted = 1 then "entry" else "entries")
   end
-  else begin
+  else
     let time_once f =
       let t0 = Unix.gettimeofday () in
       let r = f () in
       (Unix.gettimeofday () -. t0, r)
     in
-    (match Gg_tablegen.Cache.load ?dir g with
-    | Some _ -> Fmt.pr "cache hit:  %s@." file
-    | None ->
-      let t_build, packed = time_once (fun () -> Gg_tablegen.Cache.build g) in
-      if Gg_tablegen.Cache.store ?dir g packed then
-        Fmt.pr "cache miss: built in %.3f s and stored %s@." t_build file
-      else Fmt.pr "cache miss: built in %.3f s (store failed: %s)@." t_build file);
-    let t_load, packed = time_once (fun () -> Gg_tablegen.Packed.load g file) in
-    Fmt.pr "load time:  %.1f ms@." (t_load *. 1e3);
-    Fmt.pr "tables:     %a@." Gg_tablegen.Packed.pp_stats
-      (Gg_tablegen.Packed.stats packed);
-    Fmt.pr "digest:     %s@." (Gg_tablegen.Packed.digest packed)
-  end
+    List.iter
+      (fun (target, g) ->
+        let file = Gg_tablegen.Cache.path ?dir ~target g in
+        Fmt.pr "[%s]@." target;
+        (match Gg_tablegen.Cache.load ?dir ~target g with
+        | Some _ -> Fmt.pr "cache hit:  %s@." file
+        | None ->
+          let t_build, packed =
+            time_once (fun () -> Gg_tablegen.Cache.build g)
+          in
+          if Gg_tablegen.Cache.store ?dir ~target g packed then
+            Fmt.pr "cache miss: built in %.3f s and stored %s@." t_build file
+          else
+            Fmt.pr "cache miss: built in %.3f s (store failed: %s)@." t_build
+              file);
+        let t_load, packed =
+          time_once (fun () -> Gg_tablegen.Packed.load g file)
+        in
+        Fmt.pr "load time:  %.1f ms@." (t_load *. 1e3);
+        Fmt.pr "tables:     %a@." Gg_tablegen.Packed.pp_stats
+          (Gg_tablegen.Packed.stats packed);
+        Fmt.pr "digest:     %s@." (Gg_tablegen.Packed.digest packed))
+      live
 
 (* which productions actually fire, and how hard: compile the fixed
    mini-C corpus (plus optional generated programs) with production
@@ -276,7 +292,8 @@ let () =
       cmd_of "pack" "Table compression statistics."
         Term.(const pack_stats $ opts_term);
       cmd_of "cache"
-        "Warm the on-disk packed-table cache (what ggcc compiles from)."
+        "Warm the on-disk packed-table cache (what ggcc compiles from), \
+         for every target."
         Term.(
           const cache $ opts_term
           $ Arg.(
@@ -287,9 +304,10 @@ let () =
               value & flag
               & info [ "clear" ]
                   ~doc:
-                    "Remove this grammar's cached tables and evict stale \
-                     entries (tables whose grammar digest no longer matches, \
-                     orphaned temp files), reporting each eviction."));
+                    "Remove every target's cached tables for this grammar and \
+                     evict stale entries (tables whose target or grammar \
+                     digest no longer matches, orphaned temp files), \
+                     reporting each eviction."));
       cmd_of "vocabulary" "The terminal/non-terminal vocabulary (paper Fig. 1)."
         Term.(const vocabulary $ opts_term);
       cmd_of "heat"

@@ -45,4 +45,4 @@ let () =
   in
   Fmt.pr "parser actions:@.%a@.@." (Gg_matcher.Matcher.pp_trace grammar) trace;
   Fmt.pr "emitted instructions:@.";
-  List.iter (fun i -> Fmt.pr "%s@." (Gg_vax.Insn.assembly i)) insns
+  List.iter (fun i -> Fmt.pr "%s@." (Gg_ir.Insn.assembly i)) insns

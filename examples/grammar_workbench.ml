@@ -9,7 +9,7 @@ module Grammar = Gg_grammar.Grammar
 module Tables = Gg_tablegen.Tables
 module Checks = Gg_tablegen.Checks
 module Grammar_def = Gg_vax.Grammar_def
-module Treelang = Gg_vax.Treelang
+module Treelang = Gg_ir.Treelang
 
 let stats_of options =
   let g = Grammar_def.grammar options in

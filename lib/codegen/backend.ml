@@ -1,0 +1,47 @@
+open Import
+
+type target = Vax | Risc
+
+let target_name = function Vax -> "vax" | Risc -> "risc"
+
+let target_of_string = function
+  | "vax" -> Some Vax
+  | "risc" -> Some Risc
+  | _ -> None
+
+let all_targets = [ Vax; Risc ]
+
+type t = {
+  target : target;
+  grammar_of : Grammar_def.options -> Grammar.t;
+  default_grammar : Grammar.t Lazy.t;
+  move : (Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list) option;
+  callbacks : Semantics.t -> Grammar.t -> Desc.sval Matcher.callbacks;
+  jump : Label.t -> Insn.t;
+  prologue : int -> string;
+  prologue_cycles : int;
+  render_insn : Insn.t -> string;
+  insn_cycles : Insn.t -> int;
+  peephole : (Insn.t list -> Insn.t list) option;
+  alloc_regs : int list;
+  leaf_need : int;
+}
+
+let name b = target_name b.target
+
+let vax =
+  {
+    target = Vax;
+    grammar_of = Grammar_def.grammar;
+    default_grammar = Grammar_def.default_grammar;
+    move = None;
+    callbacks = Semantics.callbacks;
+    jump = (fun l -> Insn.Branch ("jbr", l));
+    prologue = (fun size -> Fmt.str "\tsubl2\t$%d,sp\n" size);
+    prologue_cycles = 2;
+    render_insn = Insn.assembly;
+    insn_cycles = Insn.cycles;
+    peephole = Some (fun insns -> fst (Peephole.optimize insns));
+    alloc_regs = Regconv.allocatable;
+    leaf_need = 0;
+  }

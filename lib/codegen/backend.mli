@@ -1,0 +1,53 @@
+open Import
+
+(** A target backend: everything outside the machine description that
+    still depends on the machine.
+
+    The paper's thesis is that the machine description (grammar +
+    instruction table + semantic dispatchers) is the only
+    target-specific artifact.  This record is the test of that claim:
+    it gathers every machine-dependent decision the driver makes —
+    which grammar to build tables from, how to move values for the
+    register manager, which callbacks to run at reductions, the
+    unconditional jump, the function prologue, assembly rendering, the
+    cycle model — so {!Driver} itself stays target-independent. *)
+
+type target = Vax | Risc
+
+val target_name : target -> string
+val target_of_string : string -> target option
+val all_targets : target list
+
+type t = {
+  target : target;
+  grammar_of : Grammar_def.options -> Grammar.t;
+      (** grammar for the shared option record; a non-VAX backend
+          honours the IR-level fields (types, reverse operators) and
+          ignores the VAX-specific ones *)
+  default_grammar : Grammar.t Lazy.t;
+  move : (Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list) option;
+      (** register-manager operand mover; [None] uses the VAX default *)
+  callbacks : Semantics.t -> Grammar.t -> Desc.sval Matcher.callbacks;
+  jump : Label.t -> Insn.t;  (** unconditional branch for [Tree.Sjump] *)
+  prologue : int -> string;
+      (** frame-allocation line(s) for a positive frame size *)
+  prologue_cycles : int;  (** static cost charged per function entry *)
+  render_insn : Insn.t -> string;
+  insn_cycles : Insn.t -> int;
+  peephole : (Insn.t list -> Insn.t list) option;
+      (** [None] when no peephole pass exists for this target;
+          [Driver] then ignores [options.peephole] *)
+  alloc_regs : int list;
+      (** registers the register manager may allocate, in allocation
+          order.  The VAX follows PCC (r6-r11); a load/store target
+          needs a wider bank because every operand is materialised *)
+  leaf_need : int;
+      (** Sethi-Ullman weight of a leaf operand for the phase 1c spill
+          guard: 0 when the ALU takes memory operands directly (VAX),
+          1 when every leaf must be loaded into a register first *)
+}
+
+val name : t -> string
+
+(** The original backend of this compiler. *)
+val vax : t

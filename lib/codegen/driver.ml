@@ -15,20 +15,32 @@ let default_options =
     peephole = false;
   }
 
-type tables = Matcher.engine
+type tables = { t_engine : Matcher.engine; t_backend : Backend.t }
 
-let grammar (t : tables) = t.Matcher.eng_grammar
+let engine t = t.t_engine
+let backend t = t.t_backend
+let grammar t = t.t_engine.Matcher.eng_grammar
+let of_engine ~backend e = { t_engine = e; t_backend = backend }
 
 (* The production representation is the comb-packed one; the dense
    tables exist as an intermediate (and for differential testing via
    Matcher.engine). *)
-let build_tables gopts =
-  let g = Grammar_def.grammar gopts in
-  Matcher.packed_engine ~grammar:g (Gg_tablegen.Cache.build g)
+let build_tables ?(backend = Backend.vax) gopts =
+  let g = backend.Backend.grammar_of gopts in
+  {
+    t_engine = Matcher.packed_engine ~grammar:g (Gg_tablegen.Cache.build g);
+    t_backend = backend;
+  }
 
-let cached_tables ?dir gopts =
-  let g = Grammar_def.grammar gopts in
-  Matcher.packed_engine ~grammar:g (Gg_tablegen.Cache.load_or_build ?dir g)
+let cached_tables ?dir ?(backend = Backend.vax) gopts =
+  let g = backend.Backend.grammar_of gopts in
+  let target = Backend.name backend in
+  {
+    t_engine =
+      Matcher.packed_engine ~grammar:g
+        (Gg_tablegen.Cache.load_or_build ?dir ~target g);
+    t_backend = backend;
+  }
 
 let default_tables = lazy (build_tables Grammar_def.default)
 
@@ -49,13 +61,14 @@ type output = {
 }
 
 let compile_stmts (tables : tables) sem (body : Tree.stmt list) =
-  let cb = Semantics.callbacks sem (grammar tables) in
+  let bk = tables.t_backend in
+  let cb = bk.Backend.callbacks sem (grammar tables) in
   List.iter
     (fun (s : Tree.stmt) ->
       match s with
       | Tree.Stree tree ->
         let match_tree () =
-          let outcome = Matcher.run_tree_engine tables cb tree in
+          let outcome = Matcher.run_tree_engine tables.t_engine cb tree in
           (match outcome.Matcher.value with
           | Desc.Done -> ()
           | Desc.D d ->
@@ -68,7 +81,7 @@ let compile_stmts (tables : tables) sem (body : Tree.stmt list) =
         else match_tree ();
         Semantics.end_tree sem
       | Tree.Slabel l -> Semantics.emit sem (Insn.Lab l)
-      | Tree.Sjump l -> Semantics.emit sem (Insn.Branch ("jbr", l))
+      | Tree.Sjump l -> Semantics.emit sem (bk.Backend.jump l)
       | Tree.Sret -> Semantics.emit sem Insn.Ret
       | Tree.Scall (f, n, _) -> Semantics.emit sem (Insn.Call (f, n))
       | Tree.Scomment c -> Semantics.emit sem (Insn.Comment c)
@@ -77,13 +90,13 @@ let compile_stmts (tables : tables) sem (body : Tree.stmt list) =
 
 (* allocatable registers appearing as Dreg leaves are register
    variables: withhold them from the register manager *)
-let reserved_registers (f : Tree.func) =
+let reserved_registers ~alloc_regs (f : Tree.func) =
   let add acc t =
     Tree.fold
       (fun acc node ->
         match node with
         | Tree.Dreg (_, r) | Tree.Autoinc (_, r) | Tree.Autodec (_, r)
-          when List.mem r Regconv.allocatable && not (List.mem r acc) ->
+          when List.mem r alloc_regs && not (List.mem r acc) ->
           r :: acc
         | _ -> acc)
       acc t
@@ -94,27 +107,38 @@ let reserved_registers (f : Tree.func) =
 
 let compile_func ?(options = default_options) tables (f : Tree.func) =
   Trace.span ~cat:"function" f.Tree.fname @@ fun () ->
-  let reserved = reserved_registers f in
-  let pool = List.length Regconv.allocatable - List.length reserved in
+  let backend = tables.t_backend in
+  let alloc_regs = backend.Backend.alloc_regs in
+  let reserved = reserved_registers ~alloc_regs f in
+  let pool = List.length alloc_regs - List.length reserved in
+  let leaf_need = backend.Backend.leaf_need in
+  let spill_limit =
+    (* on a load/store target every live value sits in a register and
+       doubles occupy pairs, so budget at half the bank *)
+    if leaf_need > 0 then max 2 ((pool / 2) - 1) else max 2 (pool - 1)
+  in
   let tr =
     Trace.phase "phase1.transform" (fun () ->
-        Transform.run ~options:options.transform
-          ~spill_limit:(max 2 (pool - 1)) f)
+        Transform.run ~options:options.transform ~spill_limit ~leaf_need f)
   in
   let frame =
     Frame.create ~locals_size:f.Tree.locals_size ~temps:tr.Transform.temps
   in
-  let sem = Semantics.create ~idioms:options.idioms ~reserved frame in
+  let sem =
+    Semantics.create ~idioms:options.idioms ~reserved ~allocatable:alloc_regs
+      ?move:backend.Backend.move frame
+  in
   Trace.phase "phase2.match" (fun () ->
       compile_stmts tables sem tr.Transform.func.Tree.body);
   let insns = Semantics.output sem in
   let prov = Semantics.provenance sem in
   let insns, prov =
-    if options.peephole then
+    match tables.t_backend.Backend.peephole with
+    | Some pass when options.peephole ->
       (* the peephole pass deletes and rewrites instructions, so the
          provenance list is no longer parallel to the output: drop it *)
-      (Trace.phase "peephole" (fun () -> fst (Peephole.optimize insns)), [])
-    else (insns, prov)
+      (Trace.phase "peephole" (fun () -> pass insns), [])
+    | _ -> (insns, prov)
   in
   if !Metrics.enabled then
     Metrics.observe Metrics.insns_per_func (List.length insns);
@@ -125,13 +149,13 @@ let compile_func ?(options = default_options) tables (f : Tree.func) =
     cf_prov = prov;
   }
 
-let render_func buf (cf : compiled_func) =
+let render_func (bk : Backend.t) buf (cf : compiled_func) =
   Buffer.add_string buf (Fmt.str "\t.globl\t%s\n" cf.cf_name);
   Buffer.add_string buf (cf.cf_name ^ ":\n");
   if cf.cf_frame_size > 0 then
-    Buffer.add_string buf (Fmt.str "\tsubl2\t$%d,sp\n" cf.cf_frame_size);
+    Buffer.add_string buf (bk.Backend.prologue cf.cf_frame_size);
   List.iter
-    (fun i -> Buffer.add_string buf (Insn.assembly i ^ "\n"))
+    (fun i -> Buffer.add_string buf (bk.Backend.render_insn i ^ "\n"))
     cf.cf_insns;
   (* a fall-off-the-end return for functions without a trailing Sret *)
   Buffer.add_string buf "\tret\n"
@@ -140,15 +164,15 @@ let render_func buf (cf : compiled_func) =
    the source line and the chain of production ids whose reductions
    produced it, plus the note (assembly template) of the production
    that finally emitted it. *)
-let render_func_explained buf g (cf : compiled_func) =
+let render_func_explained (bk : Backend.t) buf g (cf : compiled_func) =
   Buffer.add_string buf (Fmt.str "\t.globl\t%s\n" cf.cf_name);
   Buffer.add_string buf (cf.cf_name ^ ":\n");
   if cf.cf_frame_size > 0 then
-    Buffer.add_string buf (Fmt.str "\tsubl2\t$%d,sp\n" cf.cf_frame_size);
+    Buffer.add_string buf (bk.Backend.prologue cf.cf_frame_size);
   let prov = Array.of_list cf.cf_prov in
   List.iteri
     (fun i insn ->
-      Buffer.add_string buf (Insn.assembly insn);
+      Buffer.add_string buf (bk.Backend.render_insn insn);
       (if i < Array.length prov then
          let line, pids = prov.(i) in
          match pids with
@@ -176,16 +200,16 @@ let render_explained (tables : tables) out =
     (fun (name, _, size) ->
       Buffer.add_string buf (Fmt.str "\t.comm\t%s,%d\n" name size))
     out.program.Tree.globals;
-  List.iter (render_func_explained buf g) out.funcs;
+  List.iter (render_func_explained tables.t_backend buf g) out.funcs;
   Buffer.contents buf
 
-let render_program (p : Tree.program) funcs =
+let render_program (bk : Backend.t) (p : Tree.program) funcs =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (name, _, size) ->
       Buffer.add_string buf (Fmt.str "\t.comm\t%s,%d\n" name size))
     p.Tree.globals;
-  List.iter (fun cf -> render_func buf cf) funcs;
+  List.iter (fun cf -> render_func bk buf cf) funcs;
   Buffer.contents buf
 
 let compile_program ?(options = default_options) ?tables ?(jobs = 1)
@@ -203,7 +227,7 @@ let compile_program ?(options = default_options) ?tables ?(jobs = 1)
     Parallel.map ~oversubscribe ~jobs (compile_func ~options tables)
       p.Tree.funcs
   in
-  { assembly = render_program p funcs; funcs; program = p }
+  { assembly = render_program tables.t_backend p funcs; funcs; program = p }
 
 let singleton_func tree =
   {
@@ -227,22 +251,31 @@ let compile_tree_traced ?(options = default_options) ?tables tree =
   let f = singleton_func tree in
   let tr = Transform.run ~options:options.transform f in
   let frame = Frame.create ~locals_size:0 ~temps:tr.Transform.temps in
-  let sem = Semantics.create ~idioms:options.idioms frame in
-  let cb = Semantics.callbacks sem (grammar tables) in
+  let sem =
+    Semantics.create ~idioms:options.idioms
+      ?move:tables.t_backend.Backend.move frame
+  in
+  let cb = tables.t_backend.Backend.callbacks sem (grammar tables) in
   let traces = ref [] in
   List.iter
     (fun (s : Tree.stmt) ->
       match s with
       | Tree.Stree t ->
-        let outcome = Matcher.run_tree_engine ~trace:true tables cb t in
+        let outcome =
+          Matcher.run_tree_engine ~trace:true tables.t_engine cb t
+        in
         traces := outcome.Matcher.trace :: !traces
       | _ -> ())
     tr.Transform.func.Tree.body;
   (Semantics.output sem, List.concat (List.rev !traces))
 
-let total_cycles out =
+let total_cycles ?(backend = Backend.vax) out =
   List.fold_left
-    (fun acc cf -> acc + Insn.total_cycles cf.cf_insns + 2 (* prologue *))
+    (fun acc cf ->
+      acc
+      + List.fold_left (fun a i -> a + backend.Backend.insn_cycles i) 0
+          cf.cf_insns
+      + backend.Backend.prologue_cycles)
     0 out.funcs
 
 let total_lines out =

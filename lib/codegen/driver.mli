@@ -18,23 +18,35 @@ type options = {
 
 val default_options : options
 
-(** The driver's table handle: a {!Matcher.engine}.  The production
-    representation is comb-packed ({!Gg_tablegen.Packed}); wrap dense
-    tables with {!Matcher.engine} for differential runs. *)
-type tables = Matcher.engine
+(** The driver's table handle: a {!Matcher.engine} paired with the
+    {!Backend.t} whose grammar built it, so every downstream consumer
+    (driver, oracle, server) renders, prices and simulates with the
+    right target.  The production representation is comb-packed
+    ({!Gg_tablegen.Packed}); wrap dense tables with {!of_engine} for
+    differential runs. *)
+type tables = { t_engine : Matcher.engine; t_backend : Backend.t }
 
+val engine : tables -> Matcher.engine
+val backend : tables -> Backend.t
 val grammar : tables -> Grammar.t
 
-(** Build packed tables in-process for the given options; building is
-    expensive, so build once and reuse (callers share
-    {!default_tables}). *)
-val build_tables : Grammar_def.options -> tables
+(** Pair an already-built engine (for example a dense one) with its
+    backend. *)
+val of_engine : backend:Backend.t -> Matcher.engine -> tables
+
+(** Build packed tables in-process for the given options and backend
+    (default VAX); building is expensive, so build once and reuse
+    (callers share {!default_tables}). *)
+val build_tables : ?backend:Backend.t -> Grammar_def.options -> tables
 
 (** Like {!build_tables} but through the on-disk cache
-    ({!Gg_tablegen.Cache}): a warm cache loads the replicated VAX
-    tables in milliseconds instead of reconstructing them. *)
-val cached_tables : ?dir:string -> Grammar_def.options -> tables
+    ({!Gg_tablegen.Cache}, keyed by target and grammar digest): a warm
+    cache loads the replicated tables in milliseconds instead of
+    reconstructing them. *)
+val cached_tables :
+  ?dir:string -> ?backend:Backend.t -> Grammar_def.options -> tables
 
+(** The default VAX tables. *)
 val default_tables : tables Lazy.t
 
 type compiled_func = {
@@ -96,7 +108,8 @@ val compile_tree_traced :
   Insn.t list * Matcher.step list
 
 (** Total static cycles / line counts over an output (code-quality
-    metrics for the benchmarks). *)
-val total_cycles : output -> int
+    metrics for the benchmarks), under the backend's cycle model
+    (default VAX). *)
+val total_cycles : ?backend:Backend.t -> output -> int
 
 val total_lines : output -> int

@@ -4,24 +4,32 @@ type slot = Free | InUse of { mutable owner : Desc.t; mutable pinned : bool }
 
 type t = {
   slots : slot array;  (* indexed by register number; only allocatable used *)
+  allocatable : int list;  (* the target's register bank, allocation order *)
   mutable stack : int list;  (* allocation order, most recent first *)
   mutable free : int list;  (* most recently freed first *)
   frame : Frame.t;
   emit : Insn.t -> unit;
+  move : Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list;
 }
 
-let is_allocatable r = List.mem r Regconv.allocatable
+let is_allocatable t r = List.mem r t.allocatable
 
 (* doubles and quads live in consecutive register pairs rn/rn+1 *)
 let needs_pair ty = Dtype.size ty = 8
 
-let create ?(reserved = []) ~emit frame =
+(* the VAX mover: one mov<sfx> handles any src/dst operand pair *)
+let vax_move ty ~src ~dst = [ Insn.insn ("mov" ^ Dtype.suffix ty) [ src; dst ] ]
+
+let create ?(reserved = []) ?(allocatable = Regconv.allocatable)
+    ?(move = vax_move) ~emit frame =
   {
     slots = Array.make 16 Free;
+    allocatable;
     stack = [];
-    free = List.filter (fun r -> not (List.mem r reserved)) Regconv.allocatable;
+    free = List.filter (fun r -> not (List.mem r reserved)) allocatable;
     frame;
     emit;
+    move;
   }
 
 let free_reg t r =
@@ -30,10 +38,8 @@ let free_reg t r =
   if not (List.mem r t.free) then t.free <- r :: t.free
 
 let release t (d : Desc.t) =
-  List.iter (fun r -> if is_allocatable r then free_reg t r) d.Desc.owned;
+  List.iter (fun r -> if is_allocatable t r then free_reg t r) d.Desc.owned;
   d.Desc.owned <- []
-
-let mov_mnemonic ty = "mov" ^ Dtype.suffix ty
 
 (* Spill the register nearest the bottom of the stack whose owner can be
    redirected (operand is exactly that register, not pinned inside a
@@ -50,7 +56,7 @@ let spill_one t =
   (* bottom of the stack = least recently allocated = end of list *)
   let r, owner = find (List.rev t.stack) in
   let vslot = Frame.alloc_virtual t.frame owner.Desc.ty in
-  t.emit (Insn.insn (mov_mnemonic owner.Desc.ty) [ Mode.Reg r; vslot ]);
+  List.iter t.emit (t.move owner.Desc.ty ~src:(Mode.Reg r) ~dst:vslot);
   t.emit (Insn.Comment (Fmt.str "spill %s" (Regconv.name r)));
   owner.Desc.operand <- vslot;
   release t owner
@@ -75,10 +81,10 @@ let rec alloc t ty : Desc.t =
 (* consecutive pair rn/rn+1, both allocatable and free *)
 and alloc_pair t ty : Desc.t =
   let pair_free r =
-    is_allocatable r && is_allocatable (r + 1)
+    is_allocatable t r && is_allocatable t (r + 1)
     && List.mem r t.free && List.mem (r + 1) t.free
   in
-  match List.find_opt pair_free Regconv.allocatable with
+  match List.find_opt pair_free t.allocatable with
   | Some r ->
     let d = Desc.make ~owned:[ r; r + 1 ] ty (Mode.Reg r) in
     take t r d;
@@ -94,13 +100,25 @@ let as_register t (d : Desc.t) =
   | operand ->
     release t d;
     let rd = alloc t d.Desc.ty in
-    t.emit (Insn.insn (mov_mnemonic d.Desc.ty) [ operand; rd.Desc.operand ]);
+    List.iter t.emit (t.move d.Desc.ty ~src:operand ~dst:rd.Desc.operand);
     rd
+
+let set_pinned t (d : Desc.t) flag =
+  List.iter
+    (fun r ->
+      if is_allocatable t r then
+        match t.slots.(r) with
+        | InUse s when s.owner == d -> s.pinned <- flag
+        | _ -> ())
+    d.Desc.owned
+
+let pin t d = set_pinned t d true
+let unpin t d = set_pinned t d false
 
 let compose t (d : Desc.t) =
   List.iter
     (fun r ->
-      if is_allocatable r then
+      if is_allocatable t r then
         match t.slots.(r) with
         | InUse s ->
           s.owner <- d;

@@ -13,8 +13,20 @@ open Import
 type t
 
 (** [reserved] registers (register variables) are excluded from the
-    allocatable pool for this function. *)
-val create : ?reserved:int list -> emit:(Insn.t -> unit) -> Frame.t -> t
+    allocatable pool for this function.  [allocatable] is the target's
+    register bank in allocation order (default {!Regconv.allocatable},
+    the PCC/VAX bank).  [move] renders a value transfer between two
+    operands (spill store, reload, materialising an operand into a
+    register); the default is the VAX mover, a single
+    [mov<sfx> src,dst].  A load/store target supplies a mover that
+    dispatches on the operand kinds instead. *)
+val create :
+  ?reserved:int list ->
+  ?allocatable:int list ->
+  ?move:(Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list) ->
+  emit:(Insn.t -> unit) ->
+  Frame.t ->
+  t
 
 (** Consume a descriptor: its owned registers become reclaimable. *)
 val release : t -> Desc.t -> unit
@@ -34,6 +46,16 @@ val as_register : t -> Desc.t -> Desc.t
     chosen for spilling because the operand that embeds them could not
     be repaired. *)
 val compose : t -> Desc.t -> Desc.t
+
+(** Pin / unpin the registers a descriptor owns.  A load/store target
+    pins the first source of a multi-source instruction while the
+    remaining sources are materialised: reloading one source must not
+    spill another, because a memory operand cannot take its place in
+    the instruction.  (The VAX emitter never needs this — its ALU
+    accepts memory operands, so a spilled source is still valid.) *)
+val pin : t -> Desc.t -> unit
+
+val unpin : t -> Desc.t -> unit
 
 (** Number of registers currently in use (diagnostics). *)
 val in_use : t -> int

@@ -26,13 +26,15 @@ let emit t i =
     t.prov_rev <- (t.line, pids) :: t.prov_rev
   end
 
-let create ?(idioms = true) ?reserved frame =
+let create ?(idioms = true) ?reserved ?allocatable ?move frame =
   let explain = !Profile.provenance_enabled in
   let rec t =
     lazy
       {
         regs =
-          Regmgr.create ?reserved ~emit:(fun i -> emit (Lazy.force t) i) frame;
+          Regmgr.create ?reserved ?allocatable ?move
+            ~emit:(fun i -> emit (Lazy.force t) i)
+            frame;
         frame;
         out_rev = [];
         idioms;
@@ -47,6 +49,8 @@ let create ?(idioms = true) ?reserved frame =
 
 let output t = List.rev t.out_rev
 let regmgr t = t.regs
+let frame t = t.frame
+let idioms_enabled t = t.idioms
 let set_line t n = t.line <- n
 
 let end_tree t =
@@ -646,7 +650,11 @@ let action_rank = function
   | Action.Emit _ -> 2
   | Action.Start -> 3
 
-let callbacks t g : Desc.sval Matcher.callbacks =
+(* The callback skeleton is target-independent: shift wraps the node,
+   reduce dispatches on the production's action and keeps the
+   provenance bookkeeping, choose ranks equal-length candidates.  Only
+   the [mode] and [emit] dispatchers differ per target. *)
+let make_callbacks t ~mode ~emit:emit_d g : Desc.sval Matcher.callbacks =
   {
     Matcher.on_shift = (fun tok -> Desc.Node tok.Termname.node);
     on_reduce =
@@ -658,8 +666,8 @@ let callbacks t g : Desc.sval Matcher.callbacks =
         let v =
           match p.Grammar.action with
           | Action.Chain | Action.Start -> args.(0)
-          | Action.Mode name -> build_mode t g name p args
-          | Action.Emit key -> emit_insn t g key p args
+          | Action.Mode name -> mode t g name p args
+          | Action.Emit key -> emit_d t g key p args
         in
         (if t.explain then
            match p.Grammar.action with
@@ -681,3 +689,5 @@ let callbacks t g : Desc.sval Matcher.callbacks =
           candidates;
         !best);
   }
+
+let callbacks t g = make_callbacks t ~mode:build_mode ~emit:emit_insn g

@@ -14,11 +14,33 @@ type t
 (** [create ~idioms ~reserved frame] — [idioms:false] disables the
     idiom recogniser (the paper notes it is optional: correct but worse
     code results); [reserved] registers hold register variables and are
-    withheld from the register manager. *)
-val create : ?idioms:bool -> ?reserved:int list -> Frame.t -> t
+    withheld from the register manager; [allocatable] is the target's
+    register bank and [move] its operand mover (both default to the
+    VAX, see {!Regmgr.create}). *)
+val create :
+  ?idioms:bool ->
+  ?reserved:int list ->
+  ?allocatable:int list ->
+  ?move:(Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list) ->
+  Frame.t ->
+  t
 
-(** Matcher callbacks bound to this state and grammar. *)
+(** Matcher callbacks bound to this state and grammar, with the VAX
+    mode builder and Emit dispatcher. *)
 val callbacks : t -> Grammar.t -> Desc.sval Matcher.callbacks
+
+(** The target-independent callback skeleton: shift wraps the terminal
+    node, reduce dispatches [Chain]/[Start] to the first argument and
+    [Mode]/[Emit] to the supplied dispatchers (with provenance
+    bookkeeping), choose ranks equal-length candidates mode < chain <
+    emit < start, then grammar order.  A second backend supplies its
+    own dispatchers and inherits everything else. *)
+val make_callbacks :
+  t ->
+  mode:(t -> Grammar.t -> string -> Grammar.production -> Desc.sval array -> Desc.sval) ->
+  emit:(t -> Grammar.t -> string -> Grammar.production -> Desc.sval array -> Desc.sval) ->
+  Grammar.t ->
+  Desc.sval Matcher.callbacks
 
 (** Instructions emitted so far, in order. *)
 val output : t -> Insn.t list
@@ -28,6 +50,33 @@ val output : t -> Insn.t list
 val emit : t -> Insn.t -> unit
 
 val regmgr : t -> Regmgr.t
+val frame : t -> Frame.t
+
+(** Whether the idiom recogniser was enabled at [create]. *)
+val idioms_enabled : t -> bool
+
+(** {2 Helpers shared by backend semantic dispatchers} *)
+
+(** The data type encoded in a production's lhs non-terminal suffix
+    ([reg.l] -> [Long]), if any. *)
+val lhs_type : Grammar.t -> Grammar.production -> Dtype.t option
+
+(** Materialise a descriptor whose operand carries autoincrement side
+    effects into a register so it can be referenced more than once
+    (paper section 6.1); any other descriptor is returned unchanged. *)
+val stable : t -> Desc.t -> Desc.t
+
+(** The immediate value of a descriptor's operand, if it is one. *)
+val immediate_value : Desc.t -> int64 option
+
+(** Split an [Emit] key ["st.l"] into [("st", Some "l")]. *)
+val parse_key : string -> string * string option
+
+(** Destructure the [Cbranch] node of a branch production. *)
+val branch_of_node : Tree.t -> Op.relop * Dtype.signedness * Dtype.t * Label.t
+
+(** Destructure the [Binop] node of an operator production. *)
+val binop_of_node : Tree.t -> Op.binop
 
 (** {2 Instruction provenance}
 

@@ -7,6 +7,7 @@ type config = {
   seed_hi : int;
   gen : Treegen.config;
   engine : engine_sel;
+  targets : Backend.target list;
   straight_line : bool;
   corpus_dir : string;
   max_shrink_checks : int;
@@ -20,6 +21,7 @@ let default_config =
     seed_hi = 100;
     gen = Treegen.default_config;
     engine = Both;
+    targets = [ Backend.Vax ];
     straight_line = false;
     corpus_dir = "fuzz-corpus";
     max_shrink_checks = 2000;
@@ -42,10 +44,15 @@ type result = {
   seconds : float;
 }
 
-let engines_of = function
-  | Dense -> [ Oracle.dense_engine () ]
-  | Packed -> [ Oracle.packed_engine () ]
-  | Both -> [ Oracle.dense_engine (); Oracle.packed_engine () ]
+let engines_of ?(targets = [ Backend.Vax ]) sel =
+  List.concat_map
+    (fun target ->
+      match sel with
+      | Dense -> [ Oracle.dense_engine_for target ]
+      | Packed -> [ Oracle.packed_engine_for target ]
+      | Both ->
+        [ Oracle.dense_engine_for target; Oracle.packed_engine_for target ])
+    targets
 
 let program_of_seed cfg seed =
   if cfg.straight_line then Treegen.program ~seed ~stmts:cfg.gen.Treegen.stmts
@@ -53,17 +60,28 @@ let program_of_seed cfg seed =
 
 let log cfg fmt = Fmt.kstr (fun s -> Option.iter (fun l -> l Fmt.stderr s) cfg.log) fmt
 
-let still_fails engines prog =
-  match Oracle.check ~engines prog with
+(* the PCC baseline emits VAX assembly, so it only joins the oracle
+   when the VAX is among the fuzzed targets *)
+let pcc_of_targets targets = List.mem Backend.Vax targets
+
+(* a shrink step must preserve *which* backend fails, not merely that
+   something fails — otherwise a cross-backend campaign can shrink a
+   RISC divergence into an unrelated (pre-existing) VAX one and the
+   reproducer stops witnessing the bug it was filed for *)
+let still_fails ~pcc ~backend engines prog =
+  match Oracle.check ~pcc ~engines prog with
   | Ok _ -> false
-  | Error _ -> true
+  | Error f -> f.Oracle.backend = backend
   | exception Oracle.Invalid _ -> false
 
 let handle_divergence cfg engines seed prog (failure : Oracle.failure) =
   log cfg "seed %d: %a; shrinking@." seed Oracle.pp_failure failure;
+  let pcc = pcc_of_targets cfg.targets in
   let shrunk, stats =
     Shrink.run ~max_checks:cfg.max_shrink_checks
-      ~check:(Shrink.valid_and (still_fails engines))
+      ~check:
+        (Shrink.valid_and
+           (still_fails ~pcc ~backend:failure.Oracle.backend engines))
       prog
   in
   log cfg "seed %d: shrunk %d -> %d statements (%d oracle checks)@." seed
@@ -80,7 +98,8 @@ let handle_divergence cfg engines seed prog (failure : Oracle.failure) =
 
 let run cfg : result =
   let t0 = Unix.gettimeofday () in
-  let engines = engines_of cfg.engine in
+  let engines = engines_of ~targets:cfg.targets cfg.engine in
+  let pcc = pcc_of_targets cfg.targets in
   let divergences = ref [] in
   let programs = ref 0 in
   let (), fired =
@@ -90,7 +109,7 @@ let run cfg : result =
           incr programs;
           (* shrinking re-checks tiny programs where domain-spawn
              overhead dominates, so only the main check runs parallel *)
-          match Oracle.check ~jobs:cfg.jobs ~engines prog with
+          match Oracle.check ~pcc ~jobs:cfg.jobs ~engines prog with
           | Ok _ -> ()
           | Error failure ->
             divergences :=
@@ -119,6 +138,8 @@ let run cfg : result =
     seconds = Unix.gettimeofday () -. t0;
   }
 
-let replay ?(engine = Both) path =
+let replay ?(engine = Both) ?(targets = [ Backend.Vax ]) path =
   let prog = Dump.load_ir path in
-  Oracle.check ~engines:(engines_of engine) prog
+  Oracle.check ~pcc:(pcc_of_targets targets)
+    ~engines:(engines_of ~targets engine)
+    prog

@@ -14,6 +14,9 @@ type config = {
   seed_hi : int;  (** inclusive *)
   gen : Treegen.config;
   engine : engine_sel;
+  targets : Backend.target list;
+      (** backends under test; the PCC baseline joins only when the
+          VAX is among them (it emits VAX assembly) *)
   straight_line : bool;  (** use the straight-line generator instead *)
   corpus_dir : string;  (** where divergence dumps go *)
   max_shrink_checks : int;
@@ -43,12 +46,16 @@ type result = {
 (** Generate the program a campaign would run for one seed. *)
 val program_of_seed : config -> int -> Tree.program
 
-(** The engines a selection denotes, built for the default grammar. *)
-val engines_of : engine_sel -> Oracle.engines
+(** The engines a selection denotes for each target (default VAX
+    only), built for the default grammar. *)
+val engines_of : ?targets:Backend.target list -> engine_sel -> Oracle.engines
 
 val run : config -> result
 
 (** Re-run one persisted reproducer ([.ir] dump) through the oracle;
     [Ok] means it no longer diverges. *)
 val replay :
-  ?engine:engine_sel -> string -> (Interp.outcome, Oracle.failure) Result.t
+  ?engine:engine_sel ->
+  ?targets:Backend.target list ->
+  string ->
+  (Interp.outcome, Oracle.failure) Result.t

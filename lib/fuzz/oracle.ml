@@ -12,17 +12,17 @@ let pp_failure ppf f =
 
 let pp_v = Interp.pp_value
 
-let compare_observations ~(reference : Interp.outcome) (s : Machine.outcome) =
-  if not (Interp.value_equal s.Machine.return_value reference.Interp.return_value)
+let compare_observations ~(reference : Interp.outcome) (s : Simout.t) =
+  if not (Interp.value_equal s.Simout.return_value reference.Interp.return_value)
   then
     Error
-      (Fmt.str "return value %a, expected %a" pp_v s.Machine.return_value pp_v
+      (Fmt.str "return value %a, expected %a" pp_v s.Simout.return_value pp_v
          reference.Interp.return_value)
-  else if s.Machine.output <> reference.Interp.output then
+  else if s.Simout.output <> reference.Interp.output then
     Error
       (Fmt.str "print output %a, expected %a"
          Fmt.(Dump.list string)
-         s.Machine.output
+         s.Simout.output
          Fmt.(Dump.list string)
          reference.Interp.output)
   else
@@ -39,12 +39,26 @@ let compare_observations ~(reference : Interp.outcome) (s : Machine.outcome) =
           Error (Fmt.str "global %s = %a, expected %a" n1 pp_v v1 pp_v v2)
         else walk gs' is'
     in
-    walk s.Machine.globals reference.Interp.globals
+    walk s.Simout.globals reference.Interp.globals
 
 let default_grammar () = Lazy.force Gg_vax.Grammar_def.default_grammar
 
+(* engines for an arbitrary target, named <target>-<representation> so
+   a failure pins down both the backend and the table encoding *)
+let dense_engine_for target =
+  let b = Targets.backend_of target in
+  ( Targets.name target ^ "-dense",
+    Driver.of_engine ~backend:b
+      (Matcher.engine (Tables.build (Lazy.force b.Backend.default_grammar))) )
+
+let packed_engine_for target =
+  (Targets.name target ^ "-packed", Targets.default_tables target)
+
+(* the historical names for the original backend *)
 let dense_engine () =
-  ("gg-dense", Matcher.engine (Tables.build (default_grammar ())))
+  ( "gg-dense",
+    Driver.of_engine ~backend:Backend.vax
+      (Matcher.engine (Tables.build (default_grammar ()))) )
 
 let packed_engine () = ("gg-packed", Lazy.force Driver.default_tables)
 let default_engines () = [ packed_engine () ]
@@ -57,23 +71,24 @@ let check ?(options = Driver.default_options) ?(pcc = true) ?(jobs = 1)
     try Interp.run ~max_steps prog ~entry:"main" []
     with Interp.Runtime_error m -> raise (Invalid m)
   in
-  let run_assembly backend assembly =
+  let run_assembly ~target backend assembly =
     match
-      Machine.run_text ~max_steps:(4 * max_steps) assembly
+      Targets.run_text ~target ~max_steps:(4 * max_steps) assembly
         ~global_types:prog.Tree.globals ~entry:"main" []
     with
     | out -> (
       match compare_observations ~reference out with
       | Ok () -> None
       | Error detail -> Some { backend; reason = Diverged detail })
-    | exception Machine.Sim_error m ->
+    | exception Targets.Sim_error m ->
       Some { backend; reason = Crash (Fmt.str "simulator: %s" m) }
-    | exception Asmparse.Parse_error (l, m) ->
+    | exception Targets.Parse_error (l, m) ->
       Some { backend; reason = Crash (Fmt.str "asm parse error line %d: %s" l m) }
   in
   let check_gg (name, tables) =
+    let target = (Driver.backend tables).Backend.target in
     match Driver.compile_program ~options ~tables ~jobs prog with
-    | out -> run_assembly name out.Driver.assembly
+    | out -> run_assembly ~target name out.Driver.assembly
     | exception Matcher.Reject e ->
       Some
         { backend = name; reason = Crash (Fmt.str "%a" Matcher.pp_error e) }
@@ -83,7 +98,7 @@ let check ?(options = Driver.default_options) ?(pcc = true) ?(jobs = 1)
     if not pcc then None
     else
       match Pcc.compile_program ~peephole:options.Driver.peephole prog with
-      | out -> run_assembly "pcc" out.Pcc.assembly
+      | out -> run_assembly ~target:Backend.Vax "pcc" out.Pcc.assembly
       | exception Failure m -> Some { backend = "pcc"; reason = Crash m }
   in
   let rec first = function

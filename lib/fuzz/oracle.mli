@@ -1,13 +1,16 @@
 open Import
 
-(** The three-way differential oracle.
+(** The cross-backend differential oracle.
 
-    Every program is executed three ways — the reference interpreter on
-    the IR, the table-driven backend's output under the VAX simulator,
-    and the PCC-style backend's output under the simulator — and all
-    observables (return value, final scalar globals, print output) must
-    agree.  This is the paper's correctness claim (section 8) as a
-    standing instrument rather than a one-off validation run. *)
+    Every program is executed several ways — the reference interpreter
+    on the IR, the table-driven backends' output under their target
+    simulators (VAX and/or RISC, dense and/or packed tables), and the
+    PCC-style baseline under the VAX simulator — and all observables
+    (return value, final scalar globals, print output) must agree.
+    This is the paper's correctness claim (section 8) as a standing
+    instrument rather than a one-off validation run, extended across
+    targets: a divergence between two backends is a bug in one of the
+    machine descriptions. *)
 
 (** Why a backend failed the oracle. *)
 type reason =
@@ -29,7 +32,7 @@ exception Invalid of string
     (globals are matched by name, so a length mismatch names the first
     missing global instead of failing opaquely). *)
 val compare_observations :
-  reference:Interp.outcome -> Machine.outcome -> (unit, string) result
+  reference:Interp.outcome -> Simout.t -> (unit, string) result
 
 (** Named table engines for the gg backend, e.g.
     [("gg-packed", packed_engine)].  Running both the dense and the
@@ -48,6 +51,13 @@ val default_engines : unit -> engines
 val dense_engine : unit -> string * Driver.tables
 
 val packed_engine : unit -> string * Driver.tables
+
+(** Engines for any target, named [<target>-dense] / [<target>-packed]
+    so a failure pins down both the machine description and the table
+    representation. *)
+val dense_engine_for : Backend.target -> string * Driver.tables
+
+val packed_engine_for : Backend.target -> string * Driver.tables
 
 (** [check ~engines prog] runs the interpreter once, then each gg
     engine and the PCC baseline, comparing observables.  Returns the

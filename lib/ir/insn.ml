@@ -1,4 +1,4 @@
-open Import
+
 
 type t =
   | Insn of string * Mode.t list

@@ -1,4 +1,4 @@
-open Import
+
 
 (** Emitted VAX instructions.
 

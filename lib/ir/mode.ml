@@ -1,4 +1,4 @@
-open Import
+
 
 type mem = {
   base : int option;

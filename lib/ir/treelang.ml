@@ -1,4 +1,4 @@
-open Import
+
 
 type t = {
   arity : string -> int;

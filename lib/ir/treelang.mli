@@ -1,4 +1,4 @@
-open Import
+
 
 (** Description of the tree language the front ends produce — which
     terminals exist, their arities in prefix-linearised form, and which

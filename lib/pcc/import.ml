@@ -4,8 +4,8 @@ module Op = Gg_ir.Op
 module Tree = Gg_ir.Tree
 module Label = Gg_ir.Label
 module Regconv = Gg_ir.Regconv
-module Mode = Gg_vax.Mode
-module Insn = Gg_vax.Insn
+module Mode = Gg_ir.Mode
+module Insn = Gg_ir.Insn
 module Transform = Gg_transform.Transform
 module Phase1a = Gg_transform.Phase1a
 module Phase1c = Gg_transform.Phase1c

@@ -1,0 +1,74 @@
+open Import
+
+(* The RISC instruction table: mnemonic construction, the branch
+   table, assembly rendering and the cycle model.
+
+   There are no clusters, binding idioms or pseudo-instructions here —
+   on a three-address load/store machine every Emit action maps to a
+   fixed instruction shape, so the table degenerates to mnemonic
+   spelling plus costs.  That degeneration is itself a result of the
+   retargeting experiment: the idiom machinery the VAX needs simply has
+   nothing to do. *)
+
+let sfx = Dtype.suffix
+
+(* "add" + Long -> "addl"; floats get "addf"/"addd" the same way. *)
+let mn base ty = base ^ sfx ty
+
+(* Conditional branch mnemonic.  [cmp] is the only flag-setting
+   instruction; the branch encodes the relation and the signedness
+   (floats compare as signed reals and use the signed spellings). *)
+let bcc rel (sg : Dtype.signedness) ty =
+  let signed = function
+    | Op.Eq -> "beq"
+    | Op.Ne -> "bne"
+    | Op.Lt -> "blt"
+    | Op.Le -> "ble"
+    | Op.Gt -> "bgt"
+    | Op.Ge -> "bge"
+  in
+  if Dtype.is_float ty then signed rel
+  else
+    match sg with
+    | Dtype.Signed -> signed rel
+    | Dtype.Unsigned -> (
+      match rel with
+      | Op.Eq | Op.Ne -> signed rel
+      | Op.Lt -> "bltu"
+      | Op.Le -> "bleu"
+      | Op.Gt -> "bgtu"
+      | Op.Ge -> "bgeu")
+
+(* Function frames are carved with an ordinary subtract; there is no
+   dedicated frame-allocation instruction. *)
+let prologue size = Fmt.str "\tsubl\tsp,$%d,sp\n" size
+
+let prologue_cycles = 1
+
+(* Calls render as [call $n,f] (argument count first, as on the VAX,
+   so the simulator can pop the actuals); everything else prints like
+   the shared renderer. *)
+let render = function
+  | Insn.Call (f, n) -> Fmt.str "\tcall\t$%d,%s" n f
+  | i -> Insn.assembly i
+
+(* A flat cost model: single-cycle ALU, two-cycle memory traffic and
+   taken-or-not branches, multi-cycle multiply and divide.  Operands
+   contribute nothing — there are no indexed or deferred modes to
+   charge for. *)
+let base_cost m =
+  let has_prefix p =
+    String.length m >= String.length p && String.sub m 0 (String.length p) = p
+  in
+  if has_prefix "div" || has_prefix "rem" then 12
+  else if has_prefix "mul" then 4
+  else if has_prefix "ld" || has_prefix "st" then 2
+  else if has_prefix "cvt" then 2
+  else 1 (* li, mv, la, add, sub, logicals, shifts, neg, not, cmp *)
+
+let cycles = function
+  | Insn.Insn (m, _) -> base_cost m
+  | Insn.Branch _ -> 2
+  | Insn.Call (_, n) -> 6 + n
+  | Insn.Ret -> 6
+  | Insn.Lab _ | Insn.Comment _ -> 0

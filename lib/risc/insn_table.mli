@@ -1,0 +1,29 @@
+open Import
+
+(** The RISC instruction table.
+
+    On a three-address load/store machine every [Emit] action maps to a
+    fixed instruction shape, so the table reduces to mnemonic spelling,
+    the branch table, rendering and a cycle model — none of the
+    cluster/idiom machinery the VAX table needs. *)
+
+(** [mn "add" Long] is ["addl"]; float types yield ["addf"]/["addd"]. *)
+val mn : string -> Dtype.t -> string
+
+(** Conditional branch mnemonic for a relation: [cmp] sets the flags,
+    the branch encodes relation and signedness ([bltu] etc. for
+    unsigned integer comparisons; floats use the signed spellings). *)
+val bcc : Op.relop -> Dtype.signedness -> Dtype.t -> string
+
+(** Frame allocation line, an ordinary [subl sp,$n,sp]. *)
+val prologue : int -> string
+
+val prologue_cycles : int
+
+(** Assembly rendering; differs from the shared renderer only for
+    [Call], which prints [call $n,f]. *)
+val render : Insn.t -> string
+
+(** Flat cost model: 1-cycle ALU, 2-cycle loads/stores/branches,
+    multi-cycle multiply and divide; operands are free. *)
+val cycles : Insn.t -> int

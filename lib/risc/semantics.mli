@@ -1,0 +1,18 @@
+open Import
+
+(** The RISC semantic dispatchers.
+
+    The shared {!Gg_codegen.Semantics} machinery supplies the callback
+    skeleton, the register manager and the output buffer; this module
+    plugs in the target-specific parts: the mode builder for the RISC's
+    small addressing repertoire, the Emit dispatcher that spells out
+    load/operate/store sequences, and the operand mover. *)
+
+(** The register manager's operand mover: load ([li]/[ld]/[mv]) into a
+    register destination, store ([st]) a register into memory. *)
+val move : Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list
+
+(** Matcher callbacks bound to a semantics state and the RISC
+    grammar. *)
+val callbacks :
+  Gg_codegen.Semantics.t -> Grammar.t -> Desc.sval Matcher.callbacks

@@ -1,0 +1,26 @@
+open Import
+
+(* The RISC backend record: the complete answer to "what besides the
+   machine description changes when the machine changes".  No peephole
+   pass exists for this target; the flat instruction set leaves it
+   nothing to collapse. *)
+let backend =
+  {
+    Backend.target = Backend.Risc;
+    grammar_of = Grammar_def.grammar;
+    default_grammar = Grammar_def.default_grammar;
+    move = Some Semantics.move;
+    callbacks = Semantics.callbacks;
+    jump = (fun l -> Insn.Branch ("b", l));
+    prologue = Insn_table.prologue;
+    prologue_cycles = Insn_table.prologue_cycles;
+    render_insn = Insn_table.render;
+    insn_cycles = Insn_table.cycles;
+    peephole = None;
+    (* the load/store discipline keeps every live value in a register,
+       so the RISC's bank extends past PCC's r6-r11 into r2-r5 (saved
+       and restored around calls like the rest; r0/r1 stay reserved for
+       function results) *)
+    alloc_regs = [ 6; 7; 8; 9; 10; 11; 2; 3; 4; 5 ];
+    leaf_need = 1;
+  }

@@ -1,0 +1,2 @@
+(** The RISC backend, ready to hand to {!Gg_codegen.Driver}. *)
+val backend : Gg_codegen.Backend.t

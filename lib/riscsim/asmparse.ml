@@ -1,0 +1,188 @@
+open Import
+
+type item =
+  | Globl of string
+  | Comm of string * int
+  | Deflabel of string
+  | Locallabel of Label.t
+  | Instruction of Insn.t
+
+type program = { items : item list; text : string }
+
+exception Parse_error of int * string
+
+let error line fmt = Fmt.kstr (fun s -> raise (Parse_error (line, s))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || is_digit c || c = '_' || c = '.'
+
+(* Local labels look like L<number>; everything else is a symbol. *)
+let local_label_of name =
+  if
+    String.length name >= 2
+    && name.[0] = 'L'
+    && String.for_all is_digit (String.sub name 1 (String.length name - 1))
+  then int_of_string_opt (String.sub name 1 (String.length name - 1))
+  else None
+
+(* -- operand parsing ------------------------------------------------------ *)
+
+let parse_register s =
+  match Regconv.of_name s with
+  | Some r -> r
+  | None -> failwith ("not a register: " ^ s)
+
+(* Grammar of operands the RISC backend emits:
+     $<int>            immediate
+     $0f<float>        float literal
+     rn | ap | fp | sp register
+     body := [sym][+|-disp][(rn)]  memory reference
+   The VAX-only modes — autoincrement (rn)+, autodecrement -(rn) and
+   indexing [rx] — are rejected: if the code generator ever emitted one
+   the simulator would refuse to run it, which is the regression guard
+   for the load/store discipline. *)
+let parse_operand str =
+  let str = String.trim str in
+  let fail () = failwith ("bad operand: " ^ str) in
+  if str = "" then fail ();
+  if str.[0] = '$' then begin
+    let lit = String.sub str 1 (String.length str - 1) in
+    if String.length lit >= 2 && lit.[0] = '0' && lit.[1] = 'f' then
+      Mode.Fimm (float_of_string (String.sub lit 2 (String.length lit - 2)))
+    else Mode.Imm (Int64.of_string lit)
+  end
+  else
+    match Regconv.of_name str with
+    | Some r -> Mode.Reg r
+    | None ->
+      let body = str in
+      if body.[String.length body - 1] = ']' then
+        failwith ("indexed mode is not a RISC operand: " ^ str);
+      if body.[0] = '-' && String.length body > 1 && body.[1] = '(' then
+        failwith ("autodecrement is not a RISC operand: " ^ str);
+      if body.[String.length body - 1] = '+' then
+        failwith ("autoincrement is not a RISC operand: " ^ str);
+      (* [sym][+-disp][(rn)] *)
+      let body, base =
+        if body.[String.length body - 1] = ')' then begin
+          match String.rindex_opt body '(' with
+          | Some i ->
+            ( String.sub body 0 i,
+              Some
+                (parse_register
+                   (String.sub body (i + 1) (String.length body - i - 2))) )
+          | None -> fail ()
+        end
+        else (body, None)
+      in
+      (* split symbolic and numeric parts *)
+      let sym, disp =
+        if body = "" then (None, 0L)
+        else if is_digit body.[0] || body.[0] = '-' then
+          (None, Int64.of_string body)
+        else begin
+          let n = String.length body in
+          let rec find_split i =
+            if i >= n then n
+            else if body.[i] = '+' || (body.[i] = '-' && i > 0) then i
+            else find_split (i + 1)
+          in
+          let cut = find_split 0 in
+          let sym = String.sub body 0 cut in
+          let disp =
+            if cut >= n then 0L
+            else
+              let rest = String.sub body cut (n - cut) in
+              let rest =
+                if rest.[0] = '+' then
+                  String.sub rest 1 (String.length rest - 1)
+                else rest
+              in
+              Int64.of_string rest
+          in
+          (Some sym, disp)
+        end
+      in
+      Mode.Mem { base; sym; disp; index = None; auto = None }
+
+(* -- line parsing ---------------------------------------------------------- *)
+
+let split_operands s =
+  if String.trim s = "" then []
+  else String.split_on_char ',' s |> List.map String.trim
+
+let parse_line lineno line : item list =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let trimmed = String.trim line in
+  if trimmed = "" then []
+  else if trimmed.[0] = '.' then begin
+    match String.split_on_char '\t' trimmed with
+    | ".globl" :: rest -> [ Globl (String.trim (String.concat "" rest)) ]
+    | ".comm" :: rest -> (
+      match String.split_on_char ',' (String.concat "" rest) with
+      | [ name; size ] -> (
+        match int_of_string_opt (String.trim size) with
+        | Some n -> [ Comm (String.trim name, n) ]
+        | None -> error lineno "bad .comm size")
+      | _ -> error lineno "bad .comm")
+    | d :: _ -> error lineno "unknown directive %s" d
+    | [] -> []
+  end
+  else if trimmed.[String.length trimmed - 1] = ':' then begin
+    let name = String.sub trimmed 0 (String.length trimmed - 1) in
+    if not (String.for_all is_ident_char name) then
+      error lineno "bad label %s" name;
+    match local_label_of name with
+    | Some l -> [ Locallabel l ]
+    | None -> [ Deflabel name ]
+  end
+  else begin
+    (* instruction: mnemonic [TAB operands] *)
+    let mnemonic, rest =
+      match String.index_opt trimmed '\t' with
+      | Some i ->
+        ( String.sub trimmed 0 i,
+          String.sub trimmed (i + 1) (String.length trimmed - i - 1) )
+      | None -> (trimmed, "")
+    in
+    let mnemonic = String.trim mnemonic in
+    if not (String.for_all is_ident_char mnemonic) || mnemonic = "" then
+      error lineno "bad mnemonic %S" mnemonic;
+    match mnemonic with
+    | "ret" -> [ Instruction Insn.Ret ]
+    | "call" -> (
+      match split_operands rest with
+      | [ n; f ] when String.length n > 1 && n.[0] = '$' -> (
+        match int_of_string_opt (String.sub n 1 (String.length n - 1)) with
+        | Some argc -> [ Instruction (Insn.Call (f, argc)) ]
+        | None -> error lineno "bad call argument count")
+      | _ -> error lineno "bad call operands")
+    | _ when mnemonic.[0] = 'b' -> (
+      (* b, beq, bne, blt, ble, bgt, bge and the unsigned forms: no
+         other RISC mnemonic starts with 'b' *)
+      match split_operands rest with
+      | [ target ] -> (
+        match local_label_of target with
+        | Some l -> [ Instruction (Insn.Branch (mnemonic, l)) ]
+        | None -> error lineno "branch to non-local label %s" target)
+      | _ -> error lineno "bad branch operands")
+    | _ -> (
+      match List.map parse_operand (split_operands rest) with
+      | operands -> [ Instruction (Insn.insn mnemonic operands) ]
+      | exception Failure msg -> error lineno "%s" msg)
+  end
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let items =
+    List.concat (List.mapi (fun i l -> parse_line (i + 1) l) lines)
+  in
+  { items; text }

@@ -1,0 +1,30 @@
+open Import
+
+(** Parser for the RISC assembly subset the second backend emits.
+
+    Same structure as {!Gg_vaxsim.Asmparse}, but the operand grammar
+    accepts only what a load/store machine has: immediates, registers
+    and plain [sym±disp(rn)] memory references.  Autoincrement,
+    autodecrement and indexed syntax are {e rejected} — parse failure
+    on VAX-only modes is the regression guard that the RISC code
+    generator never emits them.  Calls spell [call $n,f]; branch
+    mnemonics start with ['b']. *)
+
+type item =
+  | Globl of string
+  | Comm of string * int  (** name, size in bytes *)
+  | Deflabel of string  (** function entry or other global label *)
+  | Locallabel of Label.t
+  | Instruction of Insn.t
+
+type program = {
+  items : item list;
+  text : string;  (** original source, for error reporting *)
+}
+
+exception Parse_error of int * string  (** line number, message *)
+
+val parse : string -> program
+
+(** Parse a single operand (exposed for tests), e.g. ["a+4(fp)"]. *)
+val parse_operand : string -> Mode.t

@@ -1,0 +1,9 @@
+(* Short aliases for modules used throughout this library. *)
+module Dtype = Gg_ir.Dtype
+module Tree = Gg_ir.Tree
+module Label = Gg_ir.Label
+module Regconv = Gg_ir.Regconv
+module Interp = Gg_ir.Interp
+module Mode = Gg_ir.Mode
+module Insn = Gg_ir.Insn
+module Insn_table = Gg_risc.Insn_table

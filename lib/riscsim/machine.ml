@@ -1,0 +1,620 @@
+open Import
+
+type outcome = Gg_ir.Simout.t = {
+  return_value : Interp.value;
+  globals : (string * Interp.value) list;
+  output : string list;
+  insns_executed : int;
+  cycles : int;
+}
+
+exception Sim_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Sim_error s)) fmt
+
+let mem_size = 1 lsl 20
+let globals_base = 0x100
+
+(* -- loaded program ------------------------------------------------------- *)
+
+type image = {
+  code : Insn.t array;
+  func_of_pc : string array;  (** enclosing function of each instruction *)
+  entries : (string, int) Hashtbl.t;  (** global label -> code index *)
+  labels : (string * Label.t, int) Hashtbl.t;  (** (function, L) -> index *)
+  symbols : (string, int) Hashtbl.t;  (** global name -> address *)
+}
+
+let load (p : Asmparse.program) =
+  let code = ref [] in
+  let n = ref 0 in
+  let func_of = ref [] in
+  let entries = Hashtbl.create 16 in
+  let labels = Hashtbl.create 64 in
+  let symbols = Hashtbl.create 16 in
+  let current = ref "?" in
+  let next_addr = ref globals_base in
+  List.iter
+    (fun (item : Asmparse.item) ->
+      match item with
+      | Asmparse.Globl _ -> ()
+      | Asmparse.Comm (name, size) ->
+        let align =
+          if size mod 8 = 0 then 8
+          else if size mod 4 = 0 then 4
+          else if size mod 2 = 0 then 2
+          else 1
+        in
+        next_addr := (!next_addr + align - 1) / align * align;
+        Hashtbl.replace symbols name !next_addr;
+        next_addr := !next_addr + size
+      | Asmparse.Deflabel name ->
+        current := name;
+        Hashtbl.replace entries name !n
+      | Asmparse.Locallabel l -> Hashtbl.replace labels (!current, l) !n
+      | Asmparse.Instruction i ->
+        code := i :: !code;
+        func_of := !current :: !func_of;
+        incr n)
+    p.Asmparse.items;
+  {
+    code = Array.of_list (List.rev !code);
+    func_of_pc = Array.of_list (List.rev !func_of);
+    entries;
+    labels;
+    symbols;
+  }
+
+(* -- machine state -------------------------------------------------------- *)
+
+type state = {
+  image : image;
+  mem : Bytes.t;
+  regs : int64 array;  (** 32-bit values, sign-extended into int64 *)
+  mutable flag_n : bool;  (** signed less-than from the last cmp *)
+  mutable flag_z : bool;  (** equal from the last cmp *)
+  mutable flag_c : bool;  (** unsigned less-than from the last cmp *)
+  out : Buffer.t;
+  mutable pc : int;
+  mutable depth : int;  (** call depth; ret at depth 0 stops execution *)
+  mutable steps : int;
+  mutable cycles : int;
+  max_steps : int;
+}
+
+let wrap32 n = Int64.of_int32 (Int64.to_int32 n)
+
+let reg_get st r = st.regs.(r)
+let reg_set st r v = st.regs.(r) <- wrap32 v
+
+let check_addr st addr size =
+  if addr < 0 || addr + size > Bytes.length st.mem then
+    error "memory access out of range: %d" addr
+
+let load_bytes st addr size =
+  check_addr st addr size;
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (Int64.logor (Int64.shift_left acc 8)
+           (Int64.of_int (Char.code (Bytes.get st.mem (addr + i)))))
+  in
+  go (size - 1) 0L
+
+let store_bytes st addr size v =
+  check_addr st addr size;
+  for i = 0 to size - 1 do
+    Bytes.set st.mem (addr + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let push_long st v =
+  reg_set st Regconv.sp (Int64.sub (reg_get st Regconv.sp) 4L);
+  store_bytes st (Int64.to_int (reg_get st Regconv.sp)) 4 v
+
+let pop_long st =
+  let v = load_bytes st (Int64.to_int (reg_get st Regconv.sp)) 4 in
+  reg_set st Regconv.sp (Int64.add (reg_get st Regconv.sp) 4L);
+  Tree.wrap Dtype.Long v
+
+(* -- operand access ------------------------------------------------------- *)
+
+type access = { width : int; float_ : bool }
+
+let acc_of_type ty = { width = Dtype.size ty; float_ = Dtype.is_float ty }
+
+let symbol_addr st s =
+  match Hashtbl.find_opt st.image.symbols s with
+  | Some a -> a
+  | None -> error "undefined symbol %s" s
+
+(* effective address of a memory operand — no side effects and no
+   scaling: the RISC has neither auto modes nor indexing *)
+let effective_addr st (m : Mode.mem) =
+  (match (m.Mode.auto, m.Mode.index) with
+  | None, None -> ()
+  | _ -> error "VAX addressing mode reached the RISC simulator");
+  let base =
+    match m.Mode.base with
+    | Some b -> Int64.to_int (reg_get st b)
+    | None -> 0
+  in
+  let sym = match m.Mode.sym with Some s -> symbol_addr st s | None -> 0 in
+  base + sym + Int64.to_int m.Mode.disp
+
+let sign_extend width v =
+  match width with
+  | 1 -> Tree.wrap Dtype.Byte v
+  | 2 -> Tree.wrap Dtype.Word v
+  | 4 -> Tree.wrap Dtype.Long v
+  | 8 -> v
+  | _ -> assert false
+
+(* The load/store discipline, enforced: every operand position states
+   which kinds it accepts, and anything else is a simulator error.
+   This is the executable form of the machine's operand constraints —
+   a code-generator bug that leaks a memory operand into an ALU
+   position fails loudly here instead of silently computing. *)
+
+let require_reg what (operand : Mode.t) =
+  match operand with
+  | Mode.Reg r -> r
+  | o -> error "%s must be a register, got %s" what (Mode.assembly o)
+
+let require_mem what (operand : Mode.t) =
+  match operand with
+  | Mode.Mem m -> m
+  | o -> error "%s must be a memory reference, got %s" what (Mode.assembly o)
+
+let require_reg_or_imm what (operand : Mode.t) =
+  match operand with
+  | Mode.Reg _ | Mode.Imm _ -> operand
+  | o -> error "%s must be a register or immediate, got %s" what
+           (Mode.assembly o)
+
+(* read an integer from a register (pair for width 8) or immediate *)
+let read_int st (operand : Mode.t) access =
+  match operand with
+  | Mode.Imm n -> sign_extend access.width n
+  | Mode.Fimm _ -> error "float literal in integer context"
+  | Mode.Reg r ->
+    if access.width = 8 then
+      (* register pair rn/rn+1: rn low half, rn+1 high half *)
+      Int64.logor
+        (Int64.logand (reg_get st r) 0xffffffffL)
+        (Int64.shift_left (reg_get st (r + 1)) 32)
+    else sign_extend access.width (reg_get st r)
+  | Mode.Mem m ->
+    sign_extend access.width (load_bytes st (effective_addr st m) access.width)
+
+let write_int st (operand : Mode.t) access v =
+  match operand with
+  | Mode.Imm _ | Mode.Fimm _ -> error "store to an immediate"
+  | Mode.Reg r ->
+    if access.width = 8 then begin
+      reg_set st r (Int64.logand v 0xffffffffL);
+      reg_set st (r + 1) (Int64.shift_right v 32)
+    end
+    else reg_set st r (sign_extend access.width v)
+  | Mode.Mem m -> store_bytes st (effective_addr st m) access.width v
+
+let read_float st (operand : Mode.t) access =
+  match operand with
+  | Mode.Fimm f -> f
+  | Mode.Imm n -> Int64.to_float n
+  | Mode.Reg _ | Mode.Mem _ ->
+    let bits = read_int st operand access in
+    if access.width = 4 then Int32.float_of_bits (Int64.to_int32 bits)
+    else Int64.float_of_bits bits
+
+let write_float st operand access f =
+  let bits =
+    if access.width = 4 then Int64.of_int32 (Int32.bits_of_float f)
+    else Int64.bits_of_float f
+  in
+  write_int st operand access bits
+
+(* -- flags (set only by cmp) ---------------------------------------------- *)
+
+let unsigned_of_width width n =
+  match width with
+  | 1 -> Int64.logand n 0xffL
+  | 2 -> Int64.logand n 0xffffL
+  | 4 -> Int64.logand n 0xffffffffL
+  | _ -> n
+
+let set_flags_cmp_int st ~width a b =
+  st.flag_z <- Int64.equal a b;
+  st.flag_n <- Int64.compare a b < 0;
+  st.flag_c <-
+    Int64.unsigned_compare (unsigned_of_width width a)
+      (unsigned_of_width width b)
+    < 0
+
+let set_flags_cmp_float st a b =
+  st.flag_z <- a = b;
+  st.flag_n <- a < b;
+  st.flag_c <- false
+
+let branch_taken st cc =
+  match cc with
+  | "b" -> true
+  | "beq" -> st.flag_z
+  | "bne" -> not st.flag_z
+  | "blt" -> st.flag_n
+  | "ble" -> st.flag_n || st.flag_z
+  | "bgt" -> not (st.flag_n || st.flag_z)
+  | "bge" -> not st.flag_n
+  | "bltu" -> st.flag_c
+  | "bleu" -> st.flag_c || st.flag_z
+  | "bgtu" -> not (st.flag_c || st.flag_z)
+  | "bgeu" -> not st.flag_c
+  | _ -> error "unknown branch %s" cc
+
+(* -- instruction execution ------------------------------------------------- *)
+
+let type_of_char = function
+  | 'b' -> Dtype.Byte
+  | 'w' -> Dtype.Word
+  | 'l' -> Dtype.Long
+  | 'f' -> Dtype.Flt
+  | 'd' -> Dtype.Dbl
+  | c -> error "unknown type suffix %c" c
+
+(* saved state layout pushed by calls (beyond the argument list):
+   argc, return pc, saved fp, saved ap, saved r2..r11 — identical to
+   the VAX simulator so the two targets share a calling convention *)
+let do_call st fname argc ret_pc =
+  match fname with
+  | "print" ->
+    let sp = Int64.to_int (reg_get st Regconv.sp) in
+    let line =
+      if argc = 2 then
+        Fmt.str "%g" (Int64.float_of_bits (load_bytes st sp 8))
+      else Fmt.str "%Ld" (Tree.wrap Dtype.Long (load_bytes st sp 4))
+    in
+    Buffer.add_string st.out (line ^ "\n");
+    reg_set st Regconv.sp
+      (Int64.add (reg_get st Regconv.sp) (Int64.of_int (4 * argc)));
+    st.pc <- ret_pc
+  | _ -> (
+    (* no __udivl/__umodl here: the RISC has real unsigned divide and
+       remainder instructions *)
+    match Hashtbl.find_opt st.image.entries fname with
+    | None -> error "call to undefined function %s" fname
+    | Some target ->
+      push_long st (Int64.of_int argc);
+      push_long st (Int64.of_int ret_pc);
+      push_long st (reg_get st Regconv.fp);
+      push_long st (reg_get st Regconv.ap);
+      for r = 2 to 11 do
+        push_long st (reg_get st r)
+      done;
+      (* ap points at the argument count; 4(ap) is the first argument *)
+      reg_set st Regconv.ap
+        (Int64.add (reg_get st Regconv.sp) (Int64.of_int (4 * 13)));
+      reg_set st Regconv.fp (reg_get st Regconv.sp);
+      st.depth <- st.depth + 1;
+      st.pc <- target)
+
+let do_ret st =
+  reg_set st Regconv.sp (reg_get st Regconv.fp);
+  for r = 11 downto 2 do
+    reg_set st r (pop_long st)
+  done;
+  let ap = pop_long st in
+  let fp = pop_long st in
+  let ret_pc = pop_long st in
+  let argc = pop_long st in
+  reg_set st Regconv.ap ap;
+  reg_set st Regconv.fp fp;
+  reg_set st Regconv.sp
+    (Int64.add (reg_get st Regconv.sp) (Int64.mul 4L argc));
+  st.depth <- st.depth - 1;
+  st.pc <- Int64.to_int ret_pc
+
+let exec_general st mnemonic operands =
+  let n = String.length mnemonic in
+  let prefix k = if n >= k then String.sub mnemonic 0 k else "" in
+  (* three-address dst := x OP y, register sources (y may be an
+     immediate for the integer forms) *)
+  let arith3 f_int f_float tchar =
+    let ty = type_of_char tchar in
+    let a = acc_of_type ty in
+    match operands with
+    | [ x; y; dst ] ->
+      ignore (require_reg "alu destination" dst);
+      if Dtype.is_float ty then begin
+        ignore (require_reg "float alu source" x);
+        ignore (require_reg "float alu source" y);
+        let v = f_float (read_float st x a) (read_float st y a) in
+        write_float st dst a v
+      end
+      else begin
+        ignore (require_reg "alu source" x);
+        ignore (require_reg_or_imm "alu source" y);
+        let v =
+          sign_extend a.width (f_int (read_int st x a) (read_int st y a))
+        in
+        write_int st dst a v
+      end
+    | _ -> error "%s: bad operand count" mnemonic
+  in
+  let no_float name _ _ : float = error "%s on float" name in
+  let shift ~left =
+    (* slll v,c,rd / sral v,c,rd: a nonnegative count shifts in the
+       instruction's own direction, a negative count the other way
+       (the VAX ashl convention, so shift trees translate directly) *)
+    match operands with
+    | [ v; c; dst ] ->
+      ignore (require_reg "shift source" v);
+      ignore (require_reg_or_imm "shift count" c);
+      ignore (require_reg "shift destination" dst);
+      let a4 = acc_of_type Dtype.Long in
+      let cnt = Int64.to_int (read_int st c a4) in
+      let value = read_int st v a4 in
+      let cnt = if left then cnt else -cnt in
+      let r =
+        if cnt >= 0 then Int64.shift_left value (min cnt 63)
+        else Int64.shift_right value (min (-cnt) 63)
+      in
+      write_int st dst a4 (sign_extend 4 r)
+    | _ -> error "%s: bad operand count" mnemonic
+  in
+  let unsigned_divide ~rem =
+    match operands with
+    | [ x; y; dst ] ->
+      ignore (require_reg "alu source" x);
+      ignore (require_reg_or_imm "alu source" y);
+      ignore (require_reg "alu destination" dst);
+      let a4 = acc_of_type Dtype.Long in
+      let a = unsigned_of_width 4 (read_int st x a4) in
+      let b = unsigned_of_width 4 (read_int st y a4) in
+      if Int64.equal b 0L then error "unsigned division by zero";
+      let r =
+        if rem then Int64.unsigned_rem a b else Int64.unsigned_div a b
+      in
+      write_int st dst a4 (sign_extend 4 r)
+    | _ -> error "%s: bad operand count" mnemonic
+  in
+  match mnemonic with
+  | "la" -> (
+    match operands with
+    | [ src; dst ] ->
+      let m = require_mem "la source" src in
+      ignore (require_reg "la destination" dst);
+      let addr = effective_addr st m in
+      write_int st dst (acc_of_type Dtype.Long) (Int64.of_int addr)
+    | _ -> error "la: bad operands")
+  | "slll" -> shift ~left:true
+  | "sral" -> shift ~left:false
+  | "divul" -> unsigned_divide ~rem:false
+  | "remul" -> unsigned_divide ~rem:true
+  | _ when prefix 2 = "li" && n = 3 -> (
+    match operands with
+    | [ src; dst ] ->
+      let ty = type_of_char mnemonic.[2] in
+      let a = acc_of_type ty in
+      ignore (require_reg "li destination" dst);
+      (match (src, Dtype.is_float ty) with
+      | Mode.Fimm f, true -> write_float st dst a f
+      | Mode.Imm v, true -> write_float st dst a (Int64.to_float v)
+      | Mode.Imm v, false -> write_int st dst a (sign_extend a.width v)
+      | o, _ ->
+        error "li source must be a literal, got %s" (Mode.assembly o))
+    | _ -> error "li: bad operands")
+  | _ when prefix 2 = "ld" && n = 3 -> (
+    match operands with
+    | [ src; dst ] ->
+      let ty = type_of_char mnemonic.[2] in
+      let a = acc_of_type ty in
+      ignore (require_mem "ld source" src);
+      ignore (require_reg "ld destination" dst);
+      if Dtype.is_float ty then write_float st dst a (read_float st src a)
+      else write_int st dst a (read_int st src a)
+    | _ -> error "ld: bad operands")
+  | _ when prefix 2 = "st" && n = 3 -> (
+    match operands with
+    | [ src; dst ] ->
+      let ty = type_of_char mnemonic.[2] in
+      let a = acc_of_type ty in
+      ignore (require_reg "st source" src);
+      ignore (require_mem "st destination" dst);
+      if Dtype.is_float ty then write_float st dst a (read_float st src a)
+      else write_int st dst a (read_int st src a)
+    | _ -> error "st: bad operands")
+  | _ when prefix 2 = "mv" && n = 3 -> (
+    match operands with
+    | [ src; dst ] ->
+      let ty = type_of_char mnemonic.[2] in
+      let a = acc_of_type ty in
+      ignore (require_reg "mv source" src);
+      ignore (require_reg "mv destination" dst);
+      if Dtype.is_float ty then write_float st dst a (read_float st src a)
+      else write_int st dst a (read_int st src a)
+    | _ -> error "mv: bad operands")
+  | _ when prefix 3 = "neg" && n = 4 -> (
+    match operands with
+    | [ src; dst ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      ignore (require_reg "neg source" src);
+      ignore (require_reg "neg destination" dst);
+      if Dtype.is_float ty then write_float st dst a (-.read_float st src a)
+      else
+        write_int st dst a
+          (sign_extend a.width (Int64.neg (read_int st src a)))
+    | _ -> error "neg: bad operands")
+  | _ when prefix 3 = "not" && n = 4 -> (
+    match operands with
+    | [ src; dst ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      if a.float_ then error "not on float";
+      ignore (require_reg "not source" src);
+      ignore (require_reg "not destination" dst);
+      write_int st dst a
+        (sign_extend a.width (Int64.lognot (read_int st src a)))
+    | _ -> error "not: bad operands")
+  | _ when prefix 3 = "cvt" && n = 5 -> (
+    match operands with
+    | [ src; dst ] ->
+      let fty = type_of_char mnemonic.[3] in
+      let tty = type_of_char mnemonic.[4] in
+      let fa = acc_of_type fty in
+      let ta = acc_of_type tty in
+      ignore (require_reg "cvt source" src);
+      ignore (require_reg "cvt destination" dst);
+      if Dtype.is_float fty && Dtype.is_float tty then
+        write_float st dst ta (read_float st src fa)
+      else if Dtype.is_float fty then
+        write_int st dst ta
+          (sign_extend ta.width (Int64.of_float (read_float st src fa)))
+      else if Dtype.is_float tty then
+        write_float st dst ta (Int64.to_float (read_int st src fa))
+      else
+        write_int st dst ta (sign_extend ta.width (read_int st src fa))
+    | _ -> error "cvt: bad operands")
+  | _ when prefix 3 = "cmp" && n = 4 -> (
+    match operands with
+    | [ x; y ] ->
+      let ty = type_of_char mnemonic.[3] in
+      let a = acc_of_type ty in
+      if Dtype.is_float ty then begin
+        ignore (require_reg "cmp source" x);
+        ignore (require_reg "cmp source" y);
+        set_flags_cmp_float st (read_float st x a) (read_float st y a)
+      end
+      else begin
+        ignore (require_reg "cmp source" x);
+        ignore (require_reg_or_imm "cmp source" y);
+        set_flags_cmp_int st ~width:a.width (read_int st x a)
+          (read_int st y a)
+      end
+    | _ -> error "cmp: bad operands")
+  | _ when prefix 3 = "add" && n = 4 -> arith3 Int64.add ( +. ) mnemonic.[3]
+  | _ when prefix 3 = "sub" && n = 4 -> arith3 Int64.sub ( -. ) mnemonic.[3]
+  | _ when prefix 3 = "mul" && n = 4 -> arith3 Int64.mul ( *. ) mnemonic.[3]
+  | _ when prefix 3 = "div" && n = 4 ->
+    arith3
+      (fun a b ->
+        if Int64.equal b 0L then error "division by zero";
+        Int64.div a b)
+      (fun a b -> a /. b)
+      mnemonic.[3]
+  | _ when prefix 3 = "rem" && n = 4 ->
+    arith3
+      (fun a b ->
+        if Int64.equal b 0L then error "remainder by zero";
+        Int64.rem a b)
+      (no_float "rem") mnemonic.[3]
+  | _ when prefix 3 = "and" && n = 4 ->
+    arith3 Int64.logand (no_float "and") mnemonic.[3]
+  | _ when prefix 2 = "or" && n = 3 ->
+    arith3 Int64.logor (no_float "or") mnemonic.[2]
+  | _ when prefix 3 = "xor" && n = 4 ->
+    arith3 Int64.logxor (no_float "xor") mnemonic.[3]
+  | _ -> error "unimplemented instruction %s" mnemonic
+
+let step st =
+  if st.steps >= st.max_steps then
+    error "step budget exceeded (infinite loop?)";
+  st.steps <- st.steps + 1;
+  let insn = st.image.code.(st.pc) in
+  st.cycles <- st.cycles + Insn_table.cycles insn;
+  let next = st.pc + 1 in
+  match insn with
+  | Insn.Lab _ | Insn.Comment _ -> st.pc <- next
+  | Insn.Insn (m, ops) ->
+    exec_general st m ops;
+    st.pc <- next
+  | Insn.Branch (cc, l) ->
+    if branch_taken st cc then begin
+      let f = st.image.func_of_pc.(st.pc) in
+      match Hashtbl.find_opt st.image.labels (f, l) with
+      | Some target -> st.pc <- target
+      | None -> error "undefined label L%d in %s" l f
+    end
+    else st.pc <- next
+  | Insn.Call (f, argc) -> do_call st f argc next
+  | Insn.Ret -> do_ret st
+
+let run ?(max_steps = 2_000_000) ?(global_types = []) ?(ret_type = Dtype.Long)
+    (p : Asmparse.program) ~entry args =
+  let image = load p in
+  let st =
+    {
+      image;
+      mem = Bytes.make mem_size '\000';
+      regs = Array.make 16 0L;
+      flag_n = false;
+      flag_z = false;
+      flag_c = false;
+      out = Buffer.create 256;
+      pc = 0;
+      depth = 0;
+      steps = 0;
+      cycles = 0;
+      max_steps;
+    }
+  in
+  reg_set st Regconv.sp (Int64.of_int mem_size);
+  reg_set st Regconv.fp (Int64.of_int mem_size);
+  (* push the entry arguments like a caller would *)
+  let slots = ref 0 in
+  List.iter
+    (fun v ->
+      match v with
+      | Interp.VInt n ->
+        push_long st n;
+        incr slots
+      | Interp.VFloat f ->
+        let bits = Int64.bits_of_float f in
+        push_long st (Int64.shift_right_logical bits 32);
+        push_long st bits;
+        slots := !slots + 2)
+    (List.rev args);
+  do_call st entry !slots (-1);
+  if st.pc < 0 then error "entry %s is a builtin" entry;
+  st.depth <- 1;
+  while st.depth > 0 && st.pc >= 0 do
+    step st
+  done;
+  let read_global (name, ty, total) =
+    if total = Dtype.size ty then begin
+      match Hashtbl.find_opt image.symbols name with
+      | None -> None
+      | Some addr ->
+        let a = acc_of_type ty in
+        if Dtype.is_float ty then
+          Some
+            ( name,
+              Interp.VFloat
+                (if a.width = 4 then
+                   Int32.float_of_bits (Int64.to_int32 (load_bytes st addr 4))
+                 else Int64.float_of_bits (load_bytes st addr 8)) )
+        else
+          Some
+            (name, Interp.VInt (sign_extend a.width (load_bytes st addr a.width)))
+    end
+    else None
+  in
+  let return_value =
+    let a = acc_of_type ret_type in
+    if Dtype.is_float ret_type then
+      Interp.VFloat (read_float st (Mode.Reg Regconv.r0) a)
+    else Interp.VInt (read_int st (Mode.Reg Regconv.r0) a)
+  in
+  {
+    return_value;
+    globals = List.filter_map read_global global_types;
+    output =
+      Buffer.contents st.out |> String.split_on_char '\n'
+      |> List.filter (fun s -> s <> "");
+    insns_executed = st.steps;
+    cycles = st.cycles;
+  }
+
+let run_text ?max_steps ?global_types ?ret_type text ~entry args =
+  run ?max_steps ?global_types ?ret_type (Asmparse.parse text) ~entry args

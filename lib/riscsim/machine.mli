@@ -1,0 +1,52 @@
+open Import
+
+(** The RISC simulator.
+
+    Executes parsed assembly over a flat byte-addressable memory with
+    the same calling convention, arithmetic semantics and observable
+    state as {!Gg_ir.Interp} and the VAX simulator — any of the three
+    can sit at either end of the differential-testing harness.
+
+    Unlike the VAX model this is a strict load/store machine: every
+    operand position checks its operand kind (register, immediate or
+    memory) and raises {!Sim_error} on a violation, so a code-generator
+    bug that leaks a memory operand into an ALU position fails loudly.
+    Only [cmp*] sets the condition flags.
+
+    Builtins: just [print] (one long or double argument, appended to
+    the output) — the RISC has real unsigned divide/remainder
+    instructions, so the [__udivl]/[__umodl] support routines of the
+    VAX backend do not exist here. *)
+
+type outcome = Gg_ir.Simout.t = {
+  return_value : Interp.value;
+  globals : (string * Interp.value) list;
+  output : string list;
+  insns_executed : int;
+  cycles : int;  (** accumulated {!Gg_risc.Insn_table.cycles} cost *)
+}
+
+exception Sim_error of string
+
+(** [run program ~entry args] loads and executes.  [global_types] gives
+    the element type of each global so scalar finals can be reported
+    (pass the IR program's globals).  [ret_type] tells how to read r0
+    at the end. *)
+val run :
+  ?max_steps:int ->
+  ?global_types:(string * Dtype.t * int) list ->
+  ?ret_type:Dtype.t ->
+  Asmparse.program ->
+  entry:string ->
+  Interp.value list ->
+  outcome
+
+(** Parse and run assembly text in one step. *)
+val run_text :
+  ?max_steps:int ->
+  ?global_types:(string * Dtype.t * int) list ->
+  ?ret_type:Dtype.t ->
+  string ->
+  entry:string ->
+  Interp.value list ->
+  outcome

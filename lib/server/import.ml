@@ -2,6 +2,7 @@
 module Tree = Gg_ir.Tree
 module Grammar = Gg_grammar.Grammar
 module Driver = Gg_codegen.Driver
+module Backend = Gg_codegen.Backend
 module Parallel = Gg_codegen.Parallel
 module Sema = Gg_frontc.Sema
 module Lexer = Gg_frontc.Lexer

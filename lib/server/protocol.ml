@@ -3,13 +3,15 @@
    any local process, and a bad frame must become a Bad_request
    response, never an exception escaping the worker. *)
 
-let version = 1
+(* version 2 added the target byte after the backend byte *)
+let version = 2
 let max_frame = 64 * 1024 * 1024
 
 type backend = Gg | Pcc
 
 type request = {
   backend : backend;
+  target : Gg_codegen.Backend.target;
   idioms : bool;
   peephole : bool;
   explain : bool;
@@ -20,11 +22,12 @@ type request = {
   source : string;
 }
 
-let request ?(backend = Gg) ?(idioms = true) ?(peephole = false)
-    ?(explain = false) ?(jobs = 1) ?(deadline_ms = 0) ?(fail_inject = false)
-    ?(sleep_ms = 0) source =
+let request ?(backend = Gg) ?(target = Gg_codegen.Backend.Vax)
+    ?(idioms = true) ?(peephole = false) ?(explain = false) ?(jobs = 1)
+    ?(deadline_ms = 0) ?(fail_inject = false) ?(sleep_ms = 0) source =
   {
     backend;
+    target;
     idioms;
     peephole;
     explain;
@@ -98,6 +101,8 @@ let encode_request r =
   Buffer.add_char b 'Q';
   Buffer.add_uint8 b version;
   Buffer.add_uint8 b (match r.backend with Gg -> 0 | Pcc -> 1);
+  Buffer.add_uint8 b
+    (match r.target with Gg_codegen.Backend.Vax -> 0 | Gg_codegen.Backend.Risc -> 1);
   let flags =
     (if r.idioms then flag_idioms else 0)
     lor (if r.peephole then flag_peephole else 0)
@@ -126,6 +131,17 @@ let decode_request s =
     | 1 -> Pcc
     | b -> fail "unknown backend %d" b
   in
+  let target =
+    match u8 c "target" with
+    | 0 -> Gg_codegen.Backend.Vax
+    | 1 -> Gg_codegen.Backend.Risc
+    | t -> fail "unknown target %d" t
+  in
+  (* the baseline emits VAX assembly; a cross pairing is a frame the
+     client should never have produced, so it fails decode and the
+     server answers Bad_request *)
+  if backend = Pcc && target <> Gg_codegen.Backend.Vax then
+    fail "the pcc backend targets the VAX only";
   let flags = u8 c "flags" in
   let jobs = u16 c "jobs" in
   let deadline_ms = i32 c "deadline" in
@@ -136,6 +152,7 @@ let decode_request s =
   finish c;
   {
     backend;
+    target;
     idioms = flags land flag_idioms <> 0;
     peephole = flags land flag_peephole <> 0;
     explain = flags land flag_explain <> 0;

@@ -25,6 +25,10 @@ type backend = Gg | Pcc
 
 type request = {
   backend : backend;
+  target : Gg_codegen.Backend.target;
+      (** machine description to compile for (gg backend; the pcc
+          baseline emits VAX assembly only, and a [Pcc]/[Risc] frame
+          fails decode) *)
   idioms : bool;  (** run the idiom recogniser (gg backend) *)
   peephole : bool;
   explain : bool;  (** provenance-annotated listing *)
@@ -39,10 +43,11 @@ type request = {
   source : string;  (** mini-C source text *)
 }
 
-(** Request with [ggcc]'s defaults: gg backend, idioms on, peephole and
-    explain off, one job, no deadline, no test hooks. *)
+(** Request with [ggcc]'s defaults: gg backend, VAX target, idioms on,
+    peephole and explain off, one job, no deadline, no test hooks. *)
 val request :
   ?backend:backend ->
+  ?target:Gg_codegen.Backend.target ->
   ?idioms:bool ->
   ?peephole:bool ->
   ?explain:bool ->

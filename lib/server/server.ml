@@ -30,7 +30,7 @@ let default_config ~socket_path =
 
 type t = {
   cfg : config;
-  tables : Driver.tables;
+  tables : Backend.target -> Driver.tables;
   sock : Unix.file_descr;
   queue : (Unix.file_descr * float) Squeue.t;
   shutdown : bool Atomic.t;
@@ -130,7 +130,14 @@ let serve_connection t fd t_accept =
       let resp =
         if past_deadline () then Protocol.Timeout
         else
-          let r = compile_request t.tables req in
+          (* resolving the target's tables may itself hit the disk
+             cache; a failure there must answer, not kill the worker *)
+          let r =
+            match t.tables req.Protocol.target with
+            | tables -> compile_request tables req
+            | exception e ->
+              Protocol.Error (Protocol.Internal, Printexc.to_string e)
+          in
           if past_deadline () then Protocol.Timeout else r
       in
       if !Metrics.enabled then

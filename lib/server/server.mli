@@ -44,9 +44,13 @@ type t
 
 (** Binds the socket, spawns the accept thread and worker pool, and
     returns immediately.  A live daemon already owning the socket is a
-    [Failure]; a stale socket file is replaced.  The tables must
-    already be resolved — the caller decides cache vs build. *)
-val start : config:config -> tables:Driver.tables -> unit -> t
+    [Failure]; a stale socket file is replaced.  [tables] resolves each
+    request's target to its parse tables — the caller decides cache vs
+    build (and typically backs it with per-target lazies so a target
+    is only loaded when first requested); it must be safe to call from
+    any worker domain. *)
+val start :
+  config:config -> tables:(Backend.target -> Driver.tables) -> unit -> t
 
 (** Graceful drain: stop accepting, serve the backlog, join the
     workers, remove the socket file.  Idempotent. *)

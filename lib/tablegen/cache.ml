@@ -13,9 +13,9 @@ let default_dir () =
         Filename.concat (Filename.concat h ".cache") "ggcg"
       | _ -> Filename.concat (Filename.get_temp_dir_name ()) "ggcg-cache"))
 
-let path ?dir (g : Grammar.t) =
+let path ?dir ?(target = "vax") (g : Grammar.t) =
   let dir = match dir with Some d -> d | None -> default_dir () in
-  Filename.concat dir (Fmt.str "tables-%s.tbl" (Grammar.digest g))
+  Filename.concat dir (Fmt.str "tables-%s-%s.tbl" target (Grammar.digest g))
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -23,16 +23,16 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
   end
 
-let load ?dir (g : Grammar.t) =
-  let file = path ?dir g in
+let load ?dir ?target (g : Grammar.t) =
+  let file = path ?dir ?target g in
   if not (Sys.file_exists file) then None
   else
     match Gg_profile.Trace.phase "tables.load" (fun () -> Packed.load g file) with
     | t -> Some t
     | exception (Failure _ | Sys_error _) -> None
 
-let store ?dir (g : Grammar.t) (t : Packed.t) =
-  let file = path ?dir g in
+let store ?dir ?target (g : Grammar.t) (t : Packed.t) =
+  let file = path ?dir ?target g in
   try
     mkdir_p (Filename.dirname file);
     (* write-then-rename so concurrent compiles never see a torn file *)
@@ -55,16 +55,20 @@ let file_size file =
     n
   | exception Sys_error _ -> 0
 
-let clear_stale ?dir (g : Grammar.t) =
+let clear_stale ?dir (live : (string * Grammar.t) list) =
   let dir = match dir with Some d -> d | None -> default_dir () in
-  let live = Filename.basename (path ~dir g) in
+  let live_names =
+    List.map
+      (fun (target, g) -> Filename.basename (path ~dir ~target g))
+      live
+  in
   let entries = try Sys.readdir dir with Sys_error _ -> [||] in
   Array.to_list entries
   |> List.filter_map (fun name ->
          let stale_tbl =
            String.starts_with ~prefix:"tables-" name
            && Filename.check_suffix name ".tbl"
-           && name <> live
+           && not (List.mem name live_names)
          in
          (* interrupted atomic stores leave tables-*.tmp behind *)
          let orphan_tmp =
@@ -80,14 +84,14 @@ let clear_stale ?dir (g : Grammar.t) =
            | exception Sys_error _ -> None)
   |> List.sort compare
 
-let load_or_build ?dir (g : Grammar.t) =
+let load_or_build ?dir ?target (g : Grammar.t) =
   let ctrs = Profile.counters () in
-  match load ?dir g with
+  match load ?dir ?target g with
   | Some t ->
     ctrs.Profile.cache_hits <- ctrs.Profile.cache_hits + 1;
     t
   | None ->
     ctrs.Profile.cache_misses <- ctrs.Profile.cache_misses + 1;
     let t = build g in
-    ignore (store ?dir g t);
+    ignore (store ?dir ?target g t);
     t

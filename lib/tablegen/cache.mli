@@ -6,9 +6,11 @@ open Import
     2 h → 10 min story, sections 7 and 9); even our optimised
     constructor is the dominant start-up cost of every [ggcc] run.  The
     cache makes construction a once-per-grammar event: files are named
-    [tables-<digest>.tbl] under the cache directory, so an edited
-    grammar automatically misses and a stale file can never be picked
-    up.  {!Packed.load} additionally re-verifies the embedded digest.
+    [tables-<target>-<digest>.tbl] under the cache directory, so an
+    edited grammar automatically misses, two targets can never collide
+    on disk even if their grammars happened to digest identically, and
+    a stale file can never be picked up.  {!Packed.load} additionally
+    re-verifies the embedded digest.
 
     The directory is [$GGCG_CACHE_DIR], else [$XDG_CACHE_HOME/ggcg],
     else [~/.cache/ggcg] (a temp-dir fallback covers HOME-less
@@ -18,30 +20,32 @@ open Import
 
 val default_dir : unit -> string
 
-(** The cache file for this grammar (the file need not exist). *)
-val path : ?dir:string -> Grammar.t -> string
+(** The cache file for this grammar and target (default ["vax"]; the
+    file need not exist). *)
+val path : ?dir:string -> ?target:string -> Grammar.t -> string
 
 (** [load g] — the cached tables, or [None] if absent, stale or
     unreadable.  Timed under ["tables.load"] when profiling. *)
-val load : ?dir:string -> Grammar.t -> Packed.t option
+val load : ?dir:string -> ?target:string -> Grammar.t -> Packed.t option
 
 (** Best-effort atomic store; returns [false] if the directory is not
     writable. *)
-val store : ?dir:string -> Grammar.t -> Packed.t -> bool
+val store : ?dir:string -> ?target:string -> Grammar.t -> Packed.t -> bool
 
 (** Build and pack tables without touching the disk (timed under
     ["tables.build"]). *)
 val build : Grammar.t -> Packed.t
 
 (** Evict cache entries that can never be loaded again: every
-    [tables-*.tbl] whose digest is not [g]'s (the grammar changed
-    underneath them) and every [tables-*.tmp] orphaned by an
-    interrupted store.  Returns the removed files with their sizes in
-    bytes, sorted; the current grammar's entry is never touched and
-    unremovable files are skipped silently. *)
-val clear_stale : ?dir:string -> Grammar.t -> (string * int) list
+    [tables-*.tbl] that is not one of the [live] (target, grammar)
+    pairs' entries (the grammar changed underneath them, or the file
+    predates target-keyed names) and every [tables-*.tmp] orphaned by
+    an interrupted store.  Returns the removed files with their sizes
+    in bytes, sorted; live entries are never touched and unremovable
+    files are skipped silently. *)
+val clear_stale : ?dir:string -> (string * Grammar.t) list -> (string * int) list
 
 (** The production path: cached tables if present, else build and
     store.  Updates the {!Gg_profile.Profile.counters} hit/miss
     counts. *)
-val load_or_build : ?dir:string -> Grammar.t -> Packed.t
+val load_or_build : ?dir:string -> ?target:string -> Grammar.t -> Packed.t

@@ -15,29 +15,34 @@ let fresh_stats () =
     spill_splits = 0;
   }
 
-(* Sethi–Ullman labelling adapted to our selector: leaves and memory
-   operands can be instruction operands directly (need 0 registers held
-   across the sibling), an operator needs a register for its result. *)
-let rec register_need (t : Tree.t) =
+(* Sethi–Ullman labelling adapted to our selector.  [leaf_need] is the
+   target's weight for a leaf operand: on the VAX leaves and memory
+   operands can be instruction operands directly (0 registers held
+   across the sibling); on a load/store machine every leaf is
+   materialised into a register first (1).  An operator always needs a
+   register for its result. *)
+let rec need ~leaf_need (t : Tree.t) =
   match t with
   | Tree.Const _ | Tree.Fconst _ | Tree.Name _ | Tree.Temp _ | Tree.Dreg _
   | Tree.Autoinc _ | Tree.Autodec _ ->
-    0
-  | Tree.Indir (_, addr) -> register_need addr
+    leaf_need
+  | Tree.Indir (_, addr) -> max leaf_need (need ~leaf_need addr)
   | Tree.Addr _ -> 1
   | Tree.Unop (_, _, e) | Tree.Conv (_, _, e) | Tree.Arg (_, e) ->
-    max 1 (register_need e)
+    max 1 (need ~leaf_need e)
   | Tree.Binop (_, _, a, b)
   | Tree.Assign (_, a, b)
   | Tree.Rassign (_, a, b)
   | Tree.Cbranch (_, _, _, a, b, _) ->
-    let na = register_need a in
-    let nb = register_need b in
+    let na = need ~leaf_need a in
+    let nb = need ~leaf_need b in
     if na = nb then na + 1 else max na nb
   | Tree.Call _ | Tree.Land _ | Tree.Lor _ | Tree.Lnot _ | Tree.Select _
   | Tree.Relval _ ->
     (* these never survive Phase 1a *)
     6
+
+let register_need t = need ~leaf_need:0 t
 
 let swap_heavier ~reverse_ops stats t =
   let go (t : Tree.t) =
@@ -75,7 +80,9 @@ let swap_heavier ~reverse_ops stats t =
    register variables occupy part of the allocatable bank. *)
 let default_spill_limit = 5
 
-let rec split_spills ~limit ctx stats (t : Tree.t) : Tree.stmt list * Tree.t =
+let rec split_spills ~limit ~leaf_need ctx stats (t : Tree.t) :
+    Tree.stmt list * Tree.t =
+  let register_need t = need ~leaf_need t in
   if register_need t <= limit then ([], t)
   else begin
     (* extract the heaviest subtree in a *value* position into a
@@ -110,7 +117,9 @@ let rec split_spills ~limit ctx stats (t : Tree.t) : Tree.stmt list * Tree.t =
         (* nothing extractable reduces the pressure; leave it to the
            register manager's dynamic spilling *)
       else
-      let pre_inner, heaviest' = split_spills ~limit ctx stats heaviest in
+      let pre_inner, heaviest' =
+        split_spills ~limit ~leaf_need ctx stats heaviest
+      in
       let ty = Tree.dtype heaviest' in
       let tmp = Context.fresh_temp ctx ty in
       stats.spill_splits <- stats.spill_splits + 1;
@@ -162,7 +171,7 @@ let rec split_spills ~limit ctx stats (t : Tree.t) : Tree.stmt list * Tree.t =
       in
       let t' = replace t in
       assert !replaced;
-      let pre_rest, t'' = split_spills ~limit ctx stats t' in
+      let pre_rest, t'' = split_spills ~limit ~leaf_need ctx stats t' in
       ( pre_inner
         @ [ Tree.Stree (Tree.Assign (ty, tmp, heaviest')) ]
         @ pre_rest,
@@ -170,7 +179,7 @@ let rec split_spills ~limit ctx stats (t : Tree.t) : Tree.stmt list * Tree.t =
   end
 
 let run ?(reverse_ops = true) ?(spill_guard = true)
-    ?(spill_limit = default_spill_limit) ?stats ctx body =
+    ?(spill_limit = default_spill_limit) ?(leaf_need = 0) ?stats ctx body =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   List.concat_map
     (fun s ->
@@ -178,7 +187,9 @@ let run ?(reverse_ops = true) ?(spill_guard = true)
       | Tree.Stree t ->
         let t = swap_heavier ~reverse_ops stats t in
         if spill_guard then begin
-          let pre, t' = split_spills ~limit:spill_limit ctx stats t in
+          let pre, t' =
+            split_spills ~limit:spill_limit ~leaf_need ctx stats t
+          in
           pre @ [ Tree.Stree t' ]
         end
         else [ Tree.Stree t ]

@@ -26,10 +26,13 @@ type stats = {
   mutable spill_splits : int;
 }
 
+(** [leaf_need] is the target's Sethi–Ullman weight for a leaf operand
+    (see {!register_need}); 0 for the VAX, 1 for a load/store target. *)
 val run :
   ?reverse_ops:bool ->
   ?spill_guard:bool ->
   ?spill_limit:int ->
+  ?leaf_need:int ->
   ?stats:stats ->
   Context.t ->
   Tree.stmt list ->

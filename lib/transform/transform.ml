@@ -10,7 +10,7 @@ type result = {
   ordering_stats : Phase1c.stats;
 }
 
-let run ?(options = default_options) ?spill_limit (f : Tree.func) =
+let run ?(options = default_options) ?spill_limit ?leaf_need (f : Tree.func) =
   let ctx = Context.create f in
   let stats = Phase1c.fresh_stats () in
   let body = Phase1a.run ctx f.Tree.body in
@@ -18,7 +18,8 @@ let run ?(options = default_options) ?spill_limit (f : Tree.func) =
   let body =
     if options.reorder then
       Phase1c.run ~reverse_ops:options.reverse_ops
-        ~spill_guard:options.spill_guard ?spill_limit ~stats ctx body
+        ~spill_guard:options.spill_guard ?spill_limit ?leaf_need ~stats ctx
+        body
     else body
   in
   {

@@ -22,8 +22,11 @@ type result = {
 }
 
 (** [spill_limit] overrides the register budget of the spill guard
-    (reduce it when register variables occupy allocatable registers). *)
-val run : ?options:options -> ?spill_limit:int -> Tree.func -> result
+    (reduce it when register variables occupy allocatable registers);
+    [leaf_need] is the target's leaf weight for the guard's labelling
+    (see {!Phase1c.run}). *)
+val run :
+  ?options:options -> ?spill_limit:int -> ?leaf_need:int -> Tree.func -> result
 
 (** Transform every function of a program. *)
 val run_program : ?options:options -> Tree.program -> (Tree.func * result) list

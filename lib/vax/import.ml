@@ -5,6 +5,9 @@ module Tree = Gg_ir.Tree
 module Label = Gg_ir.Label
 module Regconv = Gg_ir.Regconv
 module Termname = Gg_ir.Termname
+module Mode = Gg_ir.Mode
+module Insn = Gg_ir.Insn
+module Treelang = Gg_ir.Treelang
 module Grammar = Gg_grammar.Grammar
 module Schema = Gg_grammar.Schema
 module Action = Gg_grammar.Action

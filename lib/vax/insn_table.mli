@@ -1,3 +1,5 @@
+open Import
+
 (** The hand-written instruction table (paper Fig. 3).
 
     Each {e cluster}, looked up by the key stored in a production's

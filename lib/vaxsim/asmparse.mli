@@ -2,7 +2,7 @@ open Import
 
 (** Parser for the VAX assembly subset the code generators emit.
 
-    The parser inverts {!Gg_vax.Insn.assembly} and the addressing-mode
+    The parser inverts {!Gg_ir.Insn.assembly} and the addressing-mode
     format table, recovering structured instructions so the simulator
     and the cost model operate on the same representation the compiler
     produced.  Local labels ([L7]) are scoped to their function; global

@@ -4,5 +4,5 @@ module Tree = Gg_ir.Tree
 module Label = Gg_ir.Label
 module Regconv = Gg_ir.Regconv
 module Interp = Gg_ir.Interp
-module Mode = Gg_vax.Mode
-module Insn = Gg_vax.Insn
+module Mode = Gg_ir.Mode
+module Insn = Gg_ir.Insn

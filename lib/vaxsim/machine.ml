@@ -1,6 +1,6 @@
 open Import
 
-type outcome = {
+type outcome = Gg_ir.Simout.t = {
   return_value : Interp.value;
   globals : (string * Interp.value) list;
   output : string list;

@@ -13,12 +13,12 @@ open Import
     routines the idiom recogniser calls, which modify no registers
     (paper section 5.3.2). *)
 
-type outcome = {
+type outcome = Gg_ir.Simout.t = {
   return_value : Interp.value;
   globals : (string * Interp.value) list;
   output : string list;
   insns_executed : int;
-  cycles : int;  (** accumulated {!Gg_vax.Insn.cycles} cost *)
+  cycles : int;  (** accumulated {!Gg_ir.Insn.cycles} cost *)
 }
 
 exception Sim_error of string

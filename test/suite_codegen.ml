@@ -5,8 +5,8 @@
 open Gg_ir
 module Driver = Gg_codegen.Driver
 module Matcher = Gg_matcher.Matcher
-module Insn = Gg_vax.Insn
-module Mode = Gg_vax.Mode
+module Insn = Gg_ir.Insn
+module Mode = Gg_ir.Mode
 module T = Tree
 
 let nm s = T.Name (Dtype.Long, s)

@@ -137,11 +137,17 @@ let test_fixed_programs_same_assembly () =
     (fun (name, src) ->
       let prog = Sema.compile src in
       let via_dense =
-        (Driver.compile_program ~tables:(Lazy.force dense_engine) prog)
+        (Driver.compile_program
+           ~tables:(Driver.of_engine ~backend:Gg_codegen.Backend.vax
+                      (Lazy.force dense_engine))
+           prog)
           .Driver.assembly
       in
       let via_packed =
-        (Driver.compile_program ~tables:(Lazy.force packed_engine) prog)
+        (Driver.compile_program
+           ~tables:(Driver.of_engine ~backend:Gg_codegen.Backend.vax
+                      (Lazy.force packed_engine))
+           prog)
           .Driver.assembly
       in
       Alcotest.(check string) (Fmt.str "%s assembly" name) via_dense via_packed)
@@ -272,6 +278,38 @@ let test_cache_miss_then_hit () =
   Sys.remove (Cache.path ~dir g);
   Sys.rmdir dir
 
+let test_cache_target_keys () =
+  (* the retargeting regression: the same grammar cached for two
+     targets must use distinct keys — a stale vax table must never be
+     served for a risc request — and clear-stale must respect every
+     target's live entry *)
+  let dir = Filename.temp_file "ggcg-cache" "" in
+  Sys.remove dir;
+  let g = Toy.grammar in
+  let vax_path = Cache.path ~dir ~target:"vax" g in
+  let risc_path = Cache.path ~dir ~target:"risc" g in
+  Alcotest.(check bool) "distinct files per target" false (vax_path = risc_path);
+  let p = Cache.load_or_build ~dir ~target:"vax" g in
+  Alcotest.(check bool) "vax entry on disk" true (Sys.file_exists vax_path);
+  Alcotest.(check bool) "vax entry never serves a risc request" true
+    (Cache.load ~dir ~target:"risc" g = None);
+  ignore (Cache.store ~dir ~target:"risc" g p : bool);
+  (match Cache.load ~dir ~target:"risc" g with
+  | None -> Alcotest.fail "risc entry missed after store"
+  | Some p2 ->
+    Alcotest.(check string) "same digest" (Packed.digest p) (Packed.digest p2));
+  (* both targets live: a clear pass removes nothing *)
+  let removed = Cache.clear_stale ~dir [ ("vax", g); ("risc", g) ] in
+  Alcotest.(check int) "both live entries kept" 0 (List.length removed);
+  (* only vax live: the risc entry is stale and evicted, vax kept *)
+  let removed = Cache.clear_stale ~dir [ ("vax", g) ] in
+  Alcotest.(check bool) "risc entry evicted" true
+    (List.exists (fun (f, _) -> f = risc_path) removed);
+  Alcotest.(check bool) "vax entry kept" true (Sys.file_exists vax_path);
+  Alcotest.(check bool) "risc entry gone" false (Sys.file_exists risc_path);
+  Sys.remove vax_path;
+  Sys.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "VAX action/goto/expected parity" `Quick
@@ -288,4 +326,6 @@ let suite =
       test_corrupt_file_rejected;
     Alcotest.test_case "cache: miss, store, hit, edited-grammar miss" `Quick
       test_cache_miss_then_hit;
+    Alcotest.test_case "cache: per-target keys never collide" `Quick
+      test_cache_target_keys;
   ]

@@ -5,7 +5,7 @@
 
 open Gg_ir
 module Pcc = Gg_pcc.Pcc
-module Insn = Gg_vax.Insn
+module Insn = Gg_ir.Insn
 module T = Tree
 
 let nm s = T.Name (Dtype.Long, s)

@@ -2,8 +2,8 @@
    alternative organisation). *)
 
 open Gg_codegen
-module Insn = Gg_vax.Insn
-module Mode = Gg_vax.Mode
+module Insn = Gg_ir.Insn
+module Mode = Gg_ir.Mode
 
 let check_int = Alcotest.(check int)
 

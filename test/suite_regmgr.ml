@@ -4,8 +4,8 @@
 
 open Gg_ir
 open Gg_codegen
-module Insn = Gg_vax.Insn
-module Mode = Gg_vax.Mode
+module Insn = Gg_ir.Insn
+module Mode = Gg_ir.Mode
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)

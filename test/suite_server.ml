@@ -12,6 +12,8 @@ module Server = Gg_server.Server
 module Client = Gg_server.Client
 module Parallel = Gg_codegen.Parallel
 module Driver = Gg_codegen.Driver
+module Backend = Gg_codegen.Backend
+module Targets = Gg_targets.Targets
 module Sema = Gg_frontc.Sema
 module Corpus = Gg_frontc.Corpus
 
@@ -40,7 +42,7 @@ let with_server ?(workers = 2) ?(queue_capacity = 16) f =
       read_timeout_s = 2.;
     }
   in
-  let t = Server.start ~config ~tables:(Lazy.force tables) () in
+  let t = Server.start ~config ~tables:Targets.default_tables () in
   Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f socket t)
 
 (* -- protocol ---------------------------------------------------------------- *)
@@ -49,6 +51,7 @@ let test_request_roundtrip () =
   let reqs =
     [
       Protocol.request "int main() { return 0; }";
+      Protocol.request ~target:Backend.Risc "int main() { return 0; }";
       Protocol.request ~backend:Protocol.Pcc ~idioms:false ~peephole:true
         ~explain:true ~jobs:7 ~deadline_ms:1234 ~fail_inject:true ~sleep_ms:9
         "";
@@ -97,6 +100,85 @@ let test_decode_rejects_garbage () =
   match Protocol.decode_response "R" with
   | _ -> Alcotest.fail "accepted a truncated response"
   | exception Protocol.Protocol_error _ -> ()
+
+(* -- protocol properties ----------------------------------------------------- *)
+
+(* random well-formed requests: both backends, both targets — except
+   the Pcc/Risc pairing, which fails decode by design, so the
+   generator never produces it *)
+let request_gen =
+  let open QCheck.Gen in
+  oneofl [ Protocol.Gg; Protocol.Pcc ] >>= fun backend ->
+  (if backend = Protocol.Pcc then return Backend.Vax
+   else oneofl [ Backend.Vax; Backend.Risc ])
+  >>= fun target ->
+  quad bool bool bool (int_range 1 64)
+  >>= fun (idioms, peephole, explain, jobs) ->
+  triple bool (int_range 0 1_000_000) (int_range 0 60_000)
+  >>= fun (fail_inject, deadline_ms, sleep_ms) ->
+  string_size (int_range 0 2_000) >>= fun source ->
+  return
+    (Protocol.request ~backend ~target ~idioms ~peephole ~explain ~jobs
+       ~deadline_ms ~fail_inject ~sleep_ms source)
+
+let response_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun s -> Protocol.Asm s) (string_size (int_range 0 2_000));
+      map2
+        (fun k m -> Protocol.Error (k, m))
+        (oneofl
+           [
+             Protocol.Lex;
+             Protocol.Parse;
+             Protocol.Semantic;
+             Protocol.Reject;
+             Protocol.Internal;
+             Protocol.Bad_request;
+           ])
+        (string_size (int_range 0 200));
+      map (fun n -> Protocol.Retry_after n) (int_range 0 100_000);
+      return Protocol.Timeout;
+    ]
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"random requests survive encode/decode" ~count:300
+    (QCheck.make request_gen)
+    (fun r -> Protocol.decode_request (Protocol.encode_request r) = r)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"random responses survive encode/decode" ~count:300
+    (QCheck.make response_gen)
+    (fun r -> Protocol.decode_response (Protocol.encode_response r) = r)
+
+(* a mutated frame may still decode (a flipped bit inside the source
+   text is a different valid request), but the only exception the
+   decoders may ever raise is Protocol_error — anything else would
+   escape the daemon's Bad_request answer and kill the worker *)
+let prop_request_mutation =
+  QCheck.Test.make
+    ~name:"byte-mutated request frames never escape Protocol_error" ~count:500
+    (QCheck.make
+       QCheck.Gen.(triple request_gen (int_range 0 max_int) (int_range 0 255)))
+    (fun (r, pos, byte) ->
+      let b = Bytes.of_string (Protocol.encode_request r) in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match Protocol.decode_request (Bytes.to_string b) with
+      | (_ : Protocol.request) -> true
+      | exception Protocol.Protocol_error _ -> true)
+
+let prop_response_mutation =
+  QCheck.Test.make
+    ~name:"byte-mutated response frames never escape Protocol_error" ~count:500
+    (QCheck.make
+       QCheck.Gen.(triple response_gen (int_range 0 max_int) (int_range 0 255)))
+    (fun (r, pos, byte) ->
+      let b = Bytes.of_string (Protocol.encode_response r) in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match Protocol.decode_response (Bytes.to_string b) with
+      | (_ : Protocol.response) -> true
+      | exception Protocol.Protocol_error _ -> true)
 
 (* -- framing ----------------------------------------------------------------- *)
 
@@ -217,6 +299,54 @@ let test_e2e_parity_fuzzed () =
     if served <> direct_compile src then
       Alcotest.failf "seed %d: served assembly differs from direct" seed
   done
+
+let test_e2e_risc_target () =
+  (* a --target risc request is served from the RISC tables — byte
+     parity with a direct RISC compile — and an interleaved vax request
+     still gets vax assembly: the per-target resolver never
+     cross-serves *)
+  with_server @@ fun socket _t ->
+  List.iter
+    (fun (name, src) ->
+      let served =
+        expect_asm
+          (Client.compile ~socket (Protocol.request ~target:Backend.Risc src))
+      in
+      let direct =
+        (Driver.compile_program
+           ~tables:(Targets.default_tables Backend.Risc)
+           (Sema.compile src))
+          .Driver.assembly
+      in
+      if served <> direct then
+        Alcotest.failf "%s: served risc assembly differs from direct" name;
+      let vax = expect_asm (Client.compile ~socket (Protocol.request src)) in
+      if vax <> direct_compile src then
+        Alcotest.failf "%s: vax assembly wrong after a risc request" name)
+    (List.filteri (fun i _ -> i < 3) Corpus.fixed_programs)
+
+let test_e2e_pcc_risc_bad_request () =
+  (* the pcc baseline emits VAX assembly only: a hand-built Pcc/Risc
+     frame must come back Bad_request, never compiled against the wrong
+     machine *)
+  with_server @@ fun socket _t ->
+  let frame =
+    Protocol.encode_request
+      (Protocol.request ~backend:Protocol.Pcc ~target:Backend.Risc
+         "int main() { return 0; }")
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Framing.write_frame fd frame;
+  match Framing.read_frame fd with
+  | Some payload -> (
+    match Protocol.decode_response payload with
+    | Protocol.Error (Protocol.Bad_request, _) -> ()
+    | _ -> Alcotest.fail "expected Bad_request for a Pcc/Risc frame")
+  | None -> Alcotest.fail "no response to a Pcc/Risc frame"
 
 let test_e2e_error_parity () =
   with_server @@ fun socket _t ->
@@ -430,7 +560,7 @@ let test_e2e_graceful_stop () =
   let config =
     { (Server.default_config ~socket_path:socket) with Server.workers = 2 }
   in
-  let t = Server.start ~config ~tables:(Lazy.force tables) () in
+  let t = Server.start ~config ~tables:(fun _ -> Lazy.force tables) () in
   let src = "int main() { return 3; }" in
   ignore (expect_asm (Client.compile ~socket (Protocol.request src)));
   Server.stop t;
@@ -444,7 +574,7 @@ let test_e2e_graceful_stop () =
 let test_start_refuses_live_socket () =
   with_server @@ fun socket _t ->
   let config = Server.default_config ~socket_path:socket in
-  match Server.start ~config ~tables:(Lazy.force tables) () with
+  match Server.start ~config ~tables:(fun _ -> Lazy.force tables) () with
   | t2 ->
     Server.stop t2;
     Alcotest.fail "second server bound a live socket"
@@ -460,6 +590,10 @@ let suite =
       test_response_roundtrip;
     Alcotest.test_case "protocol: garbage and truncations rejected" `Quick
       test_decode_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    QCheck_alcotest.to_alcotest prop_request_mutation;
+    QCheck_alcotest.to_alcotest prop_response_mutation;
     Alcotest.test_case "framing: round-trip and clean EOF" `Quick
       test_framing_roundtrip;
     Alcotest.test_case "framing: mid-frame EOF is an error" `Quick
@@ -474,6 +608,10 @@ let suite =
       test_e2e_parity_fixed_corpus;
     Alcotest.test_case "e2e: byte parity on 50 fuzzed programs" `Slow
       test_e2e_parity_fuzzed;
+    Alcotest.test_case "e2e: risc target served from risc tables" `Quick
+      test_e2e_risc_target;
+    Alcotest.test_case "e2e: Pcc/Risc frame answered Bad_request" `Quick
+      test_e2e_pcc_risc_bad_request;
     Alcotest.test_case "e2e: frontend errors come back typed" `Quick
       test_e2e_error_parity;
     Alcotest.test_case "e2e: crash inside codegen, daemon keeps serving" `Quick

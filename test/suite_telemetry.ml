@@ -4,7 +4,7 @@
    pool), instruction provenance (--explain), and the report guards. *)
 
 module Tree = Gg_ir.Tree
-module Insn = Gg_vax.Insn
+module Insn = Gg_ir.Insn
 module Driver = Gg_codegen.Driver
 module Semantics = Gg_codegen.Semantics
 module Sema = Gg_frontc.Sema

@@ -4,7 +4,7 @@
 
 open Gg_ir
 open Gg_vaxsim
-module Mode = Gg_vax.Mode
+module Mode = Gg_ir.Mode
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -61,8 +61,8 @@ let test_parse_program_items () =
   match p.Asmparse.items with
   | [ Asmparse.Comm ("g", 4); Asmparse.Globl "main"; Asmparse.Deflabel "main";
       Asmparse.Locallabel 3; Asmparse.Instruction _;
-      Asmparse.Instruction (Gg_vax.Insn.Branch ("jbr", 3));
-      Asmparse.Instruction Gg_vax.Insn.Ret ] ->
+      Asmparse.Instruction (Gg_ir.Insn.Branch ("jbr", 3));
+      Asmparse.Instruction Gg_ir.Insn.Ret ] ->
     ()
   | items -> Alcotest.failf "unexpected item shape (%d items)" (List.length items)
 

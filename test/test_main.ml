@@ -7,6 +7,9 @@ let () =
       ("matcher", Suite_matcher.suite);
       ("transform", Suite_transform.suite);
       ("vax", Suite_vax.suite);
+      ("risc", Suite_risc.suite);
+      ("riscdiff", Suite_riscdiff.suite);
+      ("ops", Suite_ops.suite);
       ("codegen", Suite_codegen.suite);
       ("vaxsim", Suite_vaxsim.suite);
       ("peephole", Suite_peephole.suite);
