@@ -1279,6 +1279,117 @@ let bench_retarget () =
     Targets.all
 
 (* ============================================================================ *)
+(* REGALLOC: graph coloring vs the stack discipline, cycle-model judged        *)
+(* ============================================================================ *)
+
+let bench_regalloc () =
+  section
+    "REGALLOC: graph-coloring allocation vs the paper's on-the-fly stack \
+     discipline, judged by each target's cycle model";
+  (* the judged corpus: examples/c when run from the repo root, else
+     the built-in fixed programs *)
+  let sources =
+    let dir = "examples/c" in
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".c")
+      |> List.sort compare
+      |> List.map (fun f ->
+             let file = Filename.concat dir f in
+             let ic = open_in_bin file in
+             let s = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             (Filename.remove_extension f, s))
+    else Corpus.fixed_programs
+  in
+  let progs = List.map (fun (n, s) -> (n, Sema.compile s)) sources in
+  let counter counters name =
+    Option.value (List.assoc_opt name counters) ~default:0
+  in
+  (* per (target, allocator): total simulated cycles across the corpus,
+     spill/reload counts from the metrics registry, and allocation-
+     inclusive compile wall time *)
+  let measure target regalloc =
+    let tables = Targets.default_tables target in
+    let options = { Driver.default_options with Driver.regalloc } in
+    let was_enabled = !Gg_profile.Metrics.enabled in
+    Gg_profile.Metrics.enabled := true;
+    Gg_profile.Metrics.reset ();
+    let t0 = Unix.gettimeofday () in
+    let outs =
+      List.map
+        (fun (n, p) -> (n, Driver.compile_program ~options ~tables p))
+        progs
+    in
+    let compile_s = Unix.gettimeofday () -. t0 in
+    let counters = Gg_profile.Metrics.named_counters () in
+    let spills = counter counters "codegen.spills_total" in
+    let reloads = counter counters "codegen.reloads_total" in
+    Gg_profile.Metrics.reset ();
+    Gg_profile.Metrics.enabled := was_enabled;
+    let per_prog =
+      List.map2
+        (fun (n, p) (_, out) ->
+          let sim =
+            Targets.run_text ~target out.Driver.assembly
+              ~global_types:p.Tree.globals ~entry:"main" []
+          in
+          (n, sim.Simout.cycles))
+        progs outs
+    in
+    let cycles = List.fold_left (fun a (_, c) -> a + c) 0 per_prog in
+    (cycles, spills, reloads, compile_s, per_prog)
+  in
+  let results =
+    List.map
+      (fun target ->
+        let s_cyc, s_sp, s_rl, s_t, s_per = measure target Driver.Stack in
+        let c_cyc, c_sp, c_rl, c_t, c_per = measure target Driver.Color in
+        row "%-5s stack: %7d cycles  %3d spills  %3d reloads  %.1f ms@."
+          (Targets.name target) s_cyc s_sp s_rl (s_t *. 1e3);
+        row "%-5s color: %7d cycles  %3d spills  %3d reloads  %.1f ms@."
+          (Targets.name target) c_cyc c_sp c_rl (c_t *. 1e3);
+        row "%-5s color/stack cycles: %.4fx (%s)@." (Targets.name target)
+          (float_of_int c_cyc /. float_of_int (max 1 s_cyc))
+          (if c_cyc < s_cyc then "color wins"
+           else if c_cyc = s_cyc then "tie"
+           else "STACK WINS");
+        (target, (s_cyc, s_sp, s_rl, s_t, s_per), (c_cyc, c_sp, c_rl, c_t, c_per)))
+      Targets.all
+  in
+  let oc = open_out "BENCH_regalloc.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"programs\": %d,\n" (List.length progs);
+  p "  \"targets\": [\n";
+  List.iteri
+    (fun k (target, (s_cyc, s_sp, s_rl, s_t, s_per), (c_cyc, c_sp, c_rl, c_t, c_per)) ->
+      let alloc name (cyc, sp, rl, t, per) last =
+        p "      \"%s\": {\n" name;
+        p "        \"total_cycles\": %d,\n" cyc;
+        p "        \"spills\": %d,\n" sp;
+        p "        \"reloads\": %d,\n" rl;
+        p "        \"compile_s\": %.4f,\n" t;
+        p "        \"per_program\": { ";
+        List.iteri
+          (fun i (n, c) ->
+            p "%s\"%s\": %d" (if i = 0 then "" else ", ") n c)
+          per;
+        p " }\n";
+        p "      }%s\n" (if last then "" else ",")
+      in
+      p "    { \"target\": \"%s\",\n" (Targets.name target);
+      alloc "stack" (s_cyc, s_sp, s_rl, s_t, s_per) false;
+      alloc "color" (c_cyc, c_sp, c_rl, c_t, c_per) false;
+      p "      \"color_strictly_wins\": %b\n" (c_cyc < s_cyc);
+      p "    }%s\n" (if k = List.length results - 1 then "" else ","))
+    results;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  row "written: BENCH_regalloc.json@."
+
+(* ============================================================================ *)
 
 let () =
   Fmt.pr "Table-driven code generation: benchmark harness%s@."
@@ -1309,6 +1420,7 @@ let () =
       ("throughput", bench_throughput);
       ("retarget", bench_retarget);
       ("serve", bench_serve);
+      ("regalloc", bench_regalloc);
     ]
   in
   (match

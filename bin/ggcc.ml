@@ -50,11 +50,14 @@ let gg_tables ~target ~tables_file ~no_cache () =
     if no_cache then Targets.default_tables target
     else Targets.cached_tables target Driver.default_options.Driver.grammar
 
-let compile_source backend ~idioms ~peephole ~jobs ~tables ~explain src =
+let compile_source backend ~idioms ~peephole ~regalloc ~heat ~jobs ~tables
+    ~explain src =
   let prog = Gg_profile.Trace.phase "frontend" (fun () -> Sema.compile src) in
   match backend with
   | Gg ->
-    let options = { Driver.default_options with Driver.idioms; peephole } in
+    let options =
+      { Driver.default_options with Driver.idioms; peephole; regalloc; heat }
+    in
     let tables = Lazy.force tables in
     let out = Driver.compile_program ~options ~tables ~jobs prog in
     let asm =
@@ -131,15 +134,15 @@ let with_profile profile f = with_telemetry profile f
 (* Route one compile through a ggccd daemon.  The server runs the same
    compile path with the same options, so the assembly (or the error
    text and exit code) is identical to compiling directly. *)
-let server_compile ~socket ~spawn ~ggccd ~backend ~target ~idioms ~peephole
-    ~jobs ~explain ~deadline_ms ~fail_inject ~sleep_ms src =
+let server_compile ~socket ~spawn ~ggccd ~backend ~target ~regalloc ~idioms
+    ~peephole ~jobs ~explain ~deadline_ms ~fail_inject ~sleep_ms src =
   ignore (Client.ensure ?ggccd ~socket ~spawn () : int option);
   let backend =
     match backend with Gg -> Protocol.Gg | Pcc_backend -> Protocol.Pcc
   in
   let req =
-    Protocol.request ~backend ~target ~idioms ~peephole ~explain ~jobs
-      ~deadline_ms ~fail_inject ~sleep_ms src
+    Protocol.request ~backend ~target ~regalloc ~idioms ~peephole ~explain
+      ~jobs ~deadline_ms ~fail_inject ~sleep_ms src
   in
   match Client.compile ~socket req with
   | Protocol.Asm asm -> asm
@@ -164,9 +167,9 @@ let server_compile ~socket ~spawn ~ggccd ~backend ~target ~idioms ~peephole
     Fmt.epr "server error: queue full, retries exhausted@.";
     exit 3
 
-let compile_cmd path backend target idioms peephole jobs output run args
-    tables_file no_cache profile trace_out metrics metrics_out explain server
-    spawn ggccd deadline_ms inject_fail inject_sleep_ms =
+let compile_cmd path backend target regalloc heat_file idioms peephole jobs
+    output run args tables_file no_cache profile trace_out metrics metrics_out
+    explain server spawn ggccd deadline_ms inject_fail inject_sleep_ms =
   handle_errors (fun () ->
       (* the baseline emits VAX assembly; refuse the cross pairing here
          rather than shipping it to a daemon that will refuse it too *)
@@ -174,6 +177,21 @@ let compile_cmd path backend target idioms peephole jobs output run args
         Fmt.epr "error: the pcc backend targets the VAX only@.";
         exit 1
       end;
+      if backend = Pcc_backend && regalloc <> Driver.Stack then begin
+        Fmt.epr "error: the pcc backend has no graph-coloring allocator@.";
+        exit 1
+      end;
+      (* heat tables are a local spill-cost input; the wire protocol
+         does not carry them *)
+      if heat_file <> None && server <> None then begin
+        Fmt.epr "error: --heat cannot be combined with --server@.";
+        exit 1
+      end;
+      let heat =
+        match heat_file with
+        | None -> []
+        | Some path -> Gg_codegen.Color.load_heat path
+      in
       with_telemetry ~trace_out ~metrics ~metrics_out ~explain profile
       @@ fun () ->
       let src = read_file path in
@@ -181,9 +199,9 @@ let compile_cmd path backend target idioms peephole jobs output run args
         match server with
         | Some socket ->
           let asm =
-            server_compile ~socket ~spawn ~ggccd ~backend ~target ~idioms
-              ~peephole ~jobs ~explain ~deadline_ms ~fail_inject:inject_fail
-              ~sleep_ms:inject_sleep_ms src
+            server_compile ~socket ~spawn ~ggccd ~backend ~target ~regalloc
+              ~idioms ~peephole ~jobs ~explain ~deadline_ms
+              ~fail_inject:inject_fail ~sleep_ms:inject_sleep_ms src
           in
           (* the simulator needs the global layout; the daemon answered
              Asm, so the local frontend cannot fail on the same source *)
@@ -193,8 +211,8 @@ let compile_cmd path backend target idioms peephole jobs output run args
           let asm, prog =
             Gg_profile.Trace.span ~cat:"file" (Filename.basename path)
               (fun () ->
-                compile_source backend ~idioms ~peephole ~jobs ~tables ~explain
-                  src)
+                compile_source backend ~idioms ~peephole ~regalloc ~heat ~jobs
+                  ~tables ~explain src)
           in
           (asm, lazy prog.Tree.globals)
       in
@@ -276,6 +294,29 @@ let target_arg =
           "Target machine description: $(b,vax) or $(b,risc).  Selects the \
            grammar, instruction table and simulator; the pcc backend is \
            VAX-only.")
+
+let regalloc_arg =
+  Arg.(
+    value
+    & opt (enum [ ("stack", Driver.Stack); ("color", Driver.Color) ]) Driver.Stack
+    & info [ "regalloc" ]
+        ~doc:
+          "Register allocator (gg backend): $(b,stack) is the paper's \
+           on-the-fly stack discipline; $(b,color) runs Chaitin/Briggs \
+           graph coloring over the emitted stream — liveness, \
+           interference, move coalescing, and spilling through frame \
+           temporaries weighted by use count, loop depth and production \
+           heat.")
+
+let heat_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "heat" ] ~docv:"FILE"
+        ~doc:
+          "Production firing counts from $(b,mdgtool heat --json), used \
+           by $(b,--regalloc color) to bias spill costs toward code \
+           produced by hot productions.  Local compiles only.")
 
 let idioms_arg =
   Arg.(
@@ -427,7 +468,8 @@ let inject_sleep_arg =
 let () =
   let compile_term =
     Term.(
-      const compile_cmd $ path_arg $ backend_arg $ target_arg $ idioms_arg
+      const compile_cmd $ path_arg $ backend_arg $ target_arg $ regalloc_arg
+      $ heat_arg $ idioms_arg
       $ peephole_arg $ jobs_arg $ output_arg $ run_arg $ args_arg $ tables_arg
       $ no_cache_arg $ profile_arg $ trace_out_arg $ metrics_arg
       $ metrics_out_arg $ explain_arg $ server_arg $ spawn_arg $ ggccd_arg

@@ -62,6 +62,24 @@ let engine_arg =
         ~doc:"Table engine(s) for the gg backend: $(b,dense), $(b,packed) or \
               $(b,both).")
 
+let regalloc_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("stack", Campaign.Rstack);
+             ("color", Campaign.Rcolor);
+             ("both", Campaign.Rboth);
+           ])
+        Campaign.Rstack
+    & info [ "regalloc" ]
+        ~doc:
+          "Register allocator(s) under test: $(b,stack), $(b,color) or \
+           $(b,both).  With $(b,both) every seed also compiles through \
+           the graph-coloring allocator, so a stack/color disagreement \
+           on any observable is a divergence.")
+
 let target_arg =
   Arg.(
     value
@@ -200,9 +218,9 @@ let with_telemetry ~profile ~trace_out ~metrics ~metrics_out f =
   Option.iter Gg_profile.Trace.write trace_out;
   r
 
-let fuzz_cmd (seed_lo, seed_hi) engine targets stmts depth max_nest functions
-    straight_line corpus_dir coverage verbose_cov quiet shrink_checks jobs
-    profile trace_out metrics metrics_out =
+let fuzz_cmd (seed_lo, seed_hi) engine regalloc targets stmts depth max_nest
+    functions straight_line corpus_dir coverage verbose_cov quiet shrink_checks
+    jobs profile trace_out metrics metrics_out =
   (* run the campaign under the telemetry wrapper but exit after it, so
      a divergence still flushes the trace/metrics files *)
   let n_div =
@@ -213,6 +231,7 @@ let fuzz_cmd (seed_lo, seed_hi) engine targets stmts depth max_nest functions
       seed_hi;
       gen = { Treegen.stmts; depth; max_nest; functions };
       engine;
+      regalloc;
       targets;
       straight_line;
       corpus_dir;
@@ -249,8 +268,8 @@ let fuzz_cmd (seed_lo, seed_hi) engine targets stmts depth max_nest functions
   in
   if n_div > 0 then exit 1
 
-let replay_cmd path engine targets =
-  match Campaign.replay ~engine ~targets path with
+let replay_cmd path engine regalloc targets =
+  match Campaign.replay ~engine ~regalloc ~targets path with
   | Ok outcome ->
     Fmt.pr "%s: all backends agree (return value %a)@." path
       Gg_ir.Interp.pp_value outcome.Gg_ir.Interp.return_value;
@@ -267,7 +286,8 @@ let replay_path_arg =
 let () =
   let fuzz_term =
     Term.(
-      const fuzz_cmd $ seeds_arg $ engine_arg $ target_arg $ stmts_arg
+      const fuzz_cmd $ seeds_arg $ engine_arg $ regalloc_arg $ target_arg
+      $ stmts_arg
       $ depth_arg $ nest_arg $ functions_arg $ straight_arg $ corpus_arg
       $ coverage_arg $ verbose_cov_arg $ quiet_arg $ shrink_checks_arg
       $ jobs_arg $ profile_arg $ trace_out_arg $ metrics_arg $ metrics_out_arg)
@@ -281,7 +301,9 @@ let () =
     Cmd.v
       (Cmd.info "replay"
          ~doc:"Re-run a persisted reproducer ($(b,.ir) dump) through the oracle.")
-      Term.(const replay_cmd $ replay_path_arg $ engine_arg $ target_arg)
+      Term.(
+        const replay_cmd $ replay_path_arg $ engine_arg $ regalloc_arg
+        $ target_arg)
   in
   let info =
     Cmd.info "ggfuzz"

@@ -202,7 +202,7 @@ let cache o dir clear =
    coverage on and render the firing counts as a heat report.  This is
    the usage data Samuelsson-style table optimisation wants before
    reordering table rows. *)
-let heat o top seeds verbose =
+let heat o top seeds json verbose =
   Gg_profile.Profile.coverage_enabled := true;
   Gg_profile.Profile.reset_coverage ();
   let tables = Gg_codegen.Driver.build_tables o in
@@ -223,6 +223,18 @@ let heat o top seeds verbose =
   let counts = Gg_profile.Profile.production_counts () in
   let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
   let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) counts in
+  if json then begin
+    (* machine-readable firing counts, the spill-cost input of
+       [ggcc --regalloc color --heat FILE] *)
+    Fmt.pr "{@[<v 1>@,\"total\": %d,@,\"productions\": [@[<v 1>" total;
+    List.iteri
+      (fun i (id, c) ->
+        Fmt.pr "%s@,{\"id\": %d, \"count\": %d}" (if i = 0 then "" else ",") id
+          c)
+      sorted;
+    Fmt.pr "@]@,]@]@,}@.";
+    exit 0
+  end;
   let n = Grammar.n_productions g in
   let fired = List.length sorted in
   Fmt.pr "corpus: %d programs, %d reductions, %d distinct productions@."
@@ -324,6 +336,14 @@ let () =
                   ~doc:
                     "Also compile $(docv) generated corpus programs \
                      besides the fixed suite.")
+          $ Arg.(
+              value & flag
+              & info [ "json" ]
+                  ~doc:
+                    "Emit the firing counts as JSON \
+                     ({\"total\": N, \"productions\": [{\"id\": I, \
+                     \"count\": C}, ...]}) for $(b,ggcc --regalloc color \
+                     --heat).")
           $ verbose_term);
       cmd_of "file"
         "Statistics for an external .mdg machine description file."

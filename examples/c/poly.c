@@ -1,0 +1,17 @@
+double a; double b; double c; double d;
+double e; double f; double g; double h;
+double r;
+
+int main() {
+  register int i;
+  int n;
+  n = 0;
+  a = 1.5; b = 2.5; c = 3.25; d = 0.5;
+  e = 1.25; f = 2.0; g = 0.75; h = 1.0;
+  for (i = 0; i < 50; i = i + 1) {
+    r = (a * b + c * d) * (e * f + g * h) + (a * c - b * d) * (e * g - f * h);
+    n = n + (int) r;
+  }
+  print(n);
+  return n & 1023;
+}

@@ -11,6 +11,15 @@ let target_of_string = function
 
 let all_targets = [ Vax; Risc ]
 
+(* how an instruction treats its last operand, as far as a register
+   allocator is concerned *)
+type dst_kind = Dst_none | Dst_write | Dst_readwrite
+
+type regalloc_info = {
+  ra_dst : string -> dst_kind;
+  ra_spill_in_place : bool;
+}
+
 type t = {
   target : target;
   grammar_of : Grammar_def.options -> Grammar.t;
@@ -25,9 +34,29 @@ type t = {
   peephole : (Insn.t list -> Insn.t list) option;
   alloc_regs : int list;
   leaf_need : int;
+  regalloc : regalloc_info;
 }
 
 let name b = target_name b.target
+
+let has_prefix p m =
+  String.length m >= String.length p && String.sub m 0 (String.length p) = p
+
+(* The VAX classifier.  Compares and tests write only the condition
+   codes; pushes write through sp's autodecrement, which the operand
+   walk already sees.  A '2'-suffix instruction folds its destination
+   into the second source (addl2 a,d == d += a), as do the inc/dec
+   range idioms; everything else —
+   mov/mova/mneg/mcom/cvt/clr, the '3' forms, ashl — overwrites its
+   last operand. *)
+let vax_dst m =
+  if has_prefix "cmp" m || has_prefix "tst" m || has_prefix "push" m then
+    Dst_none
+  else if
+    String.length m > 0 && m.[String.length m - 1] = '2'
+    || has_prefix "inc" m || has_prefix "dec" m
+  then Dst_readwrite
+  else Dst_write
 
 let vax =
   {
@@ -44,4 +73,5 @@ let vax =
     peephole = Some (fun insns -> fst (Peephole.optimize insns));
     alloc_regs = Regconv.allocatable;
     leaf_need = 0;
+    regalloc = { ra_dst = vax_dst; ra_spill_in_place = true };
   }

@@ -18,6 +18,25 @@ val target_name : target -> string
 val target_of_string : string -> target option
 val all_targets : target list
 
+(** How an [Insn] treats its last operand: [Dst_none] — every operand
+    is a source (compares, tests, pushes, stores on a load/store
+    machine); [Dst_write] — the last operand is overwritten;
+    [Dst_readwrite] — the last operand is both read and overwritten
+    (the VAX '2'-suffix forms). *)
+type dst_kind = Dst_none | Dst_write | Dst_readwrite
+
+(** What the graph-coloring register allocator needs to know about the
+    instruction set beyond the shared [move]/[alloc_regs] seams:
+    [ra_dst] classifies a mnemonic's last operand, and
+    [ra_spill_in_place] says whether a spilled register operand can be
+    replaced by its frame slot directly (the VAX ALU takes memory
+    operands; a load/store machine must insert reloads and stores
+    instead). *)
+type regalloc_info = {
+  ra_dst : string -> dst_kind;
+  ra_spill_in_place : bool;
+}
+
 type t = {
   target : target;
   grammar_of : Grammar_def.options -> Grammar.t;
@@ -45,6 +64,8 @@ type t = {
       (** Sethi-Ullman weight of a leaf operand for the phase 1c spill
           guard: 0 when the ALU takes memory operands directly (VAX),
           1 when every leaf must be loaded into a register first *)
+  regalloc : regalloc_info;
+      (** instruction-set facts for the coloring allocator *)
 }
 
 val name : t -> string

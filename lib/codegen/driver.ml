@@ -1,10 +1,21 @@
 open Import
 
+type regalloc = Stack | Color
+
+let regalloc_name = function Stack -> "stack" | Color -> "color"
+
+let regalloc_of_string = function
+  | "stack" -> Some Stack
+  | "color" -> Some Color
+  | _ -> None
+
 type options = {
   grammar : Grammar_def.options;
   transform : Transform.options;
   idioms : bool;
   peephole : bool;
+  regalloc : regalloc;
+  heat : (int * int) list;
 }
 
 let default_options =
@@ -13,7 +24,13 @@ let default_options =
     transform = Transform.default_options;
     idioms = true;
     peephole = false;
+    regalloc = Stack;
+    heat = [];
   }
+
+(* virtual registers are numbered from here in color mode; well above
+   any physical register number *)
+let vreg_base = 64
 
 type tables = { t_engine : Matcher.engine; t_backend : Backend.t }
 
@@ -48,10 +65,11 @@ type compiled_func = {
   cf_name : string;
   cf_insns : Insn.t list;
   cf_frame_size : int;
-  cf_prov : (int * int list) list;
-      (* per-instruction (source line, production ids); empty unless
-         provenance was enabled, or when the peephole pass rewrote the
-         instruction list out from under it *)
+  cf_prov : (int * int list * string) list;
+      (* per-instruction (source line, production ids, marker); the
+         marker is "" normally, "spill"/"reload" on register-allocator
+         traffic.  Empty unless provenance was enabled, or when the
+         peephole pass rewrote the instruction list out from under it *)
 }
 
 type output = {
@@ -126,12 +144,39 @@ let compile_func ?(options = default_options) tables (f : Tree.func) =
   in
   let sem =
     Semantics.create ~idioms:options.idioms ~reserved ~allocatable:alloc_regs
-      ?move:backend.Backend.move frame
+      ?move:backend.Backend.move
+      ?vreg_base:(match options.regalloc with Color -> Some vreg_base | Stack -> None)
+      ?explain:
+        (* heat weighting needs per-instruction provenance even when
+           the user did not ask for --explain *)
+        (if options.regalloc = Color && options.heat <> [] then Some true
+         else None)
+      frame
   in
   Trace.phase "phase2.match" (fun () ->
       compile_stmts tables sem tr.Transform.func.Tree.body);
   let insns = Semantics.output sem in
   let prov = Semantics.provenance sem in
+  let insns, prov, ra_stats =
+    match options.regalloc with
+    | Stack -> (insns, prov, None)
+    | Color ->
+      let vinfo =
+        match Regmgr.vreg_summary (Semantics.regmgr sem) with
+        | Some v -> v
+        | None -> assert false
+      in
+      let bank = List.filter (fun r -> not (List.mem r reserved)) alloc_regs in
+      let insns, prov, st =
+        Trace.phase "phase3.regalloc" (fun () ->
+            Color.run ~backend ~bank ~frame ~vinfo ~heat:options.heat ~prov
+              insns)
+      in
+      (* provenance forced on for heat weighting only is internal:
+         don't surface it unless the user asked *)
+      let prov = if !Profile.provenance_enabled then prov else [] in
+      (insns, prov, Some st)
+  in
   let insns, prov =
     match tables.t_backend.Backend.peephole with
     | Some pass when options.peephole ->
@@ -140,8 +185,15 @@ let compile_func ?(options = default_options) tables (f : Tree.func) =
       (Trace.phase "peephole" (fun () -> pass insns), [])
     | _ -> (insns, prov)
   in
-  if !Metrics.enabled then
+  if !Metrics.enabled then begin
     Metrics.observe Metrics.insns_per_func (List.length insns);
+    let spills =
+      match ra_stats with
+      | Some st -> st.Color.spilled_ranges
+      | None -> Regmgr.spills (Semantics.regmgr sem)
+    in
+    Metrics.observe Metrics.spills_per_func spills
+  end;
   {
     cf_name = f.Tree.fname;
     cf_insns = insns;
@@ -174,21 +226,25 @@ let render_func_explained (bk : Backend.t) buf g (cf : compiled_func) =
     (fun i insn ->
       Buffer.add_string buf (bk.Backend.render_insn insn);
       (if i < Array.length prov then
-         let line, pids = prov.(i) in
-         match pids with
-         | [] -> ()
+         let line, pids, mark = prov.(i) in
+         match (pids, mark) with
+         | [], "" -> ()
          | _ ->
            let ids =
              String.concat ","
                (List.map (fun id -> "p" ^ string_of_int id) pids)
            in
-           let emitter = List.nth pids (List.length pids - 1) in
            let note =
-             match (Grammar.production g emitter).Grammar.note with
-             | "" -> ""
-             | n -> " ; " ^ n
+             match pids with
+             | [] -> ""
+             | _ -> (
+               let emitter = List.nth pids (List.length pids - 1) in
+               match (Grammar.production g emitter).Grammar.note with
+               | "" -> ""
+               | n -> " ; " ^ n)
            in
-           Buffer.add_string buf (Fmt.str "\t# L%d %s%s" line ids note));
+           let mark = if mark = "" then "" else " ; " ^ mark in
+           Buffer.add_string buf (Fmt.str "\t# L%d %s%s%s" line ids note mark));
       Buffer.add_char buf '\n')
     cf.cf_insns;
   Buffer.add_string buf "\tret\n"

@@ -7,6 +7,15 @@ open Import
     same IR forests as {!Gg_pcc} and produces VAX assembly text plus the
     structured instruction lists the benchmarks analyse. *)
 
+(** Which register allocator assigns the bank: [Stack] is the paper's
+    5.3.3 stack-discipline manager; [Color] matches and emits into
+    virtual registers, then runs Chaitin/Briggs graph coloring
+    ({!Color}) over the stream before rendering. *)
+type regalloc = Stack | Color
+
+val regalloc_name : regalloc -> string
+val regalloc_of_string : string -> regalloc option
+
 type options = {
   grammar : Grammar_def.options;
   transform : Transform.options;
@@ -14,9 +23,17 @@ type options = {
   peephole : bool;
       (** run the peephole pass over the emitted code (the section 6.1
           alternative organisation); off by default, as in the paper *)
+  regalloc : regalloc;  (** default [Stack] *)
+  heat : (int * int) list;
+      (** production-id -> firing-count table ({!Color.load_heat}, from
+          [mdgtool heat --json]) weighting the colorer's spill costs;
+          ignored under [Stack] *)
 }
 
 val default_options : options
+
+(** First virtual-register number in color mode. *)
+val vreg_base : int
 
 (** The driver's table handle: a {!Matcher.engine} paired with the
     {!Backend.t} whose grammar built it, so every downstream consumer
@@ -53,10 +70,13 @@ type compiled_func = {
   cf_name : string;
   cf_insns : Insn.t list;  (** body, without prologue/epilogue *)
   cf_frame_size : int;
-  cf_prov : (int * int list) list;
+  cf_prov : (int * int list * string) list;
       (** per-instruction provenance, parallel to [cf_insns]: the
-          source line current at emission and the grammar production
-          ids reduced since the previous emission.  Empty unless
+          source line current at emission, the grammar production
+          ids reduced since the previous emission, and a marker
+          ([""] normally, ["spill"]/["reload"] on register-allocator
+          traffic, which carries the provenance of the value being
+          moved).  Empty unless
           {!Gg_profile.Profile.provenance_enabled} was set when the
           function was compiled, or when the peephole pass rewrote the
           instruction list. *)

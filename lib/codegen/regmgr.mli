@@ -8,9 +8,32 @@ open Import
     the manager first reclaims registers dying with the instruction's
     source operands.  When no register is free, the register at the
     bottom of the stack is spilled to a compiler temporary (a "virtual
-    register") and the descriptor that owned it is redirected there. *)
+    register") and the descriptor that owned it is redirected there.
+
+    A second, virtual mode exists for the graph-coloring allocator:
+    created with [vreg_base], the manager hands out fresh virtual
+    registers (numbered from the base, never recycled) instead of
+    cycling the physical bank, and never spills.  The emitted stream
+    then references virtual registers that {!Color} later assigns to
+    the bank. *)
 
 type t
+
+(** Width class of a virtual register: 8-byte values occupy a
+    [Vpair_base]/[Vpair_second] pair (the stream only ever references
+    the base). *)
+type vreg_kind = Vsingle | Vpair_base | Vpair_second
+
+(** What the colorer needs to know about the virtual registers a
+    function used: numbering base, per-register type, pair structure,
+    and the provenance (source line, production ids) captured when each
+    was allocated. *)
+type vreg_summary = {
+  vs_base : int;
+  vs_types : Dtype.t array;
+  vs_kinds : vreg_kind array;
+  vs_prov : (int * int list) array;
+}
 
 (** [reserved] registers (register variables) are excluded from the
     allocatable pool for this function.  [allocatable] is the target's
@@ -19,14 +42,25 @@ type t
     operands (spill store, reload, materialising an operand into a
     register); the default is the VAX mover, a single
     [mov<sfx> src,dst].  A load/store target supplies a mover that
-    dispatches on the operand kinds instead. *)
+    dispatches on the operand kinds instead.
+
+    [vreg_base] switches the manager into virtual mode (see above).
+    [prov_of] supplies the current provenance when a register is
+    allocated; [marked] wraps the emission of spill stores and reloads
+    so the caller can tag them (defaults run the thunk unadorned). *)
 val create :
   ?reserved:int list ->
   ?allocatable:int list ->
   ?move:(Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list) ->
+  ?vreg_base:int ->
+  ?prov_of:(unit -> int * int list) ->
+  ?marked:(mark:string -> prov:(int * int list) -> (unit -> unit) -> unit) ->
   emit:(Insn.t -> unit) ->
   Frame.t ->
   t
+
+(** The VAX mover (the [?move] default): one [mov<sfx> src,dst]. *)
+val default_move : Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list
 
 (** Consume a descriptor: its owned registers become reclaimable. *)
 val release : t -> Desc.t -> unit
@@ -59,6 +93,17 @@ val unpin : t -> Desc.t -> unit
 
 (** Number of registers currently in use (diagnostics). *)
 val in_use : t -> int
+
+(** Spill stores emitted so far (stack mode; always 0 in virtual
+    mode). *)
+val spills : t -> int
+
+(** Reloads of previously spilled values emitted so far. *)
+val reloads : t -> int
+
+(** Virtual-register bookkeeping, [None] unless created with
+    [vreg_base]. *)
+val vreg_summary : t -> vreg_summary option
 
 (** Raise [Failure] if any allocatable register is still in use — the
     between-statements invariant. *)

@@ -9,8 +9,29 @@ type t = {
   mutable line : int;
   mutable prov_last : int;
   mutable prov_pending : int list;
-  mutable prov_rev : (int * int list) list;
+  mutable prov_override : ((int * int list) * string) option;
+  mutable prov_rev : (int * int list * string) list;
 }
+
+let current_prov t =
+  if not t.explain then (0, [])
+  else
+    let pids =
+      match t.prov_pending with
+      | [] -> if t.prov_last >= 0 then [ t.prov_last ] else []
+      | ps -> List.rev ps
+    in
+    (t.line, pids)
+
+(* Spill stores and reloads describe a value allocated earlier, not the
+   production being reduced right now; the register manager replays the
+   value's own provenance (plus a marker) around their emission. *)
+let with_mark t ~mark ~prov f =
+  if not t.explain then f ()
+  else begin
+    t.prov_override <- Some (prov, mark);
+    Fun.protect ~finally:(fun () -> t.prov_override <- None) f
+  end
 
 let emit t i =
   t.out_rev <- i :: t.out_rev;
@@ -18,21 +39,28 @@ let emit t i =
     (* instructions emitted between reductions (register-manager
        spills, cluster tails) inherit the production that triggered
        the most recent reduction *)
-    let pids =
-      match t.prov_pending with
-      | [] -> if t.prov_last >= 0 then [ t.prov_last ] else []
-      | ps -> List.rev ps
+    let entry =
+      match t.prov_override with
+      | Some ((line, pids), mark) -> (line, pids, mark)
+      | None ->
+        let line, pids = current_prov t in
+        (line, pids, "")
     in
-    t.prov_rev <- (t.line, pids) :: t.prov_rev
+    t.prov_rev <- entry :: t.prov_rev
   end
 
-let create ?(idioms = true) ?reserved ?allocatable ?move frame =
-  let explain = !Profile.provenance_enabled in
+let create ?(idioms = true) ?explain ?reserved ?allocatable ?move ?vreg_base
+    frame =
+  let explain =
+    match explain with Some e -> e | None -> !Profile.provenance_enabled
+  in
   let rec t =
     lazy
       {
         regs =
-          Regmgr.create ?reserved ?allocatable ?move
+          Regmgr.create ?reserved ?allocatable ?move ?vreg_base
+            ~prov_of:(fun () -> current_prov (Lazy.force t))
+            ~marked:(fun ~mark ~prov f -> with_mark (Lazy.force t) ~mark ~prov f)
             ~emit:(fun i -> emit (Lazy.force t) i)
             frame;
         frame;
@@ -42,6 +70,7 @@ let create ?(idioms = true) ?reserved ?allocatable ?move frame =
         line = 0;
         prov_last = -1;
         prov_pending = [];
+        prov_override = None;
         prov_rev = [];
       }
   in

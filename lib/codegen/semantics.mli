@@ -16,12 +16,18 @@ type t
     code results); [reserved] registers hold register variables and are
     withheld from the register manager; [allocatable] is the target's
     register bank and [move] its operand mover (both default to the
-    VAX, see {!Regmgr.create}). *)
+    VAX, see {!Regmgr.create}).  [explain] overrides
+    [Profile.provenance_enabled] (the colorer's heat weighting needs
+    provenance without the user asking for --explain); [vreg_base]
+    puts the register manager in virtual mode for the coloring
+    allocator. *)
 val create :
   ?idioms:bool ->
+  ?explain:bool ->
   ?reserved:int list ->
   ?allocatable:int list ->
   ?move:(Dtype.t -> src:Mode.t -> dst:Mode.t -> Insn.t list) ->
+  ?vreg_base:int ->
   Frame.t ->
   t
 
@@ -93,6 +99,9 @@ val set_line : t -> int -> unit
     point and before the next reduction carry no production ids. *)
 val end_tree : t -> unit
 
-(** [(line, production ids)] for each instruction of [output], in
-    order.  Empty unless provenance was enabled at [create]. *)
-val provenance : t -> (int * int list) list
+(** [(line, production ids, marker)] for each instruction of [output],
+    in order.  The marker is [""] for ordinary instructions, ["spill"]
+    or ["reload"] for register-manager traffic (which carries the
+    provenance of the value being moved, not of the current
+    reduction).  Empty unless provenance was enabled at [create]. *)
+val provenance : t -> (int * int list * string) list

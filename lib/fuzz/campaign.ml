@@ -1,12 +1,14 @@
 open Import
 
 type engine_sel = Dense | Packed | Both
+type regalloc_sel = Rstack | Rcolor | Rboth
 
 type config = {
   seed_lo : int;
   seed_hi : int;
   gen : Treegen.config;
   engine : engine_sel;
+  regalloc : regalloc_sel;
   targets : Backend.target list;
   straight_line : bool;
   corpus_dir : string;
@@ -21,6 +23,7 @@ let default_config =
     seed_hi = 100;
     gen = Treegen.default_config;
     engine = Both;
+    regalloc = Rstack;
     targets = [ Backend.Vax ];
     straight_line = false;
     corpus_dir = "fuzz-corpus";
@@ -44,14 +47,23 @@ type result = {
   seconds : float;
 }
 
-let engines_of ?(targets = [ Backend.Vax ]) sel =
+let engines_of ?(targets = [ Backend.Vax ]) ?(regalloc = Rstack) sel =
   List.concat_map
     (fun target ->
-      match sel with
-      | Dense -> [ Oracle.dense_engine_for target ]
-      | Packed -> [ Oracle.packed_engine_for target ]
-      | Both ->
-        [ Oracle.dense_engine_for target; Oracle.packed_engine_for target ])
+      let stack =
+        match sel with
+        | Dense -> [ Oracle.dense_engine_for target ]
+        | Packed -> [ Oracle.packed_engine_for target ]
+        | Both ->
+          [ Oracle.dense_engine_for target; Oracle.packed_engine_for target ]
+      in
+      (* the color engine always runs the packed tables: the allocator
+         is downstream of matching, so the table representation is
+         covered by the stack engines *)
+      match regalloc with
+      | Rstack -> stack
+      | Rcolor -> [ Oracle.color_engine_for target ]
+      | Rboth -> stack @ [ Oracle.color_engine_for target ])
     targets
 
 let program_of_seed cfg seed =
@@ -98,7 +110,9 @@ let handle_divergence cfg engines seed prog (failure : Oracle.failure) =
 
 let run cfg : result =
   let t0 = Unix.gettimeofday () in
-  let engines = engines_of ~targets:cfg.targets cfg.engine in
+  let engines =
+    engines_of ~targets:cfg.targets ~regalloc:cfg.regalloc cfg.engine
+  in
   let pcc = pcc_of_targets cfg.targets in
   let divergences = ref [] in
   let programs = ref 0 in
@@ -138,8 +152,9 @@ let run cfg : result =
     seconds = Unix.gettimeofday () -. t0;
   }
 
-let replay ?(engine = Both) ?(targets = [ Backend.Vax ]) path =
+let replay ?(engine = Both) ?(regalloc = Rstack) ?(targets = [ Backend.Vax ])
+    path =
   let prog = Dump.load_ir path in
   Oracle.check ~pcc:(pcc_of_targets targets)
-    ~engines:(engines_of ~targets engine)
+    ~engines:(engines_of ~targets ~regalloc engine)
     prog

@@ -9,11 +9,17 @@ open Import
 
 type engine_sel = Dense | Packed | Both
 
+(** Register allocator(s) under test: the stack discipline, the graph
+    colorer, or both — [Rboth] adds a [<target>-color] engine next to
+    the stack ones, so the oracle is differential over the allocator. *)
+type regalloc_sel = Rstack | Rcolor | Rboth
+
 type config = {
   seed_lo : int;
   seed_hi : int;  (** inclusive *)
   gen : Treegen.config;
   engine : engine_sel;
+  regalloc : regalloc_sel;
   targets : Backend.target list;
       (** backends under test; the PCC baseline joins only when the
           VAX is among them (it emits VAX assembly) *)
@@ -48,7 +54,11 @@ val program_of_seed : config -> int -> Tree.program
 
 (** The engines a selection denotes for each target (default VAX
     only), built for the default grammar. *)
-val engines_of : ?targets:Backend.target list -> engine_sel -> Oracle.engines
+val engines_of :
+  ?targets:Backend.target list ->
+  ?regalloc:regalloc_sel ->
+  engine_sel ->
+  Oracle.engines
 
 val run : config -> result
 
@@ -56,6 +66,7 @@ val run : config -> result
     [Ok] means it no longer diverges. *)
 val replay :
   ?engine:engine_sel ->
+  ?regalloc:regalloc_sel ->
   ?targets:Backend.target list ->
   string ->
   (Interp.outcome, Oracle.failure) Result.t

@@ -43,27 +43,48 @@ let compare_observations ~(reference : Interp.outcome) (s : Simout.t) =
 
 let default_grammar () = Lazy.force Gg_vax.Grammar_def.default_grammar
 
+type engine = {
+  e_name : string;
+  e_tables : Driver.tables;
+  e_options : Driver.options option;
+      (* per-engine override of [check]'s ~options; this is how one
+         oracle run becomes differential over the register allocator *)
+}
+
+type engines = engine list
+
+let engine ?options e_name e_tables = { e_name; e_tables; e_options = options }
+
 (* engines for an arbitrary target, named <target>-<representation> so
    a failure pins down both the backend and the table encoding *)
 let dense_engine_for target =
   let b = Targets.backend_of target in
-  ( Targets.name target ^ "-dense",
-    Driver.of_engine ~backend:b
-      (Matcher.engine (Tables.build (Lazy.force b.Backend.default_grammar))) )
+  engine
+    (Targets.name target ^ "-dense")
+    (Driver.of_engine ~backend:b
+       (Matcher.engine (Tables.build (Lazy.force b.Backend.default_grammar))))
 
 let packed_engine_for target =
-  (Targets.name target ^ "-packed", Targets.default_tables target)
+  engine (Targets.name target ^ "-packed") (Targets.default_tables target)
+
+(* the packed tables again, but allocating with the graph colorer: in a
+   mixed engine list the oracle pits stack against color through the
+   shared interpreter reference *)
+let color_engine_for target =
+  engine
+    ~options:
+      { Driver.default_options with Driver.regalloc = Driver.Color }
+    (Targets.name target ^ "-color")
+    (Targets.default_tables target)
 
 (* the historical names for the original backend *)
 let dense_engine () =
-  ( "gg-dense",
-    Driver.of_engine ~backend:Backend.vax
-      (Matcher.engine (Tables.build (default_grammar ()))) )
+  engine "gg-dense"
+    (Driver.of_engine ~backend:Backend.vax
+       (Matcher.engine (Tables.build (default_grammar ()))))
 
-let packed_engine () = ("gg-packed", Lazy.force Driver.default_tables)
+let packed_engine () = engine "gg-packed" (Lazy.force Driver.default_tables)
 let default_engines () = [ packed_engine () ]
-
-type engines = (string * Driver.tables) list
 
 let check ?(options = Driver.default_options) ?(pcc = true) ?(jobs = 1)
     ?(max_steps = 10_000_000) ~(engines : engines) (prog : Tree.program) =
@@ -85,14 +106,16 @@ let check ?(options = Driver.default_options) ?(pcc = true) ?(jobs = 1)
     | exception Targets.Parse_error (l, m) ->
       Some { backend; reason = Crash (Fmt.str "asm parse error line %d: %s" l m) }
   in
-  let check_gg (name, tables) =
+  let check_gg e =
+    let tables = e.e_tables in
+    let options = Option.value e.e_options ~default:options in
     let target = (Driver.backend tables).Backend.target in
     match Driver.compile_program ~options ~tables ~jobs prog with
-    | out -> run_assembly ~target name out.Driver.assembly
-    | exception Matcher.Reject e ->
+    | out -> run_assembly ~target e.e_name out.Driver.assembly
+    | exception Matcher.Reject err ->
       Some
-        { backend = name; reason = Crash (Fmt.str "%a" Matcher.pp_error e) }
-    | exception Failure m -> Some { backend = name; reason = Crash m }
+        { backend = e.e_name; reason = Crash (Fmt.str "%a" Matcher.pp_error err) }
+    | exception Failure m -> Some { backend = e.e_name; reason = Crash m }
   in
   let check_pcc () =
     if not pcc then None

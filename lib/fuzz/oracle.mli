@@ -34,11 +34,21 @@ exception Invalid of string
 val compare_observations :
   reference:Interp.outcome -> Simout.t -> (unit, string) result
 
-(** Named table engines for the gg backend, e.g.
-    [("gg-packed", packed_engine)].  Running both the dense and the
-    packed engines makes the oracle differential over the table
-    representation as well as over the backends. *)
-type engines = (string * Driver.tables) list
+(** A named table engine for the gg backend, with an optional
+    per-engine compile-options override.  Running both the dense and
+    the packed engines makes the oracle differential over the table
+    representation; mixing stack- and color-allocating engines makes it
+    differential over the register allocator too. *)
+type engine = {
+  e_name : string;
+  e_tables : Driver.tables;
+  e_options : Driver.options option;
+      (** when set, replaces {!check}'s [~options] for this engine *)
+}
+
+type engines = engine list
+
+val engine : ?options:Driver.options -> string -> Driver.tables -> engine
 
 (** The default VAX grammar the engines below are built for. *)
 val default_grammar : unit -> Grammar.t
@@ -46,18 +56,22 @@ val default_grammar : unit -> Grammar.t
 (** Default engine set: the packed production tables only. *)
 val default_engines : unit -> engines
 
-(** Build [("gg-dense", _)] / [("gg-packed", _)] engines in-process for
-    the default grammar. *)
-val dense_engine : unit -> string * Driver.tables
+(** Build [gg-dense] / [gg-packed] engines in-process for the default
+    grammar. *)
+val dense_engine : unit -> engine
 
-val packed_engine : unit -> string * Driver.tables
+val packed_engine : unit -> engine
 
 (** Engines for any target, named [<target>-dense] / [<target>-packed]
     so a failure pins down both the machine description and the table
     representation. *)
-val dense_engine_for : Backend.target -> string * Driver.tables
+val dense_engine_for : Backend.target -> engine
 
-val packed_engine_for : Backend.target -> string * Driver.tables
+val packed_engine_for : Backend.target -> engine
+
+(** The packed tables allocating with [--regalloc color], named
+    [<target>-color]. *)
+val color_engine_for : Backend.target -> engine
 
 (** [check ~engines prog] runs the interpreter once, then each gg
     engine and the PCC baseline, comparing observables.  Returns the

@@ -41,6 +41,10 @@ let insns_per_func =
   register ~unit:"insns" "codegen.insns_per_func"
     [| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000 |]
 
+let spills_per_func =
+  register ~unit:"spills" "codegen.spills_per_func"
+    [| 0; 1; 2; 5; 10; 20; 50 |]
+
 (* the compile server's serving instruments: how long a request sat in
    the accept queue, and how long it took end to end (accept -> reply
    written).  Observed by Gg_server.Server from the worker domains. *)

@@ -39,6 +39,10 @@ val stack_high_water : histogram
 (** Instructions emitted per compiled function (before rendering). *)
 val insns_per_func : histogram
 
+(** Values spilled to frame temporaries per compiled function, under
+    either register allocator. *)
+val spills_per_func : histogram
+
 (** Microseconds a compile-server request spent queued between accept
     and a worker picking it up ({!Gg_server.Server}). *)
 val queue_wait_us : histogram

@@ -23,4 +23,19 @@ let backend =
        function results) *)
     alloc_regs = [ 6; 7; 8; 9; 10; 11; 2; 3; 4; 5 ];
     leaf_need = 1;
+    (* stores and compares read every operand; every other mnemonic
+       (ld/li/mv/la, cvt, the three-address ALU forms) writes its last.
+       No memory-operand ALU, so spills must go through reloads. *)
+    regalloc =
+      {
+        Backend.ra_dst =
+          (fun m ->
+            let pre p =
+              String.length m >= String.length p
+              && String.sub m 0 (String.length p) = p
+            in
+            if pre "st" || pre "cmp" then Backend.Dst_none
+            else Backend.Dst_write);
+        ra_spill_in_place = false;
+      };
   }

@@ -3,8 +3,9 @@
    any local process, and a bad frame must become a Bad_request
    response, never an exception escaping the worker. *)
 
-(* version 2 added the target byte after the backend byte *)
-let version = 2
+(* version 2 added the target byte after the backend byte; version 3
+   added the register-allocator byte after the target byte *)
+let version = 3
 let max_frame = 64 * 1024 * 1024
 
 type backend = Gg | Pcc
@@ -12,6 +13,7 @@ type backend = Gg | Pcc
 type request = {
   backend : backend;
   target : Gg_codegen.Backend.target;
+  regalloc : Gg_codegen.Driver.regalloc;
   idioms : bool;
   peephole : bool;
   explain : bool;
@@ -23,11 +25,13 @@ type request = {
 }
 
 let request ?(backend = Gg) ?(target = Gg_codegen.Backend.Vax)
-    ?(idioms = true) ?(peephole = false) ?(explain = false) ?(jobs = 1)
-    ?(deadline_ms = 0) ?(fail_inject = false) ?(sleep_ms = 0) source =
+    ?(regalloc = Gg_codegen.Driver.Stack) ?(idioms = true) ?(peephole = false)
+    ?(explain = false) ?(jobs = 1) ?(deadline_ms = 0) ?(fail_inject = false)
+    ?(sleep_ms = 0) source =
   {
     backend;
     target;
+    regalloc;
     idioms;
     peephole;
     explain;
@@ -103,6 +107,10 @@ let encode_request r =
   Buffer.add_uint8 b (match r.backend with Gg -> 0 | Pcc -> 1);
   Buffer.add_uint8 b
     (match r.target with Gg_codegen.Backend.Vax -> 0 | Gg_codegen.Backend.Risc -> 1);
+  Buffer.add_uint8 b
+    (match r.regalloc with
+    | Gg_codegen.Driver.Stack -> 0
+    | Gg_codegen.Driver.Color -> 1);
   let flags =
     (if r.idioms then flag_idioms else 0)
     lor (if r.peephole then flag_peephole else 0)
@@ -142,6 +150,14 @@ let decode_request s =
      server answers Bad_request *)
   if backend = Pcc && target <> Gg_codegen.Backend.Vax then
     fail "the pcc backend targets the VAX only";
+  let regalloc =
+    match u8 c "regalloc" with
+    | 0 -> Gg_codegen.Driver.Stack
+    | 1 -> Gg_codegen.Driver.Color
+    | r -> fail "unknown register allocator %d" r
+  in
+  if backend = Pcc && regalloc <> Gg_codegen.Driver.Stack then
+    fail "the pcc backend has no graph-coloring allocator";
   let flags = u8 c "flags" in
   let jobs = u16 c "jobs" in
   let deadline_ms = i32 c "deadline" in
@@ -153,6 +169,7 @@ let decode_request s =
   {
     backend;
     target;
+    regalloc;
     idioms = flags land flag_idioms <> 0;
     peephole = flags land flag_peephole <> 0;
     explain = flags land flag_explain <> 0;

@@ -29,6 +29,9 @@ type request = {
       (** machine description to compile for (gg backend; the pcc
           baseline emits VAX assembly only, and a [Pcc]/[Risc] frame
           fails decode) *)
+  regalloc : Gg_codegen.Driver.regalloc;
+      (** register allocator (gg backend; a [Pcc]/[Color] frame fails
+          decode) *)
   idioms : bool;  (** run the idiom recogniser (gg backend) *)
   peephole : bool;
   explain : bool;  (** provenance-annotated listing *)
@@ -43,11 +46,13 @@ type request = {
   source : string;  (** mini-C source text *)
 }
 
-(** Request with [ggcc]'s defaults: gg backend, VAX target, idioms on,
-    peephole and explain off, one job, no deadline, no test hooks. *)
+(** Request with [ggcc]'s defaults: gg backend, VAX target, stack
+    allocator, idioms on, peephole and explain off, one job, no
+    deadline, no test hooks. *)
 val request :
   ?backend:backend ->
   ?target:Gg_codegen.Backend.target ->
+  ?regalloc:Gg_codegen.Driver.regalloc ->
   ?idioms:bool ->
   ?peephole:bool ->
   ?explain:bool ->

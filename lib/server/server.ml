@@ -60,6 +60,7 @@ let compile_request tables (req : Protocol.request) : Protocol.response =
           Driver.default_options with
           Driver.idioms = req.Protocol.idioms;
           peephole = req.Protocol.peephole;
+          regalloc = req.Protocol.regalloc;
         }
       in
       let out =

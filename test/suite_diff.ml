@@ -70,12 +70,11 @@ let test_random_corpus_no_reverse_ops () =
   let gopts = { Gg_vax.Grammar_def.default with Gg_vax.Grammar_def.reverse_ops = false } in
   let options =
     {
+      Driver.default_options with
       Driver.grammar = gopts;
       transform =
         { Gg_transform.Transform.default_options with
           Gg_transform.Transform.reverse_ops = false };
-      idioms = true;
-      peephole = false;
     }
   in
   let tables = Driver.build_tables gopts in

@@ -52,6 +52,8 @@ let test_request_roundtrip () =
     [
       Protocol.request "int main() { return 0; }";
       Protocol.request ~target:Backend.Risc "int main() { return 0; }";
+      Protocol.request ~target:Backend.Risc ~regalloc:Gg_codegen.Driver.Color
+        "int main() { return 0; }";
       Protocol.request ~backend:Protocol.Pcc ~idioms:false ~peephole:true
         ~explain:true ~jobs:7 ~deadline_ms:1234 ~fail_inject:true ~sleep_ms:9
         "";
@@ -103,23 +105,26 @@ let test_decode_rejects_garbage () =
 
 (* -- protocol properties ----------------------------------------------------- *)
 
-(* random well-formed requests: both backends, both targets — except
-   the Pcc/Risc pairing, which fails decode by design, so the
-   generator never produces it *)
+(* random well-formed requests: both backends, both targets, both
+   allocators — except the Pcc/Risc and Pcc/Color pairings, which fail
+   decode by design, so the generator never produces them *)
 let request_gen =
   let open QCheck.Gen in
   oneofl [ Protocol.Gg; Protocol.Pcc ] >>= fun backend ->
   (if backend = Protocol.Pcc then return Backend.Vax
    else oneofl [ Backend.Vax; Backend.Risc ])
   >>= fun target ->
+  (if backend = Protocol.Pcc then return Gg_codegen.Driver.Stack
+   else oneofl [ Gg_codegen.Driver.Stack; Gg_codegen.Driver.Color ])
+  >>= fun regalloc ->
   quad bool bool bool (int_range 1 64)
   >>= fun (idioms, peephole, explain, jobs) ->
   triple bool (int_range 0 1_000_000) (int_range 0 60_000)
   >>= fun (fail_inject, deadline_ms, sleep_ms) ->
   string_size (int_range 0 2_000) >>= fun source ->
   return
-    (Protocol.request ~backend ~target ~idioms ~peephole ~explain ~jobs
-       ~deadline_ms ~fail_inject ~sleep_ms source)
+    (Protocol.request ~backend ~target ~regalloc ~idioms ~peephole ~explain
+       ~jobs ~deadline_ms ~fail_inject ~sleep_ms source)
 
 let response_gen =
   let open QCheck.Gen in

@@ -376,7 +376,7 @@ let test_explain_provenance () =
         (List.length cf.Driver.cf_insns)
         (List.length cf.Driver.cf_prov);
       List.iter2
-        (fun insn (_line, pids) ->
+        (fun insn (_line, pids, _mark) ->
           match insn with
           | Insn.Insn _ ->
             if pids = [] then

@@ -22,4 +22,5 @@ let () =
       ("parallel", Suite_parallel.suite);
       ("telemetry", Suite_telemetry.suite);
       ("server", Suite_server.suite);
+      ("regalloc", Suite_regalloc.suite);
     ]
