@@ -122,11 +122,17 @@ let with_telemetry ?(trace_out = None) ?(metrics = false) ?(metrics_out = None)
     Gg_profile.Metrics.reset ()
   end;
   if explain then Gg_profile.Profile.provenance_enabled := true;
+  (* flush the sidecars even when the compile raises (reject, crash,
+     deadline): a failing run is exactly the one whose telemetry the
+     operator wants on disk; atomic writes so a crash mid-flush never
+     leaves a torn document *)
+  Fun.protect ~finally:(fun () ->
+      Option.iter Gg_profile.Metrics.write_json_atomic metrics_out;
+      Option.iter Gg_profile.Trace.write trace_out)
+  @@ fun () ->
   let r = f () in
   if profile then Fmt.epr "%a" Gg_profile.Profile.report ();
   if metrics then Fmt.epr "%a" Gg_profile.Metrics.report ();
-  Option.iter Gg_profile.Metrics.write_json metrics_out;
-  Option.iter Gg_profile.Trace.write trace_out;
   r
 
 let with_profile profile f = with_telemetry profile f

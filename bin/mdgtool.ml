@@ -281,6 +281,186 @@ let heat o top seeds json verbose =
     done
   end
 
+(* -- the ops plane: top + trace-merge ------------------------------------- *)
+
+module Json = Gg_profile.Json
+
+(* one admin conversation: connect, send the command line, read the
+   whole reply (the daemon closes after answering) *)
+let admin_query sock cmd =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (match Unix.connect fd (Unix.ADDR_UNIX sock) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Fmt.epr "error: cannot connect to admin socket %s: %s@." sock
+      (Unix.error_message e);
+    exit 1);
+  let line = cmd ^ "\n" in
+  ignore (Unix.write_substring fd line 0 (String.length line) : int);
+  let b = Buffer.create 1024 in
+  let buf = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b buf 0 n;
+      drain ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  drain ();
+  Buffer.contents b
+
+let counter stats name =
+  Option.bind (Json.member "counters" stats) (Json.member name)
+  |> Fun.flip Option.bind Json.to_int
+  |> Option.value ~default:0
+
+let histo stats name =
+  match Option.bind (Json.member "histograms" stats) Json.to_list with
+  | None -> None
+  | Some hs ->
+    List.find_opt
+      (fun h ->
+        Option.bind (Json.member "name" h) Json.to_str = Some name)
+      hs
+
+let histo_quantile stats name q =
+  match Option.bind (histo stats name) (Json.member q) with
+  | Some v -> Option.value ~default:0. (Json.to_float v)
+  | None -> 0.
+
+let top_cmd sock interval_ms count =
+  let parse_stats () =
+    match Json.parse (admin_query sock "stats") with
+    | j -> j
+    | exception Json.Parse_error m ->
+      Fmt.epr "error: unreadable stats from %s: %s@." sock m;
+      exit 1
+  in
+  Fmt.pr "%8s %8s %6s %6s %6s %6s %9s %9s %9s %9s@." "served" "rps" "ok"
+    "err" "tmout" "rej" "q-depth" "wait-p99" "lat-p50" "lat-p99";
+  let prev = ref None in
+  let tick i =
+    let stats = parse_stats () in
+    let served = counter stats "server.requests_total" in
+    let rps =
+      match !prev with
+      | Some p when served >= p ->
+        Fmt.str "%.1f"
+          (float_of_int (served - p) /. (float_of_int interval_ms /. 1e3))
+      | _ -> "-"
+    in
+    prev := Some served;
+    Fmt.pr "%8d %8s %6d %6d %6d %6d %9d %8.1fm %8.1fm %8.1fm@." served rps
+      (counter stats "server.responses_ok")
+      (counter stats "server.responses_error")
+      (counter stats "server.timeouts_total")
+      (counter stats "server.rejected_total")
+      (counter stats "server.queue_depth")
+      (histo_quantile stats "server.queue_wait_us" "p99" /. 1e3)
+      (histo_quantile stats "server.request_latency_us" "p50" /. 1e3)
+      (histo_quantile stats "server.request_latency_us" "p99" /. 1e3);
+    if count = 0 || i + 1 < count then begin
+      Unix.sleepf (float_of_int interval_ms /. 1e3);
+      true
+    end
+    else false
+  in
+  let i = ref 0 in
+  while tick !i do
+    incr i
+  done
+
+(* Stitch a client trace and a server trace onto one timeline.  Each
+   document's spans are stamped relative to its own process epoch; the
+   exported epochUs rebases both onto absolute time, and the earlier
+   epoch becomes the merged zero so timestamps stay small.  Each input
+   keeps its events under its own pid with a process_name metadata row,
+   so Perfetto shows "client" above "server" with the request-id args
+   intact — the queue-wait gap is readable straight off the timeline. *)
+let trace_merge_cmd traces out =
+  let load path =
+    match Json.parse_file path with
+    | j ->
+      let epoch =
+        match Option.bind (Json.member "epochUs" j) Json.to_float with
+        | Some e -> e
+        | None ->
+          Fmt.epr "error: %s has no epochUs (not a merged-trace input?)@." path;
+          exit 1
+      in
+      let events =
+        match Option.bind (Json.member "traceEvents" j) Json.to_list with
+        | Some evs -> evs
+        | None ->
+          Fmt.epr "error: %s has no traceEvents@." path;
+          exit 1
+      in
+      (path, epoch, events)
+    | exception Json.Parse_error m ->
+      Fmt.epr "error: cannot parse %s: %s@." path m;
+      exit 1
+    | exception Sys_error m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
+  in
+  let loaded = List.map load traces in
+  let base =
+    List.fold_left (fun acc (_, e, _) -> Float.min acc e) Float.infinity loaded
+  in
+  let set k v obj =
+    match obj with
+    | Json.Obj members ->
+      if List.mem_assoc k members then
+        Json.Obj (List.map (fun (k', v') -> (k', if k' = k then v else v')) members)
+      else Json.Obj (members @ [ (k, v) ])
+    | other -> other
+  in
+  let rebase pid shift ev =
+    let ev =
+      match Option.bind (Json.member "ts" ev) Json.to_float with
+      | Some ts -> set "ts" (Json.Num (ts +. shift)) ev
+      | None -> ev
+    in
+    set "pid" (Json.Num (float_of_int pid)) ev
+  in
+  let merged =
+    List.concat
+      (List.mapi
+         (fun i (path, epoch, events) ->
+           let pid = i + 1 in
+           let name = Filename.remove_extension (Filename.basename path) in
+           Json.Obj
+             [
+               ("name", Json.Str "process_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Num (float_of_int pid));
+               ("args", Json.Obj [ ("name", Json.Str name) ]);
+             ]
+           :: List.map (rebase pid (epoch -. base)) events)
+         loaded)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("traceEvents", Json.Arr merged);
+        ("displayTimeUnit", Json.Str "ms");
+      ]
+  in
+  let write oc = output_string oc (Json.to_string doc ^ "\n") in
+  match out with
+  | None -> write stdout
+  | Some path ->
+    let oc = open_out path in
+    write oc;
+    close_out oc;
+    Fmt.pr "merged %d events from %d traces into %s@."
+      (List.length merged - List.length loaded)
+      (List.length loaded) path
+
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show all results.")
 
@@ -350,6 +530,38 @@ let () =
         Term.(
           const file_stats
           $ Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mdg"));
+      cmd_of "top"
+        "Live ggccd dashboard: poll the admin socket and print served, \
+         rps, outcome counts, queue depth and latency quantiles."
+        Term.(
+          const top_cmd
+          $ Arg.(
+              required
+              & pos 0 (some string) None
+              & info [] ~docv:"ADMIN_SOCK"
+                  ~doc:"The daemon's --admin-socket path.")
+          $ Arg.(
+              value & opt int 1000
+              & info [ "interval-ms" ] ~docv:"MS"
+                  ~doc:"Milliseconds between polls.")
+          $ Arg.(
+              value & opt int 0
+              & info [ "count" ] ~docv:"N"
+                  ~doc:"Stop after $(docv) polls (0: poll forever)."));
+      cmd_of "trace-merge"
+        "Merge Chrome traces from different processes (a ggcc client and \
+         the ggccd daemon) onto one absolute timeline via their epochUs."
+        Term.(
+          const trace_merge_cmd
+          $ Arg.(
+              non_empty & pos_all file []
+              & info [] ~docv:"TRACE.json"
+                  ~doc:"Trace files written by --trace-out.")
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "o"; "output" ] ~docv:"FILE"
+                  ~doc:"Write the merged trace to $(docv) (default: stdout)."));
     ]
   in
   let info = Cmd.info "mdgtool" ~doc:"VAX machine-description workbench" in

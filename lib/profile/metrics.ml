@@ -172,6 +172,91 @@ let mean h =
   let c = count h in
   if c = 0 then 0. else float_of_int (sum h) /. float_of_int c
 
+(* Quantile estimate from the merged bucket counts: find the bucket the
+   q-th observation falls in and interpolate linearly inside it (the
+   overflow bucket's upper edge is the observed max).  Deterministic in
+   the bucket counts, so a live admin snapshot and the shutdown-written
+   JSON agree exactly when taken over the same observations. *)
+let quantile h q =
+  let total = count h in
+  if total = 0 then 0.
+  else begin
+    let target = q *. float_of_int total in
+    let bs = buckets h in
+    let rec go lo before = function
+      | [] -> float_of_int (max_value h)
+      | (bound, n) :: rest ->
+        let after = before + n in
+        let hi =
+          match bound with
+          | Some b -> float_of_int b
+          | None -> float_of_int (max_value h)
+        in
+        if float_of_int after >= target && n > 0 then
+          lo +. ((target -. float_of_int before) /. float_of_int n *. (hi -. lo))
+        else go hi after rest
+    in
+    Float.min (go 0. 0 bs) (float_of_int (max_value h))
+  end
+
+(* -- live snapshots ------------------------------------------------------- *)
+
+(* The admin plane's read API: one coherent view of every counter and
+   histogram, taken while worker domains keep observing.  Reading a
+   shard another domain is writing yields momentarily stale integers,
+   nothing worse (the arrays are fixed, the values immediate), so a
+   snapshot is safe from any thread at any time; totals are exact once
+   the writers have joined. *)
+type histo_view = {
+  hv_name : string;
+  hv_unit : string;
+  hv_count : int;
+  hv_sum : int;
+  hv_max : int;
+  hv_buckets : (int option * int) list;
+  hv_p50 : float;
+  hv_p99 : float;
+}
+
+type view = {
+  v_counters : (string * int) list;
+  v_histograms : histo_view list;
+}
+
+(* the counter list every exposition shares: the Profile base counters
+   first, then the named counters, in a stable order *)
+let counter_list () =
+  let c = Profile.totals () in
+  [
+    ("matcher.runs", c.Profile.matcher_runs);
+    ("matcher.shifts", c.Profile.shifts);
+    ("matcher.reduces", c.Profile.reduces);
+    ("matcher.semantic_choices", c.Profile.semantic_choices);
+    ("matcher.rejects", c.Profile.rejects);
+    ("tables.cache_hits", c.Profile.cache_hits);
+    ("tables.cache_misses", c.Profile.cache_misses);
+  ]
+  @ named_counters ()
+
+let snapshot () =
+  {
+    v_counters = counter_list ();
+    v_histograms =
+      List.map
+        (fun h ->
+          {
+            hv_name = h.h_name;
+            hv_unit = h.h_unit;
+            hv_count = count h;
+            hv_sum = sum h;
+            hv_max = max_value h;
+            hv_buckets = buckets h;
+            hv_p50 = quantile h 0.50;
+            hv_p99 = quantile h 0.99;
+          })
+        (all ());
+  }
+
 let shift_reduce_ratio () =
   let c = Profile.totals () in
   if c.Profile.reduces = 0 then 0.
@@ -213,20 +298,9 @@ let json_escape = Trace.json_escape
 
 let to_json () =
   let b = Buffer.create 2048 in
-  let c = Profile.totals () in
+  let snap = snapshot () in
   Buffer.add_string b "{\n  \"counters\": {\n";
-  let base =
-    [
-      ("matcher.runs", c.Profile.matcher_runs);
-      ("matcher.shifts", c.Profile.shifts);
-      ("matcher.reduces", c.Profile.reduces);
-      ("matcher.semantic_choices", c.Profile.semantic_choices);
-      ("matcher.rejects", c.Profile.rejects);
-      ("tables.cache_hits", c.Profile.cache_hits);
-      ("tables.cache_misses", c.Profile.cache_misses);
-    ]
-    @ named_counters ()
-  in
+  let base = snap.v_counters in
   List.iteri
     (fun i (k, v) ->
       Buffer.add_string b
@@ -249,16 +323,16 @@ let to_json () =
     ps;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"histograms\": [\n";
-  let hs = all () in
+  let hs = snap.v_histograms in
   List.iteri
-    (fun i h ->
+    (fun i hv ->
       Buffer.add_string b
         (Printf.sprintf
            "    { \"name\": \"%s\", \"unit\": \"%s\", \"count\": %d, \"sum\": \
-            %d, \"max\": %d, \"buckets\": ["
-           (json_escape h.h_name) (json_escape h.h_unit) (count h) (sum h)
-           (max_value h));
-      let bs = buckets h in
+            %d, \"max\": %d, \"p50\": %.3f, \"p99\": %.3f, \"buckets\": ["
+           (json_escape hv.hv_name) (json_escape hv.hv_unit) hv.hv_count
+           hv.hv_sum hv.hv_max hv.hv_p50 hv.hv_p99);
+      let bs = hv.hv_buckets in
       List.iteri
         (fun j (le, n) ->
           Buffer.add_string b
@@ -278,3 +352,59 @@ let write_json path =
   let oc = open_out path in
   output_string oc (to_json ());
   close_out oc
+
+(* Crash-surviving snapshot: write the whole document to a temp file in
+   the target's directory and rename it into place, so a reader (or a
+   crash) never sees a half-written JSON — the previous complete
+   snapshot survives until the new one is durable. *)
+let write_json_atomic path =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match output_string oc (to_json ()) with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
+
+(* -- Prometheus text exposition ------------------------------------------ *)
+
+(* dots and slashes in instrument names become underscores; everything
+   gets the ggcg_ namespace prefix *)
+let prom_name name =
+  "ggcg_"
+  ^ String.map
+      (fun ch ->
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch
+        | _ -> '_')
+      name
+
+let to_prometheus () =
+  let b = Buffer.create 2048 in
+  let snap = snapshot () in
+  List.iter
+    (fun (k, v) ->
+      let n = prom_name k in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    snap.v_counters;
+  List.iter
+    (fun hv ->
+      let n = prom_name hv.hv_name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      (* Prometheus buckets are cumulative and end at +Inf *)
+      let cum = ref 0 in
+      List.iter
+        (fun (le, cnt) ->
+          cum := !cum + cnt;
+          let label =
+            match le with Some v -> string_of_int v | None -> "+Inf"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n label !cum))
+        hv.hv_buckets;
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n hv.hv_sum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n hv.hv_count))
+    snap.v_histograms;
+  Buffer.contents b

@@ -80,6 +80,40 @@ val named_counters : unit -> (string * int) list
     nothing has been matched (never a division by zero). *)
 val shift_reduce_ratio : unit -> float
 
+(** [quantile h q] estimates the [q]-quantile (in [h]'s unit) from the
+    merged bucket counts by linear interpolation inside the bucket the
+    [q]-th observation falls in; the overflow bucket's upper edge is
+    the observed max.  [0.] on an empty histogram.  Deterministic in
+    the bucket counts, so a live snapshot and a shutdown sidecar taken
+    over the same observations agree exactly. *)
+val quantile : histogram -> float -> float
+
+(** {1 Live snapshots — the admin plane's read API} *)
+
+type histo_view = {
+  hv_name : string;
+  hv_unit : string;
+  hv_count : int;
+  hv_sum : int;
+  hv_max : int;
+  hv_buckets : (int option * int) list;
+  hv_p50 : float;
+  hv_p99 : float;
+}
+
+type view = {
+  v_counters : (string * int) list;
+      (** the {!Profile} base counters followed by the named counters *)
+  v_histograms : histo_view list;
+}
+
+(** One coherent view of every counter and histogram, safe to take from
+    any thread while worker domains keep observing (concurrent reads
+    see momentarily stale integers, nothing worse); exact once the
+    writing domains have joined.  This is what [ggccd]'s admin [stats]
+    endpoint serves without restarting the daemon. *)
+val snapshot : unit -> view
+
 (** Zero every histogram and named counter in every shard.  Call only
     while no other domain is recording. *)
 val reset : unit -> unit
@@ -96,3 +130,15 @@ val report : Format.formatter -> unit -> unit
 val to_json : unit -> string
 
 val write_json : string -> unit
+
+(** Like {!write_json} but crash-safe: the document is written to a
+    [.tmp] sibling and renamed into place, so a reader (or a daemon
+    killed mid-write) never sees a torn snapshot.  This is what
+    [ggccd]'s periodic snapshot loop uses. *)
+val write_json_atomic : string -> unit
+
+(** Prometheus text exposition (version 0.0.4) of the same view
+    {!to_json} serves: counters as [counter], histograms as native
+    Prometheus histograms with cumulative [le] buckets, [_sum] and
+    [_count].  Metric names are prefixed [ggcg_] and sanitised. *)
+val to_prometheus : unit -> string

@@ -15,6 +15,8 @@ type event = {
   ev_ph : phase;
   ev_ts : float;  (** microseconds since the trace epoch *)
   ev_track : int;  (** domain id *)
+  ev_args : (string * string) list;
+      (** span arguments, e.g. the request id a server span served *)
 }
 
 type shard = { track : int; mutable events : event list }
@@ -25,6 +27,11 @@ let enabled = ref false
    phase timers use, so span durations and Profile.seconds agree *)
 let epoch = Unix.gettimeofday ()
 let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+(* the epoch as absolute unix microseconds: exported in the trace
+   document so two processes' traces (a client and the daemon that
+   served it) can be stitched onto one real-time axis by trace-merge *)
+let epoch_us () = epoch *. 1e6
 
 let registry : shard list ref = ref []
 let registry_lock = Mutex.create ()
@@ -37,17 +44,24 @@ let new_shard () =
 let shard_key = Domain.DLS.new_key new_shard
 let shard () = Domain.DLS.get shard_key
 
-let record ph ~cat name =
+let record ?(args = []) ph ~cat name =
   let s = shard () in
   s.events <-
-    { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts = now_us (); ev_track = s.track }
+    {
+      ev_name = name;
+      ev_cat = cat;
+      ev_ph = ph;
+      ev_ts = now_us ();
+      ev_track = s.track;
+      ev_args = args;
+    }
     :: s.events
 
-let span ?(cat = "") name f =
+let span ?(cat = "") ?(args = []) name f =
   if not !enabled then f ()
   else begin
-    record B ~cat name;
-    Fun.protect ~finally:(fun () -> record E ~cat name) f
+    record ~args B ~cat name;
+    Fun.protect ~finally:(fun () -> record ~args E ~cat name) f
   end
 
 (* one wrapper for the leaf phases so the span and the {!Profile} timer
@@ -83,10 +97,23 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let args_json args =
+  if args = [] then ""
+  else
+    Fmt.str ",\"args\":{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) ->
+              Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+            args))
+
 let export () =
   let evs = events () in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"traceEvents\":[";
+  (* epochUs keys the whole document to absolute time; Chrome/Perfetto
+     ignore unknown top-level members, trace-merge relies on it *)
+  Buffer.add_string b (Printf.sprintf "{\"epochUs\":%.3f," (epoch_us ()));
+  Buffer.add_string b "\"traceEvents\":[";
   let tracks = Hashtbl.create 8 in
   List.iter (fun e -> Hashtbl.replace tracks e.ev_track ()) evs;
   let first = ref true in
@@ -108,11 +135,11 @@ let export () =
       emit
         (Printf.sprintf
            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\
-            \"pid\":1,\"tid\":%d}"
+            \"pid\":1,\"tid\":%d%s}"
            (json_escape e.ev_name)
            (json_escape (if e.ev_cat = "" then "span" else e.ev_cat))
            (match e.ev_ph with B -> "B" | E -> "E")
-           e.ev_ts e.ev_track))
+           e.ev_ts e.ev_track (args_json e.ev_args)))
     evs;
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b

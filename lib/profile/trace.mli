@@ -19,15 +19,18 @@ type event = {
   ev_ph : phase;
   ev_ts : float;  (** microseconds since the trace epoch *)
   ev_track : int;  (** id of the recording domain *)
+  ev_args : (string * string) list;
+      (** span arguments, rendered as the Chrome event's [args] object
+          — the request id a server span served, for example *)
 }
 
 (** Off by default; set by [--trace-out]. *)
 val enabled : bool ref
 
-(** [span ?cat name f] runs [f] inside a [name] span when {!enabled};
-    transparent otherwise.  The end edge is recorded even if [f]
-    raises. *)
-val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span ?cat ?args name f] runs [f] inside a [name] span when
+    {!enabled}; transparent otherwise.  The end edge is recorded even
+    if [f] raises; [args] ride on both edges. *)
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 
 (** [phase name f] = {!Profile.time}[ name] around {!span}[ name f]:
     the standing leaf-phase instrumentation records both the aggregate
@@ -42,6 +45,12 @@ val events : unit -> event list
 (** Microseconds since the trace epoch (the clock spans are stamped
     with). *)
 val now_us : unit -> float
+
+(** The trace epoch as absolute unix microseconds.  Exported in the
+    trace document as [epochUs] so traces from different processes (a
+    client and the daemon serving it) can be merged onto one absolute
+    timeline. *)
+val epoch_us : unit -> float
 
 (** Drop all recorded events in every shard.  Call only while no other
     domain is recording. *)

@@ -1,3 +1,5 @@
+module Trace = Gg_profile.Trace
+
 exception Server_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Server_error s)) fmt
@@ -16,9 +18,15 @@ let connect ~socket =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
 
+(* Each leg of the conversation is its own client-side span, tagged
+   with the request id the server tags its span with — so trace-merge
+   lines both processes up on one timeline and the gap between
+   client.write and the server's request span reads as queue wait. *)
 let roundtrip ~socket req =
   Lazy.force ignore_sigpipe;
+  let args = [ ("request_id", req.Protocol.request_id) ] in
   let fd =
+    Trace.span ~cat:"client" ~args "client.connect" @@ fun () ->
     try connect ~socket
     with Unix.Unix_error (e, _, _) ->
       fail "cannot connect to compile server %s: %s" socket
@@ -30,8 +38,12 @@ let roundtrip ~socket req =
   (* a rejected connection may already hold the Retry_after response
      with the write side closed — EPIPE here is fine, the answer is
      still readable *)
-  (try Framing.write_frame fd (Protocol.encode_request req)
+  (Trace.span ~cat:"client" ~args "client.write" @@ fun () ->
+   try Framing.write_frame fd (Protocol.encode_request req)
    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  (* the await span covers the server's queue wait plus its compile;
+     merged traces show the split against the server's request span *)
+  Trace.span ~cat:"client" ~args "client.await" @@ fun () ->
   match Framing.read_frame fd with
   | Some payload -> (
     try Protocol.decode_response payload

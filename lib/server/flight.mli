@@ -1,0 +1,45 @@
+(** A crash-surviving flight recorder: the last N request summaries in
+    a fixed-size ring.
+
+    Recording is lock-free (one [Atomic.fetch_and_add] to claim a slot,
+    one store to fill it), so workers pay nanoseconds per request and
+    the ring can be dumped at any moment — on SIGQUIT, from the crash
+    barrier — while other domains keep recording.  Reads race benignly:
+    every entry returned is internally consistent, the set may span a
+    generation boundary. *)
+
+type entry = {
+  fe_id : string;  (** request id *)
+  fe_bytes : int;  (** request source bytes *)
+  fe_target : string;
+  fe_regalloc : string;
+  fe_outcome : string;
+      (** [ok], [error], [bad_request], [crash], [timeout], ... *)
+  fe_queue_wait_us : int;
+  fe_latency_us : int;
+  fe_worker : int;
+  fe_ts : float;  (** absolute unix seconds at completion *)
+}
+
+type t
+
+(** [create n] makes a ring holding the last [n] (at least 1) entries. *)
+val create : int -> t
+
+val capacity : t -> int
+
+(** Total entries ever recorded (≥ the number retained). *)
+val recorded : t -> int
+
+val record : t -> entry -> unit
+
+(** Retained entries, oldest first. *)
+val entries : t -> entry list
+
+(** [{"capacity":_,"recorded":_,"entries":[...]}] — one object per
+    entry, keys matching the {!entry} fields. *)
+val to_json : t -> string
+
+(** Atomic (tmp + rename) JSON dump; the post-mortem artefact must
+    never be torn. *)
+val dump : t -> string -> unit

@@ -4,13 +4,17 @@
    response, never an exception escaping the worker. *)
 
 (* version 2 added the target byte after the backend byte; version 3
-   added the register-allocator byte after the target byte *)
-let version = 3
+   added the register-allocator byte after the target byte; version 4
+   added the client-generated request id (u8 length + bytes) after the
+   register-allocator byte *)
+let version = 4
 let max_frame = 64 * 1024 * 1024
+let max_request_id = 64
 
 type backend = Gg | Pcc
 
 type request = {
+  request_id : string;
   backend : backend;
   target : Gg_codegen.Backend.target;
   regalloc : Gg_codegen.Driver.regalloc;
@@ -24,11 +28,31 @@ type request = {
   source : string;
 }
 
-let request ?(backend = Gg) ?(target = Gg_codegen.Backend.Vax)
+(* pid + wall clock + process-local counter: unique across concurrent
+   clients on one machine without coordination, and short enough to
+   grep a merged log or trace for *)
+let id_counter = Atomic.make 0
+
+let fresh_request_id () =
+  let us = int_of_float (Unix.gettimeofday () *. 1e6) in
+  Printf.sprintf "r%04x-%08x-%04x"
+    (Unix.getpid () land 0xffff)
+    (us land 0xffffffff)
+    (Atomic.fetch_and_add id_counter 1 land 0xffff)
+
+let clip_id id =
+  if String.length id <= max_request_id then id
+  else String.sub id 0 max_request_id
+
+let request ?request_id ?(backend = Gg) ?(target = Gg_codegen.Backend.Vax)
     ?(regalloc = Gg_codegen.Driver.Stack) ?(idioms = true) ?(peephole = false)
     ?(explain = false) ?(jobs = 1) ?(deadline_ms = 0) ?(fail_inject = false)
     ?(sleep_ms = 0) source =
+  let request_id =
+    match request_id with Some id -> clip_id id | None -> fresh_request_id ()
+  in
   {
+    request_id;
     backend;
     target;
     regalloc;
@@ -111,6 +135,9 @@ let encode_request r =
     (match r.regalloc with
     | Gg_codegen.Driver.Stack -> 0
     | Gg_codegen.Driver.Color -> 1);
+  let id = clip_id r.request_id in
+  Buffer.add_uint8 b (String.length id);
+  Buffer.add_string b id;
   let flags =
     (if r.idioms then flag_idioms else 0)
     lor (if r.peephole then flag_peephole else 0)
@@ -158,6 +185,14 @@ let decode_request s =
   in
   if backend = Pcc && regalloc <> Gg_codegen.Driver.Stack then
     fail "the pcc backend has no graph-coloring allocator";
+  let request_id =
+    let n = u8 c "request id length" in
+    if n > max_request_id then fail "request id length %d exceeds %d" n max_request_id;
+    need c n "request id";
+    let v = String.sub c.s c.pos n in
+    c.pos <- c.pos + n;
+    v
+  in
   let flags = u8 c "flags" in
   let jobs = u16 c "jobs" in
   let deadline_ms = i32 c "deadline" in
@@ -167,6 +202,7 @@ let decode_request s =
   let source = str c "source" in
   finish c;
   {
+    request_id;
     backend;
     target;
     regalloc;

@@ -21,9 +21,17 @@ val version : int
     accept (sources and assembly are far smaller in practice). *)
 val max_frame : int
 
+(** Longest request id the wire format carries; the {!request}
+    constructor truncates, the decoder rejects. *)
+val max_request_id : int
+
 type backend = Gg | Pcc
 
 type request = {
+  request_id : string;
+      (** client-generated correlation id (v4), threaded through the
+          daemon's logs, trace spans and flight recorder so one request
+          can be followed across both processes *)
   backend : backend;
   target : Gg_codegen.Backend.target;
       (** machine description to compile for (gg backend; the pcc
@@ -46,10 +54,16 @@ type request = {
   source : string;  (** mini-C source text *)
 }
 
-(** Request with [ggcc]'s defaults: gg backend, VAX target, stack
-    allocator, idioms on, peephole and explain off, one job, no
-    deadline, no test hooks. *)
+(** A fresh process-unique request id ([r<pid>-<us>-<seq>]), what the
+    {!request} constructor defaults to. *)
+val fresh_request_id : unit -> string
+
+(** Request with [ggcc]'s defaults: a fresh request id, gg backend, VAX
+    target, stack allocator, idioms on, peephole and explain off, one
+    job, no deadline, no test hooks.  An explicit [request_id] longer
+    than {!max_request_id} is truncated. *)
 val request :
+  ?request_id:string ->
   ?backend:backend ->
   ?target:Gg_codegen.Backend.target ->
   ?regalloc:Gg_codegen.Driver.regalloc ->

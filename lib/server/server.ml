@@ -12,7 +12,10 @@ type config = {
   queue_capacity : int;
   read_timeout_s : float;
   retry_after_ms : int;
-  log : string -> unit;
+  logger : Slog.t;
+  slow_ms : int;
+  flight_capacity : int;
+  crash_dump : string option;
 }
 
 let default_config ~socket_path =
@@ -25,7 +28,10 @@ let default_config ~socket_path =
     queue_capacity = 64;
     read_timeout_s = 10.;
     retry_after_ms = 50;
-    log = ignore;
+    logger = Slog.null;
+    slow_ms = 0;
+    flight_capacity = 64;
+    crash_dump = None;
   }
 
 type t = {
@@ -35,6 +41,7 @@ type t = {
   queue : (Unix.file_descr * float) Squeue.t;
   shutdown : bool Atomic.t;
   n_served : int Atomic.t;
+  recorder : Flight.t;
   mutable pool : Parallel.pool option;
   mutable acceptor : Thread.t option;
   mutable stopped : bool;
@@ -102,10 +109,41 @@ let respond t fd resp =
   Atomic.incr t.n_served;
   reply fd resp
 
-let serve_connection t fd t_accept =
-  if !Metrics.enabled then
-    Metrics.observe Metrics.queue_wait_us
-      (int_of_float (ms_since t_accept *. 1e3));
+let outcome_name = function
+  | Protocol.Asm _ -> "ok"
+  | Protocol.Error (k, _) -> Fmt.str "%a" Protocol.pp_error_kind k
+  | Protocol.Timeout -> "timeout"
+  | Protocol.Retry_after _ -> "retry"
+
+(* every completed request leaves a flight-recorder entry; an Internal
+   error means the compile barrier caught a crash, so the ring — now
+   holding the crashing request's id as its newest entry — is dumped
+   for the post-mortem before the daemon carries on serving *)
+let black_box t ~worker ~id ~bytes ~target ~regalloc ~outcome ~queue_wait_us
+    ~latency_us =
+  Flight.record t.recorder
+    {
+      Flight.fe_id = id;
+      fe_bytes = bytes;
+      fe_target = target;
+      fe_regalloc = regalloc;
+      fe_outcome = outcome;
+      fe_queue_wait_us = queue_wait_us;
+      fe_latency_us = latency_us;
+      fe_worker = worker;
+      fe_ts = Unix.gettimeofday ();
+    }
+
+let crash_dump t =
+  match t.cfg.crash_dump with
+  | None -> ()
+  | Some path -> (
+    try Flight.dump t.recorder path
+    with Sys_error _ | Unix.Unix_error _ -> ())
+
+let serve_connection t ~worker fd t_accept =
+  let queue_wait_us = int_of_float (ms_since t_accept *. 1e3) in
+  if !Metrics.enabled then Metrics.observe Metrics.queue_wait_us queue_wait_us;
   match Framing.read_frame fd with
   | None -> () (* connected and hung up without a request *)
   | exception Protocol.Protocol_error m ->
@@ -118,51 +156,83 @@ let serve_connection t fd t_accept =
     Metrics.incr "server.requests_total";
     match Protocol.decode_request payload with
     | exception Protocol.Protocol_error m ->
-      t.cfg.log (Fmt.str "bad request: %s" m);
-      respond t fd (Protocol.Error (Protocol.Bad_request, m))
+      Slog.warn t.cfg.logger ~event:"request.bad"
+        [ Slog.int "worker" worker; Slog.str "error" m ];
+      respond t fd (Protocol.Error (Protocol.Bad_request, m));
+      black_box t ~worker ~id:"-" ~bytes:(String.length payload) ~target:"-"
+        ~regalloc:"-" ~outcome:"bad_request" ~queue_wait_us
+        ~latency_us:(int_of_float (ms_since t_accept *. 1e3))
     | req ->
-      Trace.span ~cat:"server" "request" @@ fun () ->
-      if req.Protocol.sleep_ms > 0 then
-        Unix.sleepf (float_of_int req.Protocol.sleep_ms /. 1e3);
-      let past_deadline () =
-        req.Protocol.deadline_ms > 0
-        && ms_since t_accept > float_of_int req.Protocol.deadline_ms
-      in
-      let resp =
-        if past_deadline () then Protocol.Timeout
-        else
-          (* resolving the target's tables may itself hit the disk
-             cache; a failure there must answer, not kill the worker *)
-          let r =
-            match t.tables req.Protocol.target with
-            | tables -> compile_request tables req
-            | exception e ->
-              Protocol.Error (Protocol.Internal, Printexc.to_string e)
-          in
-          if past_deadline () then Protocol.Timeout else r
-      in
-      if !Metrics.enabled then
-        Metrics.observe Metrics.request_latency_us
-          (int_of_float (ms_since t_accept *. 1e3));
-      respond t fd resp;
-      t.cfg.log
-        (Fmt.str "%s %dB in %.1f ms"
-           (match resp with
-           | Protocol.Asm _ -> "ok"
-           | Protocol.Error (k, _) -> Fmt.str "error(%a)" Protocol.pp_error_kind k
-           | Protocol.Timeout -> "timeout"
-           | Protocol.Retry_after _ -> "retry")
-           (String.length req.Protocol.source)
-           (ms_since t_accept)))
+      let id = req.Protocol.request_id in
+      Slog.debug t.cfg.logger ~event:"request.start"
+        [
+          Slog.str "request_id" id;
+          Slog.int "worker" worker;
+          Slog.int "bytes" (String.length req.Protocol.source);
+          Slog.int "queue_wait_us" queue_wait_us;
+        ];
+      ( Trace.span ~cat:"server" ~args:[ ("request_id", id) ] "request"
+      @@ fun () ->
+        if req.Protocol.sleep_ms > 0 then
+          Unix.sleepf (float_of_int req.Protocol.sleep_ms /. 1e3);
+        let past_deadline () =
+          req.Protocol.deadline_ms > 0
+          && ms_since t_accept > float_of_int req.Protocol.deadline_ms
+        in
+        let resp =
+          if past_deadline () then Protocol.Timeout
+          else
+            (* resolving the target's tables may itself hit the disk
+               cache; a failure there must answer, not kill the worker *)
+            let r =
+              match t.tables req.Protocol.target with
+              | tables -> compile_request tables req
+              | exception e ->
+                Protocol.Error (Protocol.Internal, Printexc.to_string e)
+            in
+            if past_deadline () then Protocol.Timeout else r
+        in
+        let latency_us = int_of_float (ms_since t_accept *. 1e3) in
+        if !Metrics.enabled then
+          Metrics.observe Metrics.request_latency_us latency_us;
+        respond t fd resp;
+        let outcome = outcome_name resp in
+        black_box t ~worker ~id ~bytes:(String.length req.Protocol.source)
+          ~target:(Backend.target_name req.Protocol.target)
+          ~regalloc:
+            (match req.Protocol.regalloc with
+            | Driver.Stack -> "stack"
+            | Driver.Color -> "color")
+          ~outcome ~queue_wait_us ~latency_us;
+        (match resp with
+        | Protocol.Error (Protocol.Internal, _) -> crash_dump t
+        | _ -> ());
+        let latency_ms = float_of_int latency_us /. 1e3 in
+        let fields =
+          [
+            Slog.str "request_id" id;
+            Slog.str "outcome" outcome;
+            Slog.int "worker" worker;
+            Slog.int "bytes" (String.length req.Protocol.source);
+            Slog.int "queue_wait_us" queue_wait_us;
+            Slog.int "latency_us" latency_us;
+          ]
+        in
+        if t.cfg.slow_ms > 0 && latency_ms > float_of_int t.cfg.slow_ms then
+          Slog.warn t.cfg.logger ~event:"request.slow"
+            (fields @ [ Slog.int "slow_ms" t.cfg.slow_ms ])
+        else Slog.info t.cfg.logger ~event:"request.done" fields ))
 
-let worker t _idx =
+let worker t idx =
   let rec loop () =
     match Squeue.pop t.queue with
     | None -> ()
     | Some (fd, t_accept) ->
       Metrics.incr ~by:(-1) "server.queue_depth";
-      (try serve_connection t fd t_accept
-       with e -> t.cfg.log (Fmt.str "worker: %s" (Printexc.to_string e)));
+      (try serve_connection t ~worker:idx fd t_accept
+       with e ->
+         Slog.warn t.cfg.logger ~event:"worker.error"
+           [ Slog.int "worker" idx; Slog.str "error" (Printexc.to_string e) ]);
       (try Unix.close fd with Unix.Unix_error _ -> ());
       loop ()
   in
@@ -232,6 +302,7 @@ let start ~config:cfg ~tables () =
       queue = Squeue.create ~capacity:cfg.queue_capacity;
       shutdown = Atomic.make false;
       n_served = Atomic.make 0;
+      recorder = Flight.create cfg.flight_capacity;
       pool = None;
       acceptor = None;
       stopped = false;
@@ -240,9 +311,12 @@ let start ~config:cfg ~tables () =
   in
   t.pool <- Some (Parallel.spawn_pool ~domains:cfg.workers (worker t));
   t.acceptor <- Some (Thread.create accept_loop t);
-  cfg.log
-    (Fmt.str "serving %s: %d workers, queue capacity %d" cfg.socket_path
-       cfg.workers cfg.queue_capacity);
+  Slog.info cfg.logger ~event:"serving"
+    [
+      Slog.str "socket" cfg.socket_path;
+      Slog.int "workers" cfg.workers;
+      Slog.int "queue_capacity" cfg.queue_capacity;
+    ];
   t
 
 let stop t =
@@ -256,7 +330,10 @@ let stop t =
     Squeue.close t.queue;
     Option.iter Parallel.join_pool t.pool;
     (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
-    t.cfg.log (Fmt.str "drained; %d requests served" (Atomic.get t.n_served))
+    Slog.info t.cfg.logger ~event:"drained"
+      [ Slog.int "served" (Atomic.get t.n_served) ]
   end
 
 let served t = Atomic.get t.n_served
+let queue_depth t = Squeue.length t.queue
+let recorder t = t.recorder

@@ -25,7 +25,10 @@ open Import
     [server.responses_*], [server.queue_depth] and friends in
     {!Metrics} named counters, the {!Metrics.queue_wait_us} /
     {!Metrics.request_latency_us} histograms, and one {!Trace} span per
-    request on the recording worker's own track. *)
+    request on the recording worker's own track.  The v4 request id is
+    threaded through everything a request touches — the span's [args],
+    every {!Slog} record, the {!Flight} recorder entry — so one id
+    greps across logs, traces and post-mortem dumps. *)
 
 type config = {
   socket_path : string;
@@ -35,7 +38,14 @@ type config = {
       (** [SO_RCVTIMEO] on accepted connections, so a client that
           connects and never sends cannot hold a worker forever *)
   retry_after_ms : int;  (** suggested backoff in rejections *)
-  log : string -> unit;  (** one line per noteworthy event *)
+  logger : Slog.t;  (** structured log sink; {!Slog.null} by default *)
+  slow_ms : int;
+      (** requests slower than this log [request.slow] at [warn]
+          instead of [request.done] at [info]; [0] disables *)
+  flight_capacity : int;  (** flight-recorder ring size *)
+  crash_dump : string option;
+      (** where the flight ring is dumped when the compile barrier
+          catches a crash ([Internal] response); [None] disables *)
 }
 
 val default_config : socket_path:string -> config
@@ -58,6 +68,14 @@ val stop : t -> unit
 
 (** Requests answered so far (any response kind). *)
 val served : t -> int
+
+(** Connections accepted but not yet picked up by a worker (live admin
+    [stats]). *)
+val queue_depth : t -> int
+
+(** The daemon's flight recorder: the last [flight_capacity] request
+    summaries, dumpable at any moment (SIGQUIT, admin [flight]). *)
+val recorder : t -> Flight.t
 
 (** The compile path behind the barrier, exposed for the differential
     tests: exactly what a worker runs for a decoded request, including

@@ -1,0 +1,44 @@
+(** Structured JSON-line logging for the daemon.
+
+    Every record is one JSON object on one line — [ts] (ISO 8601 UTC),
+    [level], [event], plus the fields the call site attaches (request
+    id, worker index, latency).  Rendering happens outside the lock;
+    the sink is invoked under a mutex with the complete line, so
+    records from concurrent workers never interleave, and the channel
+    sink flushes per line so a crash or [tail -f] never misses the
+    record that explains what the daemon was doing. *)
+
+type level = Debug | Info | Warn
+
+val level_name : level -> string
+
+(** [None] on anything but ["debug" | "info" | "warn"]
+    ([ggccd --log-level] validation). *)
+val level_of_string : string -> level option
+
+type t
+
+(** Drops everything; the default for embedded servers (tests, bench). *)
+val null : t
+
+(** [create ?level emit] builds a logger that passes each rendered line
+    (no trailing newline) to [emit] under the logger's lock.  Records
+    below [level] (default [Info]) are skipped before rendering. *)
+val create : ?level:level -> (string -> unit) -> t
+
+(** Line-buffered channel sink: writes the line, a newline, and flushes. *)
+val to_channel : ?level:level -> out_channel -> t
+
+(** {1 Fields} *)
+
+type field
+
+val str : string -> string -> field
+val int : string -> int -> field
+
+(** {1 Emission} *)
+
+val log : t -> level -> event:string -> field list -> unit
+val debug : t -> event:string -> field list -> unit
+val info : t -> event:string -> field list -> unit
+val warn : t -> event:string -> field list -> unit

@@ -10,6 +10,12 @@ module Framing = Gg_server.Framing
 module Squeue = Gg_server.Squeue
 module Server = Gg_server.Server
 module Client = Gg_server.Client
+module Admin = Gg_server.Admin
+module Flight = Gg_server.Flight
+module Slog = Gg_server.Slog
+module Json = Gg_profile.Json
+module Trace = Gg_profile.Trace
+module Metrics = Gg_profile.Metrics
 module Parallel = Gg_codegen.Parallel
 module Driver = Gg_codegen.Driver
 module Backend = Gg_codegen.Backend
@@ -32,7 +38,8 @@ let fresh_socket =
       (Filename.get_temp_dir_name ())
       (Fmt.str "ggcg-test-%d-%d.sock" (Unix.getpid ()) !n)
 
-let with_server ?(workers = 2) ?(queue_capacity = 16) f =
+let with_server ?(workers = 2) ?(queue_capacity = 16) ?(flight_capacity = 64)
+    ?crash_dump ?logger f =
   let socket = fresh_socket () in
   let config =
     {
@@ -40,6 +47,10 @@ let with_server ?(workers = 2) ?(queue_capacity = 16) f =
       Server.workers;
       queue_capacity;
       read_timeout_s = 2.;
+      flight_capacity;
+      crash_dump;
+      logger =
+        (match logger with Some l -> l | None -> Slog.null);
     }
   in
   let t = Server.start ~config ~tables:Targets.default_tables () in
@@ -51,6 +62,11 @@ let test_request_roundtrip () =
   let reqs =
     [
       Protocol.request "int main() { return 0; }";
+      Protocol.request ~request_id:"" "int main() { return 0; }";
+      Protocol.request ~request_id:"r1234-deadbeef-0001"
+        "int main() { return 0; }";
+      Protocol.request ~request_id:(String.make Protocol.max_request_id 'i')
+        "int main() { return 0; }";
       Protocol.request ~target:Backend.Risc "int main() { return 0; }";
       Protocol.request ~target:Backend.Risc ~regalloc:Gg_codegen.Driver.Color
         "int main() { return 0; }";
@@ -65,6 +81,36 @@ let test_request_roundtrip () =
       Alcotest.(check bool) "decode inverts encode" true
         (Protocol.decode_request (Protocol.encode_request r) = r))
     reqs
+
+let test_request_ids () =
+  (* the constructor defaults to a fresh id and truncates long ones *)
+  let a = Protocol.request "int x;" and b = Protocol.request "int x;" in
+  Alcotest.(check bool) "default ids are non-empty" true
+    (a.Protocol.request_id <> "");
+  Alcotest.(check bool) "default ids are distinct" true
+    (a.Protocol.request_id <> b.Protocol.request_id);
+  Alcotest.(check bool) "default ids fit the wire" true
+    (String.length a.Protocol.request_id <= Protocol.max_request_id);
+  let long = Protocol.request ~request_id:(String.make 300 'x') "int x;" in
+  Alcotest.(check int) "an oversized id is truncated" Protocol.max_request_id
+    (String.length long.Protocol.request_id);
+  Alcotest.(check bool) "a truncated id still round-trips" true
+    (Protocol.decode_request (Protocol.encode_request long) = long)
+
+let test_old_versions_rejected () =
+  (* v2/v3 frames (and any other version byte) must fail decode — the
+     daemon answers Bad_request instead of misparsing the old layout *)
+  let whole = Protocol.encode_request (Protocol.request "int x;") in
+  List.iter
+    (fun v ->
+      let b = Bytes.of_string whole in
+      Bytes.set b 1 (Char.chr v);
+      match Protocol.decode_request (Bytes.to_string b) with
+      | _ -> Alcotest.failf "accepted a version-%d frame" v
+      | exception Protocol.Protocol_error m ->
+        Alcotest.(check bool) "the error names the version" true
+          (contains ~sub:(string_of_int v) m))
+    [ 0; 1; 2; 3; 5; 255 ]
 
 let test_response_roundtrip () =
   List.iter
@@ -121,10 +167,11 @@ let request_gen =
   >>= fun (idioms, peephole, explain, jobs) ->
   triple bool (int_range 0 1_000_000) (int_range 0 60_000)
   >>= fun (fail_inject, deadline_ms, sleep_ms) ->
+  string_size (int_range 0 Protocol.max_request_id) >>= fun request_id ->
   string_size (int_range 0 2_000) >>= fun source ->
   return
-    (Protocol.request ~backend ~target ~regalloc ~idioms ~peephole ~explain
-       ~jobs ~deadline_ms ~fail_inject ~sleep_ms source)
+    (Protocol.request ~request_id ~backend ~target ~regalloc ~idioms ~peephole
+       ~explain ~jobs ~deadline_ms ~fail_inject ~sleep_ms source)
 
 let response_gen =
   let open QCheck.Gen in
@@ -490,6 +537,323 @@ let test_retry_exhaustion () =
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     [ holder; filler ]
 
+(* -- the ops plane: flight recorder, slog, admin, request ids ---------------- *)
+
+let test_flight_wraparound () =
+  let r = Flight.create 4 in
+  let entry i =
+    {
+      Flight.fe_id = Fmt.str "req-%d" i;
+      fe_bytes = i;
+      fe_target = "vax";
+      fe_regalloc = "stack";
+      fe_outcome = "ok";
+      fe_queue_wait_us = 1;
+      fe_latency_us = 10 * i;
+      fe_worker = 0;
+      fe_ts = float_of_int i;
+    }
+  in
+  Alcotest.(check (list string)) "empty ring" []
+    (List.map (fun e -> e.Flight.fe_id) (Flight.entries r));
+  for i = 1 to 10 do
+    Flight.record r (entry i)
+  done;
+  Alcotest.(check int) "capacity" 4 (Flight.capacity r);
+  Alcotest.(check int) "recorded counts every entry" 10 (Flight.recorded r);
+  Alcotest.(check (list string)) "ring keeps the last N, oldest first"
+    [ "req-7"; "req-8"; "req-9"; "req-10" ]
+    (List.map (fun e -> e.Flight.fe_id) (Flight.entries r));
+  (* the dump is one valid JSON document that names every retained id *)
+  let doc = Json.parse (Flight.to_json r) in
+  let ids =
+    match Option.bind (Json.member "entries" doc) Json.to_list with
+    | Some es ->
+      List.filter_map
+        (fun e -> Option.bind (Json.member "id" e) Json.to_str)
+        es
+    | None -> Alcotest.fail "flight dump has no entries array"
+  in
+  Alcotest.(check (list string)) "dump ids in ring order"
+    [ "req-7"; "req-8"; "req-9"; "req-10" ]
+    ids;
+  Alcotest.(check (option int)) "dump records the total"
+    (Some 10)
+    (Option.bind (Json.member "recorded" doc) Json.to_int)
+
+let test_flight_concurrent_records () =
+  (* 4 domains hammer a small ring while the main thread reads it: no
+     crash, every read entry internally consistent, and the final count
+     is exact *)
+  let r = Flight.create 8 in
+  let per_domain = 500 in
+  let pool =
+    Parallel.spawn_pool ~domains:4 (fun d ->
+        for i = 1 to per_domain do
+          Flight.record r
+            {
+              Flight.fe_id = Fmt.str "d%d-%d" d i;
+              fe_bytes = i;
+              fe_target = "vax";
+              fe_regalloc = "stack";
+              fe_outcome = "ok";
+              fe_queue_wait_us = 0;
+              fe_latency_us = i;
+              fe_worker = d;
+              fe_ts = 0.;
+            }
+        done)
+  in
+  for _ = 1 to 200 do
+    List.iter
+      (fun e ->
+        if not (contains ~sub:"-" e.Flight.fe_id) then
+          Alcotest.failf "torn entry id %S" e.Flight.fe_id)
+      (Flight.entries r)
+  done;
+  Parallel.join_pool pool;
+  Alcotest.(check int) "every record counted" (4 * per_domain)
+    (Flight.recorded r);
+  Alcotest.(check int) "ring holds capacity entries" 8
+    (List.length (Flight.entries r))
+
+let test_slog_structure_and_levels () =
+  let lines = ref [] in
+  let logger = Slog.create ~level:Slog.Info (fun l -> lines := l :: !lines) in
+  Slog.debug logger ~event:"dropped" [];
+  Slog.info logger ~event:"request.done"
+    [
+      Slog.str "request_id" "r-1";
+      Slog.int "latency_us" 1234;
+      Slog.str "tricky" "a\"b\nc";
+    ];
+  Slog.warn logger ~event:"request.slow" [ Slog.int "slow_ms" 500 ];
+  let lines = List.rev !lines in
+  Alcotest.(check int) "debug below the level is dropped" 2
+    (List.length lines);
+  List.iter
+    (fun line ->
+      let j =
+        try Json.parse line
+        with Json.Parse_error m -> Alcotest.failf "bad log line %S: %s" line m
+      in
+      Alcotest.(check bool) "every record has a ts" true
+        (Json.member "ts" j <> None);
+      Alcotest.(check bool) "every record has a level" true
+        (Json.member "level" j <> None))
+    lines;
+  let first = Json.parse (List.nth lines 0) in
+  Alcotest.(check (option string)) "event field" (Some "request.done")
+    (Option.bind (Json.member "event" first) Json.to_str);
+  Alcotest.(check (option string)) "request id field" (Some "r-1")
+    (Option.bind (Json.member "request_id" first) Json.to_str);
+  Alcotest.(check (option int)) "int field" (Some 1234)
+    (Option.bind (Json.member "latency_us" first) Json.to_int);
+  Alcotest.(check (option string)) "escaping survives the round-trip"
+    (Some "a\"b\nc")
+    (Option.bind (Json.member "tricky" first) Json.to_str);
+  Alcotest.(check (option string)) "level names match" (Some "warn")
+    (Option.bind (Json.member "level" (Json.parse (List.nth lines 1))) Json.to_str)
+
+(* one admin conversation, exactly what `mdgtool top` and the CI smoke
+   job do: connect, one command line, read the reply to EOF *)
+let admin_query sock cmd =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let line = cmd ^ "\n" in
+  ignore (Unix.write_substring fd line 0 (String.length line) : int);
+  let b = Buffer.create 1024 in
+  let buf = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b buf 0 n;
+      drain ()
+  in
+  drain ();
+  Buffer.contents b
+
+let test_admin_endpoint () =
+  with_server @@ fun socket server ->
+  let admin_sock = fresh_socket () in
+  let admin =
+    Admin.start ~socket_path:admin_sock
+      ~handle:(Admin.default_handler ~server ~drain:ignore)
+  in
+  Fun.protect ~finally:(fun () -> Admin.stop admin)
+  @@ fun () ->
+  let requests_total () =
+    let stats = Json.parse (admin_query admin_sock "stats") in
+    Option.bind (Json.member "counters" stats)
+      (Json.member "server.requests_total")
+    |> fun o ->
+    Option.value ~default:(-1) (Option.bind o Json.to_int)
+  in
+  let before = requests_total () in
+  Alcotest.(check bool) "stats parses and has the counter" true (before >= 0);
+  ignore
+    (expect_asm (Client.compile ~socket (Protocol.request "int main() { return 5; }")));
+  Alcotest.(check int) "the counter moved by exactly one request"
+    (before + 1) (requests_total ());
+  (* live stats are the very document the shutdown sidecar writes *)
+  Alcotest.(check string) "admin stats = Metrics.to_json"
+    (Metrics.to_json ())
+    (admin_query admin_sock "stats");
+  let health = Json.parse (admin_query admin_sock "health") in
+  Alcotest.(check (option string)) "health status" (Some "ok")
+    (Option.bind (Json.member "status" health) Json.to_str);
+  Alcotest.(check bool) "health counts served requests" true
+    (Option.bind (Json.member "served" health) Json.to_int = Some (Server.served server));
+  (* the prometheus exposition names the counter with its value *)
+  let prom = admin_query admin_sock "metrics" in
+  Alcotest.(check bool) "prometheus TYPE line present" true
+    (contains ~sub:"# TYPE ggcg_server_requests_total counter" prom);
+  (* the flight command answers the live ring *)
+  let flight = Json.parse (admin_query admin_sock "flight") in
+  Alcotest.(check bool) "flight has at least the one request" true
+    (match Option.bind (Json.member "entries" flight) Json.to_list with
+    | Some es -> List.length es >= 1
+    | None -> false);
+  (* unknown commands answer an error object, not a hangup *)
+  let err = Json.parse (admin_query admin_sock "bogus") in
+  Alcotest.(check bool) "unknown command names itself" true
+    (match Option.bind (Json.member "error" err) Json.to_str with
+    | Some m -> contains ~sub:"bogus" m
+    | None -> false)
+
+let test_admin_drain_invokes_callback () =
+  with_server @@ fun _socket server ->
+  let admin_sock = fresh_socket () in
+  let drained = Atomic.make false in
+  let admin =
+    Admin.start ~socket_path:admin_sock
+      ~handle:
+        (Admin.default_handler ~server ~drain:(fun () ->
+             Atomic.set drained true))
+  in
+  Fun.protect ~finally:(fun () -> Admin.stop admin)
+  @@ fun () ->
+  let reply = Json.parse (admin_query admin_sock "drain") in
+  Alcotest.(check (option string)) "drain acknowledges" (Some "draining")
+    (Option.bind (Json.member "status" reply) Json.to_str);
+  Alcotest.(check bool) "the drain callback fired" true (Atomic.get drained)
+
+let wait_for_file ?(timeout_s = 5.) path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if Sys.file_exists path then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let test_crash_barrier_dumps_flight () =
+  let dump = fresh_socket () ^ ".flight.json" in
+  with_server ~crash_dump:dump @@ fun socket _t ->
+  let id = "crash-correlate-me" in
+  (match
+     Client.compile ~socket
+       (Protocol.request ~request_id:id ~fail_inject:true "int main() { return 0; }")
+   with
+  | Protocol.Error (Protocol.Internal, _) -> ()
+  | _ -> Alcotest.fail "expected an Internal error response");
+  Alcotest.(check bool) "the crash produced a dump" true (wait_for_file dump);
+  Fun.protect ~finally:(fun () -> try Sys.remove dump with Sys_error _ -> ())
+  @@ fun () ->
+  (* the dump may still be re-written by the worker; parse with retry *)
+  let doc =
+    let rec parse tries =
+      match Json.parse_file dump with
+      | j -> j
+      | exception Json.Parse_error _ when tries > 0 ->
+        Unix.sleepf 0.05;
+        parse (tries - 1)
+    in
+    parse 20
+  in
+  let entries =
+    Option.value ~default:[]
+      (Option.bind (Json.member "entries" doc) Json.to_list)
+  in
+  let crashing =
+    List.find_opt
+      (fun e -> Option.bind (Json.member "id" e) Json.to_str = Some id)
+      entries
+  in
+  match crashing with
+  | None -> Alcotest.failf "dump does not contain the crashing request %s" id
+  | Some e ->
+    Alcotest.(check (option string)) "the entry records the internal outcome"
+      (Some "internal")
+      (Option.bind (Json.member "outcome" e) Json.to_str)
+
+let test_request_id_threads_through_spans () =
+  (* the one id must appear on the server's request span and on every
+     client-side span — that is what trace-merge correlates on *)
+  Trace.enabled := true;
+  Trace.reset ();
+  Fun.protect ~finally:(fun () ->
+      Trace.enabled := false;
+      Trace.reset ())
+  @@ fun () ->
+  let id = "trace-correlate-me" in
+  (with_server
+  @@ fun socket _t ->
+  ignore
+    (expect_asm
+       (Client.compile ~socket
+          (Protocol.request ~request_id:id "int main() { return 0; }"))));
+  let tagged name =
+    List.exists
+      (fun (e : Trace.event) ->
+        e.Trace.ev_name = name
+        && List.mem_assoc "request_id" e.Trace.ev_args
+        && List.assoc "request_id" e.Trace.ev_args = id)
+      (Trace.events ())
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " span carries the id") true (tagged name))
+    [ "request"; "client.connect"; "client.write"; "client.await" ];
+  (* and the exported document renders the args *)
+  Alcotest.(check bool) "exported trace carries the id" true
+    (contains ~sub:id (Trace.export ()))
+
+let test_e2e_old_version_bad_request () =
+  (* a well-formed v3 frame against a v4 daemon: answered Bad_request,
+     the daemon keeps serving *)
+  with_server @@ fun socket _t ->
+  let frame =
+    let b = Bytes.of_string (Protocol.encode_request (Protocol.request "int x;")) in
+    Bytes.set b 1 '\003';
+    Bytes.to_string b
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Framing.write_frame fd frame;
+  (match Framing.read_frame fd with
+  | Some payload -> (
+    match Protocol.decode_response payload with
+    | Protocol.Error (Protocol.Bad_request, m) ->
+      Alcotest.(check bool) "the answer names the version" true
+        (contains ~sub:"version" m)
+    | _ -> Alcotest.fail "expected Bad_request for a v3 frame")
+  | None -> Alcotest.fail "no response to a v3 frame");
+  let src = "int main() { return 9; }" in
+  Alcotest.(check string) "still serving v4 after the v3 frame"
+    (direct_compile src)
+    (expect_asm (Client.compile ~socket (Protocol.request src)))
+
 (* -- spawn on demand --------------------------------------------------------- *)
 
 let ggccd_path () =
@@ -560,6 +924,74 @@ let test_concurrent_double_ensure () =
   Alcotest.(check bool) "ensure on a live socket spawns nothing" true
     (Client.ensure ~ggccd ~socket ~spawn:true () = None)
 
+let test_sigquit_flight_dump () =
+  (* the real daemon: SIGQUIT must produce a well-formed flight dump
+     naming the served request, and the daemon must keep serving *)
+  let ggccd = ggccd_path () in
+  let socket = fresh_socket () in
+  let dump = socket ^ ".flight.json" in
+  let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process ggccd
+      [| ggccd; "--socket"; socket; "--flight-dump"; dump; "--workers"; "2" |]
+      null_in null_out null_out
+  in
+  Unix.close null_in;
+  Unix.close null_out;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ dump; socket ])
+  @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec wait_alive () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "daemon did not start serving"
+      else begin
+        Unix.sleepf 0.1;
+        wait_alive ()
+      end
+  in
+  wait_alive ();
+  let id = "sigquit-correlate-me" in
+  ignore
+    (expect_asm
+       (Client.compile ~socket
+          (Protocol.request ~request_id:id "int main() { return 0; }")));
+  Unix.kill pid Sys.sigquit;
+  Alcotest.(check bool) "SIGQUIT produced the dump" true (wait_for_file dump);
+  let doc =
+    let rec parse tries =
+      match Json.parse_file dump with
+      | j -> j
+      | exception (Json.Parse_error _ | Sys_error _) when tries > 0 ->
+        Unix.sleepf 0.05;
+        parse (tries - 1)
+    in
+    parse 20
+  in
+  let ids =
+    Option.value ~default:[]
+      (Option.bind (Json.member "entries" doc) Json.to_list)
+    |> List.filter_map (fun e -> Option.bind (Json.member "id" e) Json.to_str)
+  in
+  Alcotest.(check bool) "the dump names the served request" true
+    (List.mem id ids);
+  (* still serving after the dump *)
+  let src = "int main() { return 4; }" in
+  Alcotest.(check string) "daemon survives SIGQUIT"
+    (direct_compile src)
+    (expect_asm (Client.compile ~socket (Protocol.request src)))
+
 let test_e2e_graceful_stop () =
   let socket = fresh_socket () in
   let config =
@@ -595,6 +1027,10 @@ let suite =
       test_response_roundtrip;
     Alcotest.test_case "protocol: garbage and truncations rejected" `Quick
       test_decode_rejects_garbage;
+    Alcotest.test_case "protocol: request ids default, dedupe, truncate" `Quick
+      test_request_ids;
+    Alcotest.test_case "protocol: v0-v3 and future versions rejected" `Quick
+      test_old_versions_rejected;
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
     QCheck_alcotest.to_alcotest prop_response_roundtrip;
     QCheck_alcotest.to_alcotest prop_request_mutation;
@@ -629,6 +1065,24 @@ let suite =
       test_e2e_backpressure;
     Alcotest.test_case "client: retry exhaustion raises, backoff capped" `Quick
       test_retry_exhaustion;
+    Alcotest.test_case "flight: ring wrap-around keeps the last N" `Quick
+      test_flight_wraparound;
+    Alcotest.test_case "flight: lock-free under 4 recording domains" `Quick
+      test_flight_concurrent_records;
+    Alcotest.test_case "slog: JSON lines, levels, escaping" `Quick
+      test_slog_structure_and_levels;
+    Alcotest.test_case "admin: stats/health/metrics/flight over the socket"
+      `Quick test_admin_endpoint;
+    Alcotest.test_case "admin: drain invokes the shutdown callback" `Quick
+      test_admin_drain_invokes_callback;
+    Alcotest.test_case "flight: crash barrier dumps the crashing id" `Quick
+      test_crash_barrier_dumps_flight;
+    Alcotest.test_case "trace: request id rides client and server spans"
+      `Quick test_request_id_threads_through_spans;
+    Alcotest.test_case "e2e: v3 frame answered Bad_request, v4 still served"
+      `Quick test_e2e_old_version_bad_request;
+    Alcotest.test_case "e2e: SIGQUIT dumps the flight recorder" `Slow
+      test_sigquit_flight_dump;
     Alcotest.test_case "client: concurrent double-ensure both succeed" `Slow
       test_concurrent_double_ensure;
     Alcotest.test_case "e2e: graceful stop, idempotent, no live domains" `Quick

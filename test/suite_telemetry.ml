@@ -362,6 +362,271 @@ let test_metrics_json_well_formed () =
   all_off ();
   check_json "metrics sidecar" doc
 
+(* -- quantiles, snapshots, expositions (the ops plane's read API) ------------ *)
+
+module Json = Gg_profile.Json
+
+let test_quantile_properties () =
+  all_off ();
+  Metrics.enabled := true;
+  let h = Metrics.queue_wait_us in
+  Alcotest.(check (float 0.)) "empty histogram quantile is 0" 0.
+    (Metrics.quantile h 0.99);
+  for v = 1 to 1000 do
+    Metrics.observe h v
+  done;
+  let q50 = Metrics.quantile h 0.50
+  and q90 = Metrics.quantile h 0.90
+  and q99 = Metrics.quantile h 0.99
+  and q100 = Metrics.quantile h 1.0 in
+  all_off ();
+  Alcotest.(check bool) "quantiles are positive" true (q50 > 0.);
+  Alcotest.(check bool) "quantiles are monotone in q" true
+    (q50 <= q90 && q90 <= q99 && q99 <= q100);
+  Alcotest.(check bool) "no quantile exceeds the observed max" true
+    (q100 <= 1000.);
+  (* uniform 1..1000: linear interpolation inside fixed buckets keeps
+     the estimates within a coarse band of the true quantiles *)
+  Alcotest.(check bool)
+    (Fmt.str "p50 %.1f within [250, 750]" q50)
+    true
+    (q50 >= 250. && q50 <= 750.);
+  Alcotest.(check bool) (Fmt.str "p99 %.1f >= p50" q99) true (q99 >= q50)
+
+let test_quantile_deterministic () =
+  (* same observations -> byte-identical quantiles, whether read live
+     or at shutdown: this is what lets the admin stats document match
+     the sidecar exactly *)
+  all_off ();
+  Metrics.enabled := true;
+  List.iter (Metrics.observe Metrics.request_latency_us)
+    [ 3; 14; 159; 2653; 58979; 323846; 2643383 ];
+  let a = Metrics.quantile Metrics.request_latency_us 0.99 in
+  let b = Metrics.quantile Metrics.request_latency_us 0.99 in
+  all_off ();
+  Alcotest.(check (float 0.)) "two reads agree exactly" a b
+
+let test_snapshot_exact_under_parallelism () =
+  (* the deterministic instruments must snapshot identically at -j1 and
+     -j4 once the domains have joined — same counts, same buckets, same
+     quantiles *)
+  let deterministic =
+    [
+      "matcher.reductions_per_tree";
+      "matcher.stack_high_water";
+      "codegen.insns_per_func";
+    ]
+  in
+  let take jobs =
+    all_off ();
+    Metrics.enabled := true;
+    Profile.enabled := true;
+    ignore (compile_corpus ~jobs ());
+    let snap = Metrics.snapshot () in
+    all_off ();
+    ( List.filter
+        (fun (k, _) -> String.length k > 8 && String.sub k 0 8 = "matcher.")
+        snap.Metrics.v_counters,
+      List.filter
+        (fun hv -> List.mem hv.Metrics.hv_name deterministic)
+        snap.Metrics.v_histograms )
+  in
+  let c1, h1 = take 1 in
+  let c4, h4 = take 4 in
+  Alcotest.(check bool) "matcher counters equal at -j4" true (c1 = c4);
+  Alcotest.(check int) "all deterministic histograms found" 3 (List.length h1);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "name" a.Metrics.hv_name b.Metrics.hv_name;
+      Alcotest.(check int) (a.Metrics.hv_name ^ " count") a.Metrics.hv_count
+        b.Metrics.hv_count;
+      Alcotest.(check bool) (a.Metrics.hv_name ^ " buckets") true
+        (a.Metrics.hv_buckets = b.Metrics.hv_buckets);
+      Alcotest.(check (float 0.)) (a.Metrics.hv_name ^ " p50") a.Metrics.hv_p50
+        b.Metrics.hv_p50;
+      Alcotest.(check (float 0.)) (a.Metrics.hv_name ^ " p99") a.Metrics.hv_p99
+        b.Metrics.hv_p99)
+    h1 h4
+
+let test_snapshot_safe_under_concurrent_observers () =
+  (* snapshots taken while 4 domains are still observing: never a
+     crash, and successive snapshots are monotone (shard counters only
+     grow) *)
+  all_off ();
+  Metrics.enabled := true;
+  let stop = Atomic.make false in
+  let pool =
+    Gg_codegen.Parallel.spawn_pool ~domains:4 (fun _ ->
+        while not (Atomic.get stop) do
+          Metrics.observe Metrics.queue_wait_us 17;
+          Metrics.incr "concurrent.test"
+        done)
+  in
+  let count hv_name snap =
+    match
+      List.find_opt
+        (fun hv -> hv.Metrics.hv_name = hv_name)
+        snap.Metrics.v_histograms
+    with
+    | Some hv -> hv.Metrics.hv_count
+    | None -> Alcotest.failf "histogram %s missing from snapshot" hv_name
+  in
+  let last = ref 0 in
+  for _ = 1 to 50 do
+    let snap = Metrics.snapshot () in
+    let c = count "server.queue_wait_us" snap in
+    if c < !last then
+      Alcotest.failf "snapshot went backwards: %d after %d" c !last;
+    last := c
+  done;
+  Atomic.set stop true;
+  Gg_codegen.Parallel.join_pool pool;
+  (* quiescent now: the final snapshot is exact and internally
+     consistent — buckets sum to the count, the named counter matches *)
+  let snap = Metrics.snapshot () in
+  let hv =
+    List.find
+      (fun hv -> hv.Metrics.hv_name = "server.queue_wait_us")
+      snap.Metrics.v_histograms
+  in
+  all_off ();
+  Alcotest.(check int) "buckets sum to count" hv.Metrics.hv_count
+    (List.fold_left (fun a (_, c) -> a + c) 0 hv.Metrics.hv_buckets);
+  Alcotest.(check bool) "the named counter landed" true
+    (List.assoc_opt "concurrent.test" snap.Metrics.v_counters = Some hv.Metrics.hv_count)
+
+let test_json_sidecar_has_quantiles () =
+  with_metrics ();
+  let doc = Metrics.to_json () in
+  all_off ();
+  let j = Json.parse doc in
+  let histos =
+    Option.value ~default:[]
+      (Option.bind (Json.member "histograms" j) Json.to_list)
+  in
+  Alcotest.(check bool) "histograms present" true (histos <> []);
+  List.iter
+    (fun h ->
+      let name =
+        Option.value ~default:"?" (Option.bind (Json.member "name" h) Json.to_str)
+      in
+      let p50 = Option.bind (Json.member "p50" h) Json.to_float in
+      let p99 = Option.bind (Json.member "p99" h) Json.to_float in
+      match (p50, p99) with
+      | Some p50, Some p99 ->
+        Alcotest.(check bool) (name ^ ": p50 <= p99") true (p50 <= p99)
+      | _ -> Alcotest.failf "%s: missing p50/p99" name)
+    histos
+
+let test_prometheus_exposition () =
+  with_metrics ();
+  let doc = Metrics.to_prometheus () in
+  all_off ();
+  let lines = String.split_on_char '\n' doc in
+  Alcotest.(check bool) "counters are typed" true
+    (List.mem "# TYPE ggcg_matcher_runs counter" lines);
+  Alcotest.(check bool) "histograms are typed" true
+    (List.mem "# TYPE ggcg_matcher_reductions_per_tree histogram" lines);
+  (* per histogram: cumulative buckets end at +Inf == _count *)
+  let value_of prefix =
+    List.filter_map
+      (fun l ->
+        if
+          String.length l > String.length prefix
+          && String.sub l 0 (String.length prefix) = prefix
+        then
+          int_of_string_opt
+            (String.trim
+               (String.sub l (String.length prefix)
+                  (String.length l - String.length prefix)))
+        else None)
+      lines
+  in
+  (match value_of "ggcg_matcher_reductions_per_tree_bucket{le=\"+Inf\"} " with
+  | [ inf ] -> (
+    match value_of "ggcg_matcher_reductions_per_tree_count " with
+    | [ count ] ->
+      Alcotest.(check int) "+Inf bucket equals _count" count inf
+    | other -> Alcotest.failf "%d _count lines" (List.length other))
+  | other -> Alcotest.failf "%d +Inf bucket lines" (List.length other));
+  (* cumulative bucket counts never decrease *)
+  let buckets =
+    List.filter_map
+      (fun l ->
+        let p = "ggcg_matcher_reductions_per_tree_bucket{le=" in
+        if String.length l > String.length p && String.sub l 0 (String.length p) = p
+        then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+            int_of_string_opt
+              (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets are monotone" true (monotone buckets)
+
+let test_atomic_write_leaves_no_tmp () =
+  all_off ();
+  Metrics.enabled := true;
+  Profile.enabled := true;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "ggcg-test-metrics-%d.json" (Unix.getpid ()))
+  in
+  Metrics.write_json_atomic path;
+  Fun.protect ~finally:(fun () ->
+      all_off ();
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  check_json "atomic snapshot" (In_channel.with_open_text path In_channel.input_all);
+  (* the temp sibling is renamed away, never left behind *)
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let leftovers =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f ->
+           String.length f > String.length base
+           && String.sub f 0 (String.length base) = base)
+  in
+  Alcotest.(check (list string)) "no tmp leftovers" [] leftovers
+
+(* -- the Json reader the ops tools are built on ------------------------------- *)
+
+let test_json_parser_roundtrips () =
+  let cases =
+    [
+      "null";
+      "true";
+      "[1,2.5,-3,\"x\"]";
+      "{\"a\":{\"b\":[]},\"c\":\"\\u0041\\n\"}";
+      "{\"nested\":[{\"deep\":[[[1]]]}]}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let j = Json.parse s in
+      let j' = Json.parse (Json.to_string j) in
+      Alcotest.(check bool) (s ^ " survives print/reparse") true (j = j'))
+    cases;
+  (* member order and accessors *)
+  let j = Json.parse "{\"b\": 2, \"a\": 1}" in
+  Alcotest.(check (option int)) "member lookup" (Some 1)
+    (Option.bind (Json.member "a" j) Json.to_int);
+  Alcotest.(check string) "order preserved" "{\"b\":2,\"a\":1}" (Json.to_string j)
+
+let test_json_parser_rejects () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | _ -> Alcotest.failf "accepted %S" s
+      | exception Json.Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
 (* -- instruction provenance (--explain) -------------------------------------- *)
 
 let test_explain_provenance () =
@@ -446,6 +711,24 @@ let suite =
       test_metrics_reset;
     Alcotest.test_case "metrics sidecar is well-formed JSON" `Quick
       test_metrics_json_well_formed;
+    Alcotest.test_case "quantile: empty, monotone, bounded" `Quick
+      test_quantile_properties;
+    Alcotest.test_case "quantile estimates are deterministic" `Quick
+      test_quantile_deterministic;
+    Alcotest.test_case "Metrics.snapshot exact at -j4" `Quick
+      test_snapshot_exact_under_parallelism;
+    Alcotest.test_case "Metrics.snapshot safe under concurrent observers"
+      `Quick test_snapshot_safe_under_concurrent_observers;
+    Alcotest.test_case "metrics sidecar carries p50/p99" `Quick
+      test_json_sidecar_has_quantiles;
+    Alcotest.test_case "prometheus exposition is well-formed" `Quick
+      test_prometheus_exposition;
+    Alcotest.test_case "write_json_atomic leaves no tmp file" `Quick
+      test_atomic_write_leaves_no_tmp;
+    Alcotest.test_case "Json parser round-trips" `Quick
+      test_json_parser_roundtrips;
+    Alcotest.test_case "Json parser rejects malformed input" `Quick
+      test_json_parser_rejects;
     Alcotest.test_case "--explain: every instruction carries production ids"
       `Quick test_explain_provenance;
     Alcotest.test_case "provenance is empty when disabled" `Quick
