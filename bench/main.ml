@@ -1491,6 +1491,208 @@ let bench_regalloc () =
   row "written: BENCH_regalloc.json@."
 
 (* ============================================================================ *)
+(* SPECIALIZE: profile-guided table layout                                      *)
+(* ============================================================================ *)
+
+let bench_specialize () =
+  section
+    "SPECIALIZE: profile-guided table layout (hot states comb-packed first, \
+     cold states behind an exact fallback; the assembly must stay \
+     byte-identical — only probe locality changes)";
+  (* the parity corpus: examples/c when run from the repo root, plus the
+     built-in fixed suite and a generated fuzz corpus — every program is
+     compiled with and without specialization and byte-compared *)
+  let file_sources =
+    let dir = "examples/c" in
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".c")
+      |> List.sort compare
+      |> List.map (fun f ->
+             let file = Filename.concat dir f in
+             let ic = open_in_bin file in
+             let s = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             (file, s))
+    else []
+  in
+  let fuzz_seeds = if quick then 40 else 200 in
+  let parity_progs =
+    List.map
+      (fun (n, s) -> (n, Sema.compile s))
+      (Corpus.fixed_programs @ file_sources)
+    @ List.init fuzz_seeds (fun seed ->
+          ( Fmt.str "fuzz-%d" seed,
+            Sema.lower_program
+              (Corpus.program ~seed ~functions:2 ~stmts_per_function:8) ))
+  in
+  let null_cb : unit Matcher.callbacks =
+    {
+      Matcher.on_shift = (fun _ -> ());
+      on_reduce = (fun _ _ -> ());
+      choose = (fun _ _ -> 0);
+    }
+  in
+  let results =
+    List.map
+      (fun target ->
+        let name = Targets.name target in
+        let b = Targets.backend_of target in
+        let g = Lazy.force b.Backend.default_grammar in
+        (* the profile is the firing heat of the fixed corpus — the
+           "hot" workload the layout is shaped around *)
+        let profile = Targets.heat_profile target in
+        let dense = Tables.build g in
+        let packed = Packed.pack dense in
+        let spec = Gg_specialize.Specialize.build ~profile dense in
+        let verified =
+          match Gg_specialize.Specialize.verify spec dense with
+          | Ok () -> true
+          | Error m ->
+            row "  %s: VERIFICATION FAILED: %s@." name m;
+            false
+        in
+        let baseline_tables =
+          Driver.of_engine ~backend:b (Matcher.packed_engine ~grammar:g packed)
+        in
+        let spec_tables =
+          Driver.of_engine ~backend:b
+            (Gg_specialize.Specialize.engine ~grammar:g spec)
+        in
+        let identical =
+          List.for_all
+            (fun (_, prog) ->
+              (Driver.compile_program ~tables:baseline_tables prog)
+                .Driver.assembly
+              = (Driver.compile_program ~tables:spec_tables prog)
+                  .Driver.assembly)
+            parity_progs
+        in
+        (* matcher speedup on the hot corpus: the same programs the
+           profile was collected from, pre-linearised so the measurement
+           targets the shift/reduce loop itself *)
+        let token_lists =
+          List.concat_map
+            (fun (_, src) ->
+              let prog = Sema.compile src in
+              List.concat_map
+                (fun f ->
+                  let tr = Transform.run ~leaf_need:b.Backend.leaf_need f in
+                  List.filter_map
+                    (function
+                      | Tree.Stree t -> Some (Termname.linearize t)
+                      | _ -> None)
+                    tr.Transform.func.Tree.body)
+                prog.Tree.funcs)
+            Corpus.fixed_programs
+        in
+        (* replicate the corpus so one timed pass is several times the
+           timer/scheduler jitter, and take the best of many passes:
+           the per-probe delta being measured is a few percent *)
+        let rep_token_lists =
+          List.concat (List.init 8 (fun _ -> token_lists))
+        in
+        let packed_engine = Matcher.packed_engine ~grammar:g packed in
+        let spec_engine =
+          Gg_specialize.Specialize.engine ~grammar:g spec
+        in
+        let run_all e () =
+          List.iter
+            (fun toks -> ignore (Matcher.run_engine e null_cb toks))
+            rep_token_lists
+        in
+        let mres =
+          measure_ns_best
+            ~repeats:(if quick then 2 else 8)
+            [
+              ("m-packed-" ^ name, run_all packed_engine);
+              ("m-spec-" ^ name, run_all spec_engine);
+            ]
+        in
+        let ns_packed, ns_spec, speedup =
+          match
+            (lookup mres ("m-packed-" ^ name), lookup mres ("m-spec-" ^ name))
+          with
+          | Some p, Some s -> (p, s, p /. s)
+          | _ -> (nan, nan, nan)
+        in
+        (* the measured hot/cold probe split on the training corpus *)
+        let metrics_were = !Metrics.enabled in
+        Metrics.enabled := true;
+        Metrics.reset ();
+        List.iter
+          (fun toks -> ignore (Matcher.run_engine spec_engine null_cb toks))
+          token_lists;
+        let counter n =
+          Option.value ~default:0 (List.assoc_opt n (Metrics.named_counters ()))
+        in
+        let hot_probes = counter "matcher.probe_hits_hot" in
+        let cold_probes = counter "matcher.probe_hits_cold" in
+        Metrics.reset ();
+        Metrics.enabled := metrics_were;
+        let pst = Packed.stats packed in
+        let sst = Gg_specialize.Specialize.stats spec in
+        row "[%s]@." name;
+        row "  verified cell-for-cell:   %b@." verified;
+        row "  assembly byte-identical:  %b  (%d programs)@." identical
+          (List.length parity_progs);
+        row "  hot states:               %d of %d@." sst.Gg_specialize.Specialize.hot_states
+          sst.Gg_specialize.Specialize.states;
+        row "  table bytes:              %d -> %d  (delta %+d)@."
+          pst.Packed.packed_bytes sst.Gg_specialize.Specialize.spec_bytes
+          (sst.Gg_specialize.Specialize.spec_bytes - pst.Packed.packed_bytes);
+        row "  matcher, hot corpus:      %.2f ms packed, %.2f ms specialized, \
+             speedup %.3fx@."
+          (ns_packed /. 1e6) (ns_spec /. 1e6) speedup;
+        row "  probe split:              %d hot, %d cold@." hot_probes
+          cold_probes;
+        ( name,
+          verified,
+          identical,
+          pst,
+          sst,
+          (ns_packed, ns_spec, speedup),
+          (hot_probes, cold_probes) ))
+      Targets.all
+  in
+  let oc = open_out "BENCH_specialize.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"parity_programs\": %d,\n" (List.length parity_progs);
+  p "  \"targets\": [\n";
+  List.iteri
+    (fun k
+         ( name,
+           verified,
+           identical,
+           pst,
+           sst,
+           (ns_packed, ns_spec, speedup),
+           (hot_probes, cold_probes) ) ->
+      p "    { \"target\": \"%s\",\n" name;
+      p "      \"verified\": %b,\n" verified;
+      p "      \"assembly_identical\": %b,\n" identical;
+      p "      \"states\": %d,\n" sst.Gg_specialize.Specialize.states;
+      p "      \"hot_states\": %d,\n" sst.Gg_specialize.Specialize.hot_states;
+      p "      \"baseline_table_bytes\": %d,\n" pst.Packed.packed_bytes;
+      p "      \"specialized_table_bytes\": %d,\n"
+        sst.Gg_specialize.Specialize.spec_bytes;
+      p "      \"table_bytes_delta\": %d,\n"
+        (sst.Gg_specialize.Specialize.spec_bytes - pst.Packed.packed_bytes);
+      p "      \"matcher_ms_packed\": %.3f,\n" (ns_packed /. 1e6);
+      p "      \"matcher_ms_specialized\": %.3f,\n" (ns_spec /. 1e6);
+      p "      \"matcher_speedup\": %.3f,\n" speedup;
+      p "      \"probe_hits_hot\": %d,\n" hot_probes;
+      p "      \"probe_hits_cold\": %d\n" cold_probes;
+      p "    }%s\n" (if k = List.length results - 1 then "" else ","))
+    results;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  row "written: BENCH_specialize.json@."
+
+(* ============================================================================ *)
 
 let () =
   Fmt.pr "Table-driven code generation: benchmark harness%s@."
@@ -1522,6 +1724,7 @@ let () =
       ("retarget", bench_retarget);
       ("serve", bench_serve);
       ("regalloc", bench_regalloc);
+      ("specialize", bench_specialize);
     ]
   in
   (match

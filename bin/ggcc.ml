@@ -26,14 +26,25 @@ let read_file path =
   close_in ic;
   s
 
-(* Table acquisition for the gg backend, in order of preference: an
-   explicit -tables file (created on first use), the per-user cache
-   keyed by target and grammar digest, or an in-process build
-   (--no-cache). *)
-let gg_tables ~target ~tables_file ~no_cache () =
+(* Table acquisition for the gg backend, in order of preference: a
+   profile-specialized table (--specialize FILE|auto), an explicit
+   -tables file (created on first use), the per-user cache keyed by
+   target and grammar digest, or an in-process build (--no-cache). *)
+let gg_tables ~target ~tables_file ~no_cache ~specialize () =
   let b = Targets.backend_of target in
-  match tables_file with
-  | Some path ->
+  match (specialize, tables_file) with
+  | Some spec, None ->
+    let profile =
+      if spec = "auto" then Targets.heat_profile target
+      else Gg_specialize.Heat.load spec
+    in
+    Targets.specialized_tables ~use_cache:(not no_cache) ~profile target
+  | Some _, Some _ ->
+    (* -tables names a v2 packed file; a specialized table is keyed and
+       cached differently (v3), so the combination is ambiguous *)
+    Fmt.epr "error: --specialize cannot be combined with --tables@.";
+    exit 1
+  | None, Some path ->
     let g = Lazy.force b.Backend.default_grammar in
     let packed =
       if Sys.file_exists path then
@@ -46,7 +57,7 @@ let gg_tables ~target ~tables_file ~no_cache () =
       end
     in
     Driver.of_engine ~backend:b (Gg_matcher.Matcher.packed_engine ~grammar:g packed)
-  | None ->
+  | None, None ->
     if no_cache then Targets.default_tables target
     else Targets.cached_tables target Driver.default_options.Driver.grammar
 
@@ -173,9 +184,10 @@ let server_compile ~socket ~spawn ~ggccd ~backend ~target ~regalloc ~idioms
     Fmt.epr "server error: queue full, retries exhausted@.";
     exit 3
 
-let compile_cmd path backend target regalloc heat_file idioms peephole jobs
-    output run args tables_file no_cache profile trace_out metrics metrics_out
-    explain server spawn ggccd deadline_ms inject_fail inject_sleep_ms =
+let compile_cmd path backend target regalloc heat_file specialize idioms
+    peephole jobs output run args tables_file no_cache profile trace_out
+    metrics metrics_out explain server spawn ggccd deadline_ms inject_fail
+    inject_sleep_ms =
   handle_errors (fun () ->
       (* the baseline emits VAX assembly; refuse the cross pairing here
          rather than shipping it to a daemon that will refuse it too *)
@@ -191,6 +203,16 @@ let compile_cmd path backend target regalloc heat_file idioms peephole jobs
          does not carry them *)
       if heat_file <> None && server <> None then begin
         Fmt.epr "error: --heat cannot be combined with --server@.";
+        exit 1
+      end;
+      (* table layout is a local concern; the daemon picks its own
+         tables (ggccd --specialize) *)
+      if specialize <> None && server <> None then begin
+        Fmt.epr "error: --specialize cannot be combined with --server@.";
+        exit 1
+      end;
+      if specialize <> None && backend = Pcc_backend then begin
+        Fmt.epr "error: the pcc backend has no parse tables to specialize@.";
         exit 1
       end;
       let heat =
@@ -213,7 +235,9 @@ let compile_cmd path backend target regalloc heat_file idioms peephole jobs
              Asm, so the local frontend cannot fail on the same source *)
           (asm, lazy (Sema.compile src).Tree.globals)
         | None ->
-          let tables = lazy (gg_tables ~target ~tables_file ~no_cache ()) in
+          let tables =
+            lazy (gg_tables ~target ~tables_file ~no_cache ~specialize ())
+          in
           let asm, prog =
             Gg_profile.Trace.span ~cat:"file" (Filename.basename path)
               (fun () ->
@@ -251,7 +275,7 @@ let trace_cmd path target tables_file no_cache profile =
   handle_errors (fun () ->
       with_profile profile @@ fun () ->
       let prog = Sema.compile (read_file path) in
-      let tables = gg_tables ~target ~tables_file ~no_cache () in
+      let tables = gg_tables ~target ~tables_file ~no_cache ~specialize:None () in
       let b = Driver.backend tables in
       let g = Driver.grammar tables in
       List.iter
@@ -323,6 +347,21 @@ let heat_arg =
           "Production firing counts from $(b,mdgtool heat --json), used \
            by $(b,--regalloc color) to bias spill costs toward code \
            produced by hot productions.  Local compiles only.")
+
+let specialize_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "specialize" ] ~docv:"FILE|auto"
+        ~doc:
+          "Compile with profile-specialized parse tables (gg backend): \
+           hot states comb-packed first for locality, cold states behind \
+           an exact fallback.  $(docv) is a heat profile from $(b,mdgtool \
+           heat --json --out), or $(b,auto) to collect one from the \
+           built-in corpus.  The assembly is byte-identical to an \
+           unspecialized compile; only matcher probe locality changes.  \
+           Specialized tables are cached by (target, grammar digest, \
+           profile digest) unless $(b,--no-cache).  Local compiles only.")
 
 let idioms_arg =
   Arg.(
@@ -475,7 +514,7 @@ let () =
   let compile_term =
     Term.(
       const compile_cmd $ path_arg $ backend_arg $ target_arg $ regalloc_arg
-      $ heat_arg $ idioms_arg
+      $ heat_arg $ specialize_arg $ idioms_arg
       $ peephole_arg $ jobs_arg $ output_arg $ run_arg $ args_arg $ tables_arg
       $ no_cache_arg $ profile_arg $ trace_out_arg $ metrics_arg
       $ metrics_out_arg $ explain_arg $ server_arg $ spawn_arg $ ggccd_arg

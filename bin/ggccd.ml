@@ -41,7 +41,7 @@ let install_signals () =
 
 let run socket admin_socket workers queue_capacity read_timeout log_path
     log_level slow_ms flight_size flight_dump snapshot_interval no_cache
-    metrics_out trace_out =
+    specialize metrics_out trace_out =
   let level =
     match Slog.level_of_string log_level with
     | Some l -> l
@@ -98,6 +98,20 @@ let run socket admin_socket workers queue_capacity read_timeout log_path
   let table_memo : (Backend.target, Driver.tables) Hashtbl.t =
     Hashtbl.create 4
   in
+  (* a file profile is target-specific (production ids are per-grammar),
+     but loading it is cheap and validation happens inside the
+     specializer; --specialize auto collects a per-target profile from
+     the built-in corpus at resolution time *)
+  let file_profile =
+    match specialize with
+    | Some spec when spec <> "auto" -> (
+      match Gg_specialize.Heat.load spec with
+      | p -> Some p
+      | exception (Failure m | Sys_error m) ->
+        Fmt.epr "error: cannot load profile %s: %s@." spec m;
+        exit 1)
+    | _ -> None
+  in
   let tables target =
     Mutex.protect table_mutex (fun () ->
         match Hashtbl.find_opt table_memo target with
@@ -105,13 +119,26 @@ let run socket admin_socket workers queue_capacity read_timeout log_path
         | None ->
           let t0 = Unix.gettimeofday () in
           let t =
-            if no_cache then Targets.default_tables target
-            else
-              Targets.cached_tables target Driver.default_options.Driver.grammar
+            match specialize with
+            | Some _ ->
+              let profile =
+                match file_profile with
+                | Some p -> p
+                | None -> Targets.heat_profile target
+              in
+              Targets.specialized_tables ~use_cache:(not no_cache) ~profile
+                target
+            | None ->
+              if no_cache then Targets.default_tables target
+              else
+                Targets.cached_tables target
+                  Driver.default_options.Driver.grammar
           in
           Slog.info logger ~event:"tables.ready"
             [
               Slog.str "target" (Targets.name target);
+              Slog.str "specialized"
+                (if specialize <> None then "true" else "false");
               Slog.int "load_us"
                 (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
             ];
@@ -300,6 +327,18 @@ let no_cache_arg =
     & info [ "no-cache" ]
         ~doc:"Build the parse tables in-process; never touch the disk cache.")
 
+let specialize_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "specialize" ] ~docv:"FILE|auto"
+        ~doc:
+          "Serve from profile-specialized parse tables: $(docv) is a heat \
+           profile from $(b,mdgtool heat --json --out), or $(b,auto) to \
+           collect one per target from the built-in corpus.  Output is \
+           byte-identical to unspecialized serving; only matcher probe \
+           locality changes.")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -326,7 +365,7 @@ let () =
       const run $ socket_arg $ admin_socket_arg $ workers_arg $ queue_arg
       $ read_timeout_arg $ log_arg $ log_level_arg $ slow_ms_arg
       $ flight_size_arg $ flight_dump_arg $ snapshot_interval_arg
-      $ no_cache_arg $ metrics_out_arg $ trace_out_arg)
+      $ no_cache_arg $ specialize_arg $ metrics_out_arg $ trace_out_arg)
   in
   let info =
     Cmd.info "ggccd"

@@ -143,9 +143,15 @@ let pack_stats o =
 (* warm (or inspect) the on-disk table cache ggcc compiles from.  The
    cache directory is shared by every target, so both warming and
    clearing walk the full live list: clearing the VAX entry must not
-   leave a stale RISC one behind, and vice versa. *)
-let cache o dir clear =
+   leave a stale RISC one behind, and vice versa.  Specialized entries
+   (grammar digest + profile digest) are listed distinctly and evicted
+   unless their profile is declared live with --profile. *)
+let cache o dir clear profiles =
   let live = Gg_targets.Targets.live_cache_entries o in
+  let live_profiles =
+    List.map (fun f -> Gg_specialize.Heat.digest (Gg_specialize.Heat.load f))
+      profiles
+  in
   if clear then begin
     List.iter
       (fun (target, g) ->
@@ -157,8 +163,9 @@ let cache o dir clear =
         else Fmt.pr "no cached %s tables (%s)@." target file)
       live;
     (* also sweep entries matching no live (target, digest) pair —
-       unreachable files an edited grammar leaves behind *)
-    match Gg_tablegen.Cache.clear_stale ?dir live with
+       unreachable files an edited grammar leaves behind — and
+       specialized entries whose profile was not kept alive *)
+    match Gg_tablegen.Cache.clear_stale ?dir ~live_profiles live with
     | [] -> Fmt.pr "no stale entries@."
     | evicted ->
       List.iter
@@ -195,17 +202,41 @@ let cache o dir clear =
         Fmt.pr "tables:     %a@." Gg_tablegen.Packed.pp_stats
           (Gg_tablegen.Packed.stats packed);
         Fmt.pr "digest:     %s@." (Gg_tablegen.Packed.digest packed))
-      live
+      live;
+    (* specialized entries carry a third key component (the profile
+       digest) and are listed apart from the baselines above *)
+    match
+      List.filter
+        (fun e -> e.Gg_tablegen.Cache.e_profile_digest <> None)
+        (Gg_tablegen.Cache.list ?dir ())
+    with
+    | [] -> Fmt.pr "@.specialized entries: none@."
+    | specs ->
+      Fmt.pr "@.specialized entries (%d):@." (List.length specs);
+      List.iter
+        (fun e ->
+          Fmt.pr "  %s: grammar %s, profile %s, %d bytes@."
+            e.Gg_tablegen.Cache.e_target e.Gg_tablegen.Cache.e_grammar_digest
+            (Option.value ~default:"-" e.Gg_tablegen.Cache.e_profile_digest)
+            e.Gg_tablegen.Cache.e_bytes)
+        specs
 
 (* which productions actually fire, and how hard: compile the fixed
    mini-C corpus (plus optional generated programs) with production
    coverage on and render the firing counts as a heat report.  This is
    the usage data Samuelsson-style table optimisation wants before
    reordering table rows. *)
-let heat o top seeds json verbose =
+let heat o target_name top seeds json out verbose =
+  let target =
+    match Gg_targets.Targets.of_string target_name with
+    | Some t -> t
+    | None ->
+      Fmt.epr "error: unknown target %s@." target_name;
+      exit 1
+  in
   Gg_profile.Profile.coverage_enabled := true;
   Gg_profile.Profile.reset_coverage ();
-  let tables = Gg_codegen.Driver.build_tables o in
+  let tables = Gg_targets.Targets.build_tables target o in
   let g = Gg_codegen.Driver.grammar tables in
   let programs =
     List.map (fun (name, src) -> (name, Gg_frontc.Sema.compile src))
@@ -221,20 +252,27 @@ let heat o top seeds json verbose =
       ignore (Gg_codegen.Driver.compile_program ~tables prog))
     programs;
   let counts = Gg_profile.Profile.production_counts () in
-  let total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
-  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) counts in
+  (* canonical form: duplicates merged, count desc then id asc — two
+     runs over the same corpus render byte-identical profiles, so the
+     profile digest (the specialized-table cache key) is stable *)
+  let profile = Gg_specialize.Heat.of_counts counts in
+  let total = profile.Gg_specialize.Heat.total in
+  let sorted = profile.Gg_specialize.Heat.counts in
+  (match out with
+  | None -> ()
+  | Some path ->
+    Gg_specialize.Heat.save profile path;
+    Fmt.pr "wrote %s (%d productions, profile digest %s)@." path
+      (List.length sorted)
+      (Gg_specialize.Heat.digest profile));
   if json then begin
-    (* machine-readable firing counts, the spill-cost input of
-       [ggcc --regalloc color --heat FILE] *)
-    Fmt.pr "{@[<v 1>@,\"total\": %d,@,\"productions\": [@[<v 1>" total;
-    List.iteri
-      (fun i (id, c) ->
-        Fmt.pr "%s@,{\"id\": %d, \"count\": %d}" (if i = 0 then "" else ",") id
-          c)
-      sorted;
-    Fmt.pr "@]@,]@]@,}@.";
+    (* machine-readable firing counts: the spill-cost input of
+       [ggcc --regalloc color --heat FILE] and the layout input of
+       [mdgtool specialize] *)
+    if out = None then print_string (Gg_specialize.Heat.to_json_string profile);
     exit 0
   end;
+  if out <> None then exit 0;
   let n = Grammar.n_productions g in
   let fired = List.length sorted in
   Fmt.pr "corpus: %d programs, %d reductions, %d distinct productions@."
@@ -280,6 +318,62 @@ let heat o top seeds json verbose =
         Fmt.pr "  %a@." (Grammar.pp_production g) (Grammar.production g id)
     done
   end
+
+(* profile-guided table specialization: take a heat profile (mdgtool
+   heat --json --out), reshape the packed tables around it, prove
+   cell-for-cell parity against the dense tables, and report the layout
+   before and after.  The result lands in the shared table cache keyed
+   by (target, grammar digest, profile digest) — or in --out FILE as a
+   ggcg-tables-v3 file. *)
+let specialize o target_name profile_path coverage dir out =
+  let target =
+    match Gg_targets.Targets.of_string target_name with
+    | Some t -> t
+    | None ->
+      Fmt.epr "error: unknown target %s@." target_name;
+      exit 1
+  in
+  let profile =
+    match Gg_specialize.Heat.load profile_path with
+    | p -> p
+    | exception (Failure m | Sys_error m) ->
+      Fmt.epr "error: cannot load profile %s: %s@." profile_path m;
+      exit 1
+  in
+  let b = Gg_targets.Targets.backend_of target in
+  let g =
+    if o = Grammar_def.default then
+      Lazy.force b.Gg_codegen.Backend.default_grammar
+    else b.Gg_codegen.Backend.grammar_of o
+  in
+  let dense = Tables.build g in
+  let packed = Gg_tablegen.Packed.pack dense in
+  let spec = Gg_specialize.Specialize.build ~coverage ~profile dense in
+  (match Gg_specialize.Specialize.verify spec dense with
+  | Ok () -> ()
+  | Error m ->
+    Fmt.epr "error: specialized tables failed verification: %s@." m;
+    exit 1);
+  let st = Gg_specialize.Specialize.stats spec in
+  Fmt.pr "target:         %s@." target_name;
+  Fmt.pr "profile:        %a@." Gg_specialize.Heat.pp profile;
+  Fmt.pr "baseline:       %a@." Gg_tablegen.Packed.pp_stats
+    (Gg_tablegen.Packed.stats packed);
+  Fmt.pr "specialized:    %a@." Gg_specialize.Specialize.pp_stats st;
+  Fmt.pr "verification:   ok (cell-for-cell parity with the dense tables)@.";
+  match out with
+  | Some path ->
+    Gg_specialize.Specialize.save spec path;
+    Fmt.pr "wrote %s@." path
+  | None ->
+    let target_name = Gg_targets.Targets.name target in
+    if Gg_specialize.Specialize.cache_store ?dir ~target:target_name g spec
+    then
+      Fmt.pr "cached %s@."
+        (Gg_tablegen.Cache.spec_path ?dir ~target:target_name
+           ~profile_digest:(Gg_specialize.Heat.digest profile)
+           g)
+    else Fmt.epr "warning: could not store in the table cache@."
 
 (* -- the ops plane: top + trace-merge ------------------------------------- *)
 
@@ -498,14 +592,27 @@ let () =
                   ~doc:
                     "Remove every target's cached tables for this grammar and \
                      evict stale entries (tables whose target or grammar \
-                     digest no longer matches, orphaned temp files), \
-                     reporting each eviction."));
+                     digest no longer matches, specialized tables whose \
+                     profile is not kept live with $(b,--profile), orphaned \
+                     temp files), reporting each eviction.")
+          $ Arg.(
+              value & opt_all file []
+              & info [ "profile" ] ~docv:"FILE"
+                  ~doc:
+                    "With $(b,--clear): keep specialized entries whose \
+                     profile digest matches $(docv) (repeatable)."));
       cmd_of "vocabulary" "The terminal/non-terminal vocabulary (paper Fig. 1)."
         Term.(const vocabulary $ opts_term);
       cmd_of "heat"
         "Production firing-count heat report over the mini-C corpus."
         Term.(
           const heat $ opts_term
+          $ Arg.(
+              value & opt string "vax"
+              & info [ "target" ] ~docv:"TARGET"
+                  ~doc:
+                    "Collect the profile with this target's tables \
+                     (production ids are grammar-specific).")
           $ Arg.(
               value & opt int 25
               & info [ "top" ] ~docv:"N"
@@ -523,8 +630,47 @@ let () =
                     "Emit the firing counts as JSON \
                      ({\"total\": N, \"productions\": [{\"id\": I, \
                      \"count\": C}, ...]}) for $(b,ggcc --regalloc color \
-                     --heat).")
+                     --heat) and $(b,mdgtool specialize).")
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "out" ] ~docv:"FILE"
+                  ~doc:
+                    "Write the canonical JSON profile to $(docv); two runs \
+                     over the same corpus write byte-identical files.")
           $ verbose_term);
+      cmd_of "specialize"
+        "Reshape the packed tables around a heat profile and prove \
+         cell-for-cell parity (profile-guided specialization)."
+        Term.(
+          const specialize $ opts_term
+          $ Arg.(
+              value & opt string "vax"
+              & info [ "target" ] ~docv:"TARGET"
+                  ~doc:"Specialize this target's tables.")
+          $ Arg.(
+              required
+              & pos 0 (some file) None
+              & info [] ~docv:"PROFILE.json"
+                  ~doc:"Heat profile from $(b,mdgtool heat --json --out).")
+          $ Arg.(
+              value
+              & opt float Gg_specialize.Specialize.default_coverage
+              & info [ "coverage" ] ~docv:"SHARE"
+                  ~doc:
+                    "Share of estimated probe heat the hot partition must \
+                     cover.")
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "dir" ] ~docv:"DIR" ~doc:"Cache directory override.")
+          $ Arg.(
+              value
+              & opt (some string) None
+              & info [ "out" ] ~docv:"FILE"
+                  ~doc:
+                    "Write a ggcg-tables-v3 file to $(docv) instead of the \
+                     table cache."));
       cmd_of "file"
         "Statistics for an external .mdg machine description file."
         Term.(

@@ -65,6 +65,13 @@ type engine = {
 
 val engine : Tables.t -> engine
 
+(** The terminal interner the built-in engines use: a small
+    direct-mapped pointer cache in front of {!Gg_grammar.Symtab.term_id},
+    safe to share between domains.  Exposed so external table
+    representations (the profile-guided specializer) can build engines
+    with the same per-token lookup cost as {!packed_engine}. *)
+val interner : Gg_grammar.Symtab.t -> string -> int
+
 (** The packed engine is behaviourally identical to the dense one,
     including error positions and expected sets (see
     {!Gg_tablegen.Packed}). *)

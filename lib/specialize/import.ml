@@ -1,0 +1,7 @@
+(* Short aliases for modules used throughout this library. *)
+module Grammar = Gg_grammar.Grammar
+module Symtab = Gg_grammar.Symtab
+module Tables = Gg_tablegen.Tables
+module Packed = Gg_tablegen.Packed
+module Json = Gg_profile.Json
+module Metrics = Gg_profile.Metrics

@@ -17,6 +17,14 @@ let path ?dir ?(target = "vax") (g : Grammar.t) =
   let dir = match dir with Some d -> d | None -> default_dir () in
   Filename.concat dir (Fmt.str "tables-%s-%s.tbl" target (Grammar.digest g))
 
+(* specialized tables are keyed by the profile digest on top of the
+   baseline (target, grammar digest) key, so one grammar can keep one
+   specialized entry per workload profile *)
+let spec_path ?dir ?(target = "vax") ~profile_digest (g : Grammar.t) =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  Filename.concat dir
+    (Fmt.str "tables-%s-%s-p%s.tbl" target (Grammar.digest g) profile_digest)
+
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
@@ -55,20 +63,80 @@ let file_size file =
     n
   | exception Sys_error _ -> 0
 
-let clear_stale ?dir (live : (string * Grammar.t) list) =
+(* [tables-<target>-<digest>.tbl] is a baseline entry;
+   [tables-<target>-<digest>-p<digest>.tbl] a specialized one.  Parsed
+   from the filename alone so listing and eviction never open files. *)
+type entry = {
+  e_file : string;
+  e_target : string;
+  e_grammar_digest : string;
+  e_profile_digest : string option;
+  e_bytes : int;
+}
+
+let parse_name name =
+  if
+    not
+      (String.starts_with ~prefix:"tables-" name
+      && Filename.check_suffix name ".tbl")
+  then None
+  else
+    let core =
+      String.sub name 7 (String.length name - 7 - String.length ".tbl")
+    in
+    match String.split_on_char '-' core with
+    | [ target; gdigest ] -> Some (target, gdigest, None)
+    | [ target; gdigest; p ]
+      when String.length p > 1 && p.[0] = 'p' ->
+      Some (target, gdigest, Some (String.sub p 1 (String.length p - 1)))
+    | _ -> None
+
+let list ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         match parse_name name with
+         | None -> None
+         | Some (target, gdigest, pdigest) ->
+           let file = Filename.concat dir name in
+           Some
+             {
+               e_file = file;
+               e_target = target;
+               e_grammar_digest = gdigest;
+               e_profile_digest = pdigest;
+               e_bytes = file_size file;
+             })
+  |> List.sort compare
+
+let clear_stale ?dir ?live_profiles (live : (string * Grammar.t) list) =
   let dir = match dir with Some d -> d | None -> default_dir () in
   let live_names =
     List.map
       (fun (target, g) -> Filename.basename (path ~dir ~target g))
       live
   in
+  let live_keys =
+    List.map (fun (target, g) -> (target, Grammar.digest g)) live
+  in
   let entries = try Sys.readdir dir with Sys_error _ -> [||] in
   Array.to_list entries
   |> List.filter_map (fun name ->
          let stale_tbl =
-           String.starts_with ~prefix:"tables-" name
-           && Filename.check_suffix name ".tbl"
-           && not (List.mem name live_names)
+           match parse_name name with
+           | Some (target, gdigest, Some pdigest) ->
+             (* a specialized entry is stale if its grammar is, or —
+                when the caller declared which profiles are live — if
+                its profile is not one of them *)
+             (not (List.mem (target, gdigest) live_keys))
+             || (match live_profiles with
+                | None -> false
+                | Some ps -> not (List.mem pdigest ps))
+           | Some _ | None ->
+             String.starts_with ~prefix:"tables-" name
+             && Filename.check_suffix name ".tbl"
+             && not (List.mem name live_names)
          in
          (* interrupted atomic stores leave tables-*.tmp behind *)
          let orphan_tmp =

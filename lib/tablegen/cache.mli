@@ -24,6 +24,27 @@ val default_dir : unit -> string
     file need not exist). *)
 val path : ?dir:string -> ?target:string -> Grammar.t -> string
 
+(** The cache file of a {e specialized} table
+    ([tables-<target>-<grammar digest>-p<profile digest>.tbl]): the
+    profile digest joins the key, so one grammar keeps one entry per
+    workload profile and an edited profile automatically misses. *)
+val spec_path :
+  ?dir:string -> ?target:string -> profile_digest:string -> Grammar.t -> string
+
+(** One cache entry, parsed from its filename (no file is opened except
+    to size it). *)
+type entry = {
+  e_file : string;
+  e_target : string;
+  e_grammar_digest : string;
+  e_profile_digest : string option;  (** [Some _] on specialized entries *)
+  e_bytes : int;
+}
+
+(** Every [tables-*.tbl] in the cache directory, baseline and
+    specialized, sorted by filename. *)
+val list : ?dir:string -> unit -> entry list
+
 (** [load g] — the cached tables, or [None] if absent, stale or
     unreadable.  Timed under ["tables.load"] when profiling. *)
 val load : ?dir:string -> ?target:string -> Grammar.t -> Packed.t option
@@ -36,14 +57,21 @@ val store : ?dir:string -> ?target:string -> Grammar.t -> Packed.t -> bool
     ["tables.build"]). *)
 val build : Grammar.t -> Packed.t
 
-(** Evict cache entries that can never be loaded again: every
+(** Evict cache entries that can never be loaded again: every baseline
     [tables-*.tbl] that is not one of the [live] (target, grammar)
     pairs' entries (the grammar changed underneath them, or the file
-    predates target-keyed names) and every [tables-*.tmp] orphaned by
-    an interrupted store.  Returns the removed files with their sizes
-    in bytes, sorted; live entries are never touched and unremovable
-    files are skipped silently. *)
-val clear_stale : ?dir:string -> (string * Grammar.t) list -> (string * int) list
+    predates target-keyed names), every specialized entry whose grammar
+    digest is stale {e or} — when [live_profiles] is given — whose
+    profile digest is not in it (omitting [live_profiles] keeps any
+    specialized entry of a live grammar), and every [tables-*.tmp]
+    orphaned by an interrupted store.  Returns the removed files with
+    their sizes in bytes, sorted; live entries are never touched and
+    unremovable files are skipped silently. *)
+val clear_stale :
+  ?dir:string ->
+  ?live_profiles:string list ->
+  (string * Grammar.t) list ->
+  (string * int) list
 
 (** The production path: cached tables if present, else build and
     store.  Updates the {!Gg_profile.Profile.counters} hit/miss

@@ -27,8 +27,10 @@ type t = {
   aux : int array array;  (* reversed tie candidate lists *)
 }
 
-(* first-fit row displacement packing *)
-let comb_pack ~width ~n_states rows =
+(* first-fit row displacement packing.  [keep_order] packs the rows in
+   the order given (the specializer's heat order) instead of
+   densest-first. *)
+let comb_pack ?(keep_order = false) ~width ~n_states rows =
   let size = ref (width * 4) in
   let check = ref (Array.make !size (-1)) in
   let value = ref (Array.make !size 0) in
@@ -47,9 +49,11 @@ let comb_pack ~width ~n_states rows =
   let base = Array.make n_states 0 in
   (* densest rows first pack tightest *)
   let order =
-    List.sort
-      (fun (_, a) (_, b) -> compare (List.length b) (List.length a))
-      rows
+    if keep_order then rows
+    else
+      List.sort
+        (fun (_, a) (_, b) -> compare (List.length b) (List.length a))
+        rows
   in
   let high = ref 0 in
   List.iter
@@ -79,7 +83,27 @@ let comb_pack ~width ~n_states rows =
   let trim a = Array.sub a 0 (max 1 !high) in
   (base, trim !check, trim !value)
 
-let pack (tables : Tables.t) =
+(* Everything [pack] computes before the comb layout is laid down:
+   validity bits, default reductions, exception rows and the tie
+   arrays.  The specializer ({!Gg_specialize}) starts from the same
+   preparation so its cells decode identically to the packed (and hence
+   the dense) table's, whatever layout it chooses. *)
+type prepared = {
+  p_n_terms : int;
+  p_n_nonterms : int;
+  p_n_states : int;
+  p_grammar_digest : string;
+  p_width : int;  (* action row width, [p_n_terms + 1] *)
+  p_valid : Bytes.t;
+  p_defaults : int array;
+  p_act_rows : (int * (int * int) list) list;
+      (* per state, the (terminal, code) cells differing from the
+         default *)
+  p_goto_rows : (int * (int * int) list) list;
+  p_aux : int array array;
+}
+
+let prepare (tables : Tables.t) =
   let g = Tables.grammar tables in
   let nt = Symtab.n_terms g.Grammar.symtab in
   let nn = Symtab.n_nonterms g.Grammar.symtab in
@@ -146,26 +170,41 @@ let pack (tables : Tables.t) =
           tables.Tables.goto_.(s);
         (s, !entries))
   in
+  {
+    p_n_terms = nt;
+    p_n_nonterms = nn;
+    p_n_states = n_states;
+    p_grammar_digest = Grammar.digest g;
+    p_width = width;
+    p_valid = valid;
+    p_defaults = defaults;
+    p_act_rows = act_rows;
+    p_goto_rows = goto_rows;
+    p_aux = Array.of_list (List.rev !aux);
+  }
+
+let pack (tables : Tables.t) =
+  let p = prepare tables in
   let act_base, act_check, act_value =
-    comb_pack ~width:(nt + 1) ~n_states act_rows
+    comb_pack ~width:p.p_width ~n_states:p.p_n_states p.p_act_rows
   in
   let goto_base, goto_check, goto_value =
-    comb_pack ~width:nn ~n_states goto_rows
+    comb_pack ~width:p.p_n_nonterms ~n_states:p.p_n_states p.p_goto_rows
   in
   {
-    n_terms = nt;
-    n_nonterms = nn;
-    n_states;
-    grammar_digest = Grammar.digest g;
-    defaults;
-    valid;
+    n_terms = p.p_n_terms;
+    n_nonterms = p.p_n_nonterms;
+    n_states = p.p_n_states;
+    grammar_digest = p.p_grammar_digest;
+    defaults = p.p_defaults;
+    valid = p.p_valid;
     act_base;
     act_check;
     act_value;
     goto_base;
     goto_check;
     goto_value;
-    aux = Array.of_list (List.rev !aux);
+    aux = p.p_aux;
   }
 
 let decode t code =

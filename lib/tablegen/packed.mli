@@ -28,6 +28,40 @@ type t
 
 val pack : Tables.t -> t
 
+(** The representation-independent half of {!pack}: validity bits,
+    default reductions, per-state exception rows (cells whose code
+    differs from the state's default) and the tie-candidate arrays.
+    {!pack} lays the rows out densest-first; the profile-guided
+    specializer ({!Gg_specialize.Specialize}) lays the same rows out
+    hottest-first — both decode identically to the dense table because
+    they share this preparation. *)
+type prepared = {
+  p_n_terms : int;
+  p_n_nonterms : int;
+  p_n_states : int;
+  p_grammar_digest : string;
+  p_width : int;  (** action row width, [p_n_terms + 1] for eof *)
+  p_valid : Bytes.t;  (** bitset: 1 = the dense action cell is non-Error *)
+  p_defaults : int array;
+  p_act_rows : (int * (int * int) list) list;
+  p_goto_rows : (int * (int * int) list) list;
+  p_aux : int array array;
+}
+
+val prepare : Tables.t -> prepared
+
+(** First-fit row-displacement packing of [(row, (column, value) list)]
+    rows into a (base, check, value) triple.  Rows are packed
+    densest-first unless [keep_order] is set, in which case the given
+    order is the packing order (the specializer packs hottest-first so
+    hot rows share cache lines). *)
+val comb_pack :
+  ?keep_order:bool ->
+  width:int ->
+  n_states:int ->
+  (int * (int * int) list) list ->
+  int array * int array * int array
+
 (** O(1) decoded lookups, equal to the dense table's entries in every
     cell (including [Error] cells — see above). *)
 val action : t -> int -> int -> Tables.action

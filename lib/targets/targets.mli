@@ -30,6 +30,26 @@ val cached_tables :
   Gg_vax.Grammar_def.options ->
   Gg_codegen.Driver.tables
 
+(** The auto heat profile for a target: production firing counts from
+    compiling the fixed mini-C corpus with the target's own tables.
+    Production ids are grammar-specific, so a profile collected for one
+    target does not transfer to another. *)
+val heat_profile : Backend.target -> Gg_specialize.Heat.t
+
+(** Tables whose packed layout is specialized around [profile]
+    ({!Gg_specialize.Specialize}): cache-first through the
+    (target, grammar digest, profile digest) entry unless [use_cache]
+    is false, else built from scratch, {e verified cell-for-cell
+    against the dense tables}, and stored.  Raises [Failure] if
+    verification fails — a specializer bug can never select wrong
+    instructions. *)
+val specialized_tables :
+  ?dir:string ->
+  ?use_cache:bool ->
+  profile:Gg_specialize.Heat.t ->
+  Backend.target ->
+  Gg_codegen.Driver.tables
+
 (** The (target name, grammar) pairs that are live for the given
     grammar options — the keep-list for {!Gg_tablegen.Cache.clear_stale}
     so evicting one target's stale entries never drops the other's. *)

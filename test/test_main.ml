@@ -18,6 +18,7 @@ let () =
       ("pcc", Suite_pcc.suite);
       ("differential", Suite_diff.suite);
       ("packed", Suite_packed.suite);
+      ("specialize", Suite_specialize.suite);
       ("fuzz", Suite_fuzz.suite);
       ("parallel", Suite_parallel.suite);
       ("telemetry", Suite_telemetry.suite);
